@@ -1,0 +1,262 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (EuroSys'18, §8). Each benchmark runs the corresponding experiment and
+// reports its headline quantity via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as the full reproduction harness. cmd/cckvs-bench renders the
+// same experiments as human-readable tables.
+package cckvs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/mcheck"
+	"repro/internal/model"
+	"repro/internal/zipf"
+)
+
+// cell extracts a numeric cell from a rendered experiment table row.
+func cell(b *testing.B, tab experiments.Table, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.Fields(tab.Rows[row][col])[0], 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+// BenchmarkFig01LoadImbalance regenerates Figure 1 (hottest of 128 servers
+// vs average, alpha = 0.99).
+func BenchmarkFig01LoadImbalance(b *testing.B) {
+	var imb float64
+	for i := 0; i < b.N; i++ {
+		loads := zipf.ShardLoads(250_000_000, 0.99, 128, func(rank uint64) int {
+			return int(zipf.Mix64(rank) % 128)
+		})
+		imb = zipf.Imbalance(loads)
+	}
+	b.ReportMetric(imb, "max/avg")
+}
+
+// BenchmarkFig03HitRate regenerates Figure 3's 0.1% anchor points.
+func BenchmarkFig03HitRate(b *testing.B) {
+	var h90, h99, h101 float64
+	for i := 0; i < b.N; i++ {
+		h90 = zipf.HitRate(0.001, 250_000_000, 0.90)
+		h99 = zipf.HitRate(0.001, 250_000_000, 0.99)
+		h101 = zipf.HitRate(0.001, 250_000_000, 1.01)
+	}
+	b.ReportMetric(h90*100, "%hit@0.90")
+	b.ReportMetric(h99*100, "%hit@0.99")
+	b.ReportMetric(h101*100, "%hit@1.01")
+}
+
+// BenchmarkFig08ReadOnly regenerates Figure 8 at alpha = 0.99.
+func BenchmarkFig08ReadOnly(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Fig8()
+	}
+	b.ReportMetric(cell(b, tab, 0, 2), "Uniform_MRPS")
+	b.ReportMetric(cell(b, tab, 1, 2), "BaseEREW_MRPS")
+	b.ReportMetric(cell(b, tab, 2, 2), "Base_MRPS")
+	b.ReportMetric(cell(b, tab, 3, 2), "ccKVS_MRPS")
+}
+
+// BenchmarkFig09Breakdown regenerates Figure 9 (hit/miss split).
+func BenchmarkFig09Breakdown(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Fig9()
+	}
+	b.ReportMetric(cell(b, tab, 1, 1), "hits_MRPS@0.99")
+	b.ReportMetric(cell(b, tab, 1, 2), "misses_MRPS@0.99")
+}
+
+// BenchmarkFig10WriteRatio regenerates Figure 10 and reports the paper's
+// headline 1%-write numbers.
+func BenchmarkFig10WriteRatio(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Fig10()
+	}
+	// Row 2 is the 1% write ratio.
+	b.ReportMetric(cell(b, tab, 2, 2), "SC_MRPS@1%")
+	b.ReportMetric(cell(b, tab, 2, 3), "Lin_MRPS@1%")
+	b.ReportMetric(cell(b, tab, 2, 2)/cell(b, tab, 2, 4), "SC/Base")
+	b.ReportMetric(cell(b, tab, 2, 3)/cell(b, tab, 2, 4), "Lin/Base")
+}
+
+// BenchmarkFig11Traffic regenerates Figure 11's traffic shares.
+func BenchmarkFig11Traffic(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Fig11()
+	}
+	// Last row: Lin at 5% writes.
+	last := len(tab.Rows) - 1
+	b.ReportMetric(cell(b, tab, last, 2), "%miss_Lin@5%")
+	b.ReportMetric(cell(b, tab, last, 3), "%upd_Lin@5%")
+	b.ReportMetric(cell(b, tab, last, 6), "%flowctl_Lin@5%")
+}
+
+// BenchmarkFig12ObjectSize regenerates Figure 12 and reports the SC/Lin gap
+// at 40B and 1KB (1% writes).
+func BenchmarkFig12ObjectSize(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Fig12()
+	}
+	// Rows 3..5 are the 1%-write rows (40B, 256B, 1KB).
+	gap40 := cell(b, tab, 3, 4) / cell(b, tab, 3, 3)
+	gap1k := cell(b, tab, 5, 4) / cell(b, tab, 5, 3)
+	b.ReportMetric(gap40, "SC/Lin@40B")
+	b.ReportMetric(gap1k, "SC/Lin@1KB")
+}
+
+// BenchmarkFig13aCoalescingUtil regenerates Figure 13a.
+func BenchmarkFig13aCoalescingUtil(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Fig13a()
+	}
+	b.ReportMetric(cell(b, tab, 0, 1), "Gbps@40B_plain")
+	b.ReportMetric(cell(b, tab, 0, 2), "Gbps@40B_coalesced")
+}
+
+// BenchmarkFig13bCoalescingPerf regenerates Figure 13b.
+func BenchmarkFig13bCoalescingPerf(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Fig13b()
+	}
+	b.ReportMetric(cell(b, tab, 0, 2), "Base_MRPS@40B")
+	b.ReportMetric(cell(b, tab, 0, 4), "ccKVS_SC_MRPS@40B")
+}
+
+// BenchmarkFig13cLatency regenerates Figure 13c (queueing simulation).
+func BenchmarkFig13cLatency(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Fig13c(30_000)
+	}
+	last := len(tab.Rows) - 1
+	b.ReportMetric(cell(b, tab, last, 1), "ccKVS_avg_us@peak")
+	b.ReportMetric(cell(b, tab, last, 2), "ccKVS_p95_us@peak")
+	b.ReportMetric(cell(b, tab, last, 6), "Lin_p95_us@peak")
+}
+
+// BenchmarkFig14Scalability regenerates Figure 14's analytical study.
+func BenchmarkFig14Scalability(b *testing.B) {
+	var pts []model.ScalePoint
+	for i := 0; i < b.N; i++ {
+		pts = model.ScalabilityStudy(5, 40, 0.01)
+	}
+	last := pts[len(pts)-1]
+	b.ReportMetric(last.UniformMRPS, "Uniform_MRPS@40")
+	b.ReportMetric(last.SCMRPS, "SC_MRPS@40")
+	b.ReportMetric(last.LinMRPS, "Lin_MRPS@40")
+}
+
+// BenchmarkFig15BreakEven regenerates Figure 15's break-even study.
+func BenchmarkFig15BreakEven(b *testing.B) {
+	var pts []model.BreakEvenPoint
+	for i := 0; i < b.N; i++ {
+		pts = model.BreakEvenStudy(5, 40)
+	}
+	last := pts[len(pts)-1]
+	b.ReportMetric(last.SCPct, "%SC@40")
+	b.ReportMetric(last.LinPct, "%Lin@40")
+}
+
+// BenchmarkModelChecker reproduces the §5.2 verification (Murphi
+// substitute) on a small Lin instance.
+func BenchmarkModelChecker(b *testing.B) {
+	var rep mcheck.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = mcheck.Check(mcheck.Lin, mcheck.Bounds{Procs: 3, Addrs: 1, MaxClock: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.OK() {
+			b.Fatalf("violation: %s", rep.Violation)
+		}
+	}
+	b.ReportMetric(float64(rep.States), "states")
+}
+
+// BenchmarkAblationSerialization reports the Figure 4 design-space ablation
+// at 5% writes.
+func BenchmarkAblationSerialization(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.AblationWriteSerialization()
+	}
+	b.ReportMetric(cell(b, tab, 1, 1), "distributed_MRPS@5%")
+	b.ReportMetric(cell(b, tab, 1, 3), "primary_MRPS@5%")
+}
+
+// BenchmarkAblationCoalesce reports the coalescing-factor sweep endpoints.
+func BenchmarkAblationCoalesce(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.AblationCoalesceFactor()
+	}
+	b.ReportMetric(cell(b, tab, 0, 1), "MRPS@k=1")
+	b.ReportMetric(cell(b, tab, len(tab.Rows)-1, 1), "MRPS@k=32")
+}
+
+// BenchmarkAblationCredits reports the credit-batching sweep endpoints.
+func BenchmarkAblationCredits(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.AblationCreditBatch()
+	}
+	b.ReportMetric(cell(b, tab, 0, 1), "%flowctl@batch1")
+	b.ReportMetric(cell(b, tab, len(tab.Rows)-1, 1), "%flowctl@batch32")
+}
+
+// BenchmarkAblationCacheSize reports throughput at the paper's 0.1% cache
+// operating point.
+func BenchmarkAblationCacheSize(b *testing.B) {
+	var tab experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.AblationCacheSize()
+	}
+	// Row 2 is 0.10%.
+	b.ReportMetric(cell(b, tab, 2, 1), "%hit@0.1%cache")
+	b.ReportMetric(cell(b, tab, 2, 2), "MRPS@0.1%cache")
+}
+
+// BenchmarkLocalClusterEndToEnd measures the real in-process cluster (the
+// functional prototype) under the paper's default workload shape.
+func BenchmarkLocalClusterEndToEnd(b *testing.B) {
+	kv, err := Open(Options{Nodes: 3, Consistency: SC, NumKeys: 1 << 14, CacheItems: 160})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer kv.Close()
+	g, err := zipf.NewGenerator(1<<14, 0.99, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := g.Next()
+		if i%100 == 0 {
+			if err := kv.Put(key, val); err != nil {
+				b.Fatal(err)
+			}
+		} else if _, err := kv.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(kv.Stats().HitRate()*100, "%hit")
+}

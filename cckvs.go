@@ -1,0 +1,199 @@
+// Package cckvs is the public API of the Scale-Out ccNUMA / ccKVS
+// reproduction (Gavrielatos et al., EuroSys'18): a distributed in-memory
+// key-value store that exploits popularity skew by replicating the hottest
+// items in a strongly consistent symmetric cache on every node.
+//
+// The package embeds a full multi-node deployment in the current process —
+// every node runs a KVS shard, a symmetric cache, and the consistency
+// protocol engines, exchanging real messages over the fabric transport.
+// Clients load-balance requests across nodes exactly as the paper's
+// black-box abstraction prescribes:
+//
+//	kv, err := cckvs.Open(cckvs.Options{Nodes: 5, Consistency: cckvs.Lin})
+//	...
+//	err = kv.Put(42, []byte("value"))
+//	v, err := kv.Get(42)
+//
+// Hot-set management uses the paper's §4 machinery: accesses are sampled
+// into a Space-Saving top-k summary and RefreshHotSet closes the epoch,
+// installing the current top keys into every node's cache and flushing
+// dirty evicted items to their home shards.
+//
+// The reproduction's experiment harness lives in internal/experiments and
+// is exposed through cmd/cckvs-bench; the analytical model and the
+// calibrated rack simulator used for the paper's figures are
+// internal/model and internal/simnet.
+package cckvs
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/topk"
+)
+
+// Consistency selects the cache consistency protocol.
+type Consistency = core.Protocol
+
+// Consistency levels, per §5 of the paper.
+const (
+	// SC is per-key Sequential Consistency: non-blocking writes,
+	// asynchronous propagation, total per-key write order.
+	SC = core.SC
+	// Lin is per-key Linearizability: blocking two-phase writes; a put
+	// returns only once its value is visible (or stalls readers) on every
+	// replica.
+	Lin = core.Lin
+)
+
+// Options configures an embedded deployment.
+type Options struct {
+	// Nodes is the number of server nodes (paper: 9; default 3).
+	Nodes int
+	// Consistency picks SC or Lin (default SC).
+	Consistency Consistency
+	// NumKeys is the keyspace size; keys are uint64 in [0, NumKeys).
+	// Default 1<<16.
+	NumKeys uint64
+	// CacheItems is the per-node symmetric cache capacity (default 1% of
+	// NumKeys, mirroring the paper's 0.1% at 250M scaled to small
+	// keyspaces).
+	CacheItems int
+	// ValueSize is the default object size used by Populate (default 40,
+	// as in the paper's evaluation).
+	ValueSize int
+	// SampleRate is the request-sampling rate feeding the top-k hot-key
+	// tracker (§4; default 16: one in 16 requests is recorded).
+	SampleRate uint64
+}
+
+// KV is an embedded ccKVS deployment with a client-side load balancer.
+type KV struct {
+	c     *cluster.Cluster
+	coord *topk.Coordinator
+	rr    atomic.Uint64
+	items int
+}
+
+// ErrClosed is returned by operations on a closed KV.
+var ErrClosed = errors.New("cckvs: closed")
+
+// Open builds and starts an embedded deployment, populates the dataset
+// (every key holds a zero value of ValueSize bytes) and installs the
+// initial hot set (the lowest-numbered keys, pending popularity feedback).
+func Open(opts Options) (*KV, error) {
+	if opts.Nodes == 0 {
+		opts.Nodes = 3
+	}
+	if opts.NumKeys == 0 {
+		opts.NumKeys = 1 << 16
+	}
+	if opts.CacheItems == 0 {
+		opts.CacheItems = int(opts.NumKeys / 100)
+		if opts.CacheItems == 0 {
+			opts.CacheItems = 1
+		}
+	}
+	if opts.SampleRate == 0 {
+		opts.SampleRate = 16
+	}
+	c, err := cluster.New(cluster.Config{
+		Nodes:      opts.Nodes,
+		System:     cluster.CCKVS,
+		Protocol:   opts.Consistency,
+		NumKeys:    opts.NumKeys,
+		CacheItems: opts.CacheItems,
+		ValueSize:  opts.ValueSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cckvs: %w", err)
+	}
+	c.Populate()
+	c.InstallHotSet(cluster.DefaultHotSet(opts.CacheItems))
+	kv := &KV{
+		c:     c,
+		coord: topk.NewCoordinator(opts.CacheItems, opts.CacheItems*4, opts.SampleRate),
+		items: opts.CacheItems,
+	}
+	kv.coord.Seed(cluster.DefaultHotSet(opts.CacheItems))
+	return kv, nil
+}
+
+// pick load-balances requests round-robin across nodes, as ccKVS clients do.
+func (kv *KV) pick() int {
+	return int(kv.rr.Add(1) % uint64(kv.c.NumNodes()))
+}
+
+// Get reads key through a randomly rotating server node. The returned slice
+// is private to the caller.
+func (kv *KV) Get(key uint64) ([]byte, error) {
+	kv.coord.Observe(key)
+	return kv.c.Node(kv.pick()).Get(key)
+}
+
+// Put writes key through a rotating server node under the configured
+// consistency model.
+func (kv *KV) Put(key uint64, value []byte) error {
+	kv.coord.Observe(key)
+	return kv.c.Node(kv.pick()).Put(key, value)
+}
+
+// RefreshHotSet ends the popularity epoch: the top-k keys observed since
+// the previous refresh become the new symmetric cache content on every
+// node (dirty evicted items are written back to their home shards). It
+// returns how many keys entered and left the hot set.
+func (kv *KV) RefreshHotSet() (added, removed int) {
+	hs, a, r := kv.coord.EndEpoch()
+	keys := hs.Keys
+	if len(keys) == 0 {
+		return 0, 0
+	}
+	kv.c.InstallHotSet(keys)
+	return a, r
+}
+
+// Stats summarizes cache behaviour since Open.
+type Stats struct {
+	CacheHits, CacheMisses uint64
+	LocalOps, RemoteOps    uint64
+	HotSetEpoch            uint64
+	HotSetSize             int
+}
+
+// Stats returns aggregate counters across all nodes.
+func (kv *KV) Stats() Stats {
+	var s Stats
+	for i := 0; i < kv.c.NumNodes(); i++ {
+		n := kv.c.Node(i)
+		s.CacheHits += n.CacheHits.Load()
+		s.CacheMisses += n.CacheMisses.Load()
+		s.LocalOps += n.LocalOps.Load()
+		s.RemoteOps += n.RemoteOps.Load()
+	}
+	cur := kv.coord.Current()
+	s.HotSetEpoch = cur.Epoch
+	s.HotSetSize = cur.Size()
+	return s
+}
+
+// HitRate returns the cache hit ratio observed so far.
+func (s Stats) HitRate() float64 {
+	t := s.CacheHits + s.CacheMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(t)
+}
+
+// NumNodes returns the deployment size.
+func (kv *KV) NumNodes() int { return kv.c.NumNodes() }
+
+// Cluster exposes the underlying deployment for advanced use (experiment
+// harnesses, tests).
+func (kv *KV) Cluster() *cluster.Cluster { return kv.c }
+
+// Close shuts the deployment down.
+func (kv *KV) Close() error { return kv.c.Close() }

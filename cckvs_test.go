@@ -1,0 +1,115 @@
+package cckvs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestOpenDefaults(t *testing.T) {
+	kv, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if kv.NumNodes() != 3 {
+		t.Fatalf("nodes = %d", kv.NumNodes())
+	}
+	if kv.Cluster() == nil {
+		t.Fatal("cluster accessor broken")
+	}
+}
+
+func TestPutGetThroughFacade(t *testing.T) {
+	for _, cons := range []Consistency{SC, Lin} {
+		kv, err := Open(Options{Nodes: 3, Consistency: cons, NumKeys: 1000, CacheItems: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []byte("facade-value-000000000000000000000000000")
+		if err := kv.Put(5, want); err != nil {
+			t.Fatal(err)
+		}
+		// Under Lin the new value is immediately visible everywhere; under
+		// SC the writing client sees it via any node only after the async
+		// update lands, so retry briefly.
+		ok := false
+		for i := 0; i < 10000 && !ok; i++ {
+			v, err := kv.Get(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok = bytes.Equal(v, want)
+		}
+		if !ok {
+			t.Fatalf("%v: replicas never served the written value", cons)
+		}
+		kv.Close()
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	kv, err := Open(Options{Nodes: 2, NumKeys: 1000, CacheItems: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	for k := uint64(0); k < 100; k++ {
+		if _, err := kv.Get(k % 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := kv.Stats()
+	if s.CacheHits == 0 {
+		t.Fatal("no cache hits recorded")
+	}
+	if s.HitRate() <= 0 || s.HitRate() > 1 {
+		t.Fatalf("hit rate %v", s.HitRate())
+	}
+}
+
+func TestRefreshHotSetAdaptsToPopularity(t *testing.T) {
+	kv, err := Open(Options{
+		Nodes: 3, NumKeys: 10000, CacheItems: 8, SampleRate: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	// Hammer keys 5000..5007, which are outside the initial hot set
+	// (keys 0..7).
+	for i := 0; i < 400; i++ {
+		if _, err := kv.Get(5000 + uint64(i%8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	added, removed := kv.RefreshHotSet()
+	if added == 0 || removed == 0 {
+		t.Fatalf("hot set did not adapt: added=%d removed=%d", added, removed)
+	}
+	before := kv.Stats().CacheHits
+	if _, err := kv.Get(5000); err != nil {
+		t.Fatal(err)
+	}
+	if kv.Stats().CacheHits != before+1 {
+		t.Fatal("newly hot key still misses the cache")
+	}
+	if kv.Stats().HotSetEpoch != 1 || kv.Stats().HotSetSize == 0 {
+		t.Fatalf("stats: %+v", kv.Stats())
+	}
+}
+
+func TestRefreshHotSetEmptyEpochIsNoop(t *testing.T) {
+	kv, err := Open(Options{Nodes: 2, NumKeys: 100, CacheItems: 4, SampleRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	// No observations: the refresh must not clear the cache.
+	kv.RefreshHotSet()
+	if _, err := kv.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if kv.Stats().CacheHits == 0 {
+		t.Fatal("initial hot set lost on empty refresh")
+	}
+}

@@ -1,0 +1,75 @@
+// Command cckvs-bench regenerates the paper's evaluation figures
+// (EuroSys'18, §8) as text tables.
+//
+// Usage:
+//
+//	cckvs-bench -list             # show available experiments
+//	cckvs-bench -fig fig8         # one figure
+//	cckvs-bench -all              # every figure and ablation
+//	cckvs-bench -local            # in-process cluster validation run
+//	cckvs-bench -local -ops 5000  # longer validation run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+		local = flag.Bool("local", false, "run the in-process cluster validation")
+		fig4  = flag.Bool("fig4", false, "run the Figure 4 serialization design space on the live cluster")
+		ops   = flag.Int("ops", 2000, "operations per client for -local/-fig4")
+	)
+	flag.Parse()
+
+	registry := experiments.All()
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	switch {
+	case *list:
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+	case *local:
+		tab, err := experiments.LocalValidation(*ops)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "local validation:", err)
+			os.Exit(1)
+		}
+		fmt.Print(tab.Render())
+	case *fig4:
+		tab, err := experiments.LocalSerializationAblation(*ops)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serialization ablation:", err)
+			os.Exit(1)
+		}
+		fmt.Print(tab.Render())
+	case *all:
+		for _, id := range ids {
+			fmt.Print(registry[id]().Render())
+			fmt.Println()
+		}
+	case *fig != "":
+		fn, ok := registry[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *fig)
+			os.Exit(2)
+		}
+		fmt.Print(fn().Render())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

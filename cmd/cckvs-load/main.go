@@ -1,0 +1,104 @@
+// Command cckvs-load drives a multi-process cckvs-node deployment with a
+// YCSB-style Zipfian workload and reports throughput and latency.
+//
+// Example:
+//
+//	cckvs-load -nodes 127.0.0.1:7000,127.0.0.1:7001 -keys 10000 \
+//	           -alpha 0.99 -writes 0.01 -ops 100000 -clients 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/remote"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		nodeList = flag.String("nodes", "127.0.0.1:7000", "comma-separated node addresses, ordered by node id")
+		keys     = flag.Uint64("keys", 10000, "keyspace size")
+		alpha    = flag.Float64("alpha", 0.99, "zipfian exponent (0 = uniform)")
+		writes   = flag.Float64("writes", 0.01, "write ratio")
+		ops      = flag.Int("ops", 100000, "operations per client")
+		clients  = flag.Int("clients", 4, "concurrent clients")
+		valSize  = flag.Int("value", 40, "value size in bytes")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*nodeList, ",")
+	peers := map[uint8]string{}
+	for i, a := range addrs {
+		peers[uint8(i)] = strings.TrimSpace(a)
+	}
+
+	gen, err := workload.New(workload.Config{
+		NumKeys: *keys, Alpha: *alpha, WriteRatio: *writes, ValueSize: *valSize, Seed: 42,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	lat := metrics.NewHistogram()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := remote.DialCluster(uint8(100+id), peers)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer cl.Close()
+			g := gen.Clone(uint64(id))
+			for i := 0; i < *ops; i++ {
+				op := g.Next()
+				t0 := time.Now()
+				if op.Type == workload.Put {
+					err = cl.Put(op.Key, op.Value)
+				} else {
+					_, err = cl.Get(op.Key)
+					if err == remote.ErrNotFound {
+						err = nil // cold keys are fine on an unloaded deployment
+					}
+				}
+				lat.Record(uint64(time.Since(t0).Nanoseconds()))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client %d: %w", id, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		fmt.Fprintln(os.Stderr, firstErr)
+		os.Exit(1)
+	}
+	total := float64(*clients * *ops)
+	snap := lat.Snapshot()
+	fmt.Printf("%d nodes, %d clients, %.0f ops in %v\n", len(peers), *clients, total, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f ops/s\n", total/elapsed.Seconds())
+	fmt.Printf("latency:    avg %.1fus  p50 %.1fus  p95 %.1fus  p99 %.1fus\n",
+		snap.Mean/1000, float64(snap.P50)/1000, float64(snap.P95)/1000, float64(snap.P99)/1000)
+}

@@ -1,0 +1,60 @@
+// Command cckvs-node runs one standalone KVS shard server over TCP: the
+// remote-access (NUMA abstraction) layer of the reproduction deployed
+// across real processes. Start one process per node, then drive the
+// deployment with cmd/cckvs-load.
+//
+// Example (two nodes on one machine):
+//
+//	cckvs-node -id 0 -listen 127.0.0.1:7000 -nodes 2 -preload 10000 &
+//	cckvs-node -id 1 -listen 127.0.0.1:7001 -nodes 2 -preload 10000 &
+//	cckvs-load -nodes 127.0.0.1:7000,127.0.0.1:7001 -ops 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/remote"
+	"repro/internal/timestamp"
+)
+
+func main() {
+	var (
+		id      = flag.Int("id", 0, "node id (0-based)")
+		listen  = flag.String("listen", "127.0.0.1:7000", "listen address")
+		nodes   = flag.Int("nodes", 1, "total nodes in the deployment")
+		preload = flag.Int("preload", 0, "preload this many keys (those homed here) with 40B values")
+	)
+	flag.Parse()
+
+	node, err := remote.StartNode(uint8(*id), *listen, *preload+1024)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer node.Close()
+
+	if *preload > 0 {
+		val := make([]byte, 40)
+		loaded := 0
+		for k := uint64(0); k < uint64(*preload); k++ {
+			if remote.HomeNode(k, *nodes) != uint8(*id) {
+				continue
+			}
+			for i := range val {
+				val[i] = byte(k) ^ byte(i)
+			}
+			node.Store().Put(k, val, timestamp.TS{})
+			loaded++
+		}
+		fmt.Printf("node %d: preloaded %d/%d keys\n", *id, loaded, *preload)
+	}
+	fmt.Printf("node %d: serving on %s (ctrl-c to stop)\n", *id, node.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Printf("node %d: served %d requests\n", *id, node.Served.Load())
+}

@@ -1,0 +1,39 @@
+// Scalability study: when does symmetric caching pay off? Reproduces the
+// paper's §8.7 analyses — the Figure 14 scale-out projection and the
+// Figure 15 break-even write ratios — and answers the capacity-planning
+// question for a concrete deployment.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/model"
+)
+
+func main() {
+	fmt.Print(experiments.Fig14().Render())
+	fmt.Println()
+	fmt.Print(experiments.Fig15().Render())
+	fmt.Println()
+
+	// Capacity planning: a 20-server deployment serving a workload with
+	// 1% writes — is ccKVS worth it, and with which protocol?
+	const servers, writeRatio = 20, 0.01
+	p := model.Defaults(servers, writeRatio)
+	fmt.Printf("planning a %d-server deployment at %.1f%% writes:\n", servers, writeRatio*100)
+	fmt.Printf("  Uniform (no caching):  %7.0f MRPS\n", p.ThroughputUniform()/1e6)
+	fmt.Printf("  ccKVS-SC:              %7.0f MRPS (%.1fx)\n",
+		p.ThroughputSC()/1e6, p.ThroughputSC()/p.ThroughputUniform())
+	fmt.Printf("  ccKVS-Lin:             %7.0f MRPS (%.1fx)\n",
+		p.ThroughputLin()/1e6, p.ThroughputLin()/p.ThroughputUniform())
+	fmt.Printf("  break-even write ratio: %.1f%% (SC), %.1f%% (Lin)\n",
+		p.BreakEvenSC()*100, p.BreakEvenLin()*100)
+	if writeRatio < p.BreakEvenLin() {
+		fmt.Println("  verdict: even full linearizability is a win at this write ratio")
+	} else if writeRatio < p.BreakEvenSC() {
+		fmt.Println("  verdict: use SC; Lin's two-phase writes would erase the gain")
+	} else {
+		fmt.Println("  verdict: symmetric caching does not pay off here")
+	}
+}

@@ -1,0 +1,100 @@
+// Social-feed scenario: the workload class that motivates the paper
+// (§1: social networking, e-commerce). Profiles of a few celebrity
+// accounts dominate the read traffic; posts are rare writes. The example
+// runs the scenario against an embedded ccKVS deployment and shows the
+// symmetric cache adapting when a previously unknown account goes viral.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cckvs "repro"
+	"repro/internal/zipf"
+)
+
+const (
+	accounts   = 50_000
+	nodes      = 5
+	cacheSlots = 500
+)
+
+func main() {
+	kv, err := cckvs.Open(cckvs.Options{
+		Nodes:       nodes,
+		Consistency: cckvs.Lin, // reads must never see a deleted/old post
+		NumKeys:     accounts,
+		CacheItems:  cacheSlots,
+		SampleRate:  4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer kv.Close()
+
+	// Phase 1: organic traffic. Account popularity is Zipfian; 2% of
+	// requests are posts (profile updates).
+	fmt.Println("phase 1: organic zipfian traffic (alpha=0.99, 2% posts)")
+	popularity, err := zipf.NewGenerator(accounts, 0.99, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	serve(kv, 30_000, func(i int) (uint64, bool) {
+		return popularity.Next(), i%50 == 0
+	})
+	report(kv)
+
+	// Phase 2: account #48271 goes viral — a flash crowd the initial hot
+	// set knows nothing about.
+	fmt.Println("\nphase 2: account 48271 goes viral (60% of traffic)")
+	viral := uint64(48271)
+	hitsBefore := kv.Stats().CacheHits
+	serve(kv, 20_000, func(i int) (uint64, bool) {
+		if i%5 < 3 {
+			return viral, i%200 == 0
+		}
+		return popularity.Next(), false
+	})
+	missRateDuring := 1 - float64(kv.Stats().CacheHits-hitsBefore)/20_000
+	fmt.Printf("  miss rate during flash crowd: %.1f%%\n", missRateDuring*100)
+
+	// The coordinator's epoch ends: the viral account enters every cache.
+	added, removed := kv.RefreshHotSet()
+	fmt.Printf("  hot set refresh: +%d/-%d keys\n", added, removed)
+
+	hitsBefore = kv.Stats().CacheHits
+	serve(kv, 20_000, func(i int) (uint64, bool) {
+		if i%5 < 3 {
+			return viral, false
+		}
+		return popularity.Next(), false
+	})
+	missRateAfter := 1 - float64(kv.Stats().CacheHits-hitsBefore)/20_000
+	fmt.Printf("  miss rate after refresh:      %.1f%%\n", missRateAfter*100)
+	report(kv)
+}
+
+// serve issues n requests; pick returns the account and whether this
+// request is a post (write).
+func serve(kv *cckvs.KV, n int, pick func(i int) (uint64, bool)) {
+	post := make([]byte, 40)
+	for i := 0; i < n; i++ {
+		account, isPost := pick(i)
+		if isPost {
+			copy(post, fmt.Sprintf("post #%d by %d", i, account))
+			if err := kv.Put(account, post); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		if _, err := kv.Get(account); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func report(kv *cckvs.KV) {
+	s := kv.Stats()
+	fmt.Printf("  totals: %.1f%% hit rate, %d remote accesses, epoch %d\n",
+		s.HitRate()*100, s.RemoteOps, s.HotSetEpoch)
+}

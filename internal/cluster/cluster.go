@@ -1,0 +1,472 @@
+// Package cluster assembles the full systems evaluated in the paper
+// (EuroSys'18, §7.1) as in-process deployments: every node couples a KVS
+// shard with (for ccKVS) an instance of the symmetric cache, threads are
+// partitioned into cache threads and KVS threads (§6.2), and nodes exchange
+// remote accesses and consistency messages over a fabric transport.
+//
+// Five system flavours are provided:
+//
+//   - BaseEREW  — NUMA abstraction, KVS partitioned at core granularity
+//   - Base      — NUMA abstraction, CRCW KVS (partitioned per server)
+//   - Uniform   — Base driven by a uniform workload (the baselines' upper
+//     bound; selected by the workload, not the cluster config)
+//   - ccKVS-SC  — Base plus symmetric caches kept consistent with the SC
+//     protocol
+//   - ccKVS-Lin — same with the Lin protocol
+//
+// The cluster is functionally complete (real protocol traffic over a real
+// transport); paper-scale *performance* numbers come from internal/simnet,
+// which models the rack's network bottlenecks explicitly.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/store"
+	"repro/internal/timestamp"
+	"repro/internal/zipf"
+)
+
+// System selects the evaluated design.
+type System int
+
+// Evaluated systems.
+const (
+	// BaseEREW partitions each node's KVS at thread granularity
+	// (exclusive reads, exclusive writes), like stock MICA.
+	BaseEREW System = iota
+	// Base partitions the KVS at server granularity (CRCW).
+	Base
+	// CCKVS is Base plus consistent symmetric caching.
+	CCKVS
+)
+
+// String names the system as in the paper's figures.
+func (s System) String() string {
+	switch s {
+	case BaseEREW:
+		return "Base-EREW"
+	case Base:
+		return "Base"
+	case CCKVS:
+		return "ccKVS"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// Thread ids within a node's fabric address space.
+const (
+	threadCache uint8 = iota // consistency messages between cache threads
+	threadKVS                // remote KVS request server
+	threadResp               // remote KVS responses (RPC completions)
+	threadFlow               // explicit credit updates
+)
+
+// Serialization selects how hot writes obtain their place in the per-key
+// write order — the design space of the paper's Figure 4. The paper's
+// protocols are fully distributed (Figure 4c); the primary and sequencer
+// variants exist as executable baselines for the ablation.
+type Serialization int
+
+// Write-serialization designs.
+const (
+	// SerializationDistributed: any replica writes locally; Lamport
+	// timestamps serialize (Figure 4c, the paper's design).
+	SerializationDistributed Serialization = iota
+	// SerializationPrimary: all hot writes execute on a designated
+	// primary node, which broadcasts the updates (Figure 4a).
+	SerializationPrimary
+	// SerializationSequencer: writers fetch a per-key timestamp from a
+	// sequencer node, then apply and broadcast themselves (Figure 4b).
+	SerializationSequencer
+)
+
+// String names the design.
+func (s Serialization) String() string {
+	switch s {
+	case SerializationPrimary:
+		return "primary"
+	case SerializationSequencer:
+		return "sequencer"
+	default:
+		return "distributed"
+	}
+}
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Nodes is the deployment size (paper: 9).
+	Nodes int
+	// System picks the design; Protocol applies only to CCKVS.
+	System   System
+	Protocol core.Protocol
+	// Serialization selects the Figure 4 write-serialization design for
+	// ccKVS-SC hot writes (default: fully distributed). Node 0 acts as
+	// primary/sequencer when selected.
+	Serialization Serialization
+	// NumKeys is the dataset size; keys are 0..NumKeys-1 ranked by
+	// popularity (rank 0 hottest).
+	NumKeys uint64
+	// CacheItems is the symmetric cache capacity in objects (paper: 0.1%
+	// of the dataset = 250K).
+	CacheItems int
+	// ValueSize is the object payload size (paper default 40B).
+	ValueSize int
+	// KVSPartitions is the per-node partition count for BaseEREW
+	// (stands in for the per-core partitioning; default 8).
+	KVSPartitions int
+	// CreditsPerPeer bounds in-flight messages toward each peer (§6.3;
+	// default 64).
+	CreditsPerPeer int
+	// CreditBatch is how many received consistency messages are
+	// acknowledged with one explicit credit update (§6.4; default 8).
+	CreditBatch int
+	// QueueDepth is the transport queue depth (default 1024).
+	QueueDepth int
+	// ReorderDepth, when positive, wraps the fabric in an adversarial
+	// shuffle buffer of that depth (UD datagrams are unordered; the
+	// protocols must tolerate it). Test/torture use.
+	ReorderDepth int
+	// ReorderSeed seeds the shuffle for reproducibility.
+	ReorderSeed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 3
+	}
+	if c.NumKeys == 0 {
+		c.NumKeys = 1 << 16
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 40
+	}
+	if c.KVSPartitions == 0 {
+		c.KVSPartitions = 8
+	}
+	if c.CreditsPerPeer == 0 {
+		c.CreditsPerPeer = 64
+	}
+	if c.CreditBatch == 0 {
+		c.CreditBatch = 8
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 1024
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Nodes < 1 || c.Nodes > 250 {
+		return fmt.Errorf("cluster: node count %d out of range [1,250]", c.Nodes)
+	}
+	if c.System == CCKVS && c.CacheItems <= 0 {
+		return errors.New("cluster: ccKVS needs CacheItems > 0")
+	}
+	if c.System != CCKVS && c.CacheItems > 0 {
+		return errors.New("cluster: baselines have no cache; CacheItems must be 0")
+	}
+	if c.Serialization != SerializationDistributed {
+		if c.System != CCKVS || c.Protocol != core.SC {
+			return errors.New("cluster: primary/sequencer serialization is implemented for ccKVS-SC only")
+		}
+	}
+	return nil
+}
+
+// Cluster is an in-process deployment.
+type Cluster struct {
+	cfg       Config
+	transport fabric.Transport
+	stats     *fabric.Stats
+	nodes     []*Node
+	closed    bool
+	mu        sync.Mutex
+}
+
+// Node is one server: a KVS shard plus (for ccKVS) a symmetric cache.
+type Node struct {
+	id      uint8
+	cluster *Cluster
+	kvs     *store.Partitioned
+	cache   *core.Cache // nil for baselines
+
+	rpc *rpcClient
+
+	// Sequencer state (node 0 when SerializationSequencer is selected):
+	// per-key clocks handed out to writers.
+	seqMu     sync.Mutex
+	seqClocks map[uint64]uint32
+
+	// Lin write completion plumbing: one waiter per key (a node allows a
+	// single outstanding Lin write per key, see core.ErrWritePending).
+	waitMu  sync.Mutex
+	waiters map[uint64]chan core.Update
+
+	credits *fabric.Credits
+	cbatch  *fabric.CreditBatcher
+
+	// Counters for the evaluation.
+	CacheHits, CacheMisses  metrics.Counter
+	LocalOps, RemoteOps     metrics.Counter
+	InvalidRetries          metrics.Counter
+	WritePendingRetries     metrics.Counter
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	stats := fabric.NewStats()
+	var tr fabric.Transport = fabric.NewChanTransport(cfg.QueueDepth, stats)
+	if cfg.ReorderDepth > 0 {
+		tr = fabric.NewReorder(tr, cfg.ReorderDepth, cfg.ReorderSeed|1)
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		stats:     stats,
+		transport: tr,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		parts := 1
+		if cfg.System == BaseEREW {
+			parts = cfg.KVSPartitions
+		}
+		n := &Node{
+			id:        uint8(i),
+			cluster:   c,
+			kvs:       store.NewPartitioned(parts, int(cfg.NumKeys)/cfg.Nodes+16),
+			waiters:   map[uint64]chan core.Update{},
+			credits:   fabric.NewCredits(),
+			seqClocks: map[uint64]uint32{},
+		}
+		if cfg.System == CCKVS {
+			n.cache = core.NewCache(n.id, cfg.Nodes)
+		}
+		n.rpc = newRPCClient(n)
+		c.nodes = append(c.nodes, n)
+	}
+	for _, n := range c.nodes {
+		n.start()
+	}
+	return c, nil
+}
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// FabricStats returns the transport counters (traffic breakdown etc.).
+func (c *Cluster) FabricStats() *fabric.Stats { return c.stats }
+
+// NumNodes returns the deployment size.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// HomeNode returns the node owning key's shard. Like the paper we place
+// keys by hash, so the hottest keys scatter across shards.
+func (c *Cluster) HomeNode(key uint64) int {
+	return int(zipf.Mix64(key^0x7f4a7c15) % uint64(len(c.nodes)))
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.transport.Close()
+}
+
+// Populate loads the dataset: every key 0..NumKeys-1 is written to its home
+// shard with the given value size and a zero timestamp.
+func (c *Cluster) Populate() {
+	val := make([]byte, c.cfg.ValueSize)
+	for k := uint64(0); k < c.cfg.NumKeys; k++ {
+		for i := range val {
+			val[i] = byte(k) ^ byte(i)
+		}
+		home := c.nodes[c.HomeNode(k)]
+		home.kvs.Put(k, val, timestamp.TS{})
+	}
+}
+
+// InstallHotSet fills every node's symmetric cache with the given keys
+// (typically ranks 0..CacheItems-1), fetching initial values from the home
+// shards, and flushes any dirty evicted items home. It is the epoch-change
+// path of §4, driven here by the test/benchmark harness acting as the cache
+// coordinator.
+func (c *Cluster) InstallHotSet(keys []uint64) {
+	if c.cfg.System != CCKVS {
+		return
+	}
+	for _, n := range c.nodes {
+		wbs := n.cache.Install(keys, func(key uint64) ([]byte, timestamp.TS, bool) {
+			home := c.nodes[c.HomeNode(key)]
+			v, ts, err := home.kvs.Get(key, nil)
+			if err != nil {
+				return nil, timestamp.TS{}, false
+			}
+			return v, ts, true
+		})
+		for _, wb := range wbs {
+			home := c.nodes[c.HomeNode(wb.Key)]
+			// PutIfNewer: a peer may already have flushed a newer value.
+			_ = home.kvs.PutIfNewer(wb.Key, wb.Value, wb.TS)
+		}
+	}
+}
+
+// DefaultHotSet returns the top-k ranks [0, k) — with an unscrambled
+// Zipfian workload these are exactly the hottest keys.
+func DefaultHotSet(k int) []uint64 {
+	keys := make([]uint64, k)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	return keys
+}
+
+// start registers the node's fabric handlers and initializes credits.
+func (n *Node) start() {
+	cfg := n.cluster.cfg
+	tr := n.cluster.transport
+
+	for peer := 0; peer < cfg.Nodes; peer++ {
+		if peer == int(n.id) {
+			continue
+		}
+		// One budget per remote node for each traffic kind.
+		n.credits.SetBudget(fabric.Addr{Node: uint8(peer), Thread: threadCache}, cfg.CreditsPerPeer)
+		n.credits.SetBudget(fabric.Addr{Node: uint8(peer), Thread: threadKVS}, cfg.CreditsPerPeer)
+	}
+	n.cbatch = fabric.NewCreditBatcher(cfg.CreditBatch, func(peer fabric.Addr, cnt int) {
+		// Header-only credit update (§6.4): the count rides in a 1-byte
+		// payload so the receiver can restore that many credits.
+		tr.Send(fabric.Packet{
+			Src:   fabric.Addr{Node: n.id, Thread: threadFlow},
+			Dst:   fabric.Addr{Node: peer.Node, Thread: threadFlow},
+			Class: metrics.ClassFlowControl,
+			Data:  []byte{byte(cnt)},
+		})
+	})
+
+	tr.Register(fabric.Addr{Node: n.id, Thread: threadCache}, n.handleConsistency)
+	tr.Register(fabric.Addr{Node: n.id, Thread: threadKVS}, n.handleKVSRequest)
+	tr.Register(fabric.Addr{Node: n.id, Thread: threadResp}, n.rpc.handleResponse)
+	tr.Register(fabric.Addr{Node: n.id, Thread: threadFlow}, n.handleFlowControl)
+}
+
+// handleFlowControl restores credits granted by a peer's credit update.
+func (n *Node) handleFlowControl(p fabric.Packet) {
+	if len(p.Data) < 1 {
+		return
+	}
+	n.credits.Grant(fabric.Addr{Node: p.Src.Node, Thread: threadCache}, int(p.Data[0]))
+}
+
+// handleConsistency processes updates, invalidations and acks addressed to
+// this node's cache threads. Consistency messages may arrive coalesced;
+// the decode loop walks the whole packet.
+func (n *Node) handleConsistency(p fabric.Packet) {
+	if n.cache == nil {
+		return
+	}
+	// Consistency messages consume receive buffers; note them toward the
+	// sender's batched credit updates.
+	n.cbatch.Note(fabric.Addr{Node: p.Src.Node, Thread: threadFlow})
+
+	buf := p.Data
+	for len(buf) > 0 {
+		msg, consumed, err := core.Decode(buf)
+		if err != nil {
+			return // malformed tail; drop (datagram semantics)
+		}
+		buf = buf[consumed:]
+		switch m := msg.(type) {
+		case core.Update:
+			if n.cluster.cfg.Protocol == core.Lin {
+				n.cache.ApplyUpdateLin(m)
+			} else {
+				n.cache.ApplyUpdateSC(m)
+			}
+		case core.Invalidation:
+			ack, _ := n.cache.ApplyInvalidation(m)
+			n.sendAck(m.From, ack)
+		case core.Ack:
+			if upd, done := n.cache.ApplyAck(m); done {
+				n.completeLinWrite(m.Key, upd)
+			}
+		}
+	}
+}
+
+// sendAck returns an ack to the writer node.
+func (n *Node) sendAck(to uint8, ack core.Ack) {
+	n.cluster.transport.Send(fabric.Packet{
+		Src:   fabric.Addr{Node: n.id, Thread: threadCache},
+		Dst:   fabric.Addr{Node: to, Thread: threadCache},
+		Class: metrics.ClassAck,
+		Data:  ack.Encode(nil),
+	})
+}
+
+// broadcastConsistency sends one encoded consistency message to every other
+// node's cache thread, consuming one credit per destination.
+func (n *Node) broadcastConsistency(class metrics.MsgClass, data []byte) {
+	for peer := 0; peer < n.cluster.cfg.Nodes; peer++ {
+		if peer == int(n.id) {
+			continue
+		}
+		dst := fabric.Addr{Node: uint8(peer), Thread: threadCache}
+		n.credits.Acquire(fabric.Addr{Node: uint8(peer), Thread: threadCache})
+		n.cluster.transport.Send(fabric.Packet{
+			Src:   fabric.Addr{Node: n.id, Thread: threadCache},
+			Dst:   dst,
+			Class: class,
+			Data:  data,
+		})
+	}
+}
+
+// completeLinWrite wakes the session blocked in Put.
+func (n *Node) completeLinWrite(key uint64, upd core.Update) {
+	n.waitMu.Lock()
+	ch := n.waiters[key]
+	delete(n.waiters, key)
+	n.waitMu.Unlock()
+	if ch != nil {
+		ch <- upd
+	}
+}
+
+// tryRegisterLinWaiter installs the completion channel before the
+// invalidations are broadcast (the acks may race back immediately). It
+// fails if another session on this node already has a write in flight for
+// the key.
+func (n *Node) tryRegisterLinWaiter(key uint64) (chan core.Update, bool) {
+	n.waitMu.Lock()
+	defer n.waitMu.Unlock()
+	if _, busy := n.waiters[key]; busy {
+		return nil, false
+	}
+	ch := make(chan core.Update, 1)
+	n.waiters[key] = ch
+	return ch, true
+}
+
+// yield lets dispatcher goroutines run on small GOMAXPROCS settings.
+func yield() { runtime.Gosched() }

@@ -1,0 +1,694 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// newTestCluster builds, populates and (for ccKVS) warms a small cluster.
+func newTestCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.Populate()
+	if cfg.System == CCKVS {
+		c.InstallHotSet(DefaultHotSet(cfg.CacheItems))
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 0, System: CCKVS}); err == nil {
+		t.Fatal("ccKVS without cache must be rejected")
+	}
+	if _, err := New(Config{Nodes: 3, System: Base, CacheItems: 10}); err == nil {
+		t.Fatal("baseline with cache must be rejected")
+	}
+	if _, err := New(Config{Nodes: 9999}); err == nil {
+		t.Fatal("absurd node count must be rejected")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	if BaseEREW.String() != "Base-EREW" || Base.String() != "Base" || CCKVS.String() != "ccKVS" {
+		t.Fatal("system names wrong")
+	}
+	if System(9).String() == "" {
+		t.Fatal("unknown system must render")
+	}
+}
+
+func TestPopulateAndShardIntegrity(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 3, System: Base, NumKeys: 2000})
+	if err := c.VerifyShardIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// Keys must spread over all shards.
+	for i := 0; i < 3; i++ {
+		if c.Node(i).kvs.Len() == 0 {
+			t.Fatalf("node %d owns no keys", i)
+		}
+	}
+}
+
+func TestBaseLocalAndRemoteGet(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 3, System: Base, NumKeys: 300})
+	// Every key must be readable from every node (local or via RPC).
+	for key := uint64(0); key < 300; key += 17 {
+		for n := 0; n < 3; n++ {
+			v, err := c.Node(n).Get(key)
+			if err != nil {
+				t.Fatalf("node %d key %d: %v", n, key, err)
+			}
+			if len(v) != 40 {
+				t.Fatalf("value size %d", len(v))
+			}
+		}
+	}
+	// Both local and remote paths must have been exercised.
+	var local, remote uint64
+	for i := 0; i < 3; i++ {
+		local += c.Node(i).LocalOps.Load()
+		remote += c.Node(i).RemoteOps.Load()
+	}
+	if local == 0 || remote == 0 {
+		t.Fatalf("local=%d remote=%d; both paths must be hit", local, remote)
+	}
+}
+
+func TestBasePutVisibleEverywhere(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 3, System: Base, NumKeys: 100})
+	want := bytes.Repeat([]byte{0xAB}, 40)
+	if err := c.Node(1).Put(5, want); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 3; n++ {
+		v, err := c.Node(n).Get(5)
+		if err != nil || !bytes.Equal(v, want) {
+			t.Fatalf("node %d: %v %v", n, v, err)
+		}
+	}
+}
+
+func TestBaseEREWPartitions(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 2, System: BaseEREW, NumKeys: 500, KVSPartitions: 4})
+	for i := 0; i < 2; i++ {
+		if c.Node(i).kvs.NumPartitions() != 4 {
+			t.Fatalf("node %d partitions = %d", i, c.Node(i).kvs.NumPartitions())
+		}
+	}
+	v, err := c.Node(0).Get(123)
+	if err != nil || len(v) != 40 {
+		t.Fatalf("get through EREW: %v %v", v, err)
+	}
+}
+
+func TestCCKVSReadsHitCache(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Nodes: 3, System: CCKVS, Protocol: core.SC,
+		NumKeys: 1000, CacheItems: 50,
+	})
+	// Hot keys (rank < 50) must be cache hits on every node.
+	for n := 0; n < 3; n++ {
+		if _, err := c.Node(n).Get(7); err != nil {
+			t.Fatal(err)
+		}
+		if c.Node(n).CacheHits.Load() == 0 {
+			t.Fatalf("node %d: hot read did not hit the cache", n)
+		}
+	}
+	// Cold keys miss.
+	before := c.Node(0).CacheMisses.Load()
+	if _, err := c.Node(0).Get(999); err != nil {
+		t.Fatal(err)
+	}
+	if c.Node(0).CacheMisses.Load() != before+1 {
+		t.Fatal("cold read did not miss")
+	}
+}
+
+func TestCCKVSSCWritePropagates(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Nodes: 3, System: CCKVS, Protocol: core.SC,
+		NumKeys: 1000, CacheItems: 50,
+	})
+	want := bytes.Repeat([]byte{0x5C}, 40)
+	if err := c.Node(2).Put(3, want); err != nil {
+		t.Fatal(err)
+	}
+	// SC propagation is asynchronous: poll each replica until convergence.
+	for n := 0; n < 3; n++ {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			v, err := c.Node(n).Get(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(v, want) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %d never converged: %v", n, v)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Update traffic must have been generated (2 updates, one per peer).
+	if got := c.FabricStats().Traffic.Packets(metrics.ClassUpdate); got != 2 {
+		t.Fatalf("update packets = %d, want 2", got)
+	}
+}
+
+func TestCCKVSLinWriteSynchronous(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Nodes: 4, System: CCKVS, Protocol: core.Lin,
+		NumKeys: 1000, CacheItems: 20,
+	})
+	want := bytes.Repeat([]byte{0x11}, 40)
+	if err := c.Node(0).Put(2, want); err != nil {
+		t.Fatal(err)
+	}
+	// Lin: the moment Put returns, no node may serve the old value; reads
+	// either return the new value or stall internally until the update
+	// lands — Get handles the stall, so every Get must return the new
+	// value immediately.
+	for n := 0; n < 4; n++ {
+		v, err := c.Node(n).Get(2)
+		if err != nil || !bytes.Equal(v, want) {
+			t.Fatalf("node %d after Lin put: %v %v", n, v, err)
+		}
+	}
+	st := c.FabricStats().Traffic
+	if st.Packets(metrics.ClassInvalidate) != 3 {
+		t.Fatalf("invalidations = %d, want 3", st.Packets(metrics.ClassInvalidate))
+	}
+	if st.Packets(metrics.ClassAck) != 3 {
+		t.Fatalf("acks = %d, want 3", st.Packets(metrics.ClassAck))
+	}
+	if st.Packets(metrics.ClassUpdate) != 3 {
+		t.Fatalf("updates = %d, want 3", st.Packets(metrics.ClassUpdate))
+	}
+}
+
+func TestCCKVSWriteMissForwardsHome(t *testing.T) {
+	for _, proto := range []core.Protocol{core.SC, core.Lin} {
+		t.Run(proto.String(), func(t *testing.T) {
+			c := newTestCluster(t, Config{
+				Nodes: 3, System: CCKVS, Protocol: proto,
+				NumKeys: 500, CacheItems: 10,
+			})
+			want := bytes.Repeat([]byte{0x77}, 40)
+			cold := uint64(400) // rank 400 is not in the 10-item hot set
+			if err := c.Node(0).Put(cold, want); err != nil {
+				t.Fatal(err)
+			}
+			v, err := c.Node(1).Get(cold)
+			if err != nil || !bytes.Equal(v, want) {
+				t.Fatalf("cold write lost: %v %v", v, err)
+			}
+		})
+	}
+}
+
+func TestCCKVSConcurrentWritersConverge(t *testing.T) {
+	for _, proto := range []core.Protocol{core.SC, core.Lin} {
+		t.Run(proto.String(), func(t *testing.T) {
+			c := newTestCluster(t, Config{
+				Nodes: 3, System: CCKVS, Protocol: proto,
+				NumKeys: 500, CacheItems: 5,
+			})
+			const key = 1
+			done := make(chan error, 3)
+			for n := 0; n < 3; n++ {
+				go func(n int) {
+					var err error
+					for i := 0; i < 20 && err == nil; i++ {
+						val := bytes.Repeat([]byte{byte(n*32 + i)}, 40)
+						err = c.Node(n).Put(key, val)
+					}
+					done <- err
+				}(n)
+			}
+			for i := 0; i < 3; i++ {
+				if err := <-done; err != nil {
+					t.Fatal(err)
+				}
+			}
+			// After quiescence all replicas agree.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				v0, err := c.Node(0).Get(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				agree := true
+				for n := 1; n < 3; n++ {
+					v, err := c.Node(n).Get(key)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(v, v0) {
+						agree = false
+					}
+				}
+				if agree {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("replicas never converged")
+				}
+				time.Sleep(time.Millisecond)
+			}
+		})
+	}
+}
+
+func TestRunMixedWorkload(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"Base", Config{Nodes: 3, System: Base, NumKeys: 2000}},
+		{"BaseEREW", Config{Nodes: 3, System: BaseEREW, NumKeys: 2000}},
+		{"ccKVS-SC", Config{Nodes: 3, System: CCKVS, Protocol: core.SC, NumKeys: 2000, CacheItems: 64}},
+		{"ccKVS-Lin", Config{Nodes: 3, System: CCKVS, Protocol: core.Lin, NumKeys: 2000, CacheItems: 64}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newTestCluster(t, tc.cfg)
+			res, err := c.Run(RunOptions{
+				Clients:      6,
+				OpsPerClient: 400,
+				Workload: workload.Config{
+					NumKeys: 2000, Alpha: 0.99, WriteRatio: 0.05, ValueSize: 40, Seed: 42,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != 2400 || res.Throughput <= 0 {
+				t.Fatalf("result: %+v", res)
+			}
+			if res.ReadLat.Count == 0 || res.WriteLat.Count == 0 {
+				t.Fatal("latency histograms empty")
+			}
+			if tc.cfg.System == CCKVS && res.HitRate() < 0.3 {
+				// Top-64 of 2000 keys at alpha=.99 carries ~45% of accesses.
+				t.Fatalf("hit rate %.3f implausibly low", res.HitRate())
+			}
+			t.Log(res.String())
+		})
+	}
+}
+
+func TestRunPropagatesWorkloadError(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 2, System: Base, NumKeys: 100})
+	if _, err := c.Run(RunOptions{Workload: workload.Config{WriteRatio: 2}}); err == nil {
+		t.Fatal("invalid workload must error")
+	}
+}
+
+func TestLinTrafficHasAllClasses(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Nodes: 3, System: CCKVS, Protocol: core.Lin,
+		NumKeys: 1000, CacheItems: 32, CreditBatch: 2,
+	})
+	_, err := c.Run(RunOptions{
+		Clients:      4,
+		OpsPerClient: 300,
+		Workload:     workload.Config{NumKeys: 1000, Alpha: 0.99, WriteRatio: 0.2, ValueSize: 40, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := c.FabricStats().Traffic
+	for _, class := range []metrics.MsgClass{
+		metrics.ClassCacheMiss, metrics.ClassUpdate,
+		metrics.ClassInvalidate, metrics.ClassAck, metrics.ClassFlowControl,
+	} {
+		if tr.Bytes(class) == 0 {
+			t.Fatalf("no traffic recorded for %v", class)
+		}
+	}
+	// The Figure 11 sanity: invalidations and acks are header-only and
+	// must cost less than the value-carrying updates.
+	if tr.Bytes(metrics.ClassAck) >= tr.Bytes(metrics.ClassUpdate) {
+		t.Fatalf("acks (%d B) should be cheaper than updates (%d B)",
+			tr.Bytes(metrics.ClassAck), tr.Bytes(metrics.ClassUpdate))
+	}
+}
+
+func TestEpochChangeWritesBackDirtyItems(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Nodes: 3, System: CCKVS, Protocol: core.SC,
+		NumKeys: 500, CacheItems: 8,
+	})
+	want := bytes.Repeat([]byte{0xEE}, 40)
+	if err := c.Node(0).Put(3, want); err != nil {
+		t.Fatal(err)
+	}
+	// New epoch evicts key 3 (hot set shifts to ranks 100..107).
+	newHot := make([]uint64, 8)
+	for i := range newHot {
+		newHot[i] = uint64(100 + i)
+	}
+	c.InstallHotSet(newHot)
+	// The dirty value must have been flushed to the home shard.
+	home := c.Node(c.HomeNode(3))
+	v, _, err := home.kvs.Get(3, nil)
+	if err != nil || !bytes.Equal(v, want) {
+		t.Fatalf("write-back lost: %v %v", v, err)
+	}
+	// And the key now misses in every cache.
+	if c.Node(0).cache.Contains(3) {
+		t.Fatal("evicted key still cached")
+	}
+}
+
+func TestHomeNodeStableAndSpread(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 5, System: Base, NumKeys: 100})
+	counts := make([]int, 5)
+	for k := uint64(0); k < 1000; k++ {
+		h := c.HomeNode(k)
+		if h != c.HomeNode(k) {
+			t.Fatal("home assignment unstable")
+		}
+		counts[h]++
+	}
+	for n, cnt := range counts {
+		if cnt < 100 {
+			t.Fatalf("node %d owns only %d/1000 keys", n, cnt)
+		}
+	}
+}
+
+func TestClusterCloseIdempotent(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 2, System: Base, NumKeys: 50})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultHotSet(t *testing.T) {
+	hs := DefaultHotSet(4)
+	for i, k := range hs {
+		if k != uint64(i) {
+			t.Fatalf("hot set = %v", hs)
+		}
+	}
+}
+
+func TestRunResultString(t *testing.T) {
+	r := RunResult{System: "Base", Throughput: 123.4}
+	if r.String() == "" {
+		t.Fatal("empty summary")
+	}
+	if r.HitRate() != 0 {
+		t.Fatal("hit rate of no ops must be 0")
+	}
+}
+
+// Session-order smoke test at cluster level: a session's own writes must be
+// immediately visible to itself under both protocols (read-your-writes
+// within the per-key session order of §5.1).
+func TestReadYourWrites(t *testing.T) {
+	for _, proto := range []core.Protocol{core.SC, core.Lin} {
+		t.Run(proto.String(), func(t *testing.T) {
+			c := newTestCluster(t, Config{
+				Nodes: 3, System: CCKVS, Protocol: proto,
+				NumKeys: 200, CacheItems: 16,
+			})
+			for i := 0; i < 10; i++ {
+				want := bytes.Repeat([]byte{byte(0x40 + i)}, 40)
+				if err := c.Node(1).Put(0, want); err != nil {
+					t.Fatal(err)
+				}
+				v, err := c.Node(1).Get(0)
+				if err != nil || !bytes.Equal(v, want) {
+					t.Fatalf("iteration %d: read-your-write failed: %v %v", i, v, err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkClusterGetHot(b *testing.B) {
+	c, err := New(Config{Nodes: 3, System: CCKVS, Protocol: core.SC, NumKeys: 10000, CacheItems: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.Populate()
+	c.InstallHotSet(DefaultHotSet(100))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Node(i%3).Get(uint64(i % 100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterPutLin(b *testing.B) {
+	c, err := New(Config{Nodes: 3, System: CCKVS, Protocol: core.Lin, NumKeys: 10000, CacheItems: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.Populate()
+	c.InstallHotSet(DefaultHotSet(100))
+	val := make([]byte, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Node(i%3).Put(uint64(i%100), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for future debug use
+
+// UD datagrams are unordered; the protocols must tolerate arbitrary message
+// reordering on real executions, not just in the model checker. These runs
+// route every packet through an adversarial shuffle buffer.
+func TestProtocolsTolerateReordering(t *testing.T) {
+	for _, proto := range []core.Protocol{core.SC, core.Lin} {
+		t.Run(proto.String(), func(t *testing.T) {
+			c := newTestCluster(t, Config{
+				Nodes: 3, System: CCKVS, Protocol: proto,
+				NumKeys: 1000, CacheItems: 32,
+				ReorderDepth: 12, ReorderSeed: 99,
+			})
+			res, err := c.Run(RunOptions{
+				Clients:      6,
+				OpsPerClient: 300,
+				Workload: workload.Config{
+					NumKeys: 1000, Alpha: 0.99, WriteRatio: 0.1, ValueSize: 40, Seed: 5,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != 1800 {
+				t.Fatalf("ops = %d", res.Ops)
+			}
+			// After quiescence all replicas must converge on hot keys.
+			deadline := time.Now().Add(10 * time.Second)
+			for key := uint64(0); key < 8; key++ {
+				for {
+					ref, err := c.Node(0).Get(key)
+					if err != nil {
+						t.Fatal(err)
+					}
+					agree := true
+					for n := 1; n < 3; n++ {
+						v, err := c.Node(n).Get(key)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !bytes.Equal(v, ref) {
+							agree = false
+						}
+					}
+					if agree {
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Fatalf("key %d never converged under reordering", key)
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		})
+	}
+}
+
+// Lin's guarantee must hold even with the adversarial transport: after Put
+// returns, no node serves the old value.
+func TestLinSynchronousUnderReordering(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Nodes: 4, System: CCKVS, Protocol: core.Lin,
+		NumKeys: 500, CacheItems: 16,
+		ReorderDepth: 8, ReorderSeed: 3,
+	})
+	for i := 0; i < 30; i++ {
+		want := bytes.Repeat([]byte{byte(0x80 + i)}, 40)
+		if err := c.Node(i%4).Put(2, want); err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < 4; n++ {
+			v, err := c.Node(n).Get(2)
+			if err != nil || !bytes.Equal(v, want) {
+				t.Fatalf("round %d node %d: %v %v", i, n, v, err)
+			}
+		}
+	}
+}
+
+// Figure 4 design space: primary- and sequencer-based write serialization
+// must preserve SC semantics (convergence, read-your-writes at the primary
+// path) while funneling serialization through node 0.
+func TestSerializationDesignSpace(t *testing.T) {
+	for _, ser := range []Serialization{SerializationPrimary, SerializationSequencer} {
+		t.Run(ser.String(), func(t *testing.T) {
+			c := newTestCluster(t, Config{
+				Nodes: 3, System: CCKVS, Protocol: core.SC,
+				NumKeys: 500, CacheItems: 16, Serialization: ser,
+			})
+			// Concurrent writers from all nodes to one hot key.
+			done := make(chan error, 3)
+			for n := 0; n < 3; n++ {
+				go func(n int) {
+					var err error
+					for i := 0; i < 15 && err == nil; i++ {
+						err = c.Node(n).Put(1, bytes.Repeat([]byte{byte(n*16 + i)}, 40))
+					}
+					done <- err
+				}(n)
+			}
+			for i := 0; i < 3; i++ {
+				if err := <-done; err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Convergence at quiescence.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				ref, err := c.Node(0).Get(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				agree := true
+				for n := 1; n < 3; n++ {
+					v, err := c.Node(n).Get(1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(v, ref) {
+						agree = false
+					}
+				}
+				if agree {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("replicas never converged")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			// Cold keys still forward to their home shards.
+			want := bytes.Repeat([]byte{0x3A}, 40)
+			if err := c.Node(1).Put(400, want); err != nil {
+				t.Fatal(err)
+			}
+			v, err := c.Node(2).Get(400)
+			if err != nil || !bytes.Equal(v, want) {
+				t.Fatalf("cold write lost: %v %v", v, err)
+			}
+		})
+	}
+}
+
+// Under primary serialization, every hot write executes on node 0's cache.
+func TestPrimarySerializesAtNodeZero(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Nodes: 3, System: CCKVS, Protocol: core.SC,
+		NumKeys: 500, CacheItems: 16, Serialization: SerializationPrimary,
+	})
+	for n := 0; n < 3; n++ {
+		for i := 0; i < 5; i++ {
+			if err := c.Node(n).Put(2, bytes.Repeat([]byte{byte(n + i)}, 40)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// All 15 SC cache writes happened on the primary's cache.
+	if got := c.Node(0).cache.Stats().WritesSC.Load(); got != 15 {
+		t.Fatalf("primary executed %d writes, want 15", got)
+	}
+	for n := 1; n < 3; n++ {
+		if got := c.Node(n).cache.Stats().WritesSC.Load(); got != 0 {
+			t.Fatalf("node %d executed %d writes, want 0", n, got)
+		}
+	}
+}
+
+// The sequencer hands out strictly increasing per-key timestamps, so
+// sequenced writes serialize even when issued concurrently.
+func TestSequencerTimestampsMonotone(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Nodes: 3, System: CCKVS, Protocol: core.SC,
+		NumKeys: 500, CacheItems: 16, Serialization: SerializationSequencer,
+	})
+	var prev uint32
+	for i := 0; i < 10; i++ {
+		ts, err := c.Node(1).SeqTS(0, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts.Clock <= prev {
+			t.Fatalf("sequencer clock not monotone: %d then %d", prev, ts.Clock)
+		}
+		prev = ts.Clock
+	}
+	// Independent keys have independent clocks.
+	ts2, err := c.Node(1).SeqTS(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts2.Clock != 1 {
+		t.Fatalf("fresh key clock = %d, want 1", ts2.Clock)
+	}
+}
+
+func TestSerializationValidation(t *testing.T) {
+	if _, err := New(Config{
+		Nodes: 3, System: Base, Serialization: SerializationPrimary,
+	}); err == nil {
+		t.Fatal("primary serialization without ccKVS-SC must be rejected")
+	}
+	if _, err := New(Config{
+		Nodes: 3, System: CCKVS, Protocol: core.Lin, CacheItems: 8,
+		Serialization: SerializationSequencer,
+	}); err == nil {
+		t.Fatal("sequencer with Lin must be rejected")
+	}
+}
+
+func TestSerializationString(t *testing.T) {
+	if SerializationDistributed.String() != "distributed" ||
+		SerializationPrimary.String() != "primary" ||
+		SerializationSequencer.String() != "sequencer" {
+		t.Fatal("serialization names wrong")
+	}
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/timestamp"
+)
+
+// ErrRetriesExhausted is returned when a read stalled on an invalidated
+// entry for an implausibly long time — it indicates a protocol bug (the
+// matching update never arrived) and exists so tests fail loudly instead of
+// hanging.
+var ErrRetriesExhausted = errors.New("cluster: read retries exhausted on invalid entry")
+
+// invalidRetryLimit bounds the Read retry loop on Lin-invalidated entries.
+const invalidRetryLimit = 10_000_000
+
+// Get serves a client read arriving at this node (§6.1, "Reads"): probe the
+// symmetric cache; on a miss, access the local shard or issue a remote
+// access to the home node.
+func (n *Node) Get(key uint64) ([]byte, error) {
+	if n.cache != nil {
+		for attempt := 0; ; attempt++ {
+			v, _, err := n.cache.Read(key, nil)
+			switch err {
+			case nil:
+				n.CacheHits.Add(1)
+				return v, nil
+			case core.ErrInvalid:
+				// An update is in flight; spin until it lands. The paper's
+				// cache threads keep polling their receive queues here; our
+				// dispatcher goroutine applies the update concurrently.
+				n.InvalidRetries.Add(1)
+				if attempt > invalidRetryLimit {
+					return nil, ErrRetriesExhausted
+				}
+				yield()
+				continue
+			case core.ErrMiss:
+				n.CacheMisses.Add(1)
+			}
+			break
+		}
+	}
+	home := n.cluster.HomeNode(key)
+	if home == int(n.id) {
+		n.LocalOps.Add(1)
+		v, _, err := n.kvs.Get(key, nil)
+		return v, err
+	}
+	n.RemoteOps.Add(1)
+	v, _, err := n.RemoteGet(uint8(home), key)
+	return v, err
+}
+
+// Put serves a client write arriving at this node (§6.1, "Writes"): a cache
+// hit runs the configured consistency protocol; a miss forwards the write
+// to the home node.
+func (n *Node) Put(key uint64, value []byte) error {
+	if n.cache != nil {
+		if n.cluster.cfg.Protocol == core.Lin {
+			done, err := n.putLin(key, value)
+			if err == nil && done {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			// fall through on miss
+		} else {
+			done, err := n.putSC(key, value)
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+		}
+		n.CacheMisses.Add(1)
+	}
+	home := n.cluster.HomeNode(key)
+	if home == int(n.id) {
+		n.LocalOps.Add(1)
+		n.localKVSPut(key, value)
+		return nil
+	}
+	n.RemoteOps.Add(1)
+	return n.RemotePut(uint8(home), key, value)
+}
+
+// putSC runs an SC cache write under the configured Figure 4 serialization
+// design. done=false with nil error means the key missed the cache.
+func (n *Node) putSC(key uint64, value []byte) (bool, error) {
+	const coordinator = 0 // primary/sequencer node when selected
+	switch n.cluster.cfg.Serialization {
+	case SerializationPrimary:
+		if !n.cache.Contains(key) {
+			return false, nil // Put counts the miss
+		}
+		n.CacheHits.Add(1)
+		if n.id == coordinator {
+			upd, err := n.cache.WriteSC(key, value)
+			if err != nil {
+				return false, err
+			}
+			n.broadcastConsistency(metrics.ClassUpdate, upd.Encode(nil))
+			return true, nil
+		}
+		// All writes serialize at the primary (Figure 4a): forward and
+		// wait for its ack; the update reaches us via broadcast.
+		return true, n.PrimaryWrite(coordinator, key, value)
+	case SerializationSequencer:
+		if !n.cache.Contains(key) {
+			return false, nil // Put counts the miss
+		}
+		n.CacheHits.Add(1)
+		var ts timestamp.TS
+		var err error
+		if n.id == coordinator {
+			// The sequencer's own writes take the timestamp locally.
+			n.seqMu.Lock()
+			n.seqClocks[key]++
+			ts = timestamp.TS{Clock: n.seqClocks[key], Writer: n.id}
+			n.seqMu.Unlock()
+		} else if ts, err = n.SeqTS(coordinator, key); err != nil {
+			return false, err
+		}
+		upd, err := n.cache.WriteSCWithTS(key, value, ts)
+		if err != nil {
+			return false, err
+		}
+		n.broadcastConsistency(metrics.ClassUpdate, upd.Encode(nil))
+		return true, nil
+	default:
+		upd, err := n.cache.WriteSC(key, value)
+		if err == core.ErrMiss {
+			return false, nil // Put counts the miss
+		}
+		if err != nil {
+			return false, err
+		}
+		n.CacheHits.Add(1)
+		// Non-blocking: the local write is already visible; propagate
+		// asynchronously to all replicas (§5.2).
+		n.broadcastConsistency(metrics.ClassUpdate, upd.Encode(nil))
+		return true, nil
+	}
+}
+
+// putLin runs the blocking two-phase Lin write. done=false with nil error
+// means the key missed the cache.
+func (n *Node) putLin(key uint64, value []byte) (bool, error) {
+	for {
+		// Register the waiter first: acks can arrive the moment the
+		// invalidations hit the wire. Registration doubles as the
+		// node-local write mutex for the key: if a waiter exists, another
+		// session's write is in flight.
+		ch, ok := n.tryRegisterLinWaiter(key)
+		if !ok {
+			n.WritePendingRetries.Add(1)
+			yield()
+			continue
+		}
+		inv, err := n.cache.WriteLinStart(key, value)
+		switch err {
+		case nil:
+			n.CacheHits.Add(1)
+			n.broadcastConsistency(metrics.ClassInvalidate, inv.Encode(nil))
+			// Block until the last ack completes the write (§5.2: "writes
+			// are synchronous").
+			upd := <-ch
+			n.broadcastConsistency(metrics.ClassUpdate, upd.Encode(nil))
+			return true, nil
+		case core.ErrWritePending:
+			// Another session on this node is writing the key; wait for
+			// it and retry — writes must serialize.
+			n.unregisterLinWaiter(key, ch)
+			n.WritePendingRetries.Add(1)
+			yield()
+			continue
+		case core.ErrMiss:
+			n.unregisterLinWaiter(key, ch)
+			return false, nil
+		default:
+			n.unregisterLinWaiter(key, ch)
+			return false, err
+		}
+	}
+}
+
+// unregisterLinWaiter removes a waiter that never armed (write refused).
+func (n *Node) unregisterLinWaiter(key uint64, ch chan core.Update) {
+	n.waitMu.Lock()
+	if n.waiters[key] == ch {
+		delete(n.waiters, key)
+	}
+	n.waitMu.Unlock()
+}
+
+// localKVSPut writes a cache-missing key to the local shard with a fresh
+// serialization timestamp.
+func (n *Node) localKVSPut(key uint64, value []byte) {
+	_, ts, err := n.kvs.Get(key, nil)
+	if err != nil {
+		n.kvs.Put(key, value, ts.Next(n.id))
+		return
+	}
+	n.kvs.Put(key, value, ts.Next(n.id))
+}

@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/store"
+	"repro/internal/timestamp"
+)
+
+// The remote-access RPC of the NUMA abstraction (§6.1): on a cache miss for
+// a remotely-homed key, the handling server issues a get (or forwards a put)
+// to the key's home node over two-sided sends, FaSST-style. A request always
+// receives a response, so flow control is implicit: the response doubles as
+// the credit update (§6.3).
+//
+// Wire formats (little endian):
+//
+//	request:  op(1) reqID(8) key(8) [vlen(4) value]      op: 0=get 1=put
+//	response: reqID(8) status(1) [clock(4) writer(1) vlen(4) value]
+const (
+	rpcOpGet byte = 0
+	rpcOpPut byte = 1
+	// rpcOpPrimaryWrite executes a hot write on the primary's cache
+	// (Figure 4a design; the primary broadcasts the resulting update).
+	rpcOpPrimaryWrite byte = 2
+	// rpcOpSeqTS fetches the next per-key serialization timestamp from
+	// the sequencer (Figure 4b design).
+	rpcOpSeqTS byte = 3
+
+	rpcStatusOK       byte = 0
+	rpcStatusNotFound byte = 1
+)
+
+// rpcClient matches responses to outstanding requests for one node.
+type rpcClient struct {
+	node *Node
+	mu   sync.Mutex
+	next uint64
+	pend map[uint64]chan rpcResult
+}
+
+type rpcResult struct {
+	status byte
+	ts     timestamp.TS
+	value  []byte
+}
+
+func newRPCClient(n *Node) *rpcClient {
+	return &rpcClient{node: n, pend: map[uint64]chan rpcResult{}}
+}
+
+// call sends a request to home's KVS thread and blocks for the response.
+func (r *rpcClient) call(home uint8, req []byte, reqID uint64) rpcResult {
+	ch := make(chan rpcResult, 1)
+	r.mu.Lock()
+	r.pend[reqID] = ch
+	r.mu.Unlock()
+
+	kvsAddr := fabric.Addr{Node: home, Thread: threadKVS}
+	r.node.credits.Acquire(kvsAddr)
+	r.node.cluster.transport.Send(fabric.Packet{
+		Src:   fabric.Addr{Node: r.node.id, Thread: threadResp},
+		Dst:   kvsAddr,
+		Class: metrics.ClassCacheMiss,
+		Data:  req,
+	})
+	res := <-ch
+	// The response is the implicit credit update.
+	r.node.credits.Grant(kvsAddr, 1)
+	return res
+}
+
+func (r *rpcClient) newReqID() uint64 {
+	r.mu.Lock()
+	r.next++
+	id := r.next
+	r.mu.Unlock()
+	return id
+}
+
+// handleResponse completes the matching pending call.
+func (r *rpcClient) handleResponse(p fabric.Packet) {
+	buf := p.Data
+	for len(buf) >= 9 {
+		reqID := binary.LittleEndian.Uint64(buf[:8])
+		status := buf[8]
+		buf = buf[9:]
+		res := rpcResult{status: status}
+		if status == rpcStatusOK {
+			if len(buf) < 9 {
+				return
+			}
+			res.ts = timestamp.TS{
+				Clock:  binary.LittleEndian.Uint32(buf[:4]),
+				Writer: buf[4],
+			}
+			vlen := int(binary.LittleEndian.Uint32(buf[5:9]))
+			buf = buf[9:]
+			if len(buf) < vlen {
+				return
+			}
+			res.value = append([]byte(nil), buf[:vlen]...)
+			buf = buf[vlen:]
+		}
+		r.mu.Lock()
+		ch := r.pend[reqID]
+		delete(r.pend, reqID)
+		r.mu.Unlock()
+		if ch != nil {
+			ch <- res
+		}
+	}
+}
+
+// RemoteGet fetches key from its home node over the fabric.
+func (n *Node) RemoteGet(home uint8, key uint64) ([]byte, timestamp.TS, error) {
+	id := n.rpc.newReqID()
+	req := make([]byte, 0, 17)
+	req = append(req, rpcOpGet)
+	req = binary.LittleEndian.AppendUint64(req, id)
+	req = binary.LittleEndian.AppendUint64(req, key)
+	res := n.rpc.call(home, req, id)
+	if res.status != rpcStatusOK {
+		return nil, timestamp.TS{}, store.ErrNotFound
+	}
+	return res.value, res.ts, nil
+}
+
+// RemotePut forwards a put for key to its home node.
+func (n *Node) RemotePut(home uint8, key uint64, value []byte) error {
+	id := n.rpc.newReqID()
+	req := make([]byte, 0, 21+len(value))
+	req = append(req, rpcOpPut)
+	req = binary.LittleEndian.AppendUint64(req, id)
+	req = binary.LittleEndian.AppendUint64(req, key)
+	req = binary.LittleEndian.AppendUint32(req, uint32(len(value)))
+	req = append(req, value...)
+	res := n.rpc.call(home, req, id)
+	if res.status != rpcStatusOK {
+		return fmt.Errorf("cluster: remote put failed (status %d)", res.status)
+	}
+	return nil
+}
+
+// PrimaryWrite forwards a hot write to the primary node's cache (Figure 4a).
+func (n *Node) PrimaryWrite(primary uint8, key uint64, value []byte) error {
+	id := n.rpc.newReqID()
+	req := make([]byte, 0, 21+len(value))
+	req = append(req, rpcOpPrimaryWrite)
+	req = binary.LittleEndian.AppendUint64(req, id)
+	req = binary.LittleEndian.AppendUint64(req, key)
+	req = binary.LittleEndian.AppendUint32(req, uint32(len(value)))
+	req = append(req, value...)
+	res := n.rpc.call(primary, req, id)
+	if res.status != rpcStatusOK {
+		return fmt.Errorf("cluster: primary write failed (status %d)", res.status)
+	}
+	return nil
+}
+
+// SeqTS fetches the next serialization timestamp for key from the
+// sequencer node (Figure 4b).
+func (n *Node) SeqTS(sequencer uint8, key uint64) (timestamp.TS, error) {
+	id := n.rpc.newReqID()
+	req := make([]byte, 0, 17)
+	req = append(req, rpcOpSeqTS)
+	req = binary.LittleEndian.AppendUint64(req, id)
+	req = binary.LittleEndian.AppendUint64(req, key)
+	res := n.rpc.call(sequencer, req, id)
+	if res.status != rpcStatusOK {
+		return timestamp.TS{}, fmt.Errorf("cluster: sequencer failed (status %d)", res.status)
+	}
+	return res.ts, nil
+}
+
+// handleKVSRequest serves remote gets/puts against the local shard. It runs
+// on the KVS-thread dispatcher; KVS threads never talk to each other (§6.2),
+// they only answer cache threads.
+func (n *Node) handleKVSRequest(p fabric.Packet) {
+	buf := p.Data
+	if len(buf) < 17 {
+		return
+	}
+	op := buf[0]
+	reqID := binary.LittleEndian.Uint64(buf[1:9])
+	key := binary.LittleEndian.Uint64(buf[9:17])
+
+	resp := make([]byte, 0, 64)
+	resp = binary.LittleEndian.AppendUint64(resp, reqID)
+	switch op {
+	case rpcOpGet:
+		v, ts, err := n.kvs.Get(key, nil)
+		if err != nil {
+			resp = append(resp, rpcStatusNotFound)
+		} else {
+			resp = append(resp, rpcStatusOK)
+			resp = binary.LittleEndian.AppendUint32(resp, ts.Clock)
+			resp = append(resp, ts.Writer)
+			resp = binary.LittleEndian.AppendUint32(resp, uint32(len(v)))
+			resp = append(resp, v...)
+		}
+	case rpcOpPut:
+		if len(buf) < 21 {
+			return
+		}
+		vlen := int(binary.LittleEndian.Uint32(buf[17:21]))
+		if len(buf) < 21+vlen {
+			return
+		}
+		// Puts that miss the cache go to the home shard; they carry no
+		// protocol timestamp, so advance the stored clock to serialize
+		// (home-node writes are trivially serialized per key).
+		_, ts, err := n.kvs.Get(key, nil)
+		if err != nil {
+			ts = timestamp.TS{}
+		}
+		n.kvs.Put(key, buf[21:21+vlen], ts.Next(n.id))
+		resp = append(resp, rpcStatusOK)
+		resp = binary.LittleEndian.AppendUint32(resp, 0)
+		resp = append(resp, 0)
+		resp = binary.LittleEndian.AppendUint32(resp, 0)
+	case rpcOpPrimaryWrite:
+		if len(buf) < 21 {
+			return
+		}
+		vlen := int(binary.LittleEndian.Uint32(buf[17:21]))
+		if len(buf) < 21+vlen || n.cache == nil {
+			return
+		}
+		// All hot writes serialize through this node's cache; the update
+		// broadcast reaches every other node, including the origin.
+		upd, err := n.cache.WriteSC(key, buf[21:21+vlen])
+		if err != nil {
+			resp = append(resp, rpcStatusNotFound)
+		} else {
+			n.broadcastConsistency(metrics.ClassUpdate, upd.Encode(nil))
+			resp = append(resp, rpcStatusOK)
+			resp = binary.LittleEndian.AppendUint32(resp, upd.TS.Clock)
+			resp = append(resp, upd.TS.Writer)
+			resp = binary.LittleEndian.AppendUint32(resp, 0)
+		}
+	case rpcOpSeqTS:
+		n.seqMu.Lock()
+		n.seqClocks[key]++
+		clock := n.seqClocks[key]
+		n.seqMu.Unlock()
+		resp = append(resp, rpcStatusOK)
+		resp = binary.LittleEndian.AppendUint32(resp, clock)
+		resp = append(resp, p.Src.Node) // writer id: the requesting node
+		resp = binary.LittleEndian.AppendUint32(resp, 0)
+	default:
+		return
+	}
+	n.cluster.transport.Send(fabric.Packet{
+		Src:   fabric.Addr{Node: n.id, Thread: threadKVS},
+		Dst:   fabric.Addr{Node: p.Src.Node, Thread: threadResp},
+		Class: metrics.ClassCacheMiss,
+		Data:  resp,
+	})
+}

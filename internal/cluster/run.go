@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// RunResult summarizes a measurement run.
+type RunResult struct {
+	System     string
+	Ops        uint64
+	Duration   time.Duration
+	Throughput float64 // ops per second
+	ReadLat    metrics.HistSnapshot
+	WriteLat   metrics.HistSnapshot
+	CacheHits  uint64
+	CacheMiss  uint64
+	LocalOps   uint64
+	RemoteOps  uint64
+	// TrafficShares is the byte share per message class (Figure 11).
+	TrafficShares map[metrics.MsgClass]float64
+	TotalBytes    uint64
+}
+
+// String renders a one-line summary.
+func (r RunResult) String() string {
+	return fmt.Sprintf("%s: %.0f ops/s (%d ops, hits=%d misses=%d local=%d remote=%d)",
+		r.System, r.Throughput, r.Ops, r.CacheHits, r.CacheMiss, r.LocalOps, r.RemoteOps)
+}
+
+// HitRate returns the measured cache hit ratio.
+func (r RunResult) HitRate() float64 {
+	total := r.CacheHits + r.CacheMiss
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(total)
+}
+
+// RunOptions controls a measurement run.
+type RunOptions struct {
+	// Clients is the number of closed-loop client goroutines; each picks
+	// servers round-robin starting at a different offset, the load
+	// balancing the paper prescribes for the black-box abstraction.
+	Clients int
+	// OpsPerClient bounds the run by operation count.
+	OpsPerClient int
+	// Workload generates the request stream (cloned per client).
+	Workload workload.Config
+}
+
+// Run drives the cluster with closed-loop clients and returns aggregate
+// measurements. The dataset and (for ccKVS) hot set must already be in
+// place (Populate / InstallHotSet).
+func (c *Cluster) Run(opts RunOptions) (RunResult, error) {
+	if opts.Clients <= 0 {
+		opts.Clients = 4
+	}
+	if opts.OpsPerClient <= 0 {
+		opts.OpsPerClient = 1000
+	}
+	gen, err := workload.New(opts.Workload)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	readLat := metrics.NewHistogram()
+	writeLat := metrics.NewHistogram()
+	var firstErr error
+	var errMu sync.Mutex
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for cl := 0; cl < opts.Clients; cl++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			g := gen.Clone(uint64(id))
+			node := id % c.NumNodes()
+			for i := 0; i < opts.OpsPerClient; i++ {
+				op := g.Next()
+				n := c.nodes[node]
+				node = (node + 1) % c.NumNodes() // round-robin load balance
+				t0 := time.Now()
+				var err error
+				if op.Type == workload.Put {
+					err = n.Put(op.Key, op.Value)
+					writeLat.Record(uint64(time.Since(t0).Nanoseconds()))
+				} else {
+					_, err = n.Get(op.Key)
+					readLat.Record(uint64(time.Since(t0).Nanoseconds()))
+				}
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client %d op %d (%s key %d): %w",
+							id, i, op.Type, op.Key, err)
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return RunResult{}, firstErr
+	}
+
+	res := RunResult{
+		System:        c.systemName(),
+		Ops:           uint64(opts.Clients * opts.OpsPerClient),
+		Duration:      elapsed,
+		ReadLat:       readLat.Snapshot(),
+		WriteLat:      writeLat.Snapshot(),
+		TrafficShares: c.stats.Traffic.Shares(),
+		TotalBytes:    c.stats.Traffic.TotalBytes(),
+	}
+	res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	for _, n := range c.nodes {
+		res.CacheHits += n.CacheHits.Load()
+		res.CacheMiss += n.CacheMisses.Load()
+		res.LocalOps += n.LocalOps.Load()
+		res.RemoteOps += n.RemoteOps.Load()
+	}
+	return res, nil
+}
+
+func (c *Cluster) systemName() string {
+	if c.cfg.System == CCKVS {
+		return "ccKVS-" + c.cfg.Protocol.String()
+	}
+	return c.cfg.System.String()
+}
+
+// CacheStatsWritesSC exposes how many SC cache writes this node executed
+// (used by the Figure 4 serialization ablation to show where writes land).
+func (n *Node) CacheStatsWritesSC() uint64 {
+	if n.cache == nil {
+		return 0
+	}
+	return n.cache.Stats().WritesSC.Load()
+}
+
+// VerifyShardIntegrity checks that every key is present on exactly its home
+// shard (test support).
+func (c *Cluster) VerifyShardIntegrity() error {
+	for k := uint64(0); k < c.cfg.NumKeys; k++ {
+		home := c.HomeNode(k)
+		if _, _, err := c.nodes[home].kvs.Get(k, nil); err != nil {
+			return fmt.Errorf("key %d missing from home node %d: %w", k, home, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/seqlock"
+	"repro/internal/timestamp"
+)
+
+// Errors returned by cache operations.
+var (
+	// ErrMiss means the key is not in the hot set; the request must go to
+	// the (possibly remote) home KVS shard.
+	ErrMiss = errors.New("core: cache miss")
+	// ErrInvalid means the key is cached but its replica is invalidated by
+	// an in-flight Lin write; the read must be retried once the update
+	// arrives (a read "may hit in the cache but may not succeed", §6.2).
+	ErrInvalid = errors.New("core: entry invalid, update in flight")
+	// ErrWritePending means this node already has an outstanding Lin write
+	// for the key; the new write must wait for it to complete.
+	ErrWritePending = errors.New("core: write already pending for key")
+)
+
+// State is the consistency state of a cached entry. SC uses only StateValid;
+// Lin adds one stable invalid state and one transient write state, exactly
+// the state count the paper reports for each protocol (§5.2).
+type State uint8
+
+// Cache entry states.
+const (
+	// StateValid: the entry is readable.
+	StateValid State = iota
+	// StateInvalid: invalidated by a remote Lin write; reads stall until
+	// the matching update arrives.
+	StateInvalid
+	// StateWrite: transient; this node issued a Lin write and is gathering
+	// acknowledgements. Reads return the pre-write value.
+	StateWrite
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateValid:
+		return "Valid"
+	case StateInvalid:
+		return "Invalid"
+	case StateWrite:
+		return "Write"
+	default:
+		return "State(?)"
+	}
+}
+
+// entry is one cached object. Its header mirrors the 8-byte ccKVS item
+// header: consistency state (1 B, Lin only), version i.e. Lamport clock
+// (4 B), last-writer id (1 B), ack counter (1 B, Lin only) and the seqlock
+// spinlock byte. The seqlock version doubles as the write-in-progress marker.
+type entry struct {
+	lock  seqlock.SeqLock
+	state State
+	ts    timestamp.TS
+	vlen  int
+	val   []byte // len == cap, mutated in place
+	dirty bool   // differs from the home shard (write-back caching, §4)
+
+	// Lin per-writer bookkeeping for this node's outstanding write.
+	pendActive bool
+	pendTS     timestamp.TS
+	pendVlen   int
+	pendVal    []byte
+	acks       int
+}
+
+// table is an immutable key set with mutable entries; a new table is
+// installed wholesale at each epoch change.
+type table struct {
+	m map[uint64]*entry
+}
+
+// Stats aggregates cache/protocol counters.
+type Stats struct {
+	Hits, Misses          metrics.Counter
+	InvalidStalls         metrics.Counter // reads that found StateInvalid
+	UpdatesApplied        metrics.Counter
+	UpdatesDiscarded      metrics.Counter
+	Invalidations         metrics.Counter
+	AcksReceived          metrics.Counter
+	WritesSC, WritesLin   metrics.Counter
+	WriteConflictsLost    metrics.Counter // Lin writes superseded by a concurrent higher-ts write
+	Evictions, WriteBacks metrics.Counter
+}
+
+// Cache is one node's instance of the symmetric cache. All cache threads of
+// the node share it (CRCW); every node in the deployment holds an identical
+// key set, which is what removes the need for a sharer directory (§4).
+type Cache struct {
+	nodeID   uint8
+	numNodes int
+	table    atomic.Pointer[table]
+	stats    Stats
+}
+
+// NewCache returns an empty cache for node nodeID of a numNodes deployment.
+func NewCache(nodeID uint8, numNodes int) *Cache {
+	if numNodes < 1 {
+		panic("core: deployment needs at least one node")
+	}
+	c := &Cache{nodeID: nodeID, numNodes: numNodes}
+	c.table.Store(&table{m: map[uint64]*entry{}})
+	return c
+}
+
+// NodeID returns this cache's node id.
+func (c *Cache) NodeID() uint8 { return c.nodeID }
+
+// NumNodes returns the deployment size.
+func (c *Cache) NumNodes() int { return c.numNodes }
+
+// Stats exposes the counter block.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// Len returns the number of cached keys.
+func (c *Cache) Len() int { return len(c.table.Load().m) }
+
+// Contains reports whether key is in the hot set. Because caches are
+// symmetric, a local probe answers the global question "which nodes cache
+// this item": all of them or none (§4).
+func (c *Cache) Contains(key uint64) bool {
+	_, ok := c.table.Load().m[key]
+	return ok
+}
+
+// WriteBack is a dirty item evicted at an epoch change that must be flushed
+// to its home shard (symmetric caches are write-back, §4).
+type WriteBack struct {
+	Key   uint64
+	Value []byte
+	TS    timestamp.TS
+}
+
+// Install replaces the hot set. For every new key, fetch must return the
+// value and version from the node's view of the KVS (or ok=false to install
+// an empty entry). It returns the dirty evicted entries, which the caller
+// flushes to their home shards with PutIfNewer. Concurrent reads continue
+// against the old table until the swap.
+func (c *Cache) Install(keys []uint64, fetch func(key uint64) ([]byte, timestamp.TS, bool)) []WriteBack {
+	old := c.table.Load()
+	next := &table{m: make(map[uint64]*entry, len(keys))}
+	for _, k := range keys {
+		if e, ok := old.m[k]; ok {
+			next.m[k] = e // retained entries keep value, ts and state
+			continue
+		}
+		e := &entry{}
+		if v, ts, ok := fetch(k); ok {
+			e.val = append(make([]byte, 0, len(v)), v...)
+			e.vlen = len(v)
+			e.ts = ts
+		}
+		next.m[k] = e
+	}
+
+	var wb []WriteBack
+	for k, e := range old.m {
+		if _, kept := next.m[k]; kept {
+			continue
+		}
+		c.stats.Evictions.Add(1)
+		e.lock.Lock()
+		if e.dirty {
+			wb = append(wb, WriteBack{
+				Key:   k,
+				Value: append([]byte(nil), e.val[:e.vlen]...),
+				TS:    e.ts,
+			})
+			c.stats.WriteBacks.Add(1)
+		}
+		e.lock.Unlock()
+	}
+	c.table.Store(next)
+	return wb
+}
+
+// Read probes the cache. On a hit it copies the value into dst and returns
+// it with the entry's timestamp. It returns ErrMiss for uncached keys and
+// ErrInvalid when a Lin invalidation is outstanding. Reads are lock-free.
+func (c *Cache) Read(key uint64, dst []byte) ([]byte, timestamp.TS, error) {
+	e, ok := c.table.Load().m[key]
+	if !ok {
+		c.stats.Misses.Add(1)
+		return dst, timestamp.TS{}, ErrMiss
+	}
+	for {
+		v := e.lock.ReadBegin()
+		state := e.state
+		ts := e.ts
+		vlen := e.vlen
+		if state == StateInvalid {
+			if !e.lock.ReadRetry(v) {
+				c.stats.InvalidStalls.Add(1)
+				return dst, timestamp.TS{}, ErrInvalid
+			}
+			continue
+		}
+		if vlen < 0 || vlen > len(e.val) {
+			if e.lock.ReadRetry(v) {
+				continue
+			}
+			vlen = 0
+		}
+		if cap(dst) < vlen {
+			dst = make([]byte, vlen)
+		}
+		dst = dst[:vlen]
+		copy(dst, e.val[:vlen])
+		if !e.lock.ReadRetry(v) {
+			c.stats.Hits.Add(1)
+			return dst, ts, nil
+		}
+	}
+}
+
+// setValueLocked stores value into e under e.lock.
+func (e *entry) setValueLocked(value []byte) {
+	if len(e.val) < len(value) {
+		e.vlen = 0
+		e.val = make([]byte, len(value))
+	}
+	copy(e.val[:len(value)], value)
+	e.vlen = len(value)
+}
+
+// Keys returns the cached key set (for tests and epoch bookkeeping).
+func (c *Cache) Keys() []uint64 {
+	t := c.table.Load()
+	out := make([]uint64, 0, len(t.m))
+	for k := range t.m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// EntryState returns the state and timestamp of a cached key (test hook).
+func (c *Cache) EntryState(key uint64) (State, timestamp.TS, bool) {
+	e, ok := c.table.Load().m[key]
+	if !ok {
+		return 0, timestamp.TS{}, false
+	}
+	var st State
+	var ts timestamp.TS
+	e.lock.Read(func() { st, ts = e.state, e.ts })
+	return st, ts, true
+}

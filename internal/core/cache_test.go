@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/timestamp"
+)
+
+func newCacheWith(t *testing.T, nodeID uint8, nodes int, keys ...uint64) *Cache {
+	t.Helper()
+	c := NewCache(nodeID, nodes)
+	c.Install(keys, func(key uint64) ([]byte, timestamp.TS, bool) {
+		return []byte{byte(key)}, timestamp.TS{}, true
+	})
+	return c
+}
+
+func TestNewCachePanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewCache(0, 0)
+}
+
+func TestReadMiss(t *testing.T) {
+	c := newCacheWith(t, 0, 3, 1, 2)
+	if _, _, err := c.Read(99, nil); err != ErrMiss {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Stats().Misses.Load() != 1 {
+		t.Fatalf("miss not counted")
+	}
+}
+
+func TestReadHit(t *testing.T) {
+	c := newCacheWith(t, 0, 3, 7)
+	v, _, err := c.Read(7, nil)
+	if err != nil || !bytes.Equal(v, []byte{7}) {
+		t.Fatalf("read: %v %v", v, err)
+	}
+	if c.Stats().Hits.Load() != 1 {
+		t.Fatalf("hit not counted")
+	}
+}
+
+func TestContainsAndLen(t *testing.T) {
+	c := newCacheWith(t, 0, 3, 1, 2, 3)
+	if !c.Contains(2) || c.Contains(9) {
+		t.Fatalf("Contains wrong")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	keys := c.Keys()
+	if len(keys) != 3 {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestInstallFetchMissingKey(t *testing.T) {
+	c := NewCache(0, 2)
+	c.Install([]uint64{5}, func(uint64) ([]byte, timestamp.TS, bool) {
+		return nil, timestamp.TS{}, false
+	})
+	v, ts, err := c.Read(5, nil)
+	if err != nil || len(v) != 0 || ts != timestamp.Zero {
+		t.Fatalf("empty entry expected: %v %v %v", v, ts, err)
+	}
+}
+
+func TestInstallRetainsEntries(t *testing.T) {
+	c := newCacheWith(t, 0, 3, 1, 2)
+	if _, err := c.WriteSC(1, []byte("dirty")); err != nil {
+		t.Fatal(err)
+	}
+	// Reinstall keeping key 1: its written value must survive.
+	wb := c.Install([]uint64{1, 3}, func(key uint64) ([]byte, timestamp.TS, bool) {
+		return []byte{byte(key)}, timestamp.TS{}, true
+	})
+	v, _, err := c.Read(1, nil)
+	if err != nil || string(v) != "dirty" {
+		t.Fatalf("retained entry lost data: %q %v", v, err)
+	}
+	// Key 2 was clean, so no write-back expected.
+	if len(wb) != 0 {
+		t.Fatalf("unexpected write-backs: %v", wb)
+	}
+}
+
+func TestEvictionWritesBackDirty(t *testing.T) {
+	c := newCacheWith(t, 1, 3, 1, 2)
+	if _, err := c.WriteSC(2, []byte("mod")); err != nil {
+		t.Fatal(err)
+	}
+	wb := c.Install([]uint64{1}, func(key uint64) ([]byte, timestamp.TS, bool) {
+		return nil, timestamp.TS{}, false
+	})
+	if len(wb) != 1 || wb[0].Key != 2 || string(wb[0].Value) != "mod" {
+		t.Fatalf("write-back = %+v", wb)
+	}
+	if wb[0].TS.Writer != 1 || wb[0].TS.Clock != 1 {
+		t.Fatalf("write-back ts = %v", wb[0].TS)
+	}
+	if c.Stats().Evictions.Load() != 1 || c.Stats().WriteBacks.Load() != 1 {
+		t.Fatalf("eviction counters wrong")
+	}
+	if c.Contains(2) {
+		t.Fatalf("evicted key still cached")
+	}
+}
+
+func TestReadIntoProvidedBuffer(t *testing.T) {
+	c := newCacheWith(t, 0, 2, 4)
+	buf := make([]byte, 0, 32)
+	v, _, err := c.Read(4, buf)
+	if err != nil || len(v) != 1 {
+		t.Fatalf("%v %v", v, err)
+	}
+	if &v[0] != &buf[:1][0] {
+		t.Fatalf("buffer not reused")
+	}
+}
+
+func TestEntryStateHook(t *testing.T) {
+	c := newCacheWith(t, 0, 2, 1)
+	st, ts, ok := c.EntryState(1)
+	if !ok || st != StateValid || ts != timestamp.Zero {
+		t.Fatalf("state=%v ts=%v ok=%v", st, ts, ok)
+	}
+	if _, _, ok := c.EntryState(42); ok {
+		t.Fatalf("missing key reported present")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateValid.String() != "Valid" || StateInvalid.String() != "Invalid" || StateWrite.String() != "Write" {
+		t.Fatalf("state names wrong")
+	}
+	if State(9).String() == "" {
+		t.Fatalf("unknown state must render")
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+// Lin protocol (per-key Linearizability, §5.2).
+//
+// Lin writes are synchronous: a put may return only after its value has
+// become visible to all replicas. The protocol is two-phase, adapted from
+// Guerraoui et al.'s high-throughput atomic storage algorithm:
+//
+//  1. The writer moves the entry to the transient Write state, tags the
+//     write with a fresh Lamport timestamp and broadcasts invalidations.
+//  2. Every replica that receives an invalidation with a timestamp greater
+//     than its stored one transitions the entry to Invalid (reads stall)
+//     and always acknowledges — acks are unconditional so that concurrent
+//     writers can never starve each other (deadlock freedom).
+//  3. When the writer has gathered N-1 acks it applies the value locally
+//     (if no higher-timestamped write intervened), transitions the entry
+//     back to Valid and broadcasts the update; replicas in Invalid state
+//     apply an update exactly when its timestamp matches the invalidation
+//     they observed last, otherwise the update is discarded.
+//
+// Writes are fully distributed: any replica can initiate a write for any
+// cached key; serialization comes from the timestamps alone.
+
+// WriteLinStart begins a Lin write. On a cache hit it stages the value,
+// moves the entry to the Write state and returns the Invalidation to
+// broadcast. The write completes when ApplyAck reports done; until then
+// reads on this node return the pre-write value (the put has not returned,
+// so that is linearizable), and further local writes to the key are refused
+// with ErrWritePending.
+func (c *Cache) WriteLinStart(key uint64, value []byte) (Invalidation, error) {
+	e, ok := c.table.Load().m[key]
+	if !ok {
+		c.stats.Misses.Add(1)
+		return Invalidation{}, ErrMiss
+	}
+	var inv Invalidation
+	e.lock.Lock()
+	if e.pendActive {
+		e.lock.Unlock()
+		return Invalidation{}, ErrWritePending
+	}
+	// The new timestamp must dominate everything this replica has seen,
+	// including a concurrent writer's invalidation timestamp. The writer
+	// stamps its own copy too: at completion, e.ts == pendTS tells it that
+	// no higher-timestamped write intervened.
+	e.pendTS = e.ts.Next(c.nodeID)
+	e.ts = e.pendTS
+	if len(e.pendVal) < len(value) {
+		e.pendVal = make([]byte, len(value))
+	}
+	copy(e.pendVal[:len(value)], value)
+	e.pendVlen = len(value)
+	e.pendActive = true
+	e.acks = 0
+	if e.state == StateValid {
+		e.state = StateWrite
+	}
+	inv = Invalidation{Key: key, TS: e.pendTS, From: c.nodeID}
+	e.lock.Unlock()
+
+	c.stats.Hits.Add(1)
+	c.stats.WritesLin.Add(1)
+	return inv, nil
+}
+
+// ApplyInvalidation processes a received invalidation and returns the Ack to
+// send back to the writer. Acks are always produced; the entry is
+// invalidated only when the incoming timestamp orders after the stored one.
+// A replica that is itself in the Write state can thus lose the race: its
+// entry becomes Invalid and its own completion will not publish its value.
+func (c *Cache) ApplyInvalidation(inv Invalidation) (Ack, bool) {
+	c.stats.Invalidations.Add(1)
+	e, ok := c.table.Load().m[inv.Key]
+	if !ok {
+		// Not cached this epoch: nothing to invalidate, but still ack so
+		// the writer can make progress.
+		return Ack{Key: inv.Key, TS: inv.TS, From: c.nodeID}, false
+	}
+	invalidated := false
+	e.lock.Lock()
+	if inv.TS.After(e.ts) {
+		e.ts = inv.TS
+		e.state = StateInvalid
+		invalidated = true
+	}
+	e.lock.Unlock()
+	return Ack{Key: inv.Key, TS: inv.TS, From: c.nodeID}, invalidated
+}
+
+// ApplyAck records an acknowledgement for this node's outstanding write.
+// When the last of the N-1 acks arrives, the write completes: the staged
+// value is applied locally if its timestamp is still the highest observed
+// (otherwise a concurrent writer won the race and its update will carry the
+// final value), the entry returns to Valid when appropriate, and the Update
+// to broadcast is returned with done=true.
+func (c *Cache) ApplyAck(a Ack) (Update, bool) {
+	e, ok := c.table.Load().m[a.Key]
+	if !ok {
+		return Update{}, false
+	}
+	c.stats.AcksReceived.Add(1)
+
+	var out Update
+	done := false
+	e.lock.Lock()
+	if e.pendActive && a.TS == e.pendTS {
+		e.acks++
+		if e.acks >= c.numNodes-1 {
+			done = true
+			e.pendActive = false
+			if e.ts == e.pendTS {
+				// Our write is still the latest this replica has seen:
+				// perform it locally and publish.
+				e.setValueLocked(e.pendVal[:e.pendVlen])
+				e.dirty = true
+				e.state = StateValid
+			} else {
+				// A concurrent write with a higher timestamp invalidated
+				// us; our value is superseded before ever becoming
+				// visible. The entry stays Invalid awaiting the winner's
+				// update.
+				c.stats.WriteConflictsLost.Add(1)
+			}
+			out = Update{
+				Key:   a.Key,
+				TS:    a.TS,
+				Value: append([]byte(nil), e.pendVal[:e.pendVlen]...),
+			}
+		}
+	}
+	e.lock.Unlock()
+	return out, done
+}
+
+// ApplyUpdateLin applies a received Lin update: the value is installed only
+// when the entry is Invalid and the update's timestamp matches the
+// invalidation's, i.e. this is exactly the update the replica is waiting
+// for; stale updates (superseded by a higher-timestamped invalidation) are
+// discarded. It reports whether the update was applied.
+func (c *Cache) ApplyUpdateLin(u Update) bool {
+	e, ok := c.table.Load().m[u.Key]
+	if !ok {
+		c.stats.UpdatesDiscarded.Add(1)
+		return false
+	}
+	applied := false
+	e.lock.Lock()
+	if e.state == StateInvalid && u.TS == e.ts {
+		e.setValueLocked(u.Value)
+		e.dirty = true
+		e.state = StateValid
+		applied = true
+	}
+	e.lock.Unlock()
+	if applied {
+		c.stats.UpdatesApplied.Add(1)
+	} else {
+		c.stats.UpdatesDiscarded.Add(1)
+	}
+	return applied
+}
+
+// PendingWrite reports whether this node has an outstanding Lin write for
+// key (test hook).
+func (c *Cache) PendingWrite(key uint64) bool {
+	e, ok := c.table.Load().m[key]
+	if !ok {
+		return false
+	}
+	var p bool
+	e.lock.Read(func() { p = e.pendActive })
+	return p
+}

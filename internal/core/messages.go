@@ -1,0 +1,179 @@
+// Package core implements the paper's primary contribution: the symmetric
+// cache (EuroSys'18, §4) and the two fully-distributed consistency protocols
+// that keep all cache replicas strongly consistent (§5) — per-key Sequential
+// Consistency (SC, an adaptation of Burckhardt's update protocol) and per-key
+// Linearizability (Lin, an adaptation of Guerraoui et al.'s atomic storage
+// algorithm).
+//
+// The package is transport-agnostic: protocol operations return the messages
+// that must be broadcast, and the caller (internal/cluster) moves them over
+// whatever fabric is in use. This keeps the protocol logic deterministic and
+// directly testable, and lets the model checker (internal/mcheck) exercise
+// the same state machine.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/timestamp"
+)
+
+// Protocol selects the consistency model enforced across the caches.
+type Protocol uint8
+
+// Supported consistency protocols.
+const (
+	// SC is per-key Sequential Consistency: non-blocking writes serialized
+	// by Lamport timestamps, propagated with a single update broadcast.
+	SC Protocol = iota
+	// Lin is per-key Linearizability: blocking two-phase writes
+	// (invalidate, gather acks, then update).
+	Lin
+)
+
+// String names the protocol as the paper does.
+func (p Protocol) String() string {
+	switch p {
+	case SC:
+		return "SC"
+	case Lin:
+		return "Lin"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// MsgType tags protocol messages on the wire.
+type MsgType uint8
+
+// Message kinds exchanged between cache threads.
+const (
+	MsgUpdate MsgType = iota + 1
+	MsgInvalidation
+	MsgAck
+)
+
+// String names the message type.
+func (m MsgType) String() string {
+	switch m {
+	case MsgUpdate:
+		return "update"
+	case MsgInvalidation:
+		return "invalidation"
+	case MsgAck:
+		return "ack"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(m))
+	}
+}
+
+// Update carries a new value and its timestamp to all replicas. Under SC it
+// is the only consistency message; under Lin it is the second phase, sent
+// after all acknowledgements are gathered.
+type Update struct {
+	Key   uint64
+	TS    timestamp.TS
+	Value []byte
+}
+
+// Invalidation is the first phase of a Lin write: it announces the write's
+// timestamp so replicas can invalidate and acknowledge.
+type Invalidation struct {
+	Key  uint64
+	TS   timestamp.TS
+	From uint8 // writer node, destination for the ack
+}
+
+// Ack acknowledges an invalidation back to the writer.
+type Ack struct {
+	Key  uint64
+	TS   timestamp.TS
+	From uint8 // acking node
+}
+
+// Wire sizes. Header: type(1) + key(8) + clock(4) + writer(1) = 14 bytes;
+// updates add a 4-byte length prefix plus the value; invalidations and acks
+// add a 1-byte node id.
+const (
+	headerSize       = 1 + 8 + 4 + 1
+	updateOverhead   = headerSize + 4
+	invalidationSize = headerSize + 1
+	ackSize          = headerSize + 1
+)
+
+// EncodedSize returns the wire size of an update with the given value length.
+func (u Update) EncodedSize() int { return updateOverhead + len(u.Value) }
+
+// Encode appends the update's wire form to buf.
+func (u Update) Encode(buf []byte) []byte {
+	buf = append(buf, byte(MsgUpdate))
+	buf = binary.LittleEndian.AppendUint64(buf, u.Key)
+	buf = binary.LittleEndian.AppendUint32(buf, u.TS.Clock)
+	buf = append(buf, u.TS.Writer)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(u.Value)))
+	return append(buf, u.Value...)
+}
+
+// EncodedSize returns the wire size of an invalidation.
+func (i Invalidation) EncodedSize() int { return invalidationSize }
+
+// Encode appends the invalidation's wire form to buf.
+func (i Invalidation) Encode(buf []byte) []byte {
+	buf = append(buf, byte(MsgInvalidation))
+	buf = binary.LittleEndian.AppendUint64(buf, i.Key)
+	buf = binary.LittleEndian.AppendUint32(buf, i.TS.Clock)
+	buf = append(buf, i.TS.Writer)
+	return append(buf, i.From)
+}
+
+// EncodedSize returns the wire size of an ack.
+func (a Ack) EncodedSize() int { return ackSize }
+
+// Encode appends the ack's wire form to buf.
+func (a Ack) Encode(buf []byte) []byte {
+	buf = append(buf, byte(MsgAck))
+	buf = binary.LittleEndian.AppendUint64(buf, a.Key)
+	buf = binary.LittleEndian.AppendUint32(buf, a.TS.Clock)
+	buf = append(buf, a.TS.Writer)
+	return append(buf, a.From)
+}
+
+// Decode parses one protocol message from buf, returning the message (one of
+// Update, Invalidation, Ack), the number of bytes consumed, and an error on
+// malformed input. Decoded updates alias buf's storage; callers that retain
+// the value must copy it.
+func Decode(buf []byte) (any, int, error) {
+	if len(buf) < headerSize {
+		return nil, 0, fmt.Errorf("core: short message (%d bytes)", len(buf))
+	}
+	mt := MsgType(buf[0])
+	key := binary.LittleEndian.Uint64(buf[1:9])
+	ts := timestamp.TS{
+		Clock:  binary.LittleEndian.Uint32(buf[9:13]),
+		Writer: buf[13],
+	}
+	switch mt {
+	case MsgUpdate:
+		if len(buf) < updateOverhead {
+			return nil, 0, fmt.Errorf("core: short update")
+		}
+		vlen := int(binary.LittleEndian.Uint32(buf[14:18]))
+		if len(buf) < updateOverhead+vlen {
+			return nil, 0, fmt.Errorf("core: truncated update value (%d < %d)", len(buf)-updateOverhead, vlen)
+		}
+		return Update{Key: key, TS: ts, Value: buf[18 : 18+vlen]}, updateOverhead + vlen, nil
+	case MsgInvalidation:
+		if len(buf) < invalidationSize {
+			return nil, 0, fmt.Errorf("core: short invalidation")
+		}
+		return Invalidation{Key: key, TS: ts, From: buf[14]}, invalidationSize, nil
+	case MsgAck:
+		if len(buf) < ackSize {
+			return nil, 0, fmt.Errorf("core: short ack")
+		}
+		return Ack{Key: key, TS: ts, From: buf[14]}, ackSize, nil
+	default:
+		return nil, 0, fmt.Errorf("core: unknown message type %d", buf[0])
+	}
+}

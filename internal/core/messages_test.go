@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timestamp"
+)
+
+func TestProtocolString(t *testing.T) {
+	if SC.String() != "SC" || Lin.String() != "Lin" {
+		t.Fatalf("protocol names wrong")
+	}
+	if Protocol(9).String() == "" {
+		t.Fatalf("unknown protocol must render")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for mt, want := range map[MsgType]string{
+		MsgUpdate: "update", MsgInvalidation: "invalidation", MsgAck: "ack",
+	} {
+		if mt.String() != want {
+			t.Fatalf("%v != %s", mt, want)
+		}
+	}
+	if MsgType(0).String() == "" {
+		t.Fatalf("unknown type must render")
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	u := Update{Key: 0xdeadbeef, TS: timestamp.TS{Clock: 77, Writer: 3}, Value: []byte("payload")}
+	buf := u.Encode(nil)
+	if len(buf) != u.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(buf), u.EncodedSize())
+	}
+	got, n, err := Decode(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("decode: %v n=%d", err, n)
+	}
+	du, ok := got.(Update)
+	if !ok || du.Key != u.Key || du.TS != u.TS || !bytes.Equal(du.Value, u.Value) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestInvalidationRoundTrip(t *testing.T) {
+	i := Invalidation{Key: 42, TS: timestamp.TS{Clock: 1, Writer: 2}, From: 7}
+	buf := i.Encode(nil)
+	if len(buf) != i.EncodedSize() {
+		t.Fatalf("size mismatch")
+	}
+	got, n, err := Decode(buf)
+	if err != nil || n != len(buf) || got.(Invalidation) != i {
+		t.Fatalf("round trip: %+v %d %v", got, n, err)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	a := Ack{Key: 9, TS: timestamp.TS{Clock: 5, Writer: 1}, From: 4}
+	buf := a.Encode(nil)
+	got, n, err := Decode(buf)
+	if err != nil || n != len(buf) || got.(Ack) != a {
+		t.Fatalf("round trip: %+v %d %v", got, n, err)
+	}
+}
+
+func TestDecodeStream(t *testing.T) {
+	// Multiple messages back to back must decode in sequence.
+	var buf []byte
+	buf = Update{Key: 1, TS: timestamp.TS{Clock: 1}, Value: []byte("ab")}.Encode(buf)
+	buf = Invalidation{Key: 2, TS: timestamp.TS{Clock: 2}, From: 1}.Encode(buf)
+	buf = Ack{Key: 3, TS: timestamp.TS{Clock: 3}, From: 2}.Encode(buf)
+
+	kinds := []MsgType{}
+	for len(buf) > 0 {
+		m, n, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch m.(type) {
+		case Update:
+			kinds = append(kinds, MsgUpdate)
+		case Invalidation:
+			kinds = append(kinds, MsgInvalidation)
+		case Ack:
+			kinds = append(kinds, MsgAck)
+		}
+		buf = buf[n:]
+	}
+	if len(kinds) != 3 || kinds[0] != MsgUpdate || kinds[1] != MsgInvalidation || kinds[2] != MsgAck {
+		t.Fatalf("stream decode order: %v", kinds)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{byte(MsgUpdate)},
+		{99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // unknown type
+	}
+	for i, c := range cases {
+		if _, _, err := Decode(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Truncated update value.
+	u := Update{Key: 1, TS: timestamp.TS{Clock: 1}, Value: []byte("abcdef")}
+	buf := u.Encode(nil)
+	if _, _, err := Decode(buf[:len(buf)-2]); err == nil {
+		t.Errorf("truncated update must fail")
+	}
+}
+
+func TestEmptyValueUpdate(t *testing.T) {
+	u := Update{Key: 1, TS: timestamp.TS{Clock: 1, Writer: 0}}
+	got, n, err := Decode(u.Encode(nil))
+	if err != nil || n != u.EncodedSize() || len(got.(Update).Value) != 0 {
+		t.Fatalf("empty value round trip failed: %v %d", err, n)
+	}
+}
+
+// Property: encode→decode is the identity for arbitrary updates.
+func TestUpdateRoundTripProperty(t *testing.T) {
+	f := func(key uint64, clock uint32, writer uint8, value []byte) bool {
+		u := Update{Key: key, TS: timestamp.TS{Clock: clock, Writer: writer}, Value: value}
+		got, n, err := Decode(u.Encode(nil))
+		if err != nil || n != u.EncodedSize() {
+			return false
+		}
+		du := got.(Update)
+		return du.Key == key && du.TS == u.TS && bytes.Equal(du.Value, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package fabric
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Batcher implements the two send-side amortizations of §6.4 and §8.5:
+//
+//   - Doorbell batching: multiple work requests are handed to the NIC as a
+//     linked list with a single MMIO write. Here, every Flush counts one
+//     doorbell regardless of how many messages it carries.
+//   - Request coalescing: multiple application messages headed to the same
+//     destination ride in one network packet, shifting the bottleneck from
+//     the switch packet-processing rate to raw bandwidth (Figure 13a).
+//
+// Messages added for a destination accumulate until MaxMsgs or MaxBytes is
+// reached, then flush as a single Packet. Callers should FlushAll at the end
+// of each request-processing iteration so latency stays bounded
+// (opportunistic batching: batch whatever happens to be pending, never wait).
+type Batcher struct {
+	mu       sync.Mutex
+	tr       Transport
+	src      Addr
+	class    metrics.MsgClass
+	maxMsgs  int
+	maxBytes int
+	stats    *Stats
+	// signalEvery models selective signaling: one completion is polled per
+	// this many packets (§6.4).
+	signalEvery int
+	sinceSignal int
+	pending     map[Addr]*pendingBuf
+}
+
+type pendingBuf struct {
+	data []byte
+	n    int
+}
+
+// BatcherConfig parameterizes a Batcher.
+type BatcherConfig struct {
+	Src         Addr
+	Class       metrics.MsgClass
+	MaxMsgs     int // flush after this many messages (<=0: 16)
+	MaxBytes    int // flush when a batch would exceed this size (<=0: 4096)
+	SignalEvery int // selective signaling batch (<=0: 64)
+}
+
+// NewBatcher returns a batcher sending through tr.
+func NewBatcher(tr Transport, cfg BatcherConfig, stats *Stats) *Batcher {
+	if cfg.MaxMsgs <= 0 {
+		cfg.MaxMsgs = 16
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 4096
+	}
+	if cfg.SignalEvery <= 0 {
+		cfg.SignalEvery = 64
+	}
+	return &Batcher{
+		tr:          tr,
+		src:         cfg.Src,
+		class:       cfg.Class,
+		maxMsgs:     cfg.MaxMsgs,
+		maxBytes:    cfg.MaxBytes,
+		signalEvery: cfg.SignalEvery,
+		stats:       stats,
+		pending:     map[Addr]*pendingBuf{},
+	}
+}
+
+// Add appends one encoded message for dst, flushing if thresholds are hit.
+func (b *Batcher) Add(dst Addr, msg []byte) error {
+	b.mu.Lock()
+	buf, ok := b.pending[dst]
+	if !ok {
+		buf = &pendingBuf{}
+		b.pending[dst] = buf
+	}
+	if buf.n > 0 && (buf.n >= b.maxMsgs || len(buf.data)+len(msg) > b.maxBytes) {
+		if err := b.flushLocked(dst, buf); err != nil {
+			b.mu.Unlock()
+			return err
+		}
+	}
+	buf.data = append(buf.data, msg...)
+	buf.n++
+	var err error
+	if buf.n >= b.maxMsgs || len(buf.data) >= b.maxBytes {
+		err = b.flushLocked(dst, buf)
+	}
+	b.mu.Unlock()
+	return err
+}
+
+// flushLocked emits the pending batch for dst; b.mu must be held.
+func (b *Batcher) flushLocked(dst Addr, buf *pendingBuf) error {
+	if buf.n == 0 {
+		return nil
+	}
+	pkt := Packet{
+		Src:   b.src,
+		Dst:   dst,
+		Class: b.class,
+		Data:  append([]byte(nil), buf.data...),
+	}
+	buf.data = buf.data[:0]
+	buf.n = 0
+	if b.stats != nil {
+		b.stats.Doorbells.Add(1)
+		b.sinceSignal++
+		if b.sinceSignal >= b.signalEvery {
+			b.stats.Signaled.Add(1)
+			b.sinceSignal = 0
+		}
+	}
+	return b.tr.Send(pkt)
+}
+
+// Flush sends any pending batch for dst immediately.
+func (b *Batcher) Flush(dst Addr) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if buf, ok := b.pending[dst]; ok {
+		return b.flushLocked(dst, buf)
+	}
+	return nil
+}
+
+// FlushAll sends every pending batch.
+func (b *Batcher) FlushAll() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for dst, buf := range b.pending {
+		if err := b.flushLocked(dst, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Broadcast implements the software broadcast primitive of §6.3: the sender
+// prepares a separate message per receiver — all pointing at the same
+// payload — and posts them to the NIC as one batch. RDMA multicast was tried
+// by the authors and found unhelpful (the receive side stays the
+// bottleneck), so the software path is the only one implemented here.
+func Broadcast(tr Transport, src Addr, dsts []Addr, class metrics.MsgClass, data []byte, stats *Stats) error {
+	if stats != nil && len(dsts) > 0 {
+		stats.Doorbells.Add(1) // one doorbell for the whole linked list
+	}
+	for _, dst := range dsts {
+		if dst == src {
+			continue
+		}
+		if err := tr.Send(Packet{Src: src, Dst: dst, Class: class, Data: data}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

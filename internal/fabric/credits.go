@@ -1,0 +1,133 @@
+package fabric
+
+import "sync"
+
+// Credits implements the credit-based flow control of §6.3. A sender holds a
+// per-peer credit budget matching the receiver's posted buffer space; each
+// send consumes one credit and credits return either implicitly (a response
+// doubles as a credit update — the request/response pattern between cache
+// threads and KVS threads) or through explicit credit-update messages (the
+// broadcast pattern between cache threads, where updates and invalidations
+// receive no application-level response).
+type Credits struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	avail map[Addr]int
+	max   map[Addr]int
+	// Waits counts how often a sender blocked on an exhausted budget; the
+	// paper tracks the analogous busy-wait counters when hunting
+	// bottlenecks (§8.4).
+	Waits uint64
+}
+
+// NewCredits returns an empty credit table.
+func NewCredits() *Credits {
+	c := &Credits{avail: map[Addr]int{}, max: map[Addr]int{}}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// SetBudget grants peer an initial budget of n credits (the receiver's
+// posted-receive count for this sender).
+func (c *Credits) SetBudget(peer Addr, n int) {
+	c.mu.Lock()
+	c.avail[peer] = n
+	c.max[peer] = n
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Available returns the current credit count for peer.
+func (c *Credits) Available(peer Addr) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.avail[peer]
+}
+
+// Acquire consumes one credit for peer, blocking until one is available.
+func (c *Credits) Acquire(peer Addr) {
+	c.mu.Lock()
+	for c.avail[peer] <= 0 {
+		c.Waits++
+		c.cond.Wait()
+	}
+	c.avail[peer]--
+	c.mu.Unlock()
+}
+
+// TryAcquire consumes a credit if one is available, without blocking.
+func (c *Credits) TryAcquire(peer Addr) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.avail[peer] <= 0 {
+		return false
+	}
+	c.avail[peer]--
+	return true
+}
+
+// Grant returns n credits to peer (a response arrived, or an explicit
+// credit-update message was received). The budget never exceeds the
+// configured maximum.
+func (c *Credits) Grant(peer Addr, n int) {
+	c.mu.Lock()
+	c.avail[peer] += n
+	if m, ok := c.max[peer]; ok && c.avail[peer] > m {
+		c.avail[peer] = m
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// CreditBatcher implements the credit-update batching optimization of §6.4:
+// instead of sending one credit-update message per received consistency
+// message, the receiver accumulates deltas and emits a (header-only) credit
+// update only after `every` messages from a peer, amortizing the network
+// cost of flow control to the point where Figure 11 shows it as negligible.
+type CreditBatcher struct {
+	mu      sync.Mutex
+	pending map[Addr]int
+	every   int
+	emit    func(peer Addr, n int)
+}
+
+// NewCreditBatcher returns a batcher that calls emit with the accumulated
+// count once a peer reaches `every` pending credits (every <= 0 means 1).
+func NewCreditBatcher(every int, emit func(peer Addr, n int)) *CreditBatcher {
+	if every <= 0 {
+		every = 1
+	}
+	return &CreditBatcher{pending: map[Addr]int{}, every: every, emit: emit}
+}
+
+// Note records one received message from peer, possibly emitting a batched
+// credit update.
+func (b *CreditBatcher) Note(peer Addr) {
+	b.mu.Lock()
+	b.pending[peer]++
+	n := b.pending[peer]
+	if n < b.every {
+		b.mu.Unlock()
+		return
+	}
+	b.pending[peer] = 0
+	b.mu.Unlock()
+	b.emit(peer, n)
+}
+
+// Flush emits any pending credits for all peers (used at shutdown so no
+// sender is left starved).
+func (b *CreditBatcher) Flush() {
+	b.mu.Lock()
+	drained := make(map[Addr]int, len(b.pending))
+	for p, n := range b.pending {
+		if n > 0 {
+			drained[p] = n
+		}
+		b.pending[p] = 0
+	}
+	b.mu.Unlock()
+	for p, n := range drained {
+		b.emit(p, n)
+	}
+}

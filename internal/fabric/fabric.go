@@ -1,0 +1,198 @@
+// Package fabric is the communication substrate of the ccKVS reproduction.
+//
+// The paper runs on RDMA: RPCs over Unreliable Datagram sends in the style
+// of FaSST, with credit-based flow control, send-side batching of work
+// requests, payload inlining below 189 bytes, selective signaling and a
+// software broadcast primitive (EuroSys'18, §6.3-6.4). Go has no mature RDMA
+// verbs binding, so this package reproduces the *semantics and accounting*
+// of that layer over two interchangeable transports:
+//
+//   - ChanTransport: goroutine/channel message passing inside one process
+//     (the default for experiments; deterministic-ish and allocation-light).
+//   - TCPTransport: real sockets for multi-process deployments
+//     (cmd/cckvs-node), framing the same packets over TCP connections.
+//
+// Endpoints address (node, thread) pairs — ccKVS deliberately limits which
+// threads talk to which (§6.4, "Reducing Connections") and the Addr type
+// preserves that structure. Every packet carries a message class so network
+// traffic can be broken down exactly as in Figure 11.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Addr identifies a communication endpoint: a thread on a node. ccKVS binds
+// each cache thread to exactly one cache thread and one KVS thread per
+// remote machine, which keeps the number of queue pairs (and posted
+// receives) linear rather than quadratic in thread count.
+type Addr struct {
+	Node   uint8
+	Thread uint8
+}
+
+// String renders the address as "n<node>/t<thread>".
+func (a Addr) String() string { return fmt.Sprintf("n%d/t%d", a.Node, a.Thread) }
+
+// Packet is one network datagram. Data may hold several application
+// messages coalesced together (§8.5); Class attributes the bytes for the
+// Figure 11 traffic breakdown.
+type Packet struct {
+	Src   Addr
+	Dst   Addr
+	Class metrics.MsgClass
+	Data  []byte
+}
+
+// WireOverhead is the per-packet header cost (transport headers plus the
+// UD/GRH-equivalent framing) charged by the traffic accountant. With it, an
+// 8-byte-key request plus a 40-byte-value reply cost 113 bytes on the wire,
+// matching the B_RR constant of the paper's analytical model (§8.7).
+const WireOverhead = 32
+
+// InlineThreshold is the largest payload that would be inlined into the work
+// request on real hardware, sparing the NIC a DMA read (§6.4). The transports
+// only account for it (see Stats), since host memory makes inlining moot.
+const InlineThreshold = 189
+
+// Handler consumes packets delivered to a registered address.
+type Handler func(Packet)
+
+// Transport moves packets between addresses.
+type Transport interface {
+	// Register installs the handler for an address. Packets sent to an
+	// unregistered address are dropped (UD semantics: no connection, no
+	// error back to the sender).
+	Register(addr Addr, h Handler)
+	// Send delivers one packet asynchronously. It may block briefly for
+	// backpressure but must not wait for the handler to run.
+	Send(p Packet) error
+	// Close tears the transport down; subsequent Sends fail.
+	Close() error
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("fabric: transport closed")
+
+// Stats collects transport-level counters: packets/bytes by class plus the
+// RDMA-flavored bookkeeping (inlined sends, selective-signal completions,
+// doorbell batches).
+type Stats struct {
+	Traffic     *metrics.Traffic
+	Inlined     metrics.Counter
+	Signaled    metrics.Counter
+	Doorbells   metrics.Counter
+	SendsTotal  metrics.Counter
+	RecvsTotal  metrics.Counter
+	SendBlocked metrics.Counter // sends that found a full queue (backpressure)
+}
+
+// NewStats returns a zeroed stats block.
+func NewStats() *Stats { return &Stats{Traffic: metrics.NewTraffic()} }
+
+// account records one sent packet.
+func (s *Stats) account(p Packet) {
+	if s == nil {
+		return
+	}
+	s.SendsTotal.Add(1)
+	s.Traffic.Add(p.Class, uint64(len(p.Data))+WireOverhead)
+	if len(p.Data) <= InlineThreshold {
+		s.Inlined.Add(1)
+	}
+}
+
+// ChanTransport delivers packets through per-address buffered channels, one
+// dispatcher goroutine per registered address. Sends block when a
+// destination queue is full, which stands in for the switch/NIC
+// backpressure of the real fabric.
+type ChanTransport struct {
+	mu     sync.RWMutex
+	queues map[Addr]chan Packet
+	wg     sync.WaitGroup
+	closed bool
+	depth  int
+	stats  *Stats
+}
+
+// NewChanTransport returns an in-process transport whose per-address queues
+// hold depth packets (depth <= 0 selects a default of 1024, roughly the
+// posted-receive budget ccKVS provisions per queue pair).
+func NewChanTransport(depth int, stats *Stats) *ChanTransport {
+	if depth <= 0 {
+		depth = 1024
+	}
+	return &ChanTransport{queues: make(map[Addr]chan Packet), depth: depth, stats: stats}
+}
+
+// Register installs h for addr and starts its dispatcher.
+func (t *ChanTransport) Register(addr Addr, h Handler) {
+	q := make(chan Packet, t.depth)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	if _, dup := t.queues[addr]; dup {
+		t.mu.Unlock()
+		panic(fmt.Sprintf("fabric: duplicate registration for %v", addr))
+	}
+	t.queues[addr] = q
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for p := range q {
+			if t.stats != nil {
+				t.stats.RecvsTotal.Add(1)
+			}
+			h(p)
+		}
+	}()
+}
+
+// Send enqueues p for its destination. Unknown destinations drop the packet
+// (datagram semantics).
+func (t *ChanTransport) Send(p Packet) error {
+	t.mu.RLock()
+	if t.closed {
+		t.mu.RUnlock()
+		return ErrClosed
+	}
+	q, ok := t.queues[p.Dst]
+	t.mu.RUnlock()
+	t.stats.account(p)
+	if !ok {
+		return nil
+	}
+	select {
+	case q <- p:
+	default:
+		if t.stats != nil {
+			t.stats.SendBlocked.Add(1)
+		}
+		q <- p // block until space frees up
+	}
+	return nil
+}
+
+// Close stops all dispatchers after draining queued packets.
+func (t *ChanTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, q := range t.queues {
+		close(q)
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,340 @@
+package fabric
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestAddrString(t *testing.T) {
+	if (Addr{Node: 2, Thread: 5}).String() != "n2/t5" {
+		t.Fatalf("addr rendering wrong")
+	}
+}
+
+func TestChanTransportDelivery(t *testing.T) {
+	stats := NewStats()
+	tr := NewChanTransport(8, stats)
+	defer tr.Close()
+
+	got := make(chan Packet, 1)
+	dst := Addr{Node: 1, Thread: 0}
+	tr.Register(dst, func(p Packet) { got <- p })
+
+	want := Packet{Src: Addr{Node: 0}, Dst: dst, Class: metrics.ClassCacheMiss, Data: []byte("hi")}
+	if err := tr.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if string(p.Data) != "hi" || p.Src != want.Src {
+			t.Fatalf("got %+v", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("packet not delivered")
+	}
+	if stats.SendsTotal.Load() != 1 || stats.RecvsTotal.Load() != 1 {
+		t.Fatalf("stats: sends=%d recvs=%d", stats.SendsTotal.Load(), stats.RecvsTotal.Load())
+	}
+}
+
+func TestChanTransportUnknownDstDropped(t *testing.T) {
+	tr := NewChanTransport(8, NewStats())
+	defer tr.Close()
+	// UD semantics: no error, silently dropped.
+	if err := tr.Send(Packet{Dst: Addr{Node: 9}}); err != nil {
+		t.Fatalf("drop must not error: %v", err)
+	}
+}
+
+func TestChanTransportClose(t *testing.T) {
+	tr := NewChanTransport(8, NewStats())
+	tr.Register(Addr{Node: 1}, func(Packet) {})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(Packet{Dst: Addr{Node: 1}}); err != ErrClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestChanTransportDuplicateRegistrationPanics(t *testing.T) {
+	tr := NewChanTransport(8, NewStats())
+	defer tr.Close()
+	tr.Register(Addr{Node: 1}, func(Packet) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Register(Addr{Node: 1}, func(Packet) {})
+}
+
+func TestChanTransportBackpressure(t *testing.T) {
+	stats := NewStats()
+	tr := NewChanTransport(1, stats)
+	defer tr.Close()
+
+	release := make(chan struct{})
+	var delivered atomic.Int32
+	dst := Addr{Node: 1}
+	tr.Register(dst, func(Packet) {
+		<-release
+		delivered.Add(1)
+	})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Send(Packet{Dst: dst, Class: metrics.ClassUpdate})
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for delivered.Load() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	if stats.SendBlocked.Load() == 0 {
+		t.Fatalf("expected at least one blocked send under backpressure")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	stats := NewStats()
+	tr := NewChanTransport(8, stats)
+	defer tr.Close()
+	tr.Register(Addr{Node: 1}, func(Packet) {})
+
+	data := make([]byte, 100)
+	tr.Send(Packet{Dst: Addr{Node: 1}, Class: metrics.ClassUpdate, Data: data})
+	if got := stats.Traffic.Bytes(metrics.ClassUpdate); got != 100+WireOverhead {
+		t.Fatalf("bytes = %d, want %d", got, 100+WireOverhead)
+	}
+	if stats.Inlined.Load() != 1 {
+		t.Fatalf("100B payload must count as inlined")
+	}
+	big := make([]byte, InlineThreshold+1)
+	tr.Send(Packet{Dst: Addr{Node: 1}, Class: metrics.ClassUpdate, Data: big})
+	if stats.Inlined.Load() != 1 {
+		t.Fatalf("big payload must not count as inlined")
+	}
+}
+
+func TestCreditsAcquireGrant(t *testing.T) {
+	c := NewCredits()
+	peer := Addr{Node: 1}
+	c.SetBudget(peer, 2)
+	if c.Available(peer) != 2 {
+		t.Fatalf("budget not set")
+	}
+	c.Acquire(peer)
+	c.Acquire(peer)
+	if c.TryAcquire(peer) {
+		t.Fatalf("third acquire must fail")
+	}
+	c.Grant(peer, 1)
+	if !c.TryAcquire(peer) {
+		t.Fatalf("granted credit not usable")
+	}
+}
+
+func TestCreditsGrantClampedToBudget(t *testing.T) {
+	c := NewCredits()
+	peer := Addr{Node: 1}
+	c.SetBudget(peer, 3)
+	c.Grant(peer, 100)
+	if got := c.Available(peer); got != 3 {
+		t.Fatalf("credits overflowed budget: %d", got)
+	}
+}
+
+func TestCreditsBlockingAcquire(t *testing.T) {
+	c := NewCredits()
+	peer := Addr{Node: 1}
+	c.SetBudget(peer, 1)
+	c.Acquire(peer) // drain the budget
+
+	done := make(chan struct{})
+	go func() {
+		c.Acquire(peer) // must block until the grant below
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("acquire returned without credits")
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Grant(peer, 1)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquire never woke up")
+	}
+}
+
+func TestCreditBatcherEmitsEveryN(t *testing.T) {
+	var mu sync.Mutex
+	emitted := map[Addr]int{}
+	b := NewCreditBatcher(3, func(p Addr, n int) {
+		mu.Lock()
+		emitted[p] += n
+		mu.Unlock()
+	})
+	peer := Addr{Node: 2}
+	for i := 0; i < 7; i++ {
+		b.Note(peer)
+	}
+	mu.Lock()
+	if emitted[peer] != 6 {
+		t.Fatalf("emitted %d, want 6 (two batches of 3)", emitted[peer])
+	}
+	mu.Unlock()
+	b.Flush()
+	mu.Lock()
+	if emitted[peer] != 7 {
+		t.Fatalf("flush must drain the remainder: %d", emitted[peer])
+	}
+	mu.Unlock()
+}
+
+func TestCreditBatcherZeroEvery(t *testing.T) {
+	n := 0
+	b := NewCreditBatcher(0, func(Addr, int) { n++ })
+	b.Note(Addr{})
+	if n != 1 {
+		t.Fatalf("every<=0 must emit per message")
+	}
+}
+
+func TestBatcherFlushOnMaxMsgs(t *testing.T) {
+	stats := NewStats()
+	tr := NewChanTransport(16, stats)
+	defer tr.Close()
+	var pkts []Packet
+	var mu sync.Mutex
+	recvd := make(chan struct{}, 16)
+	dst := Addr{Node: 1}
+	tr.Register(dst, func(p Packet) {
+		mu.Lock()
+		pkts = append(pkts, p)
+		mu.Unlock()
+		recvd <- struct{}{}
+	})
+
+	b := NewBatcher(tr, BatcherConfig{Src: Addr{Node: 0}, Class: metrics.ClassCacheMiss, MaxMsgs: 3, MaxBytes: 1 << 20}, stats)
+	for i := 0; i < 3; i++ {
+		if err := b.Add(dst, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-recvd
+	mu.Lock()
+	if len(pkts) != 1 || len(pkts[0].Data) != 3 {
+		t.Fatalf("coalescing failed: %d packets, data %v", len(pkts), pkts)
+	}
+	mu.Unlock()
+	if stats.Doorbells.Load() != 1 {
+		t.Fatalf("doorbells = %d", stats.Doorbells.Load())
+	}
+}
+
+func TestBatcherFlushOnMaxBytes(t *testing.T) {
+	tr := NewChanTransport(16, NewStats())
+	defer tr.Close()
+	var count atomic.Int32
+	dst := Addr{Node: 1}
+	tr.Register(dst, func(p Packet) { count.Add(1) })
+
+	b := NewBatcher(tr, BatcherConfig{Src: Addr{Node: 0}, MaxMsgs: 1000, MaxBytes: 10}, nil)
+	b.Add(dst, make([]byte, 6))
+	b.Add(dst, make([]byte, 6)) // 12 > 10: first batch flushes alone
+	b.FlushAll()
+	deadline := time.Now().Add(2 * time.Second)
+	for count.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if count.Load() != 2 {
+		t.Fatalf("packets = %d, want 2", count.Load())
+	}
+}
+
+func TestBatcherExplicitFlush(t *testing.T) {
+	tr := NewChanTransport(16, NewStats())
+	defer tr.Close()
+	got := make(chan Packet, 1)
+	dst := Addr{Node: 1}
+	tr.Register(dst, func(p Packet) { got <- p })
+
+	b := NewBatcher(tr, BatcherConfig{Src: Addr{Node: 0}}, nil)
+	b.Add(dst, []byte("x"))
+	select {
+	case <-got:
+		t.Fatal("message sent before flush")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := b.Flush(dst); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if string(p.Data) != "x" {
+			t.Fatalf("data = %q", p.Data)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("flush did not send")
+	}
+	// Flushing an address with nothing pending is a no-op.
+	if err := b.Flush(Addr{Node: 9}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastSkipsSelf(t *testing.T) {
+	stats := NewStats()
+	tr := NewChanTransport(16, stats)
+	defer tr.Close()
+	var count atomic.Int32
+	for n := uint8(0); n < 3; n++ {
+		tr.Register(Addr{Node: n}, func(Packet) { count.Add(1) })
+	}
+	self := Addr{Node: 0}
+	dsts := []Addr{{Node: 0}, {Node: 1}, {Node: 2}}
+	if err := Broadcast(tr, self, dsts, metrics.ClassUpdate, []byte("u"), stats); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for count.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if count.Load() != 2 {
+		t.Fatalf("broadcast delivered %d, want 2 (self excluded)", count.Load())
+	}
+	if stats.Doorbells.Load() != 1 {
+		t.Fatalf("broadcast must cost one doorbell, got %d", stats.Doorbells.Load())
+	}
+}
+
+func TestSelectiveSignaling(t *testing.T) {
+	stats := NewStats()
+	tr := NewChanTransport(64, stats)
+	defer tr.Close()
+	dst := Addr{Node: 1}
+	tr.Register(dst, func(Packet) {})
+	b := NewBatcher(tr, BatcherConfig{Src: Addr{Node: 0}, MaxMsgs: 1, SignalEvery: 4}, stats)
+	for i := 0; i < 8; i++ {
+		b.Add(dst, []byte{1})
+	}
+	if got := stats.Signaled.Load(); got != 2 {
+		t.Fatalf("signaled completions = %d, want 2 (8 sends / batch of 4)", got)
+	}
+}

@@ -1,0 +1,128 @@
+package fabric
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestReorderDeliversEverything(t *testing.T) {
+	inner := NewChanTransport(256, NewStats())
+	tr := NewReorder(inner, 8, 42)
+
+	var mu sync.Mutex
+	got := map[byte]bool{}
+	dst := Addr{Node: 1}
+	tr.Register(dst, func(p Packet) {
+		mu.Lock()
+		got[p.Data[0]] = true
+		mu.Unlock()
+	})
+	for i := 0; i < 100; i++ {
+		if err := tr.Send(Packet{Dst: dst, Class: metrics.ClassUpdate, Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Flush()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 100 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/100 delivered", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tr.Close()
+}
+
+func TestReorderActuallyReorders(t *testing.T) {
+	inner := NewChanTransport(512, NewStats())
+	tr := NewReorder(inner, 16, 7)
+	defer tr.Close()
+
+	var mu sync.Mutex
+	var order []int
+	done := make(chan struct{})
+	dst := Addr{Node: 2}
+	tr.Register(dst, func(p Packet) {
+		mu.Lock()
+		order = append(order, int(p.Data[0]))
+		if len(order) == 200 {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	for i := 0; i < 200; i++ {
+		tr.Send(Packet{Dst: dst, Data: []byte{byte(i)}})
+	}
+	tr.Flush()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatalf("delivery incomplete: %d", len(order))
+	}
+	inversions := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("no reordering observed; the adversary is a no-op")
+	}
+	t.Logf("inversions: %d/199", inversions)
+}
+
+func TestReorderFlusherDrainsQuietBuffer(t *testing.T) {
+	inner := NewChanTransport(64, NewStats())
+	tr := NewReorder(inner, 32, 3)
+	defer tr.Close()
+
+	got := make(chan struct{}, 4)
+	dst := Addr{Node: 3}
+	tr.Register(dst, func(Packet) { got <- struct{}{} })
+	// Fewer packets than the buffer depth: only the ticker can release them.
+	for i := 0; i < 4; i++ {
+		tr.Send(Packet{Dst: dst, Data: []byte{byte(i)}})
+	}
+	for i := 0; i < 4; i++ {
+		select {
+		case <-got:
+		case <-time.After(3 * time.Second):
+			t.Fatalf("packet %d stuck in the reorder buffer", i)
+		}
+	}
+}
+
+func TestReorderCloseFlushesAndRejects(t *testing.T) {
+	inner := NewChanTransport(64, NewStats())
+	tr := NewReorder(inner, 8, 9)
+	var count int
+	var mu sync.Mutex
+	dst := Addr{Node: 4}
+	tr.Register(dst, func(Packet) { mu.Lock(); count++; mu.Unlock() })
+	for i := 0; i < 5; i++ {
+		tr.Send(Packet{Dst: dst, Data: []byte{byte(i)}})
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(Packet{Dst: dst}); err != ErrClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 5 {
+		t.Fatalf("close dropped packets: %d/5", count)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

@@ -1,0 +1,236 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// TCPTransport carries fabric packets over real sockets for multi-process
+// deployments (cmd/cckvs-node). One transport instance serves all the
+// threads of one node: it listens on a single port, demultiplexes inbound
+// frames to per-(node,thread) handlers, and maintains one outbound
+// connection per peer node.
+//
+// The frame format is:
+//
+//	dstNode(1) dstThread(1) srcNode(1) srcThread(1) class(1) len(4) data
+//
+// TCP provides reliability and per-connection FIFO, which is strictly
+// stronger than the RDMA UD datagrams of the paper; the consistency
+// protocols tolerate both (they assume neither ordering nor multicast).
+type TCPTransport struct {
+	self   uint8
+	ln     net.Listener
+	stats  *Stats
+	closed atomic.Bool
+
+	mu       sync.Mutex
+	peers    map[uint8]string
+	conns    map[uint8]*tcpConn
+	inbound  []net.Conn
+	handlers map[Addr]Handler
+	wg       sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+const tcpFrameHeader = 1 + 1 + 1 + 1 + 1 + 4
+
+// NewTCPTransport starts a transport for node self listening on listenAddr
+// (e.g. ":7000" or "127.0.0.1:0" for an ephemeral test port).
+func NewTCPTransport(self uint8, listenAddr string, stats *Stats) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: listen %s: %w", listenAddr, err)
+	}
+	t := &TCPTransport{
+		self:     self,
+		ln:       ln,
+		stats:    stats,
+		peers:    map[uint8]string{},
+		conns:    map[uint8]*tcpConn{},
+		handlers: map[Addr]Handler{},
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// ListenAddr returns the bound listen address (useful with ephemeral ports).
+func (t *TCPTransport) ListenAddr() string { return t.ln.Addr().String() }
+
+// AddPeer associates a node id with its dialable address.
+func (t *TCPTransport) AddPeer(node uint8, addr string) {
+	t.mu.Lock()
+	t.peers[node] = addr
+	t.mu.Unlock()
+}
+
+// Register installs a handler for one local (node, thread) address.
+func (t *TCPTransport) Register(addr Addr, h Handler) {
+	t.mu.Lock()
+	t.handlers[addr] = h
+	t.mu.Unlock()
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		t.inbound = append(t.inbound, c)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+func (t *TCPTransport) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	hdr := make([]byte, tcpFrameHeader)
+	learned := false
+	for {
+		if _, err := io.ReadFull(c, hdr); err != nil {
+			return
+		}
+		if !learned {
+			// Learn the return route: replies to this sender can reuse the
+			// inbound connection even when the sender (e.g. a client with
+			// an ephemeral port) is not in the peers table.
+			t.noteRoute(hdr[2], c)
+			learned = true
+		}
+		n := binary.LittleEndian.Uint32(hdr[5:9])
+		data := make([]byte, n)
+		if _, err := io.ReadFull(c, data); err != nil {
+			return
+		}
+		p := Packet{
+			Dst:   Addr{Node: hdr[0], Thread: hdr[1]},
+			Src:   Addr{Node: hdr[2], Thread: hdr[3]},
+			Class: metrics.MsgClass(hdr[4]),
+			Data:  data,
+		}
+		t.mu.Lock()
+		h := t.handlers[p.Dst]
+		t.mu.Unlock()
+		if t.stats != nil {
+			t.stats.RecvsTotal.Add(1)
+		}
+		if h != nil {
+			h(p) // datagram semantics: unknown destinations are dropped
+		}
+	}
+}
+
+// Send frames p and writes it to the destination node's connection, dialing
+// on first use.
+func (t *TCPTransport) Send(p Packet) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	conn, err := t.connTo(p.Dst.Node)
+	if err != nil {
+		return err
+	}
+	t.stats.account(p)
+
+	frame := make([]byte, tcpFrameHeader+len(p.Data))
+	frame[0] = p.Dst.Node
+	frame[1] = p.Dst.Thread
+	frame[2] = t.self
+	frame[3] = p.Src.Thread
+	frame[4] = byte(p.Class)
+	binary.LittleEndian.PutUint32(frame[5:9], uint32(len(p.Data)))
+	copy(frame[9:], p.Data)
+
+	conn.mu.Lock()
+	_, werr := conn.c.Write(frame)
+	conn.mu.Unlock()
+	if werr != nil {
+		// Drop the broken connection; a retry will redial.
+		t.mu.Lock()
+		if t.conns[p.Dst.Node] == conn {
+			delete(t.conns, p.Dst.Node)
+		}
+		t.mu.Unlock()
+		return fmt.Errorf("fabric: send to node %d: %w", p.Dst.Node, werr)
+	}
+	return nil
+}
+
+// noteRoute records an inbound connection as the way back to node, unless
+// an outbound connection already exists.
+func (t *TCPTransport) noteRoute(node uint8, c net.Conn) {
+	t.mu.Lock()
+	if _, ok := t.conns[node]; !ok {
+		t.conns[node] = &tcpConn{c: c}
+	}
+	t.mu.Unlock()
+}
+
+func (t *TCPTransport) connTo(node uint8) (*tcpConn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[node]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.peers[node]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fabric: unknown peer node %d", node)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: dial node %d (%s): %w", node, addr, err)
+	}
+	tc := &tcpConn{c: c}
+	t.mu.Lock()
+	if prev, ok := t.conns[node]; ok {
+		// Lost a dial race; keep the existing connection.
+		t.mu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	t.conns[node] = tc
+	t.inbound = append(t.inbound, c) // ensure Close tears it down
+	t.mu.Unlock()
+	// Outbound connections are full duplex: the peer replies on the same
+	// socket, so it needs a read loop just like accepted connections.
+	t.wg.Add(1)
+	go t.readLoop(c)
+	return tc, nil
+}
+
+// Close shuts the listener and all connections down.
+func (t *TCPTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	t.ln.Close()
+	t.mu.Lock()
+	for _, c := range t.conns {
+		c.c.Close()
+	}
+	t.conns = map[uint8]*tcpConn{}
+	for _, c := range t.inbound {
+		c.Close()
+	}
+	t.inbound = nil
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,245 @@
+package mcheck
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is the outcome of an exhaustive check.
+type Report struct {
+	Protocol   Protocol
+	Bounds     Bounds
+	States     int  // distinct states explored
+	Transitions int // transitions taken
+	Depth      int  // BFS depth (protocol diameter within bounds)
+	Quiescent  int  // quiescent states encountered
+	// Violation is empty when the protocol is safe and deadlock-free;
+	// otherwise it describes the failed invariant and Trace holds the
+	// action sequence reaching it.
+	Violation string
+	Trace     []string
+}
+
+// OK reports whether the check passed.
+func (r Report) OK() bool { return r.Violation == "" }
+
+// String summarizes the report.
+func (r Report) String() string {
+	status := "verified: safety + deadlock freedom hold"
+	if !r.OK() {
+		status = "VIOLATION: " + r.Violation
+	}
+	return fmt.Sprintf("%s protocol, %d procs / %d addrs / clock<=%d: %d states, %d transitions, depth %d — %s",
+		r.Protocol, r.Bounds.Procs, r.Bounds.Addrs, r.Bounds.MaxClock,
+		r.States, r.Transitions, r.Depth, status)
+}
+
+// maxStates bounds exploration as a safety valve; the paper-size instance
+// fits comfortably.
+const maxStates = 6_000_000
+
+// Check exhaustively explores the protocol's state space by breadth-first
+// search, verifying at every state:
+//
+//   - data-value invariant: a Valid line holds exactly the value written by
+//     the write whose timestamp it carries (§5.2's "if an object is in a
+//     valid state, it must hold the most recent value written");
+//   - write-transient sanity: a line in the Write state has a pending write;
+//   - unique write serialization: every update in flight carries a value
+//     equal to its timestamp, so two distinct writes can never be confused
+//     (the SWMR invariant in its logical-time form);
+//
+// and at every *quiescent* state (no messages in flight, no pending writes):
+//
+//   - convergence: all replicas of every address are Valid and identical —
+//     a non-Valid or divergent quiescent state would mean a replica is
+//     stuck waiting forever, i.e. a deadlock.
+//
+// Deadlock freedom overall follows from BFS exhaustiveness: every reachable
+// non-quiescent state has at least one enabled delivery transition (checked
+// structurally), and quiescent states are converged.
+func Check(proto Protocol, b Bounds) (Report, error) {
+	return CheckFault(proto, b, FaultNone)
+}
+
+// CheckFault is Check with an injected protocol fault; it exists to
+// demonstrate that the checker finds the bug class each fault introduces.
+func CheckFault(proto Protocol, b Bounds, fault Fault) (Report, error) {
+	if err := b.Validate(); err != nil {
+		return Report{}, err
+	}
+	type node struct {
+		state  State
+		depth  int
+		parent string // key of predecessor
+		action string
+	}
+	rep := Report{Protocol: proto, Bounds: b}
+
+	init := initial(b)
+	visited := map[string]struct{ parent, action string }{}
+	initKey := init.key(b)
+	visited[initKey] = struct{ parent, action string }{"", "init"}
+	queue := []node{{state: init, depth: 0}}
+
+	fail := func(n node, violation string) Report {
+		rep.Violation = violation
+		// Reconstruct the action trace through parent links.
+		var trace []string
+		trace = append(trace, n.action)
+		key := n.parent
+		for key != "" {
+			meta := visited[key]
+			if meta.action != "init" {
+				trace = append(trace, meta.action)
+			}
+			key = meta.parent
+		}
+		// Reverse into chronological order.
+		for i, j := 0, len(trace)-1; i < j; i, j = i+1, j-1 {
+			trace[i], trace[j] = trace[j], trace[i]
+		}
+		rep.Trace = trace
+		return rep
+	}
+
+	expand := func(cur node, next State, action string) (node, bool) {
+		key := next.key(b)
+		if _, seen := visited[key]; seen {
+			return node{}, false
+		}
+		curKey := cur.state.key(b)
+		visited[key] = struct{ parent, action string }{curKey, action}
+		return node{state: next, depth: cur.depth + 1, parent: curKey, action: action}, true
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.depth > rep.Depth {
+			rep.Depth = cur.depth
+		}
+		if v := checkInvariants(proto, b, &cur.state); v != "" {
+			return fail(node{parent: cur.parent, action: cur.action}, v), nil
+		}
+		if len(cur.state.Msgs) == 0 {
+			rep.Quiescent++
+			if v := checkQuiescent(b, &cur.state); v != "" {
+				return fail(node{parent: cur.parent, action: cur.action}, v), nil
+			}
+		}
+		if rep.States >= maxStates {
+			return rep, fmt.Errorf("mcheck: state budget exceeded (%d); tighten bounds", maxStates)
+		}
+
+		// Transitions: start a write at any (proc, addr)...
+		for p := 0; p < b.Procs; p++ {
+			for a := 0; a < b.Addrs; a++ {
+				next := cur.state.clone()
+				var ok bool
+				if proto == Lin {
+					ok = startWriteLin(b, &next, p, a)
+				} else {
+					ok = startWriteSC(b, &next, p, a)
+				}
+				if !ok {
+					continue
+				}
+				rep.Transitions++
+				if n, fresh := expand(cur, next, fmt.Sprintf("write(p%d,a%d)", p, a)); fresh {
+					rep.States++
+					queue = append(queue, n)
+				}
+			}
+		}
+		// ...or deliver any in-flight message (arbitrary reordering).
+		for i := range cur.state.Msgs {
+			next := cur.state.clone()
+			m := next.Msgs[i]
+			if proto == Lin {
+				deliverLin(b, &next, i, fault)
+			} else {
+				deliverSC(b, &next, i)
+			}
+			rep.Transitions++
+			action := fmt.Sprintf("deliver(%s,a%d,ts%d.%d,to p%d)", msgName(m.Kind), m.Addr, m.TS.C, m.TS.W, m.To)
+			if n, fresh := expand(cur, next, action); fresh {
+				rep.States++
+				queue = append(queue, n)
+			}
+		}
+	}
+	rep.States++ // count the initial state
+	return rep, nil
+}
+
+func msgName(kind uint8) string {
+	switch kind {
+	case MInv:
+		return "inv"
+	case MAck:
+		return "ack"
+	default:
+		return "upd"
+	}
+}
+
+// checkInvariants verifies the per-state safety properties, returning a
+// description of the first violation.
+func checkInvariants(proto Protocol, b Bounds, s *State) string {
+	for p := 0; p < b.Procs; p++ {
+		for a := 0; a < b.Addrs; a++ {
+			l := s.line(b, p, a)
+			if l.St == StValid && l.Val != l.TS {
+				return fmt.Sprintf("data-value: p%d a%d Valid with val %d.%d != ts %d.%d",
+					p, a, l.Val.C, l.Val.W, l.TS.C, l.TS.W)
+			}
+			if l.St == StWrite && !l.Pend {
+				return fmt.Sprintf("transient: p%d a%d in Write state with no pending write", p, a)
+			}
+			if proto == Lin && l.Pend && l.PTS.after(l.TS) {
+				return fmt.Sprintf("timestamp: p%d a%d pending ts %d.%d above line ts %d.%d",
+					p, a, l.PTS.C, l.PTS.W, l.TS.C, l.TS.W)
+			}
+		}
+	}
+	for _, m := range s.Msgs {
+		if m.Kind == MUpd && m.Val != m.TS {
+			return fmt.Sprintf("serialization: update for a%d carries val %d.%d != ts %d.%d",
+				m.Addr, m.Val.C, m.Val.W, m.TS.C, m.TS.W)
+		}
+	}
+	return ""
+}
+
+// checkQuiescent verifies that with no messages in flight and no pending
+// writes, every replica is Valid and all replicas agree — the liveness side
+// of the verification (a stuck Invalid replica would wait forever).
+func checkQuiescent(b Bounds, s *State) string {
+	for p := 0; p < b.Procs; p++ {
+		for a := 0; a < b.Addrs; a++ {
+			if l := s.line(b, p, a); l.Pend {
+				// No messages in flight yet a write is still waiting for
+				// acknowledgements: nothing can ever complete it.
+				return fmt.Sprintf("deadlock: p%d a%d pending write can never gather its acks", p, a)
+			}
+		}
+	}
+	var issues []string
+	for a := 0; a < b.Addrs; a++ {
+		ref := s.line(b, 0, a)
+		for p := 0; p < b.Procs; p++ {
+			l := s.line(b, p, a)
+			if l.St != StValid {
+				issues = append(issues, fmt.Sprintf("p%d a%d stuck in state %d", p, a, l.St))
+			}
+			if l.TS != ref.TS || l.Val != ref.Val {
+				issues = append(issues, fmt.Sprintf("p%d a%d diverged from p0", p, a))
+			}
+		}
+	}
+	if len(issues) > 0 {
+		return "quiescence: " + strings.Join(issues, "; ")
+	}
+	return ""
+}

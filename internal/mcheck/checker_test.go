@@ -1,0 +1,196 @@
+package mcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBoundsValidate(t *testing.T) {
+	bad := []Bounds{
+		{Procs: 1, Addrs: 1, MaxClock: 1},
+		{Procs: 5, Addrs: 1, MaxClock: 1},
+		{Procs: 3, Addrs: 0, MaxClock: 1},
+		{Procs: 3, Addrs: 3, MaxClock: 1},
+		{Procs: 3, Addrs: 1, MaxClock: 0},
+		{Procs: 3, Addrs: 1, MaxClock: 9},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d must fail: %+v", i, b)
+		}
+	}
+	if err := DefaultBounds().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTSAfter(t *testing.T) {
+	if !(TS{C: 2, W: 0}).after(TS{C: 1, W: 3}) {
+		t.Error("clock must dominate")
+	}
+	if !(TS{C: 1, W: 2}).after(TS{C: 1, W: 1}) {
+		t.Error("writer must break ties")
+	}
+	if (TS{C: 1, W: 1}).after(TS{C: 1, W: 1}) {
+		t.Error("equal timestamps do not order")
+	}
+}
+
+func TestStateKeyCanonicalizesMessageOrder(t *testing.T) {
+	b := Bounds{Procs: 2, Addrs: 1, MaxClock: 2}
+	s1 := initial(b)
+	s1.Msgs = []Msg{
+		{Kind: MInv, Addr: 0, TS: TS{1, 0}, To: 1, From: 0},
+		{Kind: MUpd, Addr: 0, TS: TS{1, 1}, To: 0, From: 1, Val: TS{1, 1}},
+	}
+	s2 := s1.clone()
+	s2.Msgs[0], s2.Msgs[1] = s2.Msgs[1], s2.Msgs[0]
+	if s1.key(b) != s2.key(b) {
+		t.Error("message permutations must hash identically")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	b := Bounds{Procs: 2, Addrs: 1, MaxClock: 2}
+	s := initial(b)
+	s.Msgs = append(s.Msgs, Msg{Kind: MInv})
+	c := s.clone()
+	c.Lines[0].TS = TS{1, 1}
+	c.Msgs[0].Kind = MUpd
+	if s.Lines[0].TS != (TS{}) || s.Msgs[0].Kind != MInv {
+		t.Error("clone aliases the original")
+	}
+}
+
+// The heart of the reproduction of §5.2's verification: the Lin protocol is
+// safe and deadlock-free across a matrix of bounded instances.
+func TestLinVerifiedSmallInstances(t *testing.T) {
+	for _, b := range []Bounds{
+		{Procs: 2, Addrs: 1, MaxClock: 2},
+		{Procs: 2, Addrs: 1, MaxClock: 3},
+		{Procs: 2, Addrs: 2, MaxClock: 1},
+		{Procs: 3, Addrs: 1, MaxClock: 1},
+	} {
+		rep, err := Check(Lin, b)
+		if err != nil {
+			t.Fatalf("%+v: %v", b, err)
+		}
+		if !rep.OK() {
+			t.Errorf("%+v: %s\ntrace: %v", b, rep.Violation, rep.Trace)
+		}
+		if rep.States < 10 || rep.Quiescent == 0 {
+			t.Errorf("%+v: implausible exploration: %+v", b, rep)
+		}
+		t.Log(rep.String())
+	}
+}
+
+// Paper-size instance (3 procs, 2-bit timestamps). ~1.8M states; kept out
+// of -short runs.
+func TestLinVerifiedPaperDepth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1.8M-state exhaustive check; run without -short")
+	}
+	rep, err := Check(Lin, Bounds{Procs: 3, Addrs: 1, MaxClock: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("violation: %s\ntrace: %v", rep.Violation, rep.Trace)
+	}
+	if rep.States < 1_000_000 {
+		t.Fatalf("expected deep exploration, got %d states", rep.States)
+	}
+	t.Log(rep.String())
+}
+
+// The SC protocol (one stable state, no transients) has a much smaller
+// space and must also verify.
+func TestSCVerified(t *testing.T) {
+	for _, b := range []Bounds{
+		{Procs: 3, Addrs: 1, MaxClock: 2},
+		{Procs: 3, Addrs: 2, MaxClock: 1},
+		{Procs: 2, Addrs: 2, MaxClock: 3},
+	} {
+		rep, err := Check(SC, b)
+		if err != nil {
+			t.Fatalf("%+v: %v", b, err)
+		}
+		if !rep.OK() {
+			t.Errorf("%+v: %s\ntrace: %v", b, rep.Violation, rep.Trace)
+		}
+	}
+}
+
+// Fault injection: dropping the unconditional ack must be caught as a
+// deadlock — a pending write that can never gather its acknowledgements.
+func TestCheckerCatchesConditionalAckDeadlock(t *testing.T) {
+	rep, err := CheckFault(Lin, Bounds{Procs: 2, Addrs: 1, MaxClock: 2}, FaultConditionalAck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("checker missed the conditional-ack deadlock")
+	}
+	if !strings.Contains(rep.Violation, "deadlock") {
+		t.Fatalf("expected a deadlock violation, got: %s", rep.Violation)
+	}
+	if len(rep.Trace) == 0 {
+		t.Fatal("no counterexample trace")
+	}
+	t.Logf("counterexample (%d steps): %v", len(rep.Trace), rep.Trace)
+}
+
+// Fault injection: applying timestamp-mismatched updates must be caught as
+// a data-value violation.
+func TestCheckerCatchesMismatchedUpdate(t *testing.T) {
+	rep, err := CheckFault(Lin, Bounds{Procs: 3, Addrs: 1, MaxClock: 1}, FaultApplyMismatchedUpdate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("checker missed the mismatched-update bug")
+	}
+	if !strings.Contains(rep.Violation, "data-value") && !strings.Contains(rep.Violation, "quiescence") {
+		t.Fatalf("unexpected violation class: %s", rep.Violation)
+	}
+	t.Logf("violation: %s", rep.Violation)
+}
+
+func TestFaultString(t *testing.T) {
+	if FaultNone.String() != "none" || FaultConditionalAck.String() != "conditional-ack" ||
+		FaultApplyMismatchedUpdate.String() != "apply-mismatched-update" {
+		t.Error("fault names wrong")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if Lin.String() != "Lin" || SC.String() != "SC" {
+		t.Error("protocol names wrong")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, err := Check(SC, Bounds{Procs: 2, Addrs: 1, MaxClock: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.String(); !strings.Contains(s, "verified") {
+		t.Errorf("report: %s", s)
+	}
+}
+
+func TestCheckRejectsBadBounds(t *testing.T) {
+	if _, err := Check(Lin, Bounds{}); err == nil {
+		t.Fatal("zero bounds must be rejected")
+	}
+}
+
+func BenchmarkCheckLinSmall(b *testing.B) {
+	bounds := Bounds{Procs: 3, Addrs: 1, MaxClock: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := Check(Lin, bounds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package mcheck is an explicit-state model checker for the ccKVS
+// consistency protocols, reproducing the paper's Murφ verification (§5.2):
+// the Lin protocol is exhaustively checked for safety (the data-value
+// invariant and unique write serialization) and for deadlock freedom, with
+// a configurable number of processors, addresses and timestamp bound — the
+// paper verified 3 processors, 2 addresses and 2-bit timestamps.
+//
+// The transition rules in this package mirror internal/core's lin.go and
+// sc.go statement for statement; a conformance test drives both with the
+// same traces to keep them from drifting apart.
+package mcheck
+
+import "fmt"
+
+// Bounds configure the finite protocol instance being checked.
+type Bounds struct {
+	// Procs is the number of replicas (paper: 3).
+	Procs int
+	// Addrs is the number of independent keys (paper: 2).
+	Addrs int
+	// MaxClock bounds the Lamport clock; 3 corresponds to the paper's
+	// two-bit timestamps.
+	MaxClock uint8
+}
+
+// DefaultBounds returns the paper's Murφ configuration.
+func DefaultBounds() Bounds { return Bounds{Procs: 3, Addrs: 2, MaxClock: 3} }
+
+// Validate reports bound errors.
+func (b Bounds) Validate() error {
+	if b.Procs < 2 || b.Procs > 4 {
+		return fmt.Errorf("mcheck: procs %d out of [2,4]", b.Procs)
+	}
+	if b.Addrs < 1 || b.Addrs > 2 {
+		return fmt.Errorf("mcheck: addrs %d out of [1,2]", b.Addrs)
+	}
+	if b.MaxClock < 1 || b.MaxClock > 3 {
+		return fmt.Errorf("mcheck: max clock %d out of [1,3]", b.MaxClock)
+	}
+	return nil
+}
+
+// TS is a compact Lamport timestamp: clock plus writer id. Ordering matches
+// timestamp.TS.
+type TS struct {
+	C uint8 // clock
+	W uint8 // writer
+}
+
+// after reports whether t orders strictly after o.
+func (t TS) after(o TS) bool {
+	if t.C != o.C {
+		return t.C > o.C
+	}
+	return t.W > o.W
+}
+
+// Line states, matching core.State.
+const (
+	StValid uint8 = iota
+	StInvalid
+	StWrite
+)
+
+// Line is one replica's copy of one address. Val is the value identity; the
+// protocol stamps every write's value with its timestamp, so the data-value
+// invariant is "Valid implies Val == TS".
+type Line struct {
+	St   uint8
+	TS   TS
+	Val  TS
+	Pend bool
+	PTS  TS // pending write timestamp
+	Acks uint8
+}
+
+// Message kinds.
+const (
+	MInv uint8 = iota
+	MAck
+	MUpd
+)
+
+// Msg is one in-flight protocol message. The network is an unordered
+// multiset: any in-flight message may be delivered next, which models the
+// arbitrary reordering of RDMA UD datagrams.
+type Msg struct {
+	Kind uint8
+	Addr uint8
+	TS   TS
+	To   uint8
+	From uint8
+	Val  TS // updates only
+}
+
+// State is a global protocol configuration. Lines is indexed [proc][addr].
+type State struct {
+	Lines []Line // proc*addrs + addr
+	Msgs  []Msg
+}
+
+// line returns the cache line of proc p, address a.
+func (s *State) line(b Bounds, p, a int) *Line { return &s.Lines[p*b.Addrs+a] }
+
+// clone deep-copies the state.
+func (s *State) clone() State {
+	ns := State{
+		Lines: append([]Line(nil), s.Lines...),
+		Msgs:  append([]Msg(nil), s.Msgs...),
+	}
+	return ns
+}
+
+// initial returns the all-Valid zero state.
+func initial(b Bounds) State {
+	return State{Lines: make([]Line, b.Procs*b.Addrs)}
+}
+
+// removeMsg deletes message i (order is irrelevant: the set is canonicalized
+// before hashing).
+func (s *State) removeMsg(i int) {
+	s.Msgs[i] = s.Msgs[len(s.Msgs)-1]
+	s.Msgs = s.Msgs[:len(s.Msgs)-1]
+}
+
+// key serializes the state into a canonical, hashable form. Messages are
+// sorted so that permutations of the multiset collapse to one state.
+func (s *State) key(b Bounds) string {
+	buf := make([]byte, 0, len(s.Lines)*8+len(s.Msgs)*8+8)
+	for i := range s.Lines {
+		l := &s.Lines[i]
+		pend := byte(0)
+		if l.Pend {
+			pend = 1
+		}
+		buf = append(buf, l.St, l.TS.C, l.TS.W, l.Val.C, l.Val.W, pend, l.PTS.C, l.PTS.W, l.Acks)
+	}
+	msgs := append([]Msg(nil), s.Msgs...)
+	sortMsgs(msgs)
+	for _, m := range msgs {
+		buf = append(buf, m.Kind, m.Addr, m.TS.C, m.TS.W, m.To, m.From, m.Val.C, m.Val.W)
+	}
+	return string(buf)
+}
+
+// sortMsgs orders messages lexicographically.
+func sortMsgs(ms []Msg) {
+	// Insertion sort: message counts are small.
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && msgLess(ms[j], ms[j-1]); j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+func msgLess(a, b Msg) bool {
+	ka := [8]uint8{a.Kind, a.Addr, a.TS.C, a.TS.W, a.To, a.From, a.Val.C, a.Val.W}
+	kb := [8]uint8{b.Kind, b.Addr, b.TS.C, b.TS.W, b.To, b.From, b.Val.C, b.Val.W}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return ka[i] < kb[i]
+		}
+	}
+	return false
+}
+
+// Protocol selects which state machine to check.
+type Protocol int
+
+// Checked protocols.
+const (
+	Lin Protocol = iota
+	SC
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	if p == SC {
+		return "SC"
+	}
+	return "Lin"
+}
+
+// startWriteLin mirrors core.(*Cache).WriteLinStart.
+func startWriteLin(b Bounds, s *State, p, a int) bool {
+	l := s.line(b, p, a)
+	if l.Pend || l.TS.C >= b.MaxClock {
+		return false
+	}
+	nts := TS{C: l.TS.C + 1, W: uint8(p)}
+	l.PTS = nts
+	l.TS = nts
+	l.Pend = true
+	l.Acks = 0
+	if l.St == StValid {
+		l.St = StWrite
+	}
+	for q := 0; q < b.Procs; q++ {
+		if q != p {
+			s.Msgs = append(s.Msgs, Msg{Kind: MInv, Addr: uint8(a), TS: nts, To: uint8(q), From: uint8(p)})
+		}
+	}
+	return true
+}
+
+// Fault selects a deliberately broken protocol variant, used to demonstrate
+// that the checker detects the corresponding class of bug (the reason the
+// paper model-checked Lin in the first place).
+type Fault int
+
+// Injectable faults.
+const (
+	// FaultNone checks the correct protocol.
+	FaultNone Fault = iota
+	// FaultConditionalAck only acknowledges invalidations that actually
+	// invalidate. A writer that loses a timestamp race then starves —
+	// the classic deadlock the unconditional ack prevents.
+	FaultConditionalAck
+	// FaultApplyMismatchedUpdate applies any update received while
+	// Invalid, without matching timestamps — breaking the data-value
+	// invariant when a superseded writer's update arrives late.
+	FaultApplyMismatchedUpdate
+)
+
+// String names the fault.
+func (f Fault) String() string {
+	switch f {
+	case FaultConditionalAck:
+		return "conditional-ack"
+	case FaultApplyMismatchedUpdate:
+		return "apply-mismatched-update"
+	default:
+		return "none"
+	}
+}
+
+// deliverLin mirrors the receive paths of core's lin.go. It consumes
+// message i and applies its effect.
+func deliverLin(b Bounds, s *State, i int, fault Fault) {
+	m := s.Msgs[i]
+	s.removeMsg(i)
+	switch m.Kind {
+	case MInv:
+		l := s.line(b, int(m.To), int(m.Addr))
+		invalidated := false
+		if m.TS.after(l.TS) {
+			l.TS = m.TS
+			l.St = StInvalid
+			invalidated = true
+		}
+		// Acks are unconditional (deadlock freedom).
+		if fault != FaultConditionalAck || invalidated {
+			s.Msgs = append(s.Msgs, Msg{Kind: MAck, Addr: m.Addr, TS: m.TS, To: m.From, From: m.To})
+		}
+	case MAck:
+		l := s.line(b, int(m.To), int(m.Addr))
+		if !l.Pend || m.TS != l.PTS {
+			return
+		}
+		l.Acks++
+		if int(l.Acks) >= b.Procs-1 {
+			l.Pend = false
+			if l.TS == l.PTS {
+				l.Val = l.PTS // write performed locally
+				l.St = StValid
+			}
+			for q := 0; q < b.Procs; q++ {
+				if q != int(m.To) {
+					s.Msgs = append(s.Msgs, Msg{
+						Kind: MUpd, Addr: m.Addr, TS: l.PTS,
+						To: uint8(q), From: m.To, Val: l.PTS,
+					})
+				}
+			}
+		}
+	case MUpd:
+		l := s.line(b, int(m.To), int(m.Addr))
+		match := m.TS == l.TS
+		if fault == FaultApplyMismatchedUpdate {
+			match = true
+		}
+		if l.St == StInvalid && match {
+			l.Val = m.Val
+			l.St = StValid
+		}
+	}
+}
+
+// startWriteSC mirrors core.(*Cache).WriteSC: non-blocking local apply plus
+// an update broadcast.
+func startWriteSC(b Bounds, s *State, p, a int) bool {
+	l := s.line(b, p, a)
+	if l.TS.C >= b.MaxClock {
+		return false
+	}
+	nts := TS{C: l.TS.C + 1, W: uint8(p)}
+	l.TS = nts
+	l.Val = nts
+	for q := 0; q < b.Procs; q++ {
+		if q != p {
+			s.Msgs = append(s.Msgs, Msg{Kind: MUpd, Addr: uint8(a), TS: nts, To: uint8(q), From: uint8(p), Val: nts})
+		}
+	}
+	return true
+}
+
+// deliverSC mirrors core.(*Cache).ApplyUpdateSC.
+func deliverSC(b Bounds, s *State, i int) {
+	m := s.Msgs[i]
+	s.removeMsg(i)
+	l := s.line(b, int(m.To), int(m.Addr))
+	if m.TS.after(l.TS) {
+		l.TS = m.TS
+		l.Val = m.Val
+	}
+}

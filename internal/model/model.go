@@ -1,0 +1,179 @@
+// Package model implements the paper's analytical performance model
+// (EuroSys'18, §8.7) verbatim. The model rests on the empirical finding that
+// ccKVS and the baselines are network-bound (§8.4): throughput is the
+// available per-node network bandwidth divided by the bytes each request
+// moves, summed over request classes.
+//
+// Per request, with hit ratio h, write ratio w and N servers:
+//
+//	TR_CM  = (1-h) · (1-1/N) · B_RR          (cache-miss remote traffic)
+//	TR_SC  = h · w · (N-1) · B_SC            (SC consistency traffic)
+//	TR_Lin = h · w · (N-1) · B_Lin           (Lin consistency traffic)
+//	TR_U   = (1-1/N) · B_RR                  (Uniform remote traffic)
+//
+// and the system throughputs:
+//
+//	T_SC  = N · BW / (TR_CM + TR_SC)         (equation 5)
+//	T_Lin = N · BW / (TR_CM + TR_Lin)        (equation 3)
+//	T_U   = N · BW / TR_U                    (equation 7)
+//
+// The package also provides the break-even write ratio of §8.7.2: the write
+// ratio at which ccKVS throughput equals Uniform's.
+package model
+
+import "fmt"
+
+// Params are the model inputs with the paper's measured constants as
+// defaults (§8.7: message sizes include network headers; BW is the
+// effective bandwidth observed for small packets).
+type Params struct {
+	// N is the number of servers.
+	N int
+	// HitRatio h of the symmetric cache (0.65 for alpha=0.99 and a 0.1%
+	// cache).
+	HitRatio float64
+	// WriteRatio w.
+	WriteRatio float64
+	// BRR is the bytes of a remote request + reply pair (113).
+	BRR float64
+	// BSC is the bytes of one SC update (83).
+	BSC float64
+	// BLin is the bytes of one Lin invalidation + ack + update (183).
+	BLin float64
+	// BW is the available per-node network bandwidth in bytes/second
+	// (21.5 Gb/s / 8).
+	BW float64
+}
+
+// Paper-measured defaults (§8.7).
+const (
+	DefaultBRR     = 113.0
+	DefaultBSC     = 83.0
+	DefaultBLin    = 183.0
+	DefaultBWGbps  = 21.5
+	DefaultHit099  = 0.65 // alpha = 0.99, cache = 0.1% of dataset
+)
+
+// Defaults returns the paper's validation configuration for N servers with
+// the given write ratio.
+func Defaults(n int, writeRatio float64) Params {
+	return Params{
+		N:          n,
+		HitRatio:   DefaultHit099,
+		WriteRatio: writeRatio,
+		BRR:        DefaultBRR,
+		BSC:        DefaultBSC,
+		BLin:       DefaultBLin,
+		BW:         DefaultBWGbps * 1e9 / 8,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.N < 2 {
+		return fmt.Errorf("model: need at least 2 servers, got %d", p.N)
+	}
+	if p.HitRatio < 0 || p.HitRatio > 1 {
+		return fmt.Errorf("model: hit ratio %v out of [0,1]", p.HitRatio)
+	}
+	if p.WriteRatio < 0 || p.WriteRatio > 1 {
+		return fmt.Errorf("model: write ratio %v out of [0,1]", p.WriteRatio)
+	}
+	if p.BW <= 0 || p.BRR <= 0 {
+		return fmt.Errorf("model: bandwidth and message sizes must be positive")
+	}
+	return nil
+}
+
+// n and inverse helpers.
+func (p Params) remoteFrac() float64 { return 1 - 1/float64(p.N) }
+
+// TRCM returns the per-request cache-miss traffic in bytes (equation 1).
+func (p Params) TRCM() float64 {
+	return (1 - p.HitRatio) * p.remoteFrac() * p.BRR
+}
+
+// TRSC returns the per-request SC consistency traffic (equation 4).
+func (p Params) TRSC() float64 {
+	return p.HitRatio * p.WriteRatio * float64(p.N-1) * p.BSC
+}
+
+// TRLin returns the per-request Lin consistency traffic (equation 2).
+func (p Params) TRLin() float64 {
+	return p.HitRatio * p.WriteRatio * float64(p.N-1) * p.BLin
+}
+
+// TRU returns the per-request traffic of the Uniform baseline (equation 6).
+func (p Params) TRU() float64 { return p.remoteFrac() * p.BRR }
+
+// ThroughputSC returns ccKVS-SC requests/second (equation 5).
+func (p Params) ThroughputSC() float64 {
+	return float64(p.N) * p.BW / (p.TRCM() + p.TRSC())
+}
+
+// ThroughputLin returns ccKVS-Lin requests/second (equation 3).
+func (p Params) ThroughputLin() float64 {
+	return float64(p.N) * p.BW / (p.TRCM() + p.TRLin())
+}
+
+// ThroughputUniform returns the Uniform baseline requests/second
+// (equation 7).
+func (p Params) ThroughputUniform() float64 {
+	return float64(p.N) * p.BW / p.TRU()
+}
+
+// BreakEvenSC returns the write ratio at which ccKVS-SC and Uniform deliver
+// equal throughput (§8.7.2). Setting TR_U = TR_CM + TR_SC and solving for w
+// gives w = B_RR / (N · B_SC) — independent of the hit ratio.
+func (p Params) BreakEvenSC() float64 {
+	return p.BRR / (float64(p.N) * p.BSC)
+}
+
+// BreakEvenLin is the Lin break-even write ratio, B_RR / (N · B_Lin).
+func (p Params) BreakEvenLin() float64 {
+	return p.BRR / (float64(p.N) * p.BLin)
+}
+
+// ScalePoint is one row of the Figure 14 scalability study.
+type ScalePoint struct {
+	N                  int
+	UniformMRPS        float64
+	SCMRPS, LinMRPS    float64
+}
+
+// ScalabilityStudy evaluates the model from minN to maxN servers at the
+// given write ratio (Figure 14 uses 5..40 at w=1%).
+func ScalabilityStudy(minN, maxN int, writeRatio float64) []ScalePoint {
+	var out []ScalePoint
+	for n := minN; n <= maxN; n++ {
+		p := Defaults(n, writeRatio)
+		out = append(out, ScalePoint{
+			N:           n,
+			UniformMRPS: p.ThroughputUniform() / 1e6,
+			SCMRPS:      p.ThroughputSC() / 1e6,
+			LinMRPS:     p.ThroughputLin() / 1e6,
+		})
+	}
+	return out
+}
+
+// BreakEvenPoint is one row of the Figure 15 study.
+type BreakEvenPoint struct {
+	N            int
+	SCPct, LinPct float64 // break-even write ratios in percent
+}
+
+// BreakEvenStudy evaluates break-even write ratios for deployments of minN
+// to maxN servers (Figure 15 uses 5..40).
+func BreakEvenStudy(minN, maxN int) []BreakEvenPoint {
+	var out []BreakEvenPoint
+	for n := minN; n <= maxN; n++ {
+		p := Defaults(n, 0)
+		out = append(out, BreakEvenPoint{
+			N:      n,
+			SCPct:  p.BreakEvenSC() * 100,
+			LinPct: p.BreakEvenLin() * 100,
+		})
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{N: 1, BW: 1, BRR: 1},
+		{N: 9, HitRatio: -0.1, BW: 1, BRR: 1},
+		{N: 9, WriteRatio: 2, BW: 1, BRR: 1},
+		{N: 9, BW: 0, BRR: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d must fail: %+v", i, p)
+		}
+	}
+	if err := Defaults(9, 0.01).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// §8.7 validation points: with 9 servers and 1% writes the model estimates
+// 628 MRPS (SC) and 554 MRPS (Lin); Uniform is ~240 MRPS.
+func TestPaperValidationPoints(t *testing.T) {
+	p := Defaults(9, 0.01)
+	if got := p.ThroughputSC() / 1e6; math.Abs(got-628) > 628*0.03 {
+		t.Errorf("T_SC = %.1f MRPS, paper model says 628", got)
+	}
+	if got := p.ThroughputLin() / 1e6; math.Abs(got-554) > 554*0.03 {
+		t.Errorf("T_Lin = %.1f MRPS, paper model says 554", got)
+	}
+	if got := p.ThroughputUniform() / 1e6; math.Abs(got-240) > 240*0.03 {
+		t.Errorf("T_U = %.1f MRPS, paper reports 240", got)
+	}
+}
+
+func TestTrafficComponents(t *testing.T) {
+	p := Defaults(9, 0.01)
+	// TR_CM = (1-0.65) * (8/9) * 113.
+	want := 0.35 * (8.0 / 9.0) * 113
+	if got := p.TRCM(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("TRCM = %v want %v", got, want)
+	}
+	// TR_Lin / TR_SC = B_Lin / B_SC.
+	if r := p.TRLin() / p.TRSC(); math.Abs(r-183.0/83.0) > 1e-9 {
+		t.Errorf("TRLin/TRSC = %v", r)
+	}
+	// TR_U is TRCM with h=0.
+	p0 := p
+	p0.HitRatio = 0
+	if math.Abs(p0.TRCM()-p.TRU()) > 1e-9 {
+		t.Errorf("TRU mismatch")
+	}
+}
+
+func TestReadOnlyEquivalence(t *testing.T) {
+	// With no writes the two protocols cost the same.
+	p := Defaults(9, 0)
+	if p.ThroughputSC() != p.ThroughputLin() {
+		t.Errorf("read-only SC and Lin must coincide")
+	}
+	// And beat Uniform by 1/(1-h).
+	gain := p.ThroughputSC() / p.ThroughputUniform()
+	if math.Abs(gain-1/(1-p.HitRatio)) > 1e-9 {
+		t.Errorf("read-only gain %v, want %v", gain, 1/(1-p.HitRatio))
+	}
+}
+
+// §8.7.2: break-even write ratios. Paper: ~8% for SC at 20 servers, ~4% SC
+// and ~1.7% Lin at 40 servers.
+func TestBreakEvenAnchors(t *testing.T) {
+	p20 := Defaults(20, 0)
+	if got := p20.BreakEvenSC() * 100; got < 5.5 || got > 8.5 {
+		t.Errorf("SC break-even @20 = %.2f%%, paper says ~8%%", got)
+	}
+	p40 := Defaults(40, 0)
+	if got := p40.BreakEvenSC() * 100; got < 3 || got > 4.5 {
+		t.Errorf("SC break-even @40 = %.2f%%, paper says ~4%%", got)
+	}
+	if got := p40.BreakEvenLin() * 100; got < 1.3 || got > 2.1 {
+		t.Errorf("Lin break-even @40 = %.2f%%, paper says ~1.7%%", got)
+	}
+}
+
+// At the break-even write ratio, ccKVS and Uniform throughput must be equal
+// (the defining property), for any valid parameterization.
+func TestBreakEvenFixedPointProperty(t *testing.T) {
+	f := func(nRaw uint8, hRaw uint8) bool {
+		n := 2 + int(nRaw%62)
+		h := 0.05 + 0.9*float64(hRaw)/255
+		p := Defaults(n, 0)
+		p.HitRatio = h
+		p.WriteRatio = p.BreakEvenSC()
+		if p.WriteRatio > 1 {
+			return true // degenerate tiny-N case: break-even beyond 100%
+		}
+		return math.Abs(p.ThroughputSC()-p.ThroughputUniform()) < p.ThroughputUniform()*1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Same for Lin.
+	g := func(nRaw uint8) bool {
+		n := 2 + int(nRaw%62)
+		p := Defaults(n, 0)
+		p.WriteRatio = p.BreakEvenLin()
+		if p.WriteRatio > 1 {
+			return true
+		}
+		return math.Abs(p.ThroughputLin()-p.ThroughputUniform()) < p.ThroughputUniform()*1e-9
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Monotonicity properties: throughput falls with write ratio; consistency
+// traffic rises with N; break-even falls with N.
+func TestMonotonicityProperties(t *testing.T) {
+	f := func(w1, w2 uint8) bool {
+		a := Defaults(9, float64(w1)/255*0.2)
+		b := Defaults(9, float64(w2)/255*0.2)
+		if a.WriteRatio > b.WriteRatio {
+			a, b = b, a
+		}
+		return a.ThroughputLin() >= b.ThroughputLin() && a.ThroughputSC() >= b.ThroughputSC()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	prevSC, prevLin := math.Inf(1), math.Inf(1)
+	for n := 5; n <= 40; n += 5 {
+		p := Defaults(n, 0)
+		if be := p.BreakEvenSC(); be >= prevSC {
+			t.Errorf("SC break-even must fall with N")
+		} else {
+			prevSC = be
+		}
+		if be := p.BreakEvenLin(); be >= prevLin {
+			t.Errorf("Lin break-even must fall with N")
+		} else {
+			prevLin = be
+		}
+	}
+}
+
+func TestScalabilityStudy(t *testing.T) {
+	pts := ScalabilityStudy(5, 40, 0.01)
+	if len(pts) != 36 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if first.N != 5 || last.N != 40 {
+		t.Fatalf("range wrong: %d..%d", first.N, last.N)
+	}
+	// Totals grow with N; SC > Lin throughout; Uniform scaling ~linear.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].UniformMRPS <= pts[i-1].UniformMRPS {
+			t.Fatalf("Uniform must grow with N")
+		}
+		if pts[i].SCMRPS < pts[i].LinMRPS {
+			t.Fatalf("SC must dominate Lin at N=%d", pts[i].N)
+		}
+	}
+	// Uniform per-server rate is ~flat: total ~ linear.
+	perServer5 := first.UniformMRPS / 5
+	perServer40 := last.UniformMRPS / 40
+	if math.Abs(perServer5-perServer40)/perServer5 > 0.2 {
+		t.Fatalf("Uniform deviates from linear: %.1f vs %.1f MRPS/server", perServer5, perServer40)
+	}
+}
+
+func TestBreakEvenStudy(t *testing.T) {
+	pts := BreakEvenStudy(5, 40)
+	if len(pts) != 36 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.SCPct <= p.LinPct {
+			t.Fatalf("N=%d: SC (%.2f%%) must exceed Lin (%.2f%%)", p.N, p.SCPct, p.LinPct)
+		}
+	}
+}
+
+func BenchmarkModelSolve(b *testing.B) {
+	p := Defaults(9, 0.01)
+	for i := 0; i < b.N; i++ {
+		_ = p.ThroughputLin()
+	}
+}

@@ -1,0 +1,267 @@
+// Package remote deploys the NUMA-abstraction KVS across real processes:
+// each node serves a shard of the keyspace over the TCP fabric transport,
+// and any node (or standalone client) can access any key through two-sided
+// remote procedure calls — the FaRM/FaSST-style remote access layer of §2.2
+// that ccKVS builds on, usable for multi-machine smoke deployments
+// (cmd/cckvs-node, cmd/cckvs-load).
+//
+// The in-process evaluation cluster (internal/cluster) is the primary
+// harness; this package exists so the transport and RPC layer are exercised
+// end-to-end over real sockets.
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/store"
+	"repro/internal/timestamp"
+	"repro/internal/zipf"
+)
+
+// Thread ids within a node.
+const (
+	threadServer uint8 = 1 // serves remote requests
+	threadClient uint8 = 2 // receives responses
+)
+
+// RPC opcodes and statuses (wire format shared with the in-process
+// cluster: op(1) reqID(8) key(8) [vlen(4) value]).
+const (
+	opGet byte = 0
+	opPut byte = 1
+
+	statusOK       byte = 0
+	statusNotFound byte = 1
+)
+
+// HomeNode maps a key to its owning node among n nodes; all deployments
+// must agree on this placement.
+func HomeNode(key uint64, n int) uint8 {
+	return uint8(zipf.Mix64(key^0x7f4a7c15) % uint64(n))
+}
+
+// Node is one standalone KVS server process.
+type Node struct {
+	id uint8
+	tr *fabric.TCPTransport
+	st *store.Store
+	// Served counts requests handled.
+	Served metrics.Counter
+}
+
+// StartNode launches a node with the given id listening on listenAddr.
+func StartNode(id uint8, listenAddr string, expectedKeys int) (*Node, error) {
+	tr, err := fabric.NewTCPTransport(id, listenAddr, fabric.NewStats())
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{id: id, tr: tr, st: store.New(expectedKeys)}
+	tr.Register(fabric.Addr{Node: id, Thread: threadServer}, n.serve)
+	return n, nil
+}
+
+// Addr returns the node's bound listen address.
+func (n *Node) Addr() string { return n.tr.ListenAddr() }
+
+// Close stops the node.
+func (n *Node) Close() error { return n.tr.Close() }
+
+// Store exposes the shard for preloading.
+func (n *Node) Store() *store.Store { return n.st }
+
+func (n *Node) serve(p fabric.Packet) {
+	buf := p.Data
+	if len(buf) < 17 {
+		return
+	}
+	op := buf[0]
+	reqID := binary.LittleEndian.Uint64(buf[1:9])
+	key := binary.LittleEndian.Uint64(buf[9:17])
+	n.Served.Add(1)
+
+	resp := make([]byte, 0, 64)
+	resp = binary.LittleEndian.AppendUint64(resp, reqID)
+	switch op {
+	case opGet:
+		v, _, err := n.st.Get(key, nil)
+		if err != nil {
+			resp = append(resp, statusNotFound)
+		} else {
+			resp = append(resp, statusOK)
+			resp = binary.LittleEndian.AppendUint32(resp, uint32(len(v)))
+			resp = append(resp, v...)
+		}
+	case opPut:
+		if len(buf) < 21 {
+			return
+		}
+		vlen := int(binary.LittleEndian.Uint32(buf[17:21]))
+		if len(buf) < 21+vlen {
+			return
+		}
+		_, ts, err := n.st.Get(key, nil)
+		if err != nil {
+			ts = timestamp.TS{}
+		}
+		n.st.Put(key, buf[21:21+vlen], ts.Next(n.id))
+		resp = append(resp, statusOK)
+	default:
+		return
+	}
+	n.tr.Send(fabric.Packet{
+		Src:   fabric.Addr{Node: n.id, Thread: threadServer},
+		Dst:   fabric.Addr{Node: p.Src.Node, Thread: threadClient},
+		Class: metrics.ClassCacheMiss,
+		Data:  resp,
+	})
+}
+
+// AddPeer tells the node how to reach another node (needed only if nodes
+// forward requests among themselves; clients always address homes
+// directly).
+func (n *Node) AddPeer(id uint8, addr string) { n.tr.AddPeer(id, addr) }
+
+// Client accesses a deployment of nodes.
+type Client struct {
+	id    uint8
+	tr    *fabric.TCPTransport
+	nodes int
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan []byte
+
+	// Timeout bounds each call (default 5s).
+	Timeout time.Duration
+}
+
+// ErrTimeout is returned when a response does not arrive in time.
+var ErrTimeout = errors.New("remote: request timed out")
+
+// ErrNotFound is returned for absent keys.
+var ErrNotFound = errors.New("remote: key not found")
+
+// DialCluster connects a client (with its own fabric node id, which must
+// not collide with the servers') to the given node addresses, indexed by
+// node id.
+func DialCluster(clientID uint8, peers map[uint8]string) (*Client, error) {
+	tr, err := fabric.NewTCPTransport(clientID, "127.0.0.1:0", fabric.NewStats())
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		id:      clientID,
+		tr:      tr,
+		nodes:   len(peers),
+		pending: map[uint64]chan []byte{},
+		Timeout: 5 * time.Second,
+	}
+	for id, addr := range peers {
+		tr.AddPeer(id, addr)
+	}
+	tr.Register(fabric.Addr{Node: clientID, Thread: threadClient}, c.onResponse)
+	return c, nil
+}
+
+// Close disconnects the client.
+func (c *Client) Close() error { return c.tr.Close() }
+
+func (c *Client) onResponse(p fabric.Packet) {
+	if len(p.Data) < 9 {
+		return
+	}
+	reqID := binary.LittleEndian.Uint64(p.Data[:8])
+	c.mu.Lock()
+	ch := c.pending[reqID]
+	delete(c.pending, reqID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- append([]byte(nil), p.Data[8:]...)
+	}
+}
+
+func (c *Client) call(node uint8, req []byte, reqID uint64) ([]byte, error) {
+	ch := make(chan []byte, 1)
+	c.mu.Lock()
+	c.pending[reqID] = ch
+	c.mu.Unlock()
+
+	err := c.tr.Send(fabric.Packet{
+		Src:   fabric.Addr{Node: c.id, Thread: threadClient},
+		Dst:   fabric.Addr{Node: node, Thread: threadServer},
+		Class: metrics.ClassCacheMiss,
+		Data:  req,
+	})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-time.After(c.Timeout):
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		return nil, ErrTimeout
+	}
+}
+
+func (c *Client) newID() uint64 {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+	return id
+}
+
+// Get fetches key from its home node.
+func (c *Client) Get(key uint64) ([]byte, error) {
+	id := c.newID()
+	req := make([]byte, 0, 17)
+	req = append(req, opGet)
+	req = binary.LittleEndian.AppendUint64(req, id)
+	req = binary.LittleEndian.AppendUint64(req, key)
+	resp, err := c.call(HomeNode(key, c.nodes), req, id)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 1 || resp[0] != statusOK {
+		return nil, ErrNotFound
+	}
+	if len(resp) < 5 {
+		return nil, fmt.Errorf("remote: malformed response")
+	}
+	vlen := int(binary.LittleEndian.Uint32(resp[1:5]))
+	if len(resp) < 5+vlen {
+		return nil, fmt.Errorf("remote: truncated response")
+	}
+	return resp[5 : 5+vlen], nil
+}
+
+// Put writes key at its home node.
+func (c *Client) Put(key uint64, value []byte) error {
+	id := c.newID()
+	req := make([]byte, 0, 21+len(value))
+	req = append(req, opPut)
+	req = binary.LittleEndian.AppendUint64(req, id)
+	req = binary.LittleEndian.AppendUint64(req, key)
+	req = binary.LittleEndian.AppendUint32(req, uint32(len(value)))
+	req = append(req, value...)
+	resp, err := c.call(HomeNode(key, c.nodes), req, id)
+	if err != nil {
+		return err
+	}
+	if len(resp) < 1 || resp[0] != statusOK {
+		return fmt.Errorf("remote: put failed (status %d)", resp[0])
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package remote
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/timestamp"
+)
+
+// startDeployment launches n nodes on loopback and a connected client.
+func startDeployment(t *testing.T, n int) ([]*Node, *Client) {
+	t.Helper()
+	nodes := make([]*Node, n)
+	peers := map[uint8]string{}
+	for i := 0; i < n; i++ {
+		node, err := StartNode(uint8(i), "127.0.0.1:0", 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		peers[uint8(i)] = node.Addr()
+	}
+	client, err := DialCluster(uint8(n+10), peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	return nodes, client
+}
+
+func TestHomeNodeStable(t *testing.T) {
+	counts := make([]int, 4)
+	for k := uint64(0); k < 4000; k++ {
+		h := HomeNode(k, 4)
+		if h != HomeNode(k, 4) {
+			t.Fatal("unstable placement")
+		}
+		counts[h]++
+	}
+	for i, c := range counts {
+		if c < 500 {
+			t.Fatalf("node %d owns %d/4000", i, c)
+		}
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	_, client := startDeployment(t, 3)
+	want := []byte("over the wire")
+	if err := client.Put(42, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Get(42)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("%q %v", got, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	_, client := startDeployment(t, 2)
+	if _, err := client.Get(7); err != ErrNotFound {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKeysSpreadAcrossNodes(t *testing.T) {
+	nodes, client := startDeployment(t, 3)
+	for k := uint64(0); k < 300; k++ {
+		if err := client.Put(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, n := range nodes {
+		if n.Store().Len() == 0 {
+			t.Fatalf("node %d stored nothing", i)
+		}
+		if n.Served.Load() == 0 {
+			t.Fatalf("node %d served nothing", i)
+		}
+	}
+	// Shard integrity: each key lives on exactly its home node.
+	for k := uint64(0); k < 300; k += 13 {
+		home := HomeNode(k, 3)
+		if _, _, err := nodes[home].Store().Get(k, nil); err != nil {
+			t.Fatalf("key %d missing from home %d", k, home)
+		}
+		for i, n := range nodes {
+			if uint8(i) == home {
+				continue
+			}
+			if _, _, err := n.Store().Get(k, nil); err == nil {
+				t.Fatalf("key %d duplicated on node %d", k, i)
+			}
+		}
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	_, client := startDeployment(t, 2)
+	client.Put(1, []byte("a"))
+	client.Put(1, []byte("bb"))
+	v, err := client.Get(1)
+	if err != nil || string(v) != "bb" {
+		t.Fatalf("%q %v", v, err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	nodes, _ := startDeployment(t, 2)
+	peers := map[uint8]string{0: nodes[0].Addr(), 1: nodes[1].Addr()}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(cid int) {
+			defer wg.Done()
+			cl, err := DialCluster(uint8(20+cid), peers)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for k := uint64(0); k < 50; k++ {
+				key := uint64(cid)*1000 + k
+				if err := cl.Put(key, []byte(fmt.Sprintf("c%d-%d", cid, k))); err != nil {
+					errs <- err
+					return
+				}
+				v, err := cl.Get(key)
+				if err != nil || string(v) != fmt.Sprintf("c%d-%d", cid, k) {
+					errs <- fmt.Errorf("client %d key %d: %q %v", cid, key, v, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestPreloadedStore(t *testing.T) {
+	nodes, client := startDeployment(t, 2)
+	// Preload directly into the shard, as cmd/cckvs-node does at startup.
+	for k := uint64(0); k < 100; k++ {
+		home := HomeNode(k, 2)
+		nodes[home].Store().Put(k, []byte{byte(k)}, timestamp.TS{})
+	}
+	v, err := client.Get(55)
+	if err != nil || v[0] != 55 {
+		t.Fatalf("%v %v", v, err)
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	nodes, client := startDeployment(t, 2)
+	client.Timeout = 100 * time.Millisecond
+	// Kill the home node of key 0 and expect a timeout (or send error on
+	// the broken connection).
+	home := HomeNode(0, 2)
+	nodes[home].Close()
+	time.Sleep(20 * time.Millisecond)
+	if _, err := client.Get(0); err == nil {
+		t.Fatal("expected an error after node death")
+	}
+}

@@ -1,0 +1,146 @@
+package seqlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWriteAdvancesVersionByTwo(t *testing.T) {
+	var l SeqLock
+	if v := l.Version(); v != 0 {
+		t.Fatalf("fresh version = %d", v)
+	}
+	l.Write(func() {})
+	if v := l.Version(); v != 2 {
+		t.Fatalf("after one write version = %d, want 2", v)
+	}
+}
+
+func TestVersionOddInsideCriticalSection(t *testing.T) {
+	var l SeqLock
+	l.Lock()
+	if v := l.Version(); v&1 != 1 {
+		t.Fatalf("version must be odd while locked, got %d", v)
+	}
+	l.Unlock()
+	if v := l.Version(); v&1 != 0 {
+		t.Fatalf("version must be even after unlock, got %d", v)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	var l SeqLock
+	if !l.TryLock() {
+		t.Fatalf("TryLock on free lock must succeed")
+	}
+	if l.TryLock() {
+		t.Fatalf("TryLock on held lock must fail")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatalf("TryLock after unlock must succeed")
+	}
+	l.Unlock()
+}
+
+func TestReadRetryDetectsWriter(t *testing.T) {
+	var l SeqLock
+	v := l.ReadBegin()
+	if l.ReadRetry(v) {
+		t.Fatalf("no writer intervened; retry not expected")
+	}
+	l.Write(func() {})
+	if !l.ReadRetry(v) {
+		t.Fatalf("write happened; reader must retry")
+	}
+}
+
+// The core torture test: concurrent writers update a multi-word value;
+// lock-free readers must never observe a torn (mixed) snapshot. This is
+// exactly the guarantee ccKVS relies on for CRCW reads of item payloads.
+func TestNoTornReads(t *testing.T) {
+	var l SeqLock
+	const words = 8
+	var data [words]uint64
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := uint64(1); !stop.Load(); i++ {
+				val := id<<32 | i
+				l.Write(func() {
+					for j := range data {
+						data[j] = val
+					}
+				})
+			}
+		}(uint64(w))
+	}
+
+	reads := 0
+	for reads < 20000 {
+		var snap [words]uint64
+		l.Read(func() { snap = data })
+		for j := 1; j < words; j++ {
+			if snap[j] != snap[0] {
+				stop.Store(true)
+				wg.Wait()
+				t.Fatalf("torn read: %v", snap)
+			}
+		}
+		reads++
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// Writers must be mutually exclusive: a shared counter incremented
+// non-atomically under the lock must equal the number of increments.
+func TestWriterMutualExclusion(t *testing.T) {
+	var l SeqLock
+	var counter int
+	const writers, perWriter = 4, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Write(func() { counter++ })
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != writers*perWriter {
+		t.Fatalf("lost updates: counter=%d want %d", counter, writers*perWriter)
+	}
+	if got := l.Version(); got != uint64(2*writers*perWriter) {
+		t.Fatalf("version=%d want %d", got, 2*writers*perWriter)
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	var l SeqLock
+	var data uint64
+	b.RunParallel(func(pb *testing.PB) {
+		var sink uint64
+		for pb.Next() {
+			l.Read(func() { sink = data })
+		}
+		_ = sink
+	})
+}
+
+func BenchmarkWrite(b *testing.B) {
+	var l SeqLock
+	var data uint64
+	for i := 0; i < b.N; i++ {
+		l.Write(func() { data++ })
+	}
+	_ = data
+}

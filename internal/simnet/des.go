@@ -1,0 +1,221 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/zipf"
+)
+
+// Latency simulation (Figure 13c): average and 95th-percentile request
+// latency versus offered load, for read-only and 1%-write workloads with
+// request coalescing enabled.
+//
+// Each node is modeled as two tandem resources — a network port whose
+// per-packet service time encodes the switch packet budget, and a CPU whose
+// per-visit service time encodes the node's request-processing capacity.
+// Requests visit resources in path order (client → handler [→ home] →
+// client); Lin writes additionally wait for the slowest of N-1
+// invalidation/ack round trips before returning, which is what lifts their
+// tail latency at high load (§8.6). Arrivals are Poisson; the simulation
+// processes requests in arrival order against per-resource busy-until
+// clocks, the standard fast approximation of FIFO single-server queues.
+
+// LatencyPoint is one load point of the latency-vs-load curve.
+type LatencyPoint struct {
+	OfferedMRPS float64
+	AvgUs       float64
+	P95Us       float64
+}
+
+// latencyParams are the fixed path delays. The 6 µs round trip matches
+// InfiniBand rack latencies; batching adds a small accumulation delay.
+const (
+	wireDelayUs  = 1.5 // one way, per hop
+	batchDelayUs = 2.0 // opportunistic batching accumulation per network hop
+	clientHops   = 1   // client <-> server hops counted each way
+)
+
+// SimulateLatency runs the queueing simulation for cfg at the given offered
+// load (requests/second) and returns latency statistics. The requests
+// parameter bounds simulation length (e.g. 200_000).
+func SimulateLatency(cfg Config, offeredRPS float64, requests int) (LatencyPoint, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return LatencyPoint{}, err
+	}
+	if offeredRPS <= 0 || requests <= 0 {
+		return LatencyPoint{}, fmt.Errorf("simnet: offered load and request count must be positive")
+	}
+	cal := cfg.Cal
+	n := cfg.Nodes
+	h := cfg.hitRatio()
+	w := cfg.WriteRatio
+
+	// Resource service times in microseconds.
+	pktUs := 1e6 / cal.PacketRatePPS
+	missPkts := 2.0
+	if cfg.Coalesce {
+		missPkts /= cal.CoalesceFactor
+	}
+	cpuUs := 1e6 / cal.NodeCacheOps // cache-thread pool, per visit
+	kvsUs := 1e6 / cal.NodeKVSOps   // KVS-thread pool on the home node
+
+	// Under Lin, a read that lands on a hot key with an invalidation in
+	// flight stalls until the matching update arrives (§6.2: a cached read
+	// "may not succeed"). Hot keys attract both the reads and the writes,
+	// so the stall probability is the popularity-weighted chance that a
+	// key's invalidation window covers the read. This is what lifts
+	// ccKVS-Lin's 95th percentile above its average at high load (§8.6).
+	stallProb, stallMeanUs := 0.0, 0.0
+	if cfg.System == CCKVS && cfg.Protocol == core.Lin && w > 0 {
+		invWindowUs := 4*(wireDelayUs+batchDelayUs) + 2 // inv+ack+update round trips
+		stallMeanUs = invWindowUs / 2                   // residual window seen by a read
+		for k := uint64(1); k <= 4096; k++ {
+			pk := zipf.Prob(k, cfg.NumKeys, cfg.Alpha)
+			busyFrac := offeredRPS * w * pk * invWindowUs / 1e6
+			if busyFrac > 1 {
+				busyFrac = 1
+			}
+			stallProb += pk * busyFrac
+		}
+		if h > 0 {
+			stallProb /= h // conditioned on the read being a cache hit
+		}
+		if stallProb > 1 {
+			stallProb = 1
+		}
+	}
+
+	// Each node exposes one single-server engine per visit type. Visits of
+	// one type arrive with near-identical pipeline offsets, so each engine
+	// is a faithful FIFO queue; lumping types into one engine would let a
+	// late-offset visit block an earlier-offset one, which the processing
+	// order here (request order, not event order) cannot untangle.
+	ingressNet := make([]float64, n)  // handler-side packet processing
+	handlerCPU := make([]float64, n)  // cache probe / request handling
+	homeNet := make([]float64, n)     // home-side packet processing
+	homeCPU := make([]float64, n)     // home KVS service
+	consistNet := make([]float64, n)  // invalidation/update/ack processing
+	consistCPU := make([]float64, n)  // consistency message application
+
+	rng := newRand(0x13c)
+	hist := metrics.NewHistogram()
+	interUs := 1e6 / offeredRPS
+
+	now := 0.0
+	for i := 0; i < requests; i++ {
+		now += rng.exp(interUs)
+		handler := int(rng.next() % uint64(n))
+
+		t := now + wireDelayUs*clientHops // client -> handler
+		// Handler network ingress.
+		t = visit(ingressNet, handler, t, pktUs*missPkts/2) + batchDelayUs
+		// Handler CPU (cache probe / request handling).
+		t = visit(handlerCPU, handler, t, cpuUs)
+
+		isWrite := rng.float() < w
+		isHit := rng.float() < h
+
+		switch {
+		case cfg.System == CCKVS && isHit && isWrite && cfg.Protocol == core.Lin:
+			// Two-phase blocking write: invalidations out, acks back.
+			worst := t
+			for r := 0; r < n; r++ {
+				if r == handler {
+					continue
+				}
+				at := t + wireDelayUs + batchDelayUs
+				at = visit(consistNet, r, at, pktUs) // invalidation processing
+				at = visit(consistCPU, r, at, cpuUs)
+				at += wireDelayUs // ack flight
+				at = visit(consistNet, handler, at, pktUs)
+				if at > worst {
+					worst = at
+				}
+			}
+			t = worst
+			// Update broadcast is off the latency path but loads ports.
+			for r := 0; r < n; r++ {
+				if r != handler {
+					visit(consistNet, r, t+wireDelayUs, pktUs)
+				}
+			}
+		case cfg.System == CCKVS && isHit && isWrite:
+			// SC write: local apply; async update broadcast loads ports.
+			for r := 0; r < n; r++ {
+				if r != handler {
+					visit(consistNet, r, t+wireDelayUs, pktUs)
+				}
+			}
+		case cfg.System == CCKVS && isHit:
+			// Read hit: served locally; under Lin it may stall on an
+			// in-flight invalidation of a hot key.
+			if stallProb > 0 && rng.float() < stallProb {
+				t += rng.exp(stallMeanUs)
+			}
+		default:
+			// Miss (or baseline): remote access with probability 1-1/N.
+			home := int(rng.next() % uint64(n))
+			if home != handler {
+				at := t + wireDelayUs + batchDelayUs
+				at = visit(homeNet, home, at, pktUs*missPkts/2)
+				at = visit(homeCPU, home, at, kvsUs)
+				t = at + wireDelayUs
+			} else {
+				t = visit(homeCPU, handler, t, kvsUs)
+			}
+		}
+		t += wireDelayUs * clientHops // response to client
+		lat := t - now
+		if lat < 0 {
+			lat = 0
+		}
+		hist.Record(uint64(lat * 1000)) // nanoseconds
+	}
+
+	snap := hist.Snapshot()
+	return LatencyPoint{
+		OfferedMRPS: offeredRPS / 1e6,
+		AvgUs:       snap.Mean / 1000,
+		P95Us:       float64(snap.P95) / 1000,
+	}, nil
+}
+
+// visit serializes a request through resource idx: service begins when both
+// the request has arrived and the resource is free.
+func visit(busy []float64, idx int, arrive, service float64) float64 {
+	start := arrive
+	if busy[idx] > start {
+		start = busy[idx]
+	}
+	done := start + service
+	busy[idx] = done
+	return done
+}
+
+// rand is a tiny deterministic PRNG (splitmix64) for reproducible runs.
+type rand struct{ s uint64 }
+
+func newRand(seed uint64) *rand { return &rand{s: seed} }
+
+func (r *rand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rand) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// exp draws an exponential variate with the given mean.
+func (r *rand) exp(mean float64) float64 {
+	u := r.float()
+	if u <= 0 {
+		u = 1e-12
+	}
+	return -mean * math.Log(u)
+}

@@ -1,0 +1,179 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Result is the outcome of a flow-model solve.
+type Result struct {
+	// ThroughputRPS is the saturation throughput in requests/second.
+	ThroughputRPS float64
+	// HitRatio is the symmetric-cache hit ratio used (0 for baselines).
+	HitRatio float64
+	// CacheHitRPS and CacheMissRPS split the throughput (Figure 9).
+	CacheHitRPS, CacheMissRPS float64
+	// Bottleneck names the binding constraint.
+	Bottleneck string
+	// PerNodeGbps is the busiest node's per-direction network utilization
+	// at saturation (Figure 13a).
+	PerNodeGbps float64
+	// TrafficShares is the fraction of total network bytes per message
+	// class (Figure 11).
+	TrafficShares map[metrics.MsgClass]float64
+	// BytesPerRequest is the cluster-wide wire bytes per request.
+	BytesPerRequest float64
+}
+
+// String renders the headline number.
+func (r Result) String() string {
+	return fmt.Sprintf("%.0f MRPS (hit %.0f%%, bottleneck %s, %.1f Gb/s/node)",
+		r.ThroughputRPS/1e6, r.HitRatio*100, r.Bottleneck, r.PerNodeGbps)
+}
+
+// constraint is one linear resource limit: load*coef <= cap.
+type constraint struct {
+	name string
+	coef float64 // resource units consumed per request/second of load
+	cap  float64 // resource capacity
+}
+
+// Solve computes the saturation throughput of a configuration by finding
+// the most binding resource.
+func Solve(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	cal := cfg.Cal
+	n := float64(cfg.Nodes)
+	h := cfg.hitRatio()
+	w := cfg.WriteRatio
+	fRem := 1 - 1/n // fraction of misses homed remotely
+
+	// Home-shard concentration of miss traffic: baselines inherit the
+	// Zipfian skew; ccKVS misses are skew-filtered to ~uniform.
+	mHot := cfg.hottestShare()
+
+	// Per-message wire sizes; coalescing amortizes packet headers on the
+	// cache-miss class only (§8.5).
+	reqB, respB := cfg.reqBytes(), cfg.respBytes()
+	missPktDiv := 1.0
+	if cfg.Coalesce {
+		k := cal.CoalesceFactor
+		save := cal.PacketHeader * (1 - 1/k)
+		reqB -= save
+		respB -= save
+		missPktDiv = k
+	}
+
+	// Per-R message rates at the busiest node.
+	missRemote := (1 - h) * fRem // remote misses per request, cluster-wide fraction
+	origShare := missRemote / n  // this node as originator
+	homeShare := (1 - h) * mHot * fRem
+
+	consist := h * w * (n - 1) / n // broadcast messages per request per node
+	updates, invs, acks := consist, 0.0, 0.0
+	if cfg.System == CCKVS && cfg.Protocol == core.Lin {
+		invs, acks = consist, consist
+	}
+	if cfg.System != CCKVS {
+		updates = 0
+	}
+	consistMsgs := updates + invs + acks
+	fcMsgs := consistMsgs / cal.CreditBatch
+
+	// Per-direction byte and packet coefficients at the busiest node.
+	rxBytes := origShare*respB + homeShare*reqB +
+		updates*cfg.updBytes() + invs*cfg.invBytes() + acks*cfg.ackBytes() +
+		fcMsgs*cfg.creditBytes()
+	txBytes := origShare*reqB + homeShare*respB +
+		updates*cfg.updBytes() + invs*cfg.invBytes() + acks*cfg.ackBytes() +
+		fcMsgs*cfg.creditBytes()
+	rxPkts := (origShare+homeShare)/missPktDiv + consistMsgs + fcMsgs
+	txPkts := rxPkts // symmetric message counts
+
+	dirBytes := rxBytes
+	if txBytes > dirBytes {
+		dirBytes = txBytes
+	}
+	dirPkts := rxPkts
+	if txPkts > dirPkts {
+		dirPkts = txPkts
+	}
+
+	cons := []constraint{
+		{"switch packet rate", dirPkts, cal.PacketRatePPS},
+		{"link bandwidth", dirBytes * 8, cal.LinkBandwidthBits},
+	}
+	// CPU constraints.
+	kvsLoad := (1 - h) * mHot // all misses land on their home node's KVS
+	cons = append(cons, constraint{"KVS CPU", kvsLoad, cal.NodeKVSOps})
+	if cfg.System == CCKVS {
+		cons = append(cons, constraint{"cache CPU", 1 / n, cal.NodeCacheOps})
+	}
+	if cfg.System == BaseEREW {
+		cons = append(cons, constraint{"hottest EREW core", cfg.hottestCoreShare(), cal.EREWCoreOps})
+	}
+
+	best := constraint{}
+	limit := 0.0
+	for _, c := range cons {
+		if c.coef <= 0 {
+			continue
+		}
+		r := c.cap / c.coef
+		if limit == 0 || r < limit {
+			limit = r
+			best = c
+		}
+	}
+
+	// Cluster-wide traffic mix (Figure 11), per request.
+	missBytes := (1 - h) * fRem * (reqB + respB)
+	updBytesTot := h * w * (n - 1) * cfg.updBytes()
+	invBytesTot := 0.0
+	ackBytesTot := 0.0
+	if cfg.System != CCKVS {
+		updBytesTot = 0
+	} else if cfg.Protocol == core.Lin {
+		invBytesTot = h * w * (n - 1) * cfg.invBytes()
+		ackBytesTot = h * w * (n - 1) * cfg.ackBytes()
+	}
+	fcBytesTot := (updBytesTot/cfg.updBytes() + invBytesTot/cfg.invBytes() + ackBytesTot/cfg.ackBytes()) /
+		cal.CreditBatch * cfg.creditBytes()
+	if cfg.System != CCKVS {
+		fcBytesTot = 0
+	}
+	total := missBytes + updBytesTot + invBytesTot + ackBytesTot + fcBytesTot
+	shares := map[metrics.MsgClass]float64{}
+	if total > 0 {
+		shares[metrics.ClassCacheMiss] = missBytes / total
+		shares[metrics.ClassUpdate] = updBytesTot / total
+		shares[metrics.ClassInvalidate] = invBytesTot / total
+		shares[metrics.ClassAck] = ackBytesTot / total
+		shares[metrics.ClassFlowControl] = fcBytesTot / total
+	}
+
+	return Result{
+		ThroughputRPS:   limit,
+		HitRatio:        h,
+		CacheHitRPS:     limit * h,
+		CacheMissRPS:    limit * (1 - h),
+		Bottleneck:      best.name,
+		PerNodeGbps:     limit * dirBytes * 8 / 1e9,
+		TrafficShares:   shares,
+		BytesPerRequest: total,
+	}, nil
+}
+
+// MustSolve is Solve panicking on error, for tables and examples.
+func MustSolve(cfg Config) Result {
+	r, err := Solve(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

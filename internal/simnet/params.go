@@ -1,0 +1,221 @@
+// Package simnet is the calibrated performance simulator that regenerates
+// the paper's measured results at rack scale (Figures 8-15).
+//
+// The real testbed — 9 machines, 56 Gb InfiniBand, a 12-port switch — is not
+// available (and Go has no mature RDMA verbs binding), so simnet substitutes
+// a first-principles resource model of that rack, calibrated with the
+// constants the paper itself reports:
+//
+//   - a per-node, per-direction switch packet-processing budget, the
+//     dominant bottleneck for small packets (§8.4: effective bandwidth for
+//     small packets is 21.5 Gb/s while the NIC nominally does 54 Gb/s);
+//   - a per-node, per-direction link bandwidth, the bottleneck once request
+//     coalescing grows packets (§8.5, Figure 13a);
+//   - per-node CPU service budgets for cache threads and KVS threads, and a
+//     per-core budget for the EREW baseline whose hottest core saturates
+//     first (§8.1);
+//   - per-message wire sizes matching §8.7's B_RR = 113 B, B_SC = 83 B and
+//     B_Lin = 183 B for 40-byte values.
+//
+// Throughput is obtained by a flow model: every resource constraint is
+// linear in the offered load R, so the saturation throughput is the minimum
+// over constraints of capacity/coefficient (flow.go). Latency under load
+// (Figure 13c) comes from a discrete-event queueing simulation over the same
+// resources (des.go).
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/zipf"
+)
+
+// System mirrors cluster.System for the simulated designs, adding Uniform
+// explicitly (in the real cluster Uniform is Base under a uniform workload).
+type System int
+
+// Simulated systems.
+const (
+	Uniform System = iota
+	BaseEREW
+	Base
+	CCKVS
+)
+
+// String names the system as the paper's figures do.
+func (s System) String() string {
+	switch s {
+	case Uniform:
+		return "Uniform"
+	case BaseEREW:
+		return "Base-EREW"
+	case Base:
+		return "Base"
+	case CCKVS:
+		return "ccKVS"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// Calibration holds the rack's resource constants. The defaults reproduce
+// the paper's testbed; tests may scale them down.
+type Calibration struct {
+	// PacketRatePPS is the per-node, per-direction packet budget through
+	// the switch. Calibrated so a read-only Uniform run saturates at
+	// 240 MRPS on 9 nodes (§8.1), equivalent to the 21.5 Gb/s effective
+	// small-packet bandwidth of §8.4.
+	PacketRatePPS float64
+	// LinkBandwidthBits is the per-node, per-direction bandwidth in
+	// bits/s; binding only for large or coalesced packets (Figure 13a's
+	// "Net B/W Limit" line).
+	LinkBandwidthBits float64
+	// NodeKVSOps is a node's KVS service capacity (CRCW: all cores pool).
+	NodeKVSOps float64
+	// NodeCacheOps is a node's symmetric-cache service capacity.
+	NodeCacheOps float64
+	// EREWCoreOps is a single core's service rate when the KVS is
+	// partitioned per core; the hottest core saturates first. It is lower
+	// than NodeKVSOps/EREWCores because a dedicated-partition core cannot
+	// batch across partitions.
+	EREWCoreOps float64
+	// EREWCores is the per-node core count for the EREW partitioning.
+	EREWCores int
+	// PacketHeader is the per-packet wire overhead in bytes; coalescing
+	// amortizes it (§8.5).
+	PacketHeader float64
+	// CoalesceFactor is the average number of messages per packet when
+	// request coalescing is enabled.
+	CoalesceFactor float64
+	// CreditBatch is how many consistency messages one explicit credit
+	// update covers (§6.4); credit updates are header-only.
+	CreditBatch float64
+}
+
+// DefaultCalibration returns the constants that reproduce the paper's rack.
+func DefaultCalibration() Calibration {
+	return Calibration{
+		PacketRatePPS:     47.5e6,
+		LinkBandwidthBits: 42.6e9,
+		NodeKVSOps:        220e6,
+		NodeCacheOps:      260e6,
+		EREWCoreOps:       4.8e6,
+		EREWCores:         20,
+		PacketHeader:      32,
+		CoalesceFactor:    8,
+		CreditBatch:       16,
+	}
+}
+
+// Config describes one simulated experiment.
+type Config struct {
+	System   System
+	Protocol core.Protocol // CCKVS only
+	// Nodes is the deployment size.
+	Nodes int
+	// Alpha is the Zipfian exponent of the workload (ignored for Uniform).
+	Alpha float64
+	// NumKeys is the dataset size (paper: 250M).
+	NumKeys uint64
+	// CacheFrac is the symmetric cache size as a fraction of the dataset
+	// (paper: 0.001). Ignored for baselines.
+	CacheFrac float64
+	// WriteRatio is the put fraction.
+	WriteRatio float64
+	// ValueSize is the object size in bytes (default 40).
+	ValueSize int
+	// Coalesce enables request coalescing on cache-miss traffic (§8.5;
+	// consistency messages are never coalesced, as in the paper).
+	Coalesce bool
+	// Cal overrides the calibration; zero value selects defaults.
+	Cal Calibration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 9
+	}
+	if c.NumKeys == 0 {
+		c.NumKeys = 250_000_000
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 40
+	}
+	if c.Alpha == 0 && c.System != Uniform {
+		c.Alpha = 0.99
+	}
+	if c.System == CCKVS && c.CacheFrac == 0 {
+		c.CacheFrac = 0.001
+	}
+	if c.Cal == (Calibration{}) {
+		c.Cal = DefaultCalibration()
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("simnet: need at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.WriteRatio < 0 || c.WriteRatio > 1 {
+		return fmt.Errorf("simnet: write ratio %v out of [0,1]", c.WriteRatio)
+	}
+	if c.System == CCKVS && (c.CacheFrac <= 0 || c.CacheFrac > 1) {
+		return fmt.Errorf("simnet: cache fraction %v out of (0,1]", c.CacheFrac)
+	}
+	return nil
+}
+
+// Wire sizes. For 40-byte values these yield the paper's §8.7 constants:
+// request+response = 113 B, update = 83 B, invalidation+ack = 100 B
+// (B_Lin = 183 B total).
+func (c Config) reqBytes() float64  { return 57 }                         // hdr + key + rpc envelope
+func (c Config) respBytes() float64 { return float64(c.ValueSize) + 16 }  // hdr + value
+func (c Config) updBytes() float64  { return float64(c.ValueSize) + 43 }  // hdr + key + ts + value
+func (c Config) invBytes() float64  { return 50 }
+func (c Config) ackBytes() float64  { return 50 }
+func (c Config) creditBytes() float64 { return 34 } // header-only
+
+// hitRatio returns the symmetric-cache hit ratio for the configured skew
+// and cache size (Figure 3's analytic curve).
+func (c Config) hitRatio() float64 {
+	if c.System != CCKVS {
+		return 0
+	}
+	if c.Alpha == 0 {
+		return c.CacheFrac // uniform workload: hit rate = cache coverage
+	}
+	return zipf.HitRate(c.CacheFrac, c.NumKeys, c.Alpha)
+}
+
+// hottestShare returns the busiest node's share of home-shard load. ccKVS
+// misses are skew-filtered and effectively uniform; baselines inherit the
+// Zipfian imbalance (Figure 1).
+func (c Config) hottestShare() float64 {
+	if c.System == Uniform || c.System == CCKVS || c.Alpha == 0 {
+		return 1 / float64(c.Nodes)
+	}
+	loads := zipf.ShardLoads(c.NumKeys, c.Alpha, c.Nodes, func(rank uint64) int {
+		return int(zipf.Mix64(rank) % uint64(c.Nodes))
+	})
+	max := 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// hottestCoreShare returns the busiest EREW core's share of total load:
+// the core owning the hottest key plus its slice of its node's remainder.
+func (c Config) hottestCoreShare() float64 {
+	p1 := zipf.Prob(1, c.NumKeys, c.Alpha)
+	if c.Alpha == 0 {
+		p1 = 1 / float64(c.NumKeys)
+	}
+	nodeShare := c.hottestShare()
+	return p1 + (nodeShare-p1)/float64(c.Cal.EREWCores)
+}

@@ -1,0 +1,374 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// within asserts got is inside [want*(1-tol), want*(1+tol)].
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > want*tol {
+		t.Errorf("%s = %.1f, want %.1f ±%.0f%%", name, got, want, tol*100)
+	}
+}
+
+func solveMRPS(t *testing.T, cfg Config) Result {
+	t.Helper()
+	r, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Solve(Config{Nodes: 1}); err == nil {
+		t.Error("1 node must be rejected")
+	}
+	if _, err := Solve(Config{Nodes: 9, WriteRatio: 2}); err == nil {
+		t.Error("write ratio 2 must be rejected")
+	}
+	if _, err := Solve(Config{Nodes: 9, System: CCKVS, CacheFrac: 3}); err == nil {
+		t.Error("cache fraction 3 must be rejected")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	for s, want := range map[System]string{
+		Uniform: "Uniform", BaseEREW: "Base-EREW", Base: "Base", CCKVS: "ccKVS",
+	} {
+		if s.String() != want {
+			t.Errorf("%d: %q", int(s), s.String())
+		}
+	}
+	if System(9).String() == "" {
+		t.Error("unknown system must render")
+	}
+}
+
+// §8.1 anchors: the read-only throughputs of Figure 8 at alpha = 0.99.
+// Paper: Uniform 240, Base 215, Base-EREW 95, ccKVS 690 MRPS.
+func TestFigure8Anchors(t *testing.T) {
+	uniform := solveMRPS(t, Config{System: Uniform})
+	within(t, "Uniform", uniform.ThroughputRPS/1e6, 240, 0.10)
+
+	base := solveMRPS(t, Config{System: Base, Alpha: 0.99})
+	within(t, "Base", base.ThroughputRPS/1e6, 215, 0.12)
+
+	erew := solveMRPS(t, Config{System: BaseEREW, Alpha: 0.99})
+	within(t, "Base-EREW", erew.ThroughputRPS/1e6, 95, 0.12)
+
+	cckvs := solveMRPS(t, Config{System: CCKVS, Protocol: core.SC, Alpha: 0.99})
+	within(t, "ccKVS", cckvs.ThroughputRPS/1e6, 690, 0.10)
+
+	// Ordering and ratios of §8.1: ccKVS ~3.2x Base, ~2.85x Uniform.
+	if !(cckvs.ThroughputRPS > uniform.ThroughputRPS &&
+		uniform.ThroughputRPS > base.ThroughputRPS &&
+		base.ThroughputRPS > erew.ThroughputRPS) {
+		t.Errorf("ordering broken: ccKVS=%v Uniform=%v Base=%v EREW=%v",
+			cckvs.ThroughputRPS, uniform.ThroughputRPS, base.ThroughputRPS, erew.ThroughputRPS)
+	}
+	within(t, "ccKVS/Base ratio", cckvs.ThroughputRPS/base.ThroughputRPS, 3.2, 0.15)
+}
+
+// §7.1 hit-rate expectations: 46%, 65%, 69% for alpha 0.90/0.99/1.01.
+func TestHitRatios(t *testing.T) {
+	for _, c := range []struct {
+		alpha, want float64
+	}{{0.90, 0.46}, {0.99, 0.65}, {1.01, 0.69}} {
+		r := solveMRPS(t, Config{System: CCKVS, Protocol: core.SC, Alpha: c.alpha})
+		if math.Abs(r.HitRatio-c.want) > 0.04 {
+			t.Errorf("alpha %.2f: hit ratio %.3f want %.2f", c.alpha, r.HitRatio, c.want)
+		}
+	}
+}
+
+// Figure 9: the cache-miss throughput of ccKVS approximately equals the
+// entire throughput of Uniform, independent of skew — both are bound by the
+// same network resource.
+func TestFigure9MissThroughputEqualsUniform(t *testing.T) {
+	uniform := solveMRPS(t, Config{System: Uniform}).ThroughputRPS
+	for _, alpha := range []float64{0.90, 0.99, 1.01} {
+		r := solveMRPS(t, Config{System: CCKVS, Protocol: core.SC, Alpha: alpha})
+		if math.Abs(r.CacheMissRPS-uniform) > uniform*0.15 {
+			t.Errorf("alpha %.2f: miss throughput %.0fM vs uniform %.0fM",
+				alpha, r.CacheMissRPS/1e6, uniform/1e6)
+		}
+		// Hit throughput grows with skew.
+		if r.CacheHitRPS <= 0 {
+			t.Errorf("alpha %.2f: no hit throughput", alpha)
+		}
+	}
+}
+
+// §8.2 anchors: 1% writes give ~639 (SC) and ~554 (Lin) MRPS; ccKVS beats
+// Base up to 5% writes; baselines are write-ratio insensitive.
+func TestFigure10WriteRatios(t *testing.T) {
+	sc := solveMRPS(t, Config{System: CCKVS, Protocol: core.SC, Alpha: 0.99, WriteRatio: 0.01})
+	within(t, "ccKVS-SC @1%", sc.ThroughputRPS/1e6, 639, 0.10)
+
+	lin := solveMRPS(t, Config{System: CCKVS, Protocol: core.Lin, Alpha: 0.99, WriteRatio: 0.01})
+	within(t, "ccKVS-Lin @1%", lin.ThroughputRPS/1e6, 554, 0.10)
+
+	base := solveMRPS(t, Config{System: Base, Alpha: 0.99, WriteRatio: 0.05})
+	base0 := solveMRPS(t, Config{System: Base, Alpha: 0.99})
+	if math.Abs(base.ThroughputRPS-base0.ThroughputRPS) > 1e-3*base0.ThroughputRPS {
+		t.Errorf("Base must be write-insensitive: %v vs %v", base.ThroughputRPS, base0.ThroughputRPS)
+	}
+
+	lin5 := solveMRPS(t, Config{System: CCKVS, Protocol: core.Lin, Alpha: 0.99, WriteRatio: 0.05})
+	if lin5.ThroughputRPS <= base.ThroughputRPS {
+		t.Errorf("ccKVS-Lin @5%% (%0.fM) should still beat Base (%.0fM)",
+			lin5.ThroughputRPS/1e6, base.ThroughputRPS/1e6)
+	}
+
+	// Headline: 2.5x (SC) and 2.2x (Lin) over Base at 1% writes.
+	within(t, "SC/Base @1%", sc.ThroughputRPS/base.ThroughputRPS, 3.0, 0.25)
+	if ratio := lin.ThroughputRPS / base.ThroughputRPS; ratio < 2.0 {
+		t.Errorf("Lin/Base @1%% = %.2f, want >= 2.0", ratio)
+	}
+
+	// Facebook's 0.2% write ratio costs ccKVS at most ~3% of read-only.
+	fb := solveMRPS(t, Config{System: CCKVS, Protocol: core.Lin, Alpha: 0.99, WriteRatio: 0.002})
+	ro := solveMRPS(t, Config{System: CCKVS, Protocol: core.Lin, Alpha: 0.99})
+	if drop := 1 - fb.ThroughputRPS/ro.ThroughputRPS; drop > 0.05 {
+		t.Errorf("0.2%% writes cost %.1f%%, paper reports <3%%", drop*100)
+	}
+}
+
+// Figure 11: with rising write ratio, consistency actions claim a growing
+// share of bytes; flow control stays negligible; Lin spends more on
+// invalidations+acks than SC.
+func TestFigure11TrafficBreakdown(t *testing.T) {
+	for _, w := range []float64{0.01, 0.05} {
+		sc := solveMRPS(t, Config{System: CCKVS, Protocol: core.SC, Alpha: 0.99, WriteRatio: w})
+		lin := solveMRPS(t, Config{System: CCKVS, Protocol: core.Lin, Alpha: 0.99, WriteRatio: w})
+
+		if sc.TrafficShares[metrics.ClassInvalidate] != 0 || sc.TrafficShares[metrics.ClassAck] != 0 {
+			t.Errorf("SC must have no invalidation/ack traffic")
+		}
+		if lin.TrafficShares[metrics.ClassInvalidate] <= 0 || lin.TrafficShares[metrics.ClassAck] <= 0 {
+			t.Errorf("Lin must spend bytes on invalidations and acks")
+		}
+		if fc := lin.TrafficShares[metrics.ClassFlowControl]; fc > 0.02 {
+			t.Errorf("flow control share %.3f, should be negligible (§6.4)", fc)
+		}
+		sum := 0.0
+		for _, s := range lin.TrafficShares {
+			sum += s
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("w=%v: shares sum to %v", w, sum)
+		}
+	}
+	// Consistency share grows with write ratio.
+	s1 := solveMRPS(t, Config{System: CCKVS, Protocol: core.Lin, Alpha: 0.99, WriteRatio: 0.01})
+	s5 := solveMRPS(t, Config{System: CCKVS, Protocol: core.Lin, Alpha: 0.99, WriteRatio: 0.05})
+	if s5.TrafficShares[metrics.ClassUpdate] <= s1.TrafficShares[metrics.ClassUpdate] {
+		t.Errorf("update share must grow with write ratio")
+	}
+	if s5.ThroughputRPS >= s1.ThroughputRPS {
+		t.Errorf("throughput must fall with write ratio")
+	}
+}
+
+// Figure 12: the SC-vs-Lin gap narrows as objects grow, because data
+// payloads dwarf the fixed-size invalidations and acks.
+func TestFigure12ObjectSizeGap(t *testing.T) {
+	gap := func(size int) float64 {
+		sc := solveMRPS(t, Config{System: CCKVS, Protocol: core.SC, Alpha: 0.99, WriteRatio: 0.01, ValueSize: size})
+		lin := solveMRPS(t, Config{System: CCKVS, Protocol: core.Lin, Alpha: 0.99, WriteRatio: 0.01, ValueSize: size})
+		return sc.ThroughputRPS/lin.ThroughputRPS - 1
+	}
+	g40, g256, g1k := gap(40), gap(256), gap(1024)
+	if !(g40 > g256 && g256 > g1k) {
+		t.Errorf("SC/Lin gap must shrink with object size: %.3f %.3f %.3f", g40, g256, g1k)
+	}
+	// Read-only: ccKVS > 3x Base at every size.
+	for _, size := range []int{40, 256, 1024} {
+		cc := solveMRPS(t, Config{System: CCKVS, Protocol: core.SC, Alpha: 0.99, ValueSize: size})
+		ba := solveMRPS(t, Config{System: Base, Alpha: 0.99, ValueSize: size})
+		if ratio := cc.ThroughputRPS / ba.ThroughputRPS; ratio < 2.8 {
+			t.Errorf("size %d: ccKVS/Base = %.2f, want > 2.8", size, ratio)
+		}
+	}
+}
+
+// Figure 13a/b: coalescing shifts the bottleneck from the switch packet
+// rate to link bandwidth and multiplies throughput; ccKVS with coalescing
+// exceeds 2 BRPS and stays >2x Base.
+func TestFigure13Coalescing(t *testing.T) {
+	cc := solveMRPS(t, Config{System: CCKVS, Protocol: core.SC, Alpha: 0.99})
+	ccCoal := solveMRPS(t, Config{System: CCKVS, Protocol: core.SC, Alpha: 0.99, Coalesce: true})
+	if gain := ccCoal.ThroughputRPS / cc.ThroughputRPS; gain < 2.5 {
+		t.Errorf("ccKVS coalescing gain %.2f, want ~3x", gain)
+	}
+	if ccCoal.ThroughputRPS < 2.0e9 {
+		t.Errorf("ccKVS with coalescing = %.2f BRPS, paper reports over 2", ccCoal.ThroughputRPS/1e9)
+	}
+
+	base := solveMRPS(t, Config{System: Base, Alpha: 0.99})
+	baseCoal := solveMRPS(t, Config{System: Base, Alpha: 0.99, Coalesce: true})
+	if gain := baseCoal.ThroughputRPS / base.ThroughputRPS; gain < 3.0 {
+		t.Errorf("Base coalescing gain %.2f, want >4x-ish", gain)
+	}
+	if ccCoal.ThroughputRPS < 2*baseCoal.ThroughputRPS {
+		t.Errorf("coalesced ccKVS (%.0fM) must stay >2x coalesced Base (%.0fM)",
+			ccCoal.ThroughputRPS/1e6, baseCoal.ThroughputRPS/1e6)
+	}
+
+	// Bottleneck shift: packet rate before, bandwidth/CPU after.
+	if cc.Bottleneck != "switch packet rate" {
+		t.Errorf("uncoalesced bottleneck = %s", cc.Bottleneck)
+	}
+	if ccCoal.Bottleneck == "switch packet rate" {
+		t.Errorf("coalesced ccKVS still packet-rate bound")
+	}
+	// Per-node utilization rises toward the link limit for Base.
+	if baseCoal.PerNodeGbps <= base.PerNodeGbps {
+		t.Errorf("coalescing must raise network utilization: %.1f vs %.1f",
+			baseCoal.PerNodeGbps, base.PerNodeGbps)
+	}
+}
+
+// Larger objects are bandwidth-bound even without coalescing (§8.4).
+func TestLargeObjectsBandwidthBound(t *testing.T) {
+	r := solveMRPS(t, Config{System: CCKVS, Protocol: core.SC, Alpha: 0.99, ValueSize: 1024})
+	if r.Bottleneck != "link bandwidth" {
+		t.Errorf("1KB objects: bottleneck = %s, want link bandwidth", r.Bottleneck)
+	}
+}
+
+// Figure 13c: latency is flat and far below 1 ms at moderate load, rises
+// near saturation, and Lin's p95 visibly exceeds its average at high load.
+func TestFigure13cLatency(t *testing.T) {
+	ro := Config{System: CCKVS, Protocol: core.SC, Alpha: 0.99, Coalesce: true}
+	low, err := SimulateLatency(ro, 500e6, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := SimulateLatency(ro, 2000e6, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.AvgUs <= 0 || low.AvgUs > 100 {
+		t.Errorf("low-load avg %.1fus implausible", low.AvgUs)
+	}
+	if high.P95Us > 1000 {
+		t.Errorf("p95 %.1fus exceeds the 1ms SLO the paper undercuts by 10x", high.P95Us)
+	}
+	if high.AvgUs < low.AvgUs {
+		t.Errorf("latency must rise with load: %.1f -> %.1f", low.AvgUs, high.AvgUs)
+	}
+
+	lin := Config{System: CCKVS, Protocol: core.Lin, Alpha: 0.99, WriteRatio: 0.01, Coalesce: true}
+	linHigh, err := SimulateLatency(lin, 1800e6, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linHigh.P95Us < linHigh.AvgUs*1.3 {
+		t.Errorf("Lin p95 (%.1f) should clearly exceed avg (%.1f) at high load",
+			linHigh.P95Us, linHigh.AvgUs)
+	}
+}
+
+func TestSimulateLatencyValidation(t *testing.T) {
+	if _, err := SimulateLatency(Config{Nodes: 9}, 0, 100); err == nil {
+		t.Error("zero load must error")
+	}
+	if _, err := SimulateLatency(Config{Nodes: 1}, 1e6, 100); err == nil {
+		t.Error("bad config must error")
+	}
+}
+
+// Figure 14 shape: Uniform scales ~linearly; ccKVS-SC sublinearly; Lin
+// worst; all monotone increasing in N.
+func TestFigure14ScalingShape(t *testing.T) {
+	perServer := func(sys System, proto core.Protocol, n int) float64 {
+		r := solveMRPS(t, Config{System: sys, Protocol: proto, Nodes: n, Alpha: 0.99, WriteRatio: 0.01})
+		return r.ThroughputRPS / float64(n)
+	}
+	// Per-server Uniform throughput is ~flat from 5 to 40 nodes.
+	u5, u40 := perServer(Uniform, core.SC, 5), perServer(Uniform, core.SC, 40)
+	if math.Abs(u5-u40)/u5 > 0.25 {
+		t.Errorf("Uniform per-server throughput not flat: %.1fM vs %.1fM", u5/1e6, u40/1e6)
+	}
+	// ccKVS per-server throughput degrades with N (consistency traffic).
+	s5, s40 := perServer(CCKVS, core.SC, 5), perServer(CCKVS, core.SC, 40)
+	if s40 >= s5 {
+		t.Errorf("ccKVS-SC must scale sublinearly: %.1fM@5 vs %.1fM@40", s5/1e6, s40/1e6)
+	}
+	l5, l40 := perServer(CCKVS, core.Lin, 5), perServer(CCKVS, core.Lin, 40)
+	if l40 >= l5 || l40 >= s40 {
+		t.Errorf("Lin must degrade faster than SC: SC40=%.1fM Lin40=%.1fM", s40/1e6, l40/1e6)
+	}
+	// Totals still increase with N.
+	tot5 := solveMRPS(t, Config{System: CCKVS, Protocol: core.Lin, Nodes: 5, Alpha: 0.99, WriteRatio: 0.01})
+	tot40 := solveMRPS(t, Config{System: CCKVS, Protocol: core.Lin, Nodes: 40, Alpha: 0.99, WriteRatio: 0.01})
+	if tot40.ThroughputRPS <= tot5.ThroughputRPS {
+		t.Errorf("total throughput must grow with N")
+	}
+}
+
+// Figure 15 shape: the measured (flow-model) break-even write ratio
+// decreases with N and is lower for Lin than SC.
+func TestFigure15BreakEvenShape(t *testing.T) {
+	breakEven := func(proto core.Protocol, n int) float64 {
+		uni := solveMRPS(t, Config{System: Uniform, Nodes: n}).ThroughputRPS
+		lo, hi := 0.0, 1.0
+		for i := 0; i < 40; i++ {
+			mid := (lo + hi) / 2
+			r := solveMRPS(t, Config{System: CCKVS, Protocol: proto, Nodes: n, Alpha: 0.99, WriteRatio: mid})
+			if r.ThroughputRPS > uni {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	sc10, sc40 := breakEven(core.SC, 10), breakEven(core.SC, 40)
+	lin10, lin40 := breakEven(core.Lin, 10), breakEven(core.Lin, 40)
+	if !(sc10 > sc40 && lin10 > lin40) {
+		t.Errorf("break-even must fall with N: SC %.3f->%.3f Lin %.3f->%.3f", sc10, sc40, lin10, lin40)
+	}
+	if !(sc10 > lin10 && sc40 > lin40) {
+		t.Errorf("SC break-even must exceed Lin's: SC %.3f/%.3f Lin %.3f/%.3f", sc10, sc40, lin10, lin40)
+	}
+	// Paper's 40-server numbers: ~4% SC, ~1.7% Lin.
+	if sc40 < 0.02 || sc40 > 0.08 {
+		t.Errorf("SC break-even @40 = %.3f, want ~0.04", sc40)
+	}
+	if lin40 < 0.008 || lin40 > 0.035 {
+		t.Errorf("Lin break-even @40 = %.3f, want ~0.017", lin40)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := solveMRPS(t, Config{System: Uniform})
+	if r.String() == "" {
+		t.Error("empty result summary")
+	}
+}
+
+func TestMustSolvePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustSolve(Config{Nodes: 1})
+}
+
+func BenchmarkSolve(b *testing.B) {
+	cfg := Config{System: CCKVS, Protocol: core.Lin, Alpha: 0.99, WriteRatio: 0.01}
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

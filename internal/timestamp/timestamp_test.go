@@ -1,0 +1,121 @@
+package timestamp
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareOrdersByClockFirst(t *testing.T) {
+	a := TS{Clock: 1, Writer: 9}
+	b := TS{Clock: 2, Writer: 0}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 {
+		t.Fatalf("clock must dominate writer id: %v vs %v", a, b)
+	}
+}
+
+func TestCompareTieBreaksOnWriter(t *testing.T) {
+	a := TS{Clock: 7, Writer: 1}
+	b := TS{Clock: 7, Writer: 2}
+	if !a.Less(b) {
+		t.Fatalf("equal clocks must order by writer id")
+	}
+	if a.Compare(a) != 0 {
+		t.Fatalf("a timestamp must compare equal to itself")
+	}
+}
+
+func TestNextIncrementsAndStamps(t *testing.T) {
+	ts := TS{Clock: 41, Writer: 3}
+	n := ts.Next(5)
+	if n.Clock != 42 || n.Writer != 5 {
+		t.Fatalf("Next = %v, want 42.5", n)
+	}
+	if !n.After(ts) {
+		t.Fatalf("Next must order after its predecessor")
+	}
+}
+
+func TestZeroIsSmallest(t *testing.T) {
+	if Zero.After(TS{Clock: 0, Writer: 0}) {
+		t.Fatalf("zero compares after itself")
+	}
+	if !(TS{Clock: 0, Writer: 1}).After(Zero) {
+		t.Fatalf("0.1 must order after zero")
+	}
+}
+
+func TestMax(t *testing.T) {
+	a := TS{Clock: 3, Writer: 1}
+	b := TS{Clock: 3, Writer: 2}
+	if Max(a, b) != b || Max(b, a) != b {
+		t.Fatalf("Max must pick the later timestamp symmetrically")
+	}
+}
+
+// Property: Compare is a total order — antisymmetric and transitive — over
+// arbitrary timestamps. This is exactly the property that gives the protocols
+// write serialization.
+func TestCompareTotalOrderProperty(t *testing.T) {
+	anti := func(ac, bc uint32, aw, bw uint8) bool {
+		a, b := TS{ac, aw}, TS{bc, bw}
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(anti, nil); err != nil {
+		t.Fatalf("antisymmetry: %v", err)
+	}
+	trans := func(ac, bc, cc uint32, aw, bw, cw uint8) bool {
+		a, b, c := TS{ac, aw}, TS{bc, bw}, TS{cc, cw}
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 {
+			return a.Compare(c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(trans, nil); err != nil {
+		t.Fatalf("transitivity: %v", err)
+	}
+}
+
+// Property: distinct (clock, writer) pairs never compare equal, i.e. every
+// write has a unique position in the order (the paper's §5.2 invariant).
+func TestUniqueTimestampsProperty(t *testing.T) {
+	f := func(ac, bc uint32, aw, bw uint8) bool {
+		a, b := TS{ac, aw}, TS{bc, bw}
+		if a == b {
+			return a.Compare(b) == 0
+		}
+		return a.Compare(b) != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortingConvergence(t *testing.T) {
+	// Shuffled replicas of the same write set must converge to one order.
+	rng := rand.New(rand.NewSource(1))
+	base := make([]TS, 0, 64)
+	for c := uint32(0); c < 8; c++ {
+		for w := uint8(0); w < 8; w++ {
+			base = append(base, TS{Clock: c, Writer: w})
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		perm := make([]TS, len(base))
+		copy(perm, base)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		sort.Slice(perm, func(i, j int) bool { return perm[i].Less(perm[j]) })
+		for i := range perm {
+			if perm[i] != base[i] {
+				t.Fatalf("trial %d: replicas disagree at %d: %v != %v", trial, i, perm[i], base[i])
+			}
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := (TS{Clock: 12, Writer: 4}).String(); s != "12.4" {
+		t.Fatalf("String = %q", s)
+	}
+}

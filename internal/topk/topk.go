@@ -1,0 +1,279 @@
+// Package topk implements the hot-item identification machinery ccKVS uses
+// to populate its symmetric caches (EuroSys'18, §4).
+//
+// The paper adopts the scheme of Li et al.: a memory-efficient top-k stream
+// summary (the Space-Saving algorithm of Metwally et al.) maintains an
+// approximate key-popularity list; request sampling keeps its update cost off
+// the critical path; and an epoch-based coordinator periodically publishes
+// the current top-k as the new hot set. Because symmetric caching load
+// balances requests across all servers, every server observes the same
+// access distribution, so a single coordinator node suffices.
+package topk
+
+import (
+	"sort"
+	"sync"
+)
+
+// Entry is one item of the key-popularity list.
+type Entry struct {
+	Key   uint64
+	Count uint64 // estimated hit count
+	Err   uint64 // maximum overestimation error (Space-Saving epsilon)
+}
+
+// SpaceSaving is the Metwally et al. stream-summary: it tracks at most k
+// counters and guarantees that any item with true frequency above n/k is
+// present, with count overestimated by at most the smallest counter value.
+// It is not safe for concurrent use; wrap it in a Sampler or Coordinator.
+type SpaceSaving struct {
+	k     int
+	index map[uint64]int // key -> slot
+	slots []Entry
+}
+
+// NewSpaceSaving returns a summary with capacity k (k must be positive).
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k <= 0 {
+		panic("topk: capacity must be positive")
+	}
+	return &SpaceSaving{
+		k:     k,
+		index: make(map[uint64]int, k),
+		slots: make([]Entry, 0, k),
+	}
+}
+
+// K returns the summary capacity.
+func (s *SpaceSaving) K() int { return s.k }
+
+// Len returns the number of tracked keys.
+func (s *SpaceSaving) Len() int { return len(s.slots) }
+
+// Observe records one access to key.
+func (s *SpaceSaving) Observe(key uint64) {
+	if i, ok := s.index[key]; ok {
+		s.slots[i].Count++
+		return
+	}
+	if len(s.slots) < s.k {
+		s.index[key] = len(s.slots)
+		s.slots = append(s.slots, Entry{Key: key, Count: 1})
+		return
+	}
+	// Replace the current minimum: the new key inherits min+1 with error min.
+	mi := s.minSlot()
+	min := s.slots[mi]
+	delete(s.index, min.Key)
+	s.slots[mi] = Entry{Key: key, Count: min.Count + 1, Err: min.Count}
+	s.index[key] = mi
+}
+
+func (s *SpaceSaving) minSlot() int {
+	mi := 0
+	for i := 1; i < len(s.slots); i++ {
+		if s.slots[i].Count < s.slots[mi].Count {
+			mi = i
+		}
+	}
+	return mi
+}
+
+// Estimate returns the estimated count for key and whether it is tracked.
+func (s *SpaceSaving) Estimate(key uint64) (Entry, bool) {
+	i, ok := s.index[key]
+	if !ok {
+		return Entry{}, false
+	}
+	return s.slots[i], true
+}
+
+// Top returns the n highest-count entries in descending count order.
+func (s *SpaceSaving) Top(n int) []Entry {
+	out := make([]Entry, len(s.slots))
+	copy(out, s.slots)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Reset clears the summary for a new epoch.
+func (s *SpaceSaving) Reset() {
+	s.index = make(map[uint64]int, s.k)
+	s.slots = s.slots[:0]
+}
+
+// Sampler wraps a SpaceSaving summary with request sampling: only one in
+// `rate` observations is forwarded to the summary, which the paper uses to
+// keep frequency counting off the critical path. Safe for concurrent use.
+type Sampler struct {
+	mu    sync.Mutex
+	ss    *SpaceSaving
+	rate  uint64
+	ticks uint64
+}
+
+// NewSampler returns a sampler forwarding 1/rate observations (rate >= 1).
+func NewSampler(k int, rate uint64) *Sampler {
+	if rate == 0 {
+		rate = 1
+	}
+	return &Sampler{ss: NewSpaceSaving(k), rate: rate}
+}
+
+// Observe possibly records the access, per the sampling rate.
+func (s *Sampler) Observe(key uint64) {
+	s.mu.Lock()
+	s.ticks++
+	if s.ticks%s.rate == 0 {
+		s.ss.Observe(key)
+	}
+	s.mu.Unlock()
+}
+
+// Top returns the current top-n entries.
+func (s *Sampler) Top(n int) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ss.Top(n)
+}
+
+// Reset starts a new epoch.
+func (s *Sampler) Reset() {
+	s.mu.Lock()
+	s.ss.Reset()
+	s.ticks = 0
+	s.mu.Unlock()
+}
+
+// HotSet is an immutable published set of hot keys, the content of the
+// symmetric caches for one epoch.
+type HotSet struct {
+	Epoch uint64
+	Keys  []uint64
+	set   map[uint64]struct{}
+}
+
+// Contains reports whether key is in the hot set.
+func (h *HotSet) Contains(key uint64) bool {
+	_, ok := h.set[key]
+	return ok
+}
+
+// Size returns the number of hot keys.
+func (h *HotSet) Size() int { return len(h.Keys) }
+
+// newHotSet builds a HotSet from keys.
+func newHotSet(epoch uint64, keys []uint64) *HotSet {
+	set := make(map[uint64]struct{}, len(keys))
+	for _, k := range keys {
+		set[k] = struct{}{}
+	}
+	return &HotSet{Epoch: epoch, Keys: keys, set: set}
+}
+
+// Coordinator is the single cache coordinator of §4: it aggregates sampled
+// observations, and at each epoch boundary publishes the top `cacheSize` keys
+// as the new hot set. Subscribers (the nodes' symmetric caches) receive the
+// published set via the callback registered with Subscribe. Thread-safe.
+type Coordinator struct {
+	mu        sync.Mutex
+	sampler   *Sampler
+	cacheSize int
+	epoch     uint64
+	current   *HotSet
+	subs      []func(*HotSet)
+	// churn counts keys added/removed across epochs, mirroring the paper's
+	// observation that only a handful of keys change per epoch.
+	lastAdded, lastRemoved int
+}
+
+// NewCoordinator returns a coordinator that will publish hot sets of
+// cacheSize keys, tracking trackK >= cacheSize candidates with the given
+// sampling rate.
+func NewCoordinator(cacheSize, trackK int, sampleRate uint64) *Coordinator {
+	if trackK < cacheSize {
+		trackK = cacheSize
+	}
+	return &Coordinator{
+		sampler:   NewSampler(trackK, sampleRate),
+		cacheSize: cacheSize,
+		current:   newHotSet(0, nil),
+	}
+}
+
+// Observe feeds one sampled request key to the coordinator.
+func (c *Coordinator) Observe(key uint64) { c.sampler.Observe(key) }
+
+// Seed installs an initial hot set (epoch 0) without publishing to
+// subscribers, so churn across the first real epoch is measured against
+// the bootstrap content rather than an empty set.
+func (c *Coordinator) Seed(keys []uint64) {
+	c.mu.Lock()
+	c.current = newHotSet(0, append([]uint64(nil), keys...))
+	c.mu.Unlock()
+}
+
+// Current returns the most recently published hot set.
+func (c *Coordinator) Current() *HotSet {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.current
+}
+
+// Subscribe registers a callback invoked (synchronously) with every newly
+// published hot set.
+func (c *Coordinator) Subscribe(fn func(*HotSet)) {
+	c.mu.Lock()
+	c.subs = append(c.subs, fn)
+	c.mu.Unlock()
+}
+
+// EndEpoch closes the current epoch: the top cacheSize keys become the new
+// hot set, which is published to all subscribers. It returns the new set and
+// the number of keys that entered and left relative to the previous epoch.
+func (c *Coordinator) EndEpoch() (*HotSet, int, int) {
+	top := c.sampler.Top(c.cacheSize)
+	keys := make([]uint64, len(top))
+	for i, e := range top {
+		keys[i] = e.Key
+	}
+
+	c.mu.Lock()
+	c.epoch++
+	next := newHotSet(c.epoch, keys)
+	added, removed := 0, 0
+	for _, k := range keys {
+		if !c.current.Contains(k) {
+			added++
+		}
+	}
+	for _, k := range c.current.Keys {
+		if !next.Contains(k) {
+			removed++
+		}
+	}
+	c.current = next
+	c.lastAdded, c.lastRemoved = added, removed
+	subs := append([]func(*HotSet){}, c.subs...)
+	c.mu.Unlock()
+
+	for _, fn := range subs {
+		fn(next)
+	}
+	return next, added, removed
+}
+
+// Churn returns the (added, removed) key counts of the last epoch change.
+func (c *Coordinator) Churn() (int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastAdded, c.lastRemoved
+}

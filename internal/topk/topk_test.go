@@ -1,0 +1,238 @@
+package topk
+
+import (
+	"testing"
+
+	"repro/internal/zipf"
+)
+
+func TestSpaceSavingExactWhenUnderCapacity(t *testing.T) {
+	s := NewSpaceSaving(10)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			s.Observe(uint64(i))
+		}
+	}
+	top := s.Top(5)
+	if len(top) != 5 {
+		t.Fatalf("len=%d", len(top))
+	}
+	if top[0].Key != 4 || top[0].Count != 5 || top[0].Err != 0 {
+		t.Fatalf("top entry = %+v", top[0])
+	}
+	e, ok := s.Estimate(0)
+	if !ok || e.Count != 1 {
+		t.Fatalf("estimate(0) = %+v %v", e, ok)
+	}
+}
+
+func TestSpaceSavingGuarantee(t *testing.T) {
+	// Space-Saving guarantees items with frequency > n/k are tracked.
+	s := NewSpaceSaving(20)
+	n := 0
+	// Heavy hitters 0..4 with 1000 hits each interleaved with noise keys.
+	for i := 0; i < 1000; i++ {
+		for h := uint64(0); h < 5; h++ {
+			s.Observe(h)
+			n++
+		}
+		for j := 0; j < 3; j++ {
+			s.Observe(uint64(1000 + i*3 + j))
+			n++
+		}
+	}
+	for h := uint64(0); h < 5; h++ {
+		e, ok := s.Estimate(h)
+		if !ok {
+			t.Fatalf("heavy hitter %d evicted", h)
+		}
+		if e.Count < 1000 {
+			t.Fatalf("heavy hitter %d count=%d < true 1000", h, e.Count)
+		}
+	}
+	top := s.Top(5)
+	seen := map[uint64]bool{}
+	for _, e := range top {
+		seen[e.Key] = true
+	}
+	for h := uint64(0); h < 5; h++ {
+		if !seen[h] {
+			t.Fatalf("heavy hitter %d missing from top-5 %v", h, top)
+		}
+	}
+}
+
+func TestSpaceSavingOverestimationBound(t *testing.T) {
+	s := NewSpaceSaving(4)
+	for i := uint64(0); i < 100; i++ {
+		s.Observe(i % 8)
+	}
+	for _, e := range s.Top(4) {
+		// Count overestimates true frequency by at most Err.
+		if e.Err > e.Count {
+			t.Fatalf("error exceeds count: %+v", e)
+		}
+	}
+}
+
+func TestSpaceSavingReset(t *testing.T) {
+	s := NewSpaceSaving(4)
+	s.Observe(1)
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("len after reset = %d", s.Len())
+	}
+	if _, ok := s.Estimate(1); ok {
+		t.Fatalf("key survived reset")
+	}
+}
+
+func TestSpaceSavingPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewSpaceSaving(0)
+}
+
+func TestZipfTopKRecovery(t *testing.T) {
+	// Fed a Zipfian stream, the summary must recover (most of) the true
+	// hottest ranks — the property the symmetric cache depends on.
+	g, err := zipf.NewGenerator(100000, 0.99, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSpaceSaving(512)
+	for i := 0; i < 300000; i++ {
+		s.Observe(g.Next())
+	}
+	top := s.Top(64)
+	hits := 0
+	for _, e := range top {
+		if e.Key < 128 {
+			hits++
+		}
+	}
+	if hits < 48 {
+		t.Fatalf("only %d/64 of reported top keys are truly hot", hits)
+	}
+}
+
+func TestSamplerRate(t *testing.T) {
+	s := NewSampler(16, 10)
+	for i := 0; i < 1000; i++ {
+		s.Observe(7)
+	}
+	top := s.Top(1)
+	if len(top) != 1 || top[0].Count != 100 {
+		t.Fatalf("sampled count = %+v, want 100", top)
+	}
+	s.Reset()
+	if len(s.Top(1)) != 0 {
+		t.Fatalf("reset failed")
+	}
+}
+
+func TestSamplerZeroRate(t *testing.T) {
+	s := NewSampler(4, 0) // must clamp to 1
+	s.Observe(3)
+	if len(s.Top(1)) != 1 {
+		t.Fatalf("rate 0 must behave as rate 1")
+	}
+}
+
+func TestCoordinatorPublishesHotSet(t *testing.T) {
+	c := NewCoordinator(4, 16, 1)
+	var got *HotSet
+	c.Subscribe(func(h *HotSet) { got = h })
+
+	for i := 0; i < 100; i++ {
+		c.Observe(1)
+		c.Observe(2)
+	}
+	c.Observe(99)
+
+	hs, added, removed := c.EndEpoch()
+	if got != hs {
+		t.Fatalf("subscriber did not receive the published set")
+	}
+	if hs.Epoch != 1 {
+		t.Fatalf("epoch = %d", hs.Epoch)
+	}
+	if !hs.Contains(1) || !hs.Contains(2) {
+		t.Fatalf("hot keys missing: %v", hs.Keys)
+	}
+	if added != hs.Size() || removed != 0 {
+		t.Fatalf("churn added=%d removed=%d", added, removed)
+	}
+	if c.Current() != hs {
+		t.Fatalf("Current() mismatch")
+	}
+}
+
+func TestCoordinatorChurnAcrossEpochs(t *testing.T) {
+	c := NewCoordinator(2, 8, 1)
+	for i := 0; i < 50; i++ {
+		c.Observe(1)
+		c.Observe(2)
+	}
+	c.EndEpoch()
+
+	// New epoch: key 3 displaces key 2.
+	for i := 0; i < 80; i++ {
+		c.Observe(1)
+		c.Observe(3)
+	}
+	_, added, removed := c.EndEpoch()
+	if added == 0 || removed == 0 {
+		t.Fatalf("expected churn, got added=%d removed=%d", added, removed)
+	}
+	a, r := c.Churn()
+	if a != added || r != removed {
+		t.Fatalf("Churn() = %d,%d want %d,%d", a, r, added, removed)
+	}
+}
+
+func TestCoordinatorTracksAtLeastCacheSize(t *testing.T) {
+	c := NewCoordinator(8, 2, 1) // trackK < cacheSize must be bumped
+	for i := uint64(0); i < 8; i++ {
+		c.Observe(i)
+	}
+	hs, _, _ := c.EndEpoch()
+	if hs.Size() != 8 {
+		t.Fatalf("hot set size = %d, want 8", hs.Size())
+	}
+}
+
+func TestHotSetEmpty(t *testing.T) {
+	c := NewCoordinator(4, 8, 1)
+	if c.Current().Contains(1) || c.Current().Size() != 0 {
+		t.Fatalf("initial hot set must be empty")
+	}
+}
+
+func BenchmarkSpaceSavingObserve(b *testing.B) {
+	g, _ := zipf.NewGenerator(1_000_000, 0.99, 1)
+	s := NewSpaceSaving(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(g.Next())
+	}
+}
+
+func TestCoordinatorSeed(t *testing.T) {
+	c := NewCoordinator(2, 8, 1)
+	c.Seed([]uint64{10, 11})
+	if !c.Current().Contains(10) || c.Current().Epoch != 0 {
+		t.Fatalf("seed not installed")
+	}
+	for i := 0; i < 10; i++ {
+		c.Observe(10)
+		c.Observe(99)
+	}
+	_, added, removed := c.EndEpoch()
+	if added != 1 || removed != 1 {
+		t.Fatalf("churn vs seed: added=%d removed=%d", added, removed)
+	}
+}

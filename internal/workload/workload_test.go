@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaults(t *testing.T) {
+	g := MustNew(Config{})
+	cfg := g.Config()
+	if cfg.ValueSize != DefaultValueSize || cfg.NumKeys == 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{WriteRatio: -0.1},
+		{WriteRatio: 1.5},
+		{Alpha: 1.0},
+		{Alpha: -1},
+		{ValueSize: -4},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}
+
+func TestWriteRatioObserved(t *testing.T) {
+	g := MustNew(Config{NumKeys: 1000, Alpha: 0.99, WriteRatio: 0.05, Seed: 1})
+	puts := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if g.Next().Type == Put {
+			puts++
+		}
+	}
+	got := float64(puts) / n
+	if math.Abs(got-0.05) > 0.005 {
+		t.Fatalf("observed write ratio %.4f, want 0.05", got)
+	}
+}
+
+func TestReadOnlyNeverPuts(t *testing.T) {
+	g := MustNew(Config{NumKeys: 100, Alpha: 0.99, Seed: 2})
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		if op.Type != Get || op.Value != nil {
+			t.Fatalf("read-only workload produced %v", op)
+		}
+	}
+}
+
+func TestPutsCarryValueOfConfiguredSize(t *testing.T) {
+	g := MustNew(Config{NumKeys: 10, Alpha: 0.99, WriteRatio: 1, ValueSize: 256, Seed: 3})
+	op := g.Next()
+	if op.Type != Put || len(op.Value) != 256 {
+		t.Fatalf("op = %v len=%d", op.Type, len(op.Value))
+	}
+}
+
+func TestUniformWorkload(t *testing.T) {
+	g := MustNew(Config{NumKeys: 16, Alpha: 0, Seed: 4})
+	counts := make([]int, 16)
+	for i := 0; i < 32000; i++ {
+		counts[g.Next().Key]++
+	}
+	for k, c := range counts {
+		if c < 1500 || c > 2500 {
+			t.Fatalf("uniform key %d drawn %d times", k, c)
+		}
+	}
+}
+
+func TestZipfWorkloadIsSkewed(t *testing.T) {
+	g := MustNew(Config{NumKeys: 10000, Alpha: 0.99, Seed: 5})
+	hot := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if g.Next().Key < 10 {
+			hot++
+		}
+	}
+	// Top-10 of 10k keys at alpha=.99 carry ~30% of accesses.
+	if float64(hot)/n < 0.15 {
+		t.Fatalf("hottest 10 keys got only %.3f of accesses", float64(hot)/n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustNew(Config{NumKeys: 100, Alpha: 0.99, WriteRatio: 0.1, Seed: 6})
+	b := MustNew(Config{NumKeys: 100, Alpha: 0.99, WriteRatio: 0.1, Seed: 6})
+	for i := 0; i < 5000; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa.Type != ob.Type || oa.Key != ob.Key {
+			t.Fatalf("streams diverged at %d: %v vs %v", i, oa, ob)
+		}
+	}
+}
+
+func TestCloneDecorrelates(t *testing.T) {
+	g := MustNew(Config{NumKeys: 1000, Alpha: 0.99, Seed: 7})
+	c1 := g.Clone(1)
+	c2 := g.Clone(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Next().Key == c2.Next().Key {
+			same++
+		}
+	}
+	// Zipfian streams share hot keys so some collisions are expected, but
+	// identical streams would collide on every draw.
+	if same > 900 {
+		t.Fatalf("clones look identical: %d/1000 equal draws", same)
+	}
+}
+
+func TestScrambleOption(t *testing.T) {
+	g := MustNew(Config{NumKeys: 1 << 20, Alpha: 0.99, Scramble: true, Seed: 8})
+	low := 0
+	for i := 0; i < 10000; i++ {
+		if g.Next().Key < 1024 {
+			low++
+		}
+	}
+	if low > 500 {
+		t.Fatalf("scrambled workload clusters at low keys: %d", low)
+	}
+}
+
+func TestOpTypeString(t *testing.T) {
+	if Get.String() != "get" || Put.String() != "put" {
+		t.Fatalf("op names wrong")
+	}
+}
+
+func TestValuePatternVaries(t *testing.T) {
+	g := MustNew(Config{NumKeys: 10, Alpha: 0.99, WriteRatio: 1, ValueSize: 16, Seed: 9})
+	v1 := append([]byte(nil), g.Next().Value...)
+	v2 := append([]byte(nil), g.Next().Value...)
+	equal := true
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			equal = false
+			break
+		}
+	}
+	if equal {
+		t.Fatalf("consecutive put payloads identical; writes would be indistinguishable")
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g := MustNew(Config{NumKeys: 1 << 24, Alpha: 0.99, WriteRatio: 0.01, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range Presets() {
+		cfg, ok := Preset(name, 5000)
+		if !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+		if cfg.NumKeys != 5000 || cfg.Alpha != DefaultAlpha {
+			t.Fatalf("preset %q config: %+v", name, cfg)
+		}
+		if _, err := New(cfg); err != nil {
+			t.Fatalf("preset %q invalid: %v", name, err)
+		}
+	}
+	a, _ := Preset(YCSBA, 100)
+	c, _ := Preset(YCSBC, 100)
+	if a.WriteRatio != 0.5 || c.WriteRatio != 0 {
+		t.Fatalf("mix ratios wrong: %v %v", a.WriteRatio, c.WriteRatio)
+	}
+	if _, ok := Preset("nope", 100); ok {
+		t.Fatal("unknown preset accepted")
+	}
+}

@@ -1,0 +1,305 @@
+// Package zipf provides the Zipfian popularity machinery used throughout the
+// ccKVS reproduction: exact and approximate partial zeta sums, cache hit-rate
+// and shard-load analytics (Figures 1 and 3 of the paper), and O(1) Zipfian
+// samplers in the style of YCSB (Gray et al.'s algorithm, plus the scrambled
+// variant).
+//
+// In a Zipfian distribution with exponent alpha, the item of popularity rank
+// r (1-based) is accessed with probability r^-alpha / Zeta(n, alpha), where
+// Zeta is the generalized harmonic number. The paper uses alpha = 0.99 as the
+// YCSB default and also evaluates 0.90 and 1.01.
+package zipf
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// exactZetaLimit is the rank up to which partial zeta sums are computed by
+// direct summation. Beyond it an integral (midpoint) approximation is used;
+// the crossover keeps errors below ~1e-9 while making Zeta(250e6) cheap.
+const exactZetaLimit = 1 << 20
+
+// zetaKey memoizes partial sums per (n, alpha).
+type zetaKey struct {
+	n     uint64
+	alpha float64
+}
+
+var (
+	zetaMu    sync.Mutex
+	zetaCache = map[zetaKey]float64{}
+)
+
+// Zeta returns the generalized harmonic number H_{n,alpha} =
+// sum_{r=1..n} r^-alpha. Results are memoized; the function is safe for
+// concurrent use.
+func Zeta(n uint64, alpha float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	key := zetaKey{n, alpha}
+	zetaMu.Lock()
+	if v, ok := zetaCache[key]; ok {
+		zetaMu.Unlock()
+		return v
+	}
+	zetaMu.Unlock()
+
+	v := zetaUncached(n, alpha)
+
+	zetaMu.Lock()
+	zetaCache[key] = v
+	zetaMu.Unlock()
+	return v
+}
+
+func zetaUncached(n uint64, alpha float64) float64 {
+	limit := n
+	if limit > exactZetaLimit {
+		limit = exactZetaLimit
+	}
+	sum := 0.0
+	for r := uint64(1); r <= limit; r++ {
+		sum += math.Pow(float64(r), -alpha)
+	}
+	if n > limit {
+		// Midpoint-rule integral approximation of the tail
+		// sum_{r=limit+1..n} r^-alpha ~= integral over [limit+0.5, n+0.5].
+		sum += integralPow(float64(limit)+0.5, float64(n)+0.5, alpha)
+	}
+	return sum
+}
+
+// integralPow integrates x^-alpha over [a, b].
+func integralPow(a, b, alpha float64) float64 {
+	if alpha == 1 {
+		return math.Log(b / a)
+	}
+	return (math.Pow(b, 1-alpha) - math.Pow(a, 1-alpha)) / (1 - alpha)
+}
+
+// Prob returns the access probability of the item with popularity rank r
+// (1-based) in a Zipfian distribution over n items.
+func Prob(r, n uint64, alpha float64) float64 {
+	if r == 0 || r > n {
+		return 0
+	}
+	return math.Pow(float64(r), -alpha) / Zeta(n, alpha)
+}
+
+// TopMass returns the cumulative access probability of the k most popular
+// items out of n, i.e. the hit rate of a perfect cache holding the top-k
+// (Figure 3). k may exceed n, in which case the mass is 1.
+func TopMass(k, n uint64, alpha float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	return Zeta(k, alpha) / Zeta(n, alpha)
+}
+
+// HitRate is TopMass expressed with the cache sized as a fraction of the
+// dataset, matching the x-axis of Figure 3 ("Cache size (% of dataset)").
+func HitRate(cacheFrac float64, n uint64, alpha float64) float64 {
+	if cacheFrac <= 0 {
+		return 0
+	}
+	k := uint64(cacheFrac * float64(n))
+	if k == 0 {
+		k = 1
+	}
+	return TopMass(k, n, alpha)
+}
+
+// ShardLoads computes the fraction of total accesses landing on each of
+// `shards` servers when n keys are placed by the supplied placement function
+// (rank -> shard, ranks 0-based by popularity). The head of the distribution
+// (the hottest `exactHead` ranks) is attributed exactly; the tail is spread
+// proportionally to the number of tail keys each shard owns, which is
+// accurate because tail items are individually negligible. This regenerates
+// Figure 1.
+func ShardLoads(n uint64, alpha float64, shards int, place func(rank uint64) int) []float64 {
+	const exactHead = 1 << 16
+	loads := make([]float64, shards)
+	head := uint64(exactHead)
+	if head > n {
+		head = n
+	}
+	z := Zeta(n, alpha)
+	tailKeys := make([]float64, shards)
+	for r := uint64(0); r < head; r++ {
+		loads[place(r)] += math.Pow(float64(r+1), -alpha) / z
+	}
+	if head < n {
+		// Count tail ownership by sampling placement over a stride; with a
+		// hash placement every shard owns ~(n-head)/shards keys.
+		const samples = 1 << 14
+		stride := (n - head) / samples
+		if stride == 0 {
+			stride = 1
+		}
+		cnt := 0
+		for r := head; r < n; r += stride {
+			tailKeys[place(r)]++
+			cnt++
+		}
+		tailMass := (Zeta(n, alpha) - Zeta(head, alpha)) / z
+		for s := range loads {
+			loads[s] += tailMass * tailKeys[s] / float64(cnt)
+		}
+	}
+	return loads
+}
+
+// Imbalance summarizes a load vector: the maximum shard load divided by the
+// mean shard load (Figure 1 reports hottest ~7x average at 128 servers).
+func Imbalance(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	total, max := 0.0, 0.0
+	for _, l := range loads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := total / float64(len(loads))
+	return max / mean
+}
+
+// Generator draws Zipfian-distributed popularity ranks in O(1) per sample
+// using Gray et al.'s method as popularized by YCSB's ZipfianGenerator.
+// Rank 0 is the most popular item. The generator is NOT safe for concurrent
+// use; give each client goroutine its own instance.
+type Generator struct {
+	n     uint64
+	alpha float64
+
+	zetan   float64
+	eta     float64
+	alphaG  float64 // 1/(1-alpha)
+	half    float64 // 0.5^alpha
+	rng     *splitMix
+	scramble bool
+}
+
+// NewGenerator returns a Zipfian generator over ranks [0, n) with the given
+// exponent and seed. alpha must be in (0, 1) ∪ (1, ~2); the YCSB values 0.90,
+// 0.99 and 1.01 are all supported.
+func NewGenerator(n uint64, alpha float64, seed uint64) (*Generator, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("zipf: n must be positive")
+	}
+	if alpha <= 0 || alpha == 1 {
+		return nil, fmt.Errorf("zipf: unsupported alpha %v (must be >0 and != 1)", alpha)
+	}
+	zetan := Zeta(n, alpha)
+	zeta2 := Zeta(2, alpha)
+	g := &Generator{
+		n:      n,
+		alpha:  alpha,
+		zetan:  zetan,
+		alphaG: 1 / (1 - alpha),
+		half:   math.Pow(0.5, alpha),
+		eta:    (1 - math.Pow(2/float64(n), 1-alpha)) / (1 - zeta2/zetan),
+		rng:    newSplitMix(seed),
+	}
+	return g, nil
+}
+
+// NewScrambled returns a generator whose output ranks are scrambled over the
+// keyspace with a hash, as YCSB's ScrambledZipfianGenerator does, so that the
+// hottest keys are not clustered at the low end of the key space.
+func NewScrambled(n uint64, alpha float64, seed uint64) (*Generator, error) {
+	g, err := NewGenerator(n, alpha, seed)
+	if err != nil {
+		return nil, err
+	}
+	g.scramble = true
+	return g, nil
+}
+
+// N returns the size of the rank space.
+func (g *Generator) N() uint64 { return g.n }
+
+// Alpha returns the skew exponent.
+func (g *Generator) Alpha() float64 { return g.alpha }
+
+// Next draws the next rank. With scrambling enabled the rank is mapped
+// through ScrambleRank before being returned.
+func (g *Generator) Next() uint64 {
+	u := g.rng.float64()
+	uz := u * g.zetan
+	var rank uint64
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < 1+g.half:
+		rank = 1
+	default:
+		rank = uint64(float64(g.n) * math.Pow(g.eta*u-g.eta+1, g.alphaG))
+		if rank >= g.n {
+			rank = g.n - 1
+		}
+	}
+	if g.scramble {
+		return ScrambleRank(rank, g.n)
+	}
+	return rank
+}
+
+// ScrambleRank maps a popularity rank to a pseudo-random key id in [0, n)
+// using an FNV-1a style mix, mirroring YCSB's scrambled generator.
+func ScrambleRank(rank, n uint64) uint64 {
+	return Mix64(rank) % n
+}
+
+// Mix64 is a strong 64-bit finalizer (splitmix64) used for scrambling and
+// key placement hashing across the reproduction.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Uniform draws uniformly-distributed ranks; it is the workload of the
+// paper's "Uniform" baseline.
+type Uniform struct {
+	n   uint64
+	rng *splitMix
+}
+
+// NewUniform returns a uniform generator over [0, n).
+func NewUniform(n uint64, seed uint64) *Uniform {
+	return &Uniform{n: n, rng: newSplitMix(seed)}
+}
+
+// Next draws the next rank.
+func (u *Uniform) Next() uint64 { return u.rng.next() % u.n }
+
+// splitMix is a tiny, fast, deterministic PRNG (splitmix64). It avoids any
+// dependency on math/rand's global state and is reproducible across runs.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitMix) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}

@@ -1,0 +1,256 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZetaSmallExact(t *testing.T) {
+	// H_{4,1} computed by hand with alpha=2: 1 + 1/4 + 1/9 + 1/16.
+	want := 1 + 0.25 + 1.0/9 + 1.0/16
+	if got := Zeta(4, 2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Zeta(4,2) = %v want %v", got, want)
+	}
+	if Zeta(0, 0.99) != 0 {
+		t.Fatalf("Zeta(0) must be 0")
+	}
+	if Zeta(1, 0.99) != 1 {
+		t.Fatalf("Zeta(1) must be 1")
+	}
+}
+
+func TestZetaApproximationMatchesExact(t *testing.T) {
+	// Force the approximation path by comparing a direct sum to Zeta on a
+	// value above the exact limit.
+	n := uint64(exactZetaLimit * 4)
+	alpha := 0.99
+	sum := 0.0
+	for r := uint64(1); r <= n; r++ {
+		sum += math.Pow(float64(r), -alpha)
+	}
+	got := Zeta(n, alpha)
+	if rel := math.Abs(got-sum) / sum; rel > 1e-6 {
+		t.Fatalf("approx zeta off by %v (got %v want %v)", rel, got, sum)
+	}
+}
+
+func TestZetaMonotonicInN(t *testing.T) {
+	prev := 0.0
+	for _, n := range []uint64{1, 10, 100, 1000, 10000} {
+		z := Zeta(n, 0.99)
+		if z <= prev {
+			t.Fatalf("zeta must increase with n: Zeta(%d)=%v prev=%v", n, z, prev)
+		}
+		prev = z
+	}
+}
+
+func TestProbSumsToOne(t *testing.T) {
+	n := uint64(1000)
+	sum := 0.0
+	for r := uint64(1); r <= n; r++ {
+		sum += Prob(r, n, 0.99)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if Prob(0, n, 0.99) != 0 || Prob(n+1, n, 0.99) != 0 {
+		t.Fatalf("out-of-range ranks must have zero probability")
+	}
+}
+
+// Figure 3 anchor points from the paper (§7.1): a cache of 0.1% of the
+// dataset yields hit ratios of ~46%, ~65% and ~69% for alpha = 0.90, 0.99
+// and 1.01 respectively. Dataset is 250M keys.
+func TestFigure3HitRateAnchors(t *testing.T) {
+	const n = 250_000_000
+	cases := []struct {
+		alpha float64
+		want  float64
+		tol   float64
+	}{
+		{0.90, 0.46, 0.04},
+		{0.99, 0.65, 0.04},
+		{1.01, 0.69, 0.04},
+	}
+	for _, c := range cases {
+		got := HitRate(0.001, n, c.alpha)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("hit rate alpha=%v: got %.3f want %.2f±%.2f", c.alpha, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestHitRateEdges(t *testing.T) {
+	if HitRate(0, 1000, 0.99) != 0 {
+		t.Fatalf("zero cache must have zero hit rate")
+	}
+	if HitRate(1.0, 1000, 0.99) != 1 {
+		t.Fatalf("full cache must have hit rate 1")
+	}
+	// A tiny positive fraction still caches at least one key.
+	if HitRate(1e-9, 1000, 0.99) <= 0 {
+		t.Fatalf("tiny cache must still hold the hottest key")
+	}
+}
+
+func TestHitRateMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		fa := float64(a) / 65536
+		fb := float64(b) / 65536
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		return HitRate(fa, 100000, 0.99) <= HitRate(fb, 100000, 0.99)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Figure 1 anchor: with 128 servers, 250M keys and alpha=0.99 the hottest
+// shard receives over 7x the average load.
+func TestFigure1Imbalance(t *testing.T) {
+	const n = 250_000_000
+	loads := ShardLoads(n, 0.99, 128, func(rank uint64) int {
+		return int(Mix64(rank) % 128)
+	})
+	imb := Imbalance(loads)
+	if imb < 5.5 || imb > 9.5 {
+		t.Fatalf("128-server imbalance = %.2f, want ~7", imb)
+	}
+	sum := 0.0
+	for _, l := range loads {
+		sum += l
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("shard loads must sum to 1, got %v", sum)
+	}
+}
+
+func TestImbalanceEdge(t *testing.T) {
+	if Imbalance(nil) != 0 {
+		t.Fatalf("empty loads")
+	}
+	if got := Imbalance([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("uniform loads must have imbalance 1, got %v", got)
+	}
+	if Imbalance([]float64{0, 0}) != 0 {
+		t.Fatalf("all-zero loads")
+	}
+}
+
+func TestGeneratorRejectsBadParams(t *testing.T) {
+	if _, err := NewGenerator(0, 0.99, 1); err == nil {
+		t.Fatalf("n=0 must error")
+	}
+	if _, err := NewGenerator(10, 1.0, 1); err == nil {
+		t.Fatalf("alpha=1 must error")
+	}
+	if _, err := NewGenerator(10, 0, 1); err == nil {
+		t.Fatalf("alpha=0 must error")
+	}
+}
+
+func TestGeneratorInRange(t *testing.T) {
+	g, err := NewGenerator(1000, 0.99, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		r := g.Next()
+		if r >= 1000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}
+
+// The empirical frequency of the hottest ranks must track the analytic pmf.
+func TestGeneratorMatchesPMF(t *testing.T) {
+	const n, draws = 10000, 400000
+	g, err := NewGenerator(n, 0.99, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[g.Next()]++
+	}
+	// Gray's method is an approximation that is exact for ranks 0 and 1 and
+	// slightly distorts the next few ranks, so allow a generous tolerance.
+	for _, rank := range []uint64{0, 1, 2, 9} {
+		want := Prob(rank+1, n, 0.99)
+		got := float64(counts[rank]) / draws
+		if math.Abs(got-want)/want > 0.30 {
+			t.Errorf("rank %d: empirical %.4f analytic %.4f", rank, got, want)
+		}
+	}
+	// Skew sanity: rank 0 far more popular than rank 100.
+	if counts[0] < counts[100]*10 {
+		t.Errorf("rank 0 (%d) should dwarf rank 100 (%d)", counts[0], counts[100])
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a, _ := NewGenerator(500, 0.99, 99)
+	b, _ := NewGenerator(500, 0.99, 99)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed must produce identical streams")
+		}
+	}
+}
+
+func TestScrambledSpreadsHotKeys(t *testing.T) {
+	g, err := NewScrambled(1_000_000, 0.99, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if g.Next() < 1000 {
+			low++
+		}
+	}
+	// Unscrambled, ~most draws land in the lowest 1000 ranks; scrambled they
+	// must not cluster there.
+	if frac := float64(low) / draws; frac > 0.05 {
+		t.Fatalf("scrambled keys cluster at low ids: %.3f", frac)
+	}
+}
+
+func TestUniformGenerator(t *testing.T) {
+	u := NewUniform(10, 3)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[u.Next()]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("uniform bucket %d has %d draws", i, c)
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix64(i)
+		if seen[h] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[h] = true
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g, _ := NewGenerator(250_000_000, 0.99, 1)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = g.Next()
+	}
+	_ = sink
+}
