@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/mcheck"
 	"repro/internal/model"
@@ -259,4 +260,60 @@ func BenchmarkLocalClusterEndToEnd(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(kv.Stats().HitRate()*100, "%hit")
+}
+
+// BenchmarkCoalescingRemoteOps is the tentpole measurement of the request
+// coalescing pipeline (§6.3/§8.5): remote-op throughput under a uniform
+// (low-skew) workload, where misses dominate and nearly (N-1)/N of requests
+// travel to a remote home shard. "per-request" caps the pipeline at one
+// request per packet and issues one blocking Get per op — the pre-pipeline
+// wire behaviour; "batched-64" issues MultiGet batches of 64, which the
+// pipeline coalesces into multi-request packets. reqs/pkt reports the
+// achieved coalescing factor.
+func BenchmarkCoalescingRemoteOps(b *testing.B) {
+	const numKeys = 1 << 14
+	run := func(b *testing.B, maxMsgs, batch int) {
+		c, err := cluster.New(cluster.Config{
+			Nodes: 3, System: cluster.Base, NumKeys: numKeys, BatchMaxMsgs: maxMsgs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		c.Populate()
+		keys := zipf.NewUniform(numKeys, 1)
+		b.ResetTimer()
+		if batch <= 1 {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Node(i % 3).Get(keys.Next()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		} else {
+			buf := make([]uint64, batch)
+			for i := 0; i < b.N; i += batch {
+				n := batch
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				for j := 0; j < n; j++ {
+					buf[j] = keys.Next()
+				}
+				if _, err := c.Node(i % 3).MultiGet(buf[:n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		var msgs, pkts uint64
+		for i := 0; i < 3; i++ {
+			msgs += c.Node(i).RemoteReqMsgs.Load()
+			pkts += c.Node(i).RemoteReqPackets.Load()
+		}
+		if pkts > 0 {
+			b.ReportMetric(float64(msgs)/float64(pkts), "reqs/pkt")
+		}
+	}
+	b.Run("per-request", func(b *testing.B) { run(b, 1, 1) })
+	b.Run("batched-64", func(b *testing.B) { run(b, 0, 64) })
 }

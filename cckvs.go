@@ -28,6 +28,7 @@ package cckvs
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/cluster"
@@ -139,6 +140,114 @@ func (kv *KV) Get(key uint64) ([]byte, error) {
 func (kv *KV) Put(key uint64, value []byte) error {
 	kv.coord.Observe(key)
 	return kv.c.Node(kv.pick()).Put(key, value)
+}
+
+// Pair is one key/value of a MultiPut batch.
+type Pair struct {
+	Key   uint64
+	Value []byte
+}
+
+// MultiGet reads a batch of keys in one operation. The batch is fanned out
+// round-robin across the server nodes; each node probes its cache and issues
+// one coalesced remote access per home shard for the misses (§6.3), so a
+// large uniform batch costs a small number of network packets instead of one
+// round-trip per key. values[i] is nil when keys[i] does not exist. Every
+// access feeds the top-k popularity observer like Get does.
+func (kv *KV) MultiGet(keys []uint64) ([][]byte, error) {
+	out := make([][]byte, len(keys))
+	err := kv.fanOut(len(keys), func(i int) { kv.coord.Observe(keys[i]) },
+		func(node int, idxs []int) error {
+			sub := make([]uint64, len(idxs))
+			for j, i := range idxs {
+				sub[j] = keys[i]
+			}
+			values, err := kv.c.Node(node).MultiGet(sub)
+			if err != nil {
+				return err
+			}
+			for j, i := range idxs {
+				out[i] = values[j]
+			}
+			return nil
+		})
+	return out, err
+}
+
+// MultiPut writes a batch of pairs in one operation, fanned out round-robin
+// across the server nodes; cache-hot keys run the configured consistency
+// protocol, misses travel to their home shards in coalesced packets.
+func (kv *KV) MultiPut(pairs []Pair) error {
+	return kv.fanOut(len(pairs), func(i int) { kv.coord.Observe(pairs[i].Key) },
+		func(node int, idxs []int) error {
+			ks := make([]uint64, len(idxs))
+			vs := make([][]byte, len(idxs))
+			for j, i := range idxs {
+				ks[j] = pairs[i].Key
+				vs[j] = pairs[i].Value
+			}
+			return kv.c.Node(node).MultiPut(ks, vs)
+		})
+}
+
+// fanOut observes every batch index, stripes the indices round-robin across
+// the nodes and runs one do() per node concurrently, returning the first
+// error once all stripes finished.
+func (kv *KV) fanOut(n int, observe func(i int), do func(node int, idxs []int) error) error {
+	if n == 0 {
+		return nil
+	}
+	nodes := kv.c.NumNodes()
+	start := kv.pick()
+	groups := make([][]int, nodes)
+	for i := 0; i < n; i++ {
+		observe(i)
+		g := start
+		if n >= 2*nodes {
+			// Large batches stripe across all servers; small ones go to one
+			// rotating node whole — its pipeline coalesces them anyway, and
+			// splitting hair-thin stripes only adds fan-out overhead.
+			g = (start + i) % nodes
+		}
+		groups[g] = append(groups[g], i)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	// Run the first non-empty stripe inline: small batches land on one node
+	// and pay no spawn cost.
+	inline := -1
+	for node, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		if inline < 0 {
+			inline = node
+			continue
+		}
+		wg.Add(1)
+		go func(node int, idxs []int) {
+			defer wg.Done()
+			record(do(node, idxs))
+		}(node, idxs)
+	}
+	if inline >= 0 {
+		record(do(inline, groups[inline]))
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // RefreshHotSet ends the popularity epoch: the top-k keys observed since

@@ -113,3 +113,81 @@ func TestRefreshHotSetEmptyEpochIsNoop(t *testing.T) {
 		t.Fatal("initial hot set lost on empty refresh")
 	}
 }
+
+// MultiPut/MultiGet through the public facade must round-trip batches under
+// both consistency levels (the acceptance check of the coalescing pipeline).
+func TestMultiGetMultiPutFacade(t *testing.T) {
+	for _, cons := range []Consistency{SC, Lin} {
+		kv, err := Open(Options{Nodes: 3, Consistency: cons, NumKeys: 2000, CacheItems: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Batch spans hot (cached) and cold keys.
+		keys := []uint64{1, 3, 700, 1100, 1500, 1999}
+		pairs := make([]Pair, len(keys))
+		for i, k := range keys {
+			pairs[i] = Pair{Key: k, Value: bytes.Repeat([]byte{byte(0xA0 + i)}, 40)}
+		}
+		if err := kv.MultiPut(pairs); err != nil {
+			t.Fatal(err)
+		}
+		// Under Lin the batch is immediately visible; under SC hot-key
+		// updates propagate asynchronously, so retry until convergence.
+		ok := false
+		for attempt := 0; attempt < 100000 && !ok; attempt++ {
+			got, err := kv.MultiGet(keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok = true
+			for i := range keys {
+				if !bytes.Equal(got[i], pairs[i].Value) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			t.Fatalf("%v: batch never converged", cons)
+		}
+		kv.Close()
+	}
+}
+
+// Batched reads must feed the popularity observer exactly like single reads,
+// so a hot batch shifts the next epoch's hot set.
+func TestMultiGetFeedsTopK(t *testing.T) {
+	kv, err := Open(Options{Nodes: 3, NumKeys: 10000, CacheItems: 8, SampleRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	batch := make([]uint64, 8)
+	for i := range batch {
+		batch[i] = 5000 + uint64(i) // outside the initial hot set (0..7)
+	}
+	for r := 0; r < 50; r++ {
+		if _, err := kv.MultiGet(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	added, removed := kv.RefreshHotSet()
+	if added == 0 || removed == 0 {
+		t.Fatalf("hot set ignored batched reads: added=%d removed=%d", added, removed)
+	}
+}
+
+// Empty batches are no-ops.
+func TestMultiEmptyBatch(t *testing.T) {
+	kv, err := Open(Options{Nodes: 2, NumKeys: 100, CacheItems: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if vs, err := kv.MultiGet(nil); err != nil || len(vs) != 0 {
+		t.Fatalf("MultiGet(nil) = %v, %v", vs, err)
+	}
+	if err := kv.MultiPut(nil); err != nil {
+		t.Fatalf("MultiPut(nil) = %v", err)
+	}
+}

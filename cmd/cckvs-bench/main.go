@@ -26,7 +26,8 @@ func main() {
 		list  = flag.Bool("list", false, "list experiment ids")
 		local = flag.Bool("local", false, "run the in-process cluster validation")
 		fig4  = flag.Bool("fig4", false, "run the Figure 4 serialization design space on the live cluster")
-		ops   = flag.Int("ops", 2000, "operations per client for -local/-fig4")
+		coal  = flag.Bool("coalesce", false, "run the request-coalescing (batched vs per-request) ablation on the live cluster")
+		ops   = flag.Int("ops", 2000, "operations per client for -local/-fig4/-coalesce")
 	)
 	flag.Parse()
 
@@ -53,6 +54,13 @@ func main() {
 		tab, err := experiments.LocalSerializationAblation(*ops)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serialization ablation:", err)
+			os.Exit(1)
+		}
+		fmt.Print(tab.Render())
+	case *coal:
+		tab, err := experiments.LocalCoalescingAblation(*ops)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coalescing ablation:", err)
 			os.Exit(1)
 		}
 		fmt.Print(tab.Render())

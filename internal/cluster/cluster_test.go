@@ -453,7 +453,7 @@ func BenchmarkClusterGetHot(b *testing.B) {
 	c.InstallHotSet(DefaultHotSet(100))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Node(i%3).Get(uint64(i % 100)); err != nil {
+		if _, err := c.Node(i % 3).Get(uint64(i % 100)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -691,4 +691,127 @@ func TestSerializationString(t *testing.T) {
 		SerializationSequencer.String() != "sequencer" {
 		t.Fatal("serialization names wrong")
 	}
+}
+
+// MultiGet must agree with per-key Get across cached, local and remote
+// paths, under both protocols.
+func TestMultiGetMatchesGet(t *testing.T) {
+	for _, proto := range []core.Protocol{core.SC, core.Lin} {
+		t.Run(proto.String(), func(t *testing.T) {
+			c := newTestCluster(t, Config{
+				Nodes: 3, System: CCKVS, Protocol: proto,
+				NumKeys: 600, CacheItems: 16,
+			})
+			// Mix of hot (cached), and cold keys scattered over all homes.
+			keys := []uint64{0, 1, 7, 15, 100, 101, 250, 333, 420, 599}
+			for n := 0; n < 3; n++ {
+				got, err := c.Node(n).MultiGet(keys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(keys) {
+					t.Fatalf("got %d values for %d keys", len(got), len(keys))
+				}
+				for i, key := range keys {
+					want, err := c.Node(n).Get(key)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got[i], want) {
+						t.Fatalf("node %d key %d: MultiGet=%v Get=%v", n, key, got[i], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// A batch spanning hot and cold keys must write through the protocol for the
+// hot ones and through coalesced home-shard forwards for the cold ones, and
+// every value must be visible cluster-wide afterwards.
+func TestMultiPutVisibleEverywhere(t *testing.T) {
+	for _, proto := range []core.Protocol{core.SC, core.Lin} {
+		t.Run(proto.String(), func(t *testing.T) {
+			c := newTestCluster(t, Config{
+				Nodes: 3, System: CCKVS, Protocol: proto,
+				NumKeys: 600, CacheItems: 16,
+			})
+			keys := []uint64{2, 5, 150, 300, 450, 599} // 2,5 hot; rest cold
+			values := make([][]byte, len(keys))
+			for i := range keys {
+				values[i] = bytes.Repeat([]byte{byte(0xC0 + i)}, 40)
+			}
+			if err := c.Node(1).MultiPut(keys, values); err != nil {
+				t.Fatal(err)
+			}
+			for i, key := range keys {
+				for n := 0; n < 3; n++ {
+					// SC propagates hot writes asynchronously; poll briefly.
+					deadline := time.Now().Add(5 * time.Second)
+					for {
+						v, err := c.Node(n).Get(key)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if bytes.Equal(v, values[i]) {
+							break
+						}
+						if time.Now().After(deadline) {
+							t.Fatalf("node %d key %d never saw batch value", n, key)
+						}
+						time.Sleep(time.Millisecond)
+					}
+				}
+			}
+		})
+	}
+}
+
+// MultiGet on a missing key yields a nil value, not an error.
+func TestMultiGetMissingKeyIsNil(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 2, System: Base, NumKeys: 100})
+	got, err := c.Node(0).MultiGet([]uint64{5, 5000, 7, 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == nil || got[2] == nil {
+		t.Fatal("present keys came back nil")
+	}
+	if got[1] != nil || got[3] != nil {
+		t.Fatal("absent keys came back non-nil")
+	}
+}
+
+// The batched run harness must drive the same number of ops and leave the
+// cluster consistent; large uniform batches must coalesce remote requests
+// into visibly fewer packets.
+func TestRunBatchedWorkload(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 3, System: Base, NumKeys: 2000})
+	res, err := c.Run(RunOptions{
+		Clients:      4,
+		OpsPerClient: 400,
+		BatchSize:    32,
+		Workload: workload.Config{
+			NumKeys: 2000, Alpha: 0, WriteRatio: 0.05, ValueSize: 40, Seed: 11,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 1600 || res.Throughput <= 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	var msgs, pkts uint64
+	for i := 0; i < 3; i++ {
+		msgs += c.Node(i).RemoteReqMsgs.Load()
+		pkts += c.Node(i).RemoteReqPackets.Load()
+	}
+	if msgs == 0 || pkts == 0 {
+		t.Fatalf("no remote traffic recorded (msgs=%d pkts=%d)", msgs, pkts)
+	}
+	if float64(msgs)/float64(pkts) < 2 {
+		t.Fatalf("uniform batched run coalesced only %.2f reqs/packet (msgs=%d pkts=%d)",
+			float64(msgs)/float64(pkts), msgs, pkts)
+	}
+	t.Logf("coalescing factor: %.1f reqs/packet", float64(msgs)/float64(pkts))
 }

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/store"
 	"repro/internal/timestamp"
 )
 
@@ -17,32 +19,45 @@ var ErrRetriesExhausted = errors.New("cluster: read retries exhausted on invalid
 // invalidRetryLimit bounds the Read retry loop on Lin-invalidated entries.
 const invalidRetryLimit = 10_000_000
 
+// cacheRead probes the symmetric cache, spinning while an entry is
+// invalidated by an in-flight Lin write. hit=false reports a clean miss.
+func (n *Node) cacheRead(key uint64) (value []byte, hit bool, err error) {
+	for attempt := 0; ; attempt++ {
+		v, _, err := n.cache.Read(key, nil)
+		switch err {
+		case nil:
+			return v, true, nil
+		case core.ErrInvalid:
+			// An update is in flight; spin until it lands. The paper's
+			// cache threads keep polling their receive queues here; our
+			// dispatcher goroutine applies the update concurrently.
+			n.InvalidRetries.Add(1)
+			if attempt > invalidRetryLimit {
+				return nil, false, ErrRetriesExhausted
+			}
+			yield()
+		case core.ErrMiss:
+			return nil, false, nil
+		default:
+			return nil, false, err
+		}
+	}
+}
+
 // Get serves a client read arriving at this node (§6.1, "Reads"): probe the
 // symmetric cache; on a miss, access the local shard or issue a remote
 // access to the home node.
 func (n *Node) Get(key uint64) ([]byte, error) {
 	if n.cache != nil {
-		for attempt := 0; ; attempt++ {
-			v, _, err := n.cache.Read(key, nil)
-			switch err {
-			case nil:
-				n.CacheHits.Add(1)
-				return v, nil
-			case core.ErrInvalid:
-				// An update is in flight; spin until it lands. The paper's
-				// cache threads keep polling their receive queues here; our
-				// dispatcher goroutine applies the update concurrently.
-				n.InvalidRetries.Add(1)
-				if attempt > invalidRetryLimit {
-					return nil, ErrRetriesExhausted
-				}
-				yield()
-				continue
-			case core.ErrMiss:
-				n.CacheMisses.Add(1)
-			}
-			break
+		v, hit, err := n.cacheRead(key)
+		if err != nil {
+			return nil, err
 		}
+		if hit {
+			n.CacheHits.Add(1)
+			return v, nil
+		}
+		n.CacheMisses.Add(1)
 	}
 	home := n.cluster.HomeNode(key)
 	if home == int(n.id) {
@@ -55,30 +70,75 @@ func (n *Node) Get(key uint64) ([]byte, error) {
 	return v, err
 }
 
+// pendingOp tracks one started remote call of a batch operation.
+type pendingOp struct {
+	idx int
+	ch  chan rpcResult
+}
+
+// MultiGet serves a batch of reads in one call: every key is probed in the
+// cache (or the local shard) as it is scanned, while misses for remote homes
+// are started on the coalescing pipeline immediately and collected at the
+// end — the client side of the request coalescing of §6.3. All remote
+// accesses of a batch are therefore in flight at once (one round-trip for
+// the whole batch, few multi-request packets per home) without spawning any
+// goroutines. values[i] is nil when keys[i] is absent; the first hard
+// failure is returned after the whole batch settled.
+func (n *Node) MultiGet(keys []uint64) ([][]byte, error) {
+	out := make([][]byte, len(keys))
+	var pend []pendingOp
+	for i, key := range keys {
+		if n.cache != nil {
+			v, hit, err := n.cacheRead(key)
+			if err != nil {
+				return nil, err
+			}
+			if hit {
+				n.CacheHits.Add(1)
+				out[i] = v
+				continue
+			}
+			n.CacheMisses.Add(1)
+		}
+		home := n.cluster.HomeNode(key)
+		if home == int(n.id) {
+			n.LocalOps.Add(1)
+			v, _, err := n.kvs.Get(key, nil)
+			if err == nil {
+				out[i] = v
+			} else if err != store.ErrNotFound {
+				return nil, err
+			}
+			continue
+		}
+		n.RemoteOps.Add(1)
+		id := n.rpc.newReqID()
+		req := appendGetReq(make([]byte, 0, 17), rpcOpGet, id, key)
+		pend = append(pend, pendingOp{idx: i, ch: n.rpc.startCall(uint8(home), id, req)})
+	}
+	var firstErr error
+	for _, p := range pend {
+		res, err := n.rpc.await(p.ch)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if res.status == rpcStatusOK {
+			out[p.idx] = res.value
+		}
+	}
+	return out, firstErr
+}
+
 // Put serves a client write arriving at this node (§6.1, "Writes"): a cache
 // hit runs the configured consistency protocol; a miss forwards the write
 // to the home node.
 func (n *Node) Put(key uint64, value []byte) error {
-	if n.cache != nil {
-		if n.cluster.cfg.Protocol == core.Lin {
-			done, err := n.putLin(key, value)
-			if err == nil && done {
-				return nil
-			}
-			if err != nil {
-				return err
-			}
-			// fall through on miss
-		} else {
-			done, err := n.putSC(key, value)
-			if err != nil {
-				return err
-			}
-			if done {
-				return nil
-			}
-		}
-		n.CacheMisses.Add(1)
+	done, err := n.putCached(key, value)
+	if err != nil || done {
+		return err
 	}
 	home := n.cluster.HomeNode(key)
 	if home == int(n.id) {
@@ -90,6 +150,65 @@ func (n *Node) Put(key uint64, value []byte) error {
 	return n.RemotePut(uint8(home), key, value)
 }
 
+// MultiPut serves a batch of writes in one call: hot keys run the
+// configured consistency protocol as usual, while cache misses for remote
+// homes are started on the coalescing pipeline immediately and their acks
+// collected at the end, so the whole batch's forwards overlap. The first
+// failure is returned after the batch settled.
+func (n *Node) MultiPut(keys []uint64, values [][]byte) error {
+	var pend []pendingOp
+	for i, key := range keys {
+		done, err := n.putCached(key, values[i])
+		if err != nil {
+			return err
+		}
+		if done {
+			continue
+		}
+		home := n.cluster.HomeNode(key)
+		if home == int(n.id) {
+			n.LocalOps.Add(1)
+			n.localKVSPut(key, values[i])
+			continue
+		}
+		n.RemoteOps.Add(1)
+		id := n.rpc.newReqID()
+		req := appendPutReq(make([]byte, 0, 21+len(values[i])), rpcOpPut, id, key, values[i])
+		pend = append(pend, pendingOp{idx: i, ch: n.rpc.startCall(uint8(home), id, req)})
+	}
+	var firstErr error
+	for _, p := range pend {
+		res, err := n.rpc.await(p.ch)
+		if err == nil && res.status != rpcStatusOK {
+			err = fmt.Errorf("cluster: remote put failed (status %d)", res.status)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// putCached attempts the write through the symmetric cache under the
+// configured protocol. done=false with nil error means the key missed the
+// cache (the caller forwards to the home shard); the miss is already
+// counted.
+func (n *Node) putCached(key uint64, value []byte) (done bool, err error) {
+	if n.cache == nil {
+		return false, nil
+	}
+	if n.cluster.cfg.Protocol == core.Lin {
+		done, err = n.putLin(key, value)
+	} else {
+		done, err = n.putSC(key, value)
+	}
+	if err != nil || done {
+		return done, err
+	}
+	n.CacheMisses.Add(1)
+	return false, nil
+}
+
 // putSC runs an SC cache write under the configured Figure 4 serialization
 // design. done=false with nil error means the key missed the cache.
 func (n *Node) putSC(key uint64, value []byte) (bool, error) {
@@ -97,7 +216,7 @@ func (n *Node) putSC(key uint64, value []byte) (bool, error) {
 	switch n.cluster.cfg.Serialization {
 	case SerializationPrimary:
 		if !n.cache.Contains(key) {
-			return false, nil // Put counts the miss
+			return false, nil // putCached counts the miss
 		}
 		n.CacheHits.Add(1)
 		if n.id == coordinator {
@@ -113,7 +232,7 @@ func (n *Node) putSC(key uint64, value []byte) (bool, error) {
 		return true, n.PrimaryWrite(coordinator, key, value)
 	case SerializationSequencer:
 		if !n.cache.Contains(key) {
-			return false, nil // Put counts the miss
+			return false, nil // putCached counts the miss
 		}
 		n.CacheHits.Add(1)
 		var ts timestamp.TS
@@ -136,7 +255,7 @@ func (n *Node) putSC(key uint64, value []byte) (bool, error) {
 	default:
 		upd, err := n.cache.WriteSC(key, value)
 		if err == core.ErrMiss {
-			return false, nil // Put counts the miss
+			return false, nil // putCached counts the miss
 		}
 		if err != nil {
 			return false, err
@@ -200,12 +319,8 @@ func (n *Node) unregisterLinWaiter(key uint64, ch chan core.Update) {
 }
 
 // localKVSPut writes a cache-missing key to the local shard with a fresh
-// serialization timestamp.
+// serialization timestamp (a missing key advances from the zero timestamp).
 func (n *Node) localKVSPut(key uint64, value []byte) {
-	_, ts, err := n.kvs.Get(key, nil)
-	if err != nil {
-		n.kvs.Put(key, value, ts.Next(n.id))
-		return
-	}
+	_, ts, _ := n.kvs.Get(key, nil)
 	n.kvs.Put(key, value, ts.Next(n.id))
 }

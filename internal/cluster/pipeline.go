@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+)
+
+// The request-coalescing pipeline of §6.3/§8.5, applied to the remote-access
+// (cache-miss) path. The paper's cache threads never send one network packet
+// per remote request: outstanding requests bound for the same home machine
+// ride together in multi-request packets, shifting the bottleneck from the
+// switch packet-processing rate to raw bandwidth (Figure 13a) and letting
+// credits be charged per packet rather than per request.
+//
+// This reproduction keeps the same shape in goroutine form: every node runs
+// one sender per peer. Callers enqueue encoded requests; the sender drains
+// whatever is pending — up to maxMsgs requests or maxBytes payload per
+// packet — and flushes immediately when the pipeline runs dry, so an
+// isolated request never waits for company (opportunistic batching, exactly
+// like fabric.Batcher's contract). Concurrency is the only source of
+// coalescing: a single closed-loop client sees one request per packet, many
+// clients (or one MultiGet/MultiPut) see multi-request packets.
+//
+// Flow control: one credit is acquired per request *packet*; the batched
+// response packet is the implicit credit update (see rpcClient.handleResponse).
+
+// ErrPipelineClosed fails remote calls issued against a closed cluster.
+var ErrPipelineClosed = errors.New("cluster: request pipeline closed")
+
+// pipelineItem is one encoded request plus the id used to complete or fail
+// its pending call.
+type pipelineItem struct {
+	id  uint64
+	req []byte
+}
+
+// pipeline aggregates outstanding remote requests per destination node.
+type pipeline struct {
+	node     *Node
+	maxMsgs  int
+	maxBytes int
+
+	mu     sync.RWMutex
+	queues map[uint8]chan pipelineItem
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newPipeline starts one sender goroutine per remote peer.
+func newPipeline(n *Node, peers, depth, maxMsgs, maxBytes int) *pipeline {
+	pl := &pipeline{
+		node:     n,
+		maxMsgs:  maxMsgs,
+		maxBytes: maxBytes,
+		queues:   make(map[uint8]chan pipelineItem, peers),
+	}
+	for peer := 0; peer < peers; peer++ {
+		if peer == int(n.id) {
+			continue
+		}
+		q := make(chan pipelineItem, depth)
+		pl.queues[uint8(peer)] = q
+		pl.wg.Add(1)
+		go pl.sender(uint8(peer), q)
+	}
+	return pl
+}
+
+// enqueue hands one encoded request to home's sender. The request is failed
+// (never dropped) if the pipeline is closed or home is unknown, so callers
+// blocked on the pending channel always complete.
+func (pl *pipeline) enqueue(home uint8, id uint64, req []byte) {
+	pl.mu.RLock()
+	if pl.closed {
+		pl.mu.RUnlock()
+		pl.node.rpc.fail([]uint64{id}, ErrPipelineClosed)
+		return
+	}
+	q := pl.queues[home]
+	if q == nil {
+		pl.mu.RUnlock()
+		pl.node.rpc.fail([]uint64{id}, errors.New("cluster: no pipeline for home node"))
+		return
+	}
+	// The channel send stays under the read lock so close() cannot close the
+	// queue between the check and the send.
+	q <- pipelineItem{id: id, req: req}
+	pl.mu.RUnlock()
+}
+
+// sender drains home's queue into multi-request packets. Each iteration
+// takes one request (blocking) and then opportunistically coalesces whatever
+// else is already pending, up to the packet limits. A request that would
+// push the packet past maxBytes is carried into the next packet (a single
+// oversized request still ships alone — it must go somehow).
+func (pl *pipeline) sender(home uint8, q chan pipelineItem) {
+	defer pl.wg.Done()
+	n := pl.node
+	kvsAddr := fabric.Addr{Node: home, Thread: threadKVS}
+	ids := make([]uint64, 0, pl.maxMsgs)
+	var carry *pipelineItem
+	for {
+		var first pipelineItem
+		if carry != nil {
+			first, carry = *carry, nil
+		} else {
+			var ok bool
+			if first, ok = <-q; !ok {
+				return
+			}
+		}
+		buf := make([]byte, 0, len(first.req)*2)
+		buf = append(buf, first.req...)
+		ids = append(ids[:0], first.id)
+	collect:
+		for len(ids) < pl.maxMsgs && len(buf) < pl.maxBytes {
+			select {
+			case it, ok := <-q:
+				if !ok {
+					break collect
+				}
+				if len(buf)+len(it.req) > pl.maxBytes {
+					carry = &it // would bust the byte bound: next packet
+					break collect
+				}
+				buf = append(buf, it.req...)
+				ids = append(ids, it.id)
+			default:
+				break collect // pipeline drained: flush now, never wait
+			}
+		}
+		// One credit per packet (§6.3): the batched response restores it.
+		n.credits.Acquire(kvsAddr)
+		err := n.cluster.transport.Send(fabric.Packet{
+			Src:   fabric.Addr{Node: n.id, Thread: threadResp},
+			Dst:   kvsAddr,
+			Class: metrics.ClassCacheMiss,
+			Data:  buf,
+		})
+		if err != nil {
+			// No response will arrive to restore the credit; put it back so
+			// the drain of a closing pipeline cannot starve.
+			n.credits.Grant(kvsAddr, 1)
+			n.rpc.fail(ids, err)
+			continue
+		}
+		n.RemoteReqPackets.Add(1)
+		n.RemoteReqMsgs.Add(uint64(len(ids)))
+	}
+}
+
+// close stops accepting requests and waits for the senders to drain: queued
+// requests still go out (their responses complete the waiting callers, so
+// call this while the transport is up) or fail when the transport refuses
+// the send. Requests enqueued after close fail with ErrPipelineClosed.
+func (pl *pipeline) close() {
+	pl.mu.Lock()
+	if pl.closed {
+		pl.mu.Unlock()
+		return
+	}
+	pl.closed = true
+	for _, q := range pl.queues {
+		close(q)
+	}
+	pl.mu.Unlock()
+	pl.wg.Wait()
+}

@@ -13,14 +13,24 @@ import (
 
 // The remote-access RPC of the NUMA abstraction (§6.1): on a cache miss for
 // a remotely-homed key, the handling server issues a get (or forwards a put)
-// to the key's home node over two-sided sends, FaSST-style. A request always
-// receives a response, so flow control is implicit: the response doubles as
-// the credit update (§6.3).
+// to the key's home node over two-sided sends, FaSST-style. Requests are
+// coalesced per destination by the pipeline (pipeline.go): one network
+// packet carries up to Config.BatchMaxMsgs requests, the server answers each
+// packet with exactly one batched response packet, and a request packet
+// costs one credit that the response packet restores (§6.3).
 //
-// Wire formats (little endian):
+// Wire formats (little endian). A packet holds one or more back-to-back
+// entries; each entry is self-framing:
 //
-//	request:  op(1) reqID(8) key(8) [vlen(4) value]      op: 0=get 1=put
+//	request:  op(1) reqID(8) key(8) [vlen(4) value]      op: 0=get 1=put 2=primary-write 3=seq-ts
 //	response: reqID(8) status(1) [clock(4) writer(1) vlen(4) value]
+//
+// The response payload (timestamp + value) is present only when status is
+// rpcStatusOK. rpcStatusNotFound answers gets for absent keys;
+// rpcStatusBadRequest answers requests the server could identify (it parsed
+// op+reqID) but could not serve — a truncated value, an unknown op, a
+// primary write on a cache-less node — so the caller fails loudly instead of
+// deadlocking on a response that will never come.
 const (
 	rpcOpGet byte = 0
 	rpcOpPut byte = 1
@@ -31,8 +41,9 @@ const (
 	// the sequencer (Figure 4b design).
 	rpcOpSeqTS byte = 3
 
-	rpcStatusOK       byte = 0
-	rpcStatusNotFound byte = 1
+	rpcStatusOK         byte = 0
+	rpcStatusNotFound   byte = 1
+	rpcStatusBadRequest byte = 2
 )
 
 // rpcClient matches responses to outstanding requests for one node.
@@ -47,31 +58,88 @@ type rpcResult struct {
 	status byte
 	ts     timestamp.TS
 	value  []byte
+	err    error
 }
 
 func newRPCClient(n *Node) *rpcClient {
 	return &rpcClient{node: n, pend: map[uint64]chan rpcResult{}}
 }
 
-// call sends a request to home's KVS thread and blocks for the response.
-func (r *rpcClient) call(home uint8, req []byte, reqID uint64) rpcResult {
+// register installs a pending-completion channel for a fresh request id.
+func (r *rpcClient) register(id uint64) chan rpcResult {
 	ch := make(chan rpcResult, 1)
 	r.mu.Lock()
-	r.pend[reqID] = ch
+	r.pend[id] = ch
 	r.mu.Unlock()
+	return ch
+}
 
-	kvsAddr := fabric.Addr{Node: home, Thread: threadKVS}
-	r.node.credits.Acquire(kvsAddr)
-	r.node.cluster.transport.Send(fabric.Packet{
-		Src:   fabric.Addr{Node: r.node.id, Thread: threadResp},
-		Dst:   kvsAddr,
-		Class: metrics.ClassCacheMiss,
-		Data:  req,
-	})
+// complete finishes the pending call id, if still registered.
+func (r *rpcClient) complete(id uint64, res rpcResult) {
+	r.mu.Lock()
+	ch := r.pend[id]
+	delete(r.pend, id)
+	r.mu.Unlock()
+	if ch != nil {
+		ch <- res
+	}
+}
+
+// fail completes pending calls with an explicit error (transport failure,
+// malformed response). Callers blocked in call/callMulti always wake up.
+func (r *rpcClient) fail(ids []uint64, err error) {
+	for _, id := range ids {
+		r.complete(id, rpcResult{err: err})
+	}
+}
+
+// startCall registers reqID and hands the encoded request to the coalescing
+// pipeline without waiting — callers start any number of calls (across any
+// set of home nodes), letting the per-destination senders pack them into
+// multi-request packets, then collect the completions from the returned
+// channels. No goroutines are needed to overlap remote accesses.
+func (r *rpcClient) startCall(home uint8, reqID uint64, req []byte) chan rpcResult {
+	ch := r.register(reqID)
+	r.node.pipe.enqueue(home, reqID, req)
+	return ch
+}
+
+// await blocks for one started call and normalizes transport errors and
+// server refusals.
+func (r *rpcClient) await(ch chan rpcResult) (rpcResult, error) {
 	res := <-ch
-	// The response is the implicit credit update.
-	r.node.credits.Grant(kvsAddr, 1)
-	return res
+	if res.err != nil {
+		return rpcResult{}, res.err
+	}
+	if res.status == rpcStatusBadRequest {
+		return rpcResult{}, fmt.Errorf("cluster: rpc rejected (bad request)")
+	}
+	return res, nil
+}
+
+// call runs one blocking request/response exchange.
+func (r *rpcClient) call(home uint8, req []byte, reqID uint64) (rpcResult, error) {
+	return r.await(r.startCall(home, reqID, req))
+}
+
+// callMulti starts a batch of requests for one home node back-to-back — the
+// pipeline coalesces them into few packets — and blocks until every response
+// arrived. The first error is returned after all calls completed.
+func (r *rpcClient) callMulti(home uint8, ids []uint64, reqs [][]byte) ([]rpcResult, error) {
+	chs := make([]chan rpcResult, len(ids))
+	for i, id := range ids {
+		chs[i] = r.startCall(home, id, reqs[i])
+	}
+	out := make([]rpcResult, len(ids))
+	var firstErr error
+	for i, ch := range chs {
+		res, err := r.await(ch)
+		out[i] = res
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return out, firstErr
 }
 
 func (r *rpcClient) newReqID() uint64 {
@@ -82,8 +150,19 @@ func (r *rpcClient) newReqID() uint64 {
 	return id
 }
 
-// handleResponse completes the matching pending call.
+// handleResponse walks a batched response packet and completes every
+// matching pending call. A truncated entry fails its call with an explicit
+// error (instead of silently deadlocking it); once framing is lost the rest
+// of the packet is undecodable — entries behind the truncation cannot even
+// be identified, so their calls stay pending. Entries are self-framing with
+// no packet-level manifest, which makes intra-packet integrity the
+// transport's job (trivially true in-process and over TCP framing); the
+// explicit-failure path exists for defense, not as a recovery protocol.
 func (r *rpcClient) handleResponse(p fabric.Packet) {
+	// One response packet answers exactly one request packet, so its arrival
+	// is the implicit per-packet credit update (§6.3), no matter how many
+	// responses it coalesces.
+	r.node.credits.Grant(fabric.Addr{Node: p.Src.Node, Thread: threadKVS}, 1)
 	buf := p.Data
 	for len(buf) >= 9 {
 		reqID := binary.LittleEndian.Uint64(buf[:8])
@@ -92,6 +171,8 @@ func (r *rpcClient) handleResponse(p fabric.Packet) {
 		res := rpcResult{status: status}
 		if status == rpcStatusOK {
 			if len(buf) < 9 {
+				r.node.RPCDecodeErrors.Add(1)
+				r.complete(reqID, rpcResult{err: fmt.Errorf("cluster: truncated response header for req %d", reqID)})
 				return
 			}
 			res.ts = timestamp.TS{
@@ -101,47 +182,106 @@ func (r *rpcClient) handleResponse(p fabric.Packet) {
 			vlen := int(binary.LittleEndian.Uint32(buf[5:9]))
 			buf = buf[9:]
 			if len(buf) < vlen {
+				r.node.RPCDecodeErrors.Add(1)
+				r.complete(reqID, rpcResult{err: fmt.Errorf("cluster: truncated response value for req %d", reqID)})
 				return
 			}
 			res.value = append([]byte(nil), buf[:vlen]...)
 			buf = buf[vlen:]
 		}
-		r.mu.Lock()
-		ch := r.pend[reqID]
-		delete(r.pend, reqID)
-		r.mu.Unlock()
-		if ch != nil {
-			ch <- res
-		}
+		r.complete(reqID, res)
 	}
+	if len(buf) > 0 {
+		// Trailing garbage too short to name a request id; nothing to fail.
+		r.node.RPCDecodeErrors.Add(1)
+	}
+}
+
+// appendGetReq encodes a get (or seq-ts) request entry.
+func appendGetReq(buf []byte, op byte, id, key uint64) []byte {
+	buf = append(buf, op)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	return binary.LittleEndian.AppendUint64(buf, key)
+}
+
+// appendPutReq encodes a put (or primary-write) request entry.
+func appendPutReq(buf []byte, op byte, id, key uint64, value []byte) []byte {
+	buf = append(buf, op)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = binary.LittleEndian.AppendUint64(buf, key)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(value)))
+	return append(buf, value...)
 }
 
 // RemoteGet fetches key from its home node over the fabric.
 func (n *Node) RemoteGet(home uint8, key uint64) ([]byte, timestamp.TS, error) {
 	id := n.rpc.newReqID()
-	req := make([]byte, 0, 17)
-	req = append(req, rpcOpGet)
-	req = binary.LittleEndian.AppendUint64(req, id)
-	req = binary.LittleEndian.AppendUint64(req, key)
-	res := n.rpc.call(home, req, id)
+	res, err := n.rpc.call(home, appendGetReq(make([]byte, 0, 17), rpcOpGet, id, key), id)
+	if err != nil {
+		return nil, timestamp.TS{}, err
+	}
 	if res.status != rpcStatusOK {
 		return nil, timestamp.TS{}, store.ErrNotFound
 	}
 	return res.value, res.ts, nil
 }
 
+// RemoteMultiGet fetches a batch of keys homed on one node with a single
+// pipelined exchange (few multi-request packets instead of len(keys)
+// round-trips). values[i] is nil when keys[i] is absent; a non-nil error
+// reports the first transport or protocol failure.
+func (n *Node) RemoteMultiGet(home uint8, keys []uint64) ([][]byte, []timestamp.TS, error) {
+	ids := make([]uint64, len(keys))
+	reqs := make([][]byte, len(keys))
+	for i, key := range keys {
+		ids[i] = n.rpc.newReqID()
+		reqs[i] = appendGetReq(make([]byte, 0, 17), rpcOpGet, ids[i], key)
+	}
+	results, err := n.rpc.callMulti(home, ids, reqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	values := make([][]byte, len(keys))
+	tss := make([]timestamp.TS, len(keys))
+	for i, res := range results {
+		if res.status == rpcStatusOK {
+			values[i] = res.value
+			tss[i] = res.ts
+		}
+	}
+	return values, tss, nil
+}
+
 // RemotePut forwards a put for key to its home node.
 func (n *Node) RemotePut(home uint8, key uint64, value []byte) error {
 	id := n.rpc.newReqID()
-	req := make([]byte, 0, 21+len(value))
-	req = append(req, rpcOpPut)
-	req = binary.LittleEndian.AppendUint64(req, id)
-	req = binary.LittleEndian.AppendUint64(req, key)
-	req = binary.LittleEndian.AppendUint32(req, uint32(len(value)))
-	req = append(req, value...)
-	res := n.rpc.call(home, req, id)
+	res, err := n.rpc.call(home, appendPutReq(make([]byte, 0, 21+len(value)), rpcOpPut, id, key, value), id)
+	if err != nil {
+		return err
+	}
 	if res.status != rpcStatusOK {
 		return fmt.Errorf("cluster: remote put failed (status %d)", res.status)
+	}
+	return nil
+}
+
+// RemoteMultiPut forwards a batch of puts homed on one node with a single
+// pipelined exchange.
+func (n *Node) RemoteMultiPut(home uint8, keys []uint64, values [][]byte) error {
+	ids := make([]uint64, len(keys))
+	reqs := make([][]byte, len(keys))
+	for i, key := range keys {
+		ids[i] = n.rpc.newReqID()
+		reqs[i] = appendPutReq(make([]byte, 0, 21+len(values[i])), rpcOpPut, ids[i], key, values[i])
+	}
+	results, err := n.rpc.callMulti(home, ids, reqs)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		if res.status != rpcStatusOK {
+			return fmt.Errorf("cluster: remote put failed (status %d)", res.status)
+		}
 	}
 	return nil
 }
@@ -149,13 +289,10 @@ func (n *Node) RemotePut(home uint8, key uint64, value []byte) error {
 // PrimaryWrite forwards a hot write to the primary node's cache (Figure 4a).
 func (n *Node) PrimaryWrite(primary uint8, key uint64, value []byte) error {
 	id := n.rpc.newReqID()
-	req := make([]byte, 0, 21+len(value))
-	req = append(req, rpcOpPrimaryWrite)
-	req = binary.LittleEndian.AppendUint64(req, id)
-	req = binary.LittleEndian.AppendUint64(req, key)
-	req = binary.LittleEndian.AppendUint32(req, uint32(len(value)))
-	req = append(req, value...)
-	res := n.rpc.call(primary, req, id)
+	res, err := n.rpc.call(primary, appendPutReq(make([]byte, 0, 21+len(value)), rpcOpPrimaryWrite, id, key, value), id)
+	if err != nil {
+		return err
+	}
 	if res.status != rpcStatusOK {
 		return fmt.Errorf("cluster: primary write failed (status %d)", res.status)
 	}
@@ -166,99 +303,152 @@ func (n *Node) PrimaryWrite(primary uint8, key uint64, value []byte) error {
 // sequencer node (Figure 4b).
 func (n *Node) SeqTS(sequencer uint8, key uint64) (timestamp.TS, error) {
 	id := n.rpc.newReqID()
-	req := make([]byte, 0, 17)
-	req = append(req, rpcOpSeqTS)
-	req = binary.LittleEndian.AppendUint64(req, id)
-	req = binary.LittleEndian.AppendUint64(req, key)
-	res := n.rpc.call(sequencer, req, id)
+	res, err := n.rpc.call(sequencer, appendGetReq(make([]byte, 0, 17), rpcOpSeqTS, id, key), id)
+	if err != nil {
+		return timestamp.TS{}, err
+	}
 	if res.status != rpcStatusOK {
 		return timestamp.TS{}, fmt.Errorf("cluster: sequencer failed (status %d)", res.status)
 	}
 	return res.ts, nil
 }
 
-// handleKVSRequest serves remote gets/puts against the local shard. It runs
-// on the KVS-thread dispatcher; KVS threads never talk to each other (§6.2),
-// they only answer cache threads.
+// rpcRequest is one decoded request entry.
+type rpcRequest struct {
+	op    byte
+	reqID uint64
+	key   uint64
+	value []byte // nil for get/seq-ts; aliases the packet buffer
+}
+
+// errBadRequest distinguishes identifiable-but-unservable requests (the
+// parser recovered op+reqID) from undecodable ones.
+var errBadRequest = fmt.Errorf("cluster: malformed rpc request")
+
+// parseRequest decodes the next request entry of a packet. When it returns
+// an error with req.reqID != 0, the entry's header was intact and the server
+// answers it with rpcStatusBadRequest; with reqID == 0 the framing is gone.
+func parseRequest(buf []byte) (req rpcRequest, consumed int, err error) {
+	if len(buf) < 9 {
+		return rpcRequest{}, 0, errBadRequest
+	}
+	req.op = buf[0]
+	req.reqID = binary.LittleEndian.Uint64(buf[1:9])
+	switch req.op {
+	case rpcOpGet, rpcOpSeqTS:
+		if len(buf) < 17 {
+			return req, 0, errBadRequest
+		}
+		req.key = binary.LittleEndian.Uint64(buf[9:17])
+		return req, 17, nil
+	case rpcOpPut, rpcOpPrimaryWrite:
+		if len(buf) < 21 {
+			return req, 0, errBadRequest
+		}
+		req.key = binary.LittleEndian.Uint64(buf[9:17])
+		vlen := int(binary.LittleEndian.Uint32(buf[17:21]))
+		if vlen < 0 || len(buf) < 21+vlen {
+			return req, 0, errBadRequest
+		}
+		req.value = buf[21 : 21+vlen]
+		return req, 21 + vlen, nil
+	default:
+		return req, 0, errBadRequest
+	}
+}
+
+// appendStatusOnly encodes a payload-less response entry.
+func appendStatusOnly(buf []byte, reqID uint64, status byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, reqID)
+	return append(buf, status)
+}
+
+// appendOKResponse encodes a response entry carrying a timestamp and value.
+func appendOKResponse(buf []byte, reqID uint64, ts timestamp.TS, value []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, reqID)
+	buf = append(buf, rpcStatusOK)
+	buf = binary.LittleEndian.AppendUint32(buf, ts.Clock)
+	buf = append(buf, ts.Writer)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(value)))
+	return append(buf, value...)
+}
+
+// handleKVSRequest serves every request of a (possibly multi-request) packet
+// against the local shard and answers with exactly one batched response
+// packet — the request/response symmetry the per-packet credit accounting
+// relies on. It runs on the KVS-thread dispatcher; KVS threads never talk to
+// each other (§6.2), they only answer cache threads.
 func (n *Node) handleKVSRequest(p fabric.Packet) {
 	buf := p.Data
-	if len(buf) < 17 {
-		return
-	}
-	op := buf[0]
-	reqID := binary.LittleEndian.Uint64(buf[1:9])
-	key := binary.LittleEndian.Uint64(buf[9:17])
-
 	resp := make([]byte, 0, 64)
-	resp = binary.LittleEndian.AppendUint64(resp, reqID)
-	switch op {
-	case rpcOpGet:
-		v, ts, err := n.kvs.Get(key, nil)
+	for len(buf) > 0 {
+		req, consumed, err := parseRequest(buf)
 		if err != nil {
-			resp = append(resp, rpcStatusNotFound)
-		} else {
-			resp = append(resp, rpcStatusOK)
-			resp = binary.LittleEndian.AppendUint32(resp, ts.Clock)
-			resp = append(resp, ts.Writer)
-			resp = binary.LittleEndian.AppendUint32(resp, uint32(len(v)))
-			resp = append(resp, v...)
+			// An identifiable entry gets an explicit refusal so its caller
+			// fails instead of waiting forever; either way the rest of the
+			// packet has lost framing and cannot be decoded.
+			if req.reqID != 0 {
+				resp = appendStatusOnly(resp, req.reqID, rpcStatusBadRequest)
+			}
+			n.RPCDecodeErrors.Add(1)
+			break
 		}
-	case rpcOpPut:
-		if len(buf) < 21 {
-			return
-		}
-		vlen := int(binary.LittleEndian.Uint32(buf[17:21]))
-		if len(buf) < 21+vlen {
-			return
-		}
-		// Puts that miss the cache go to the home shard; they carry no
-		// protocol timestamp, so advance the stored clock to serialize
-		// (home-node writes are trivially serialized per key).
-		_, ts, err := n.kvs.Get(key, nil)
-		if err != nil {
-			ts = timestamp.TS{}
-		}
-		n.kvs.Put(key, buf[21:21+vlen], ts.Next(n.id))
-		resp = append(resp, rpcStatusOK)
-		resp = binary.LittleEndian.AppendUint32(resp, 0)
-		resp = append(resp, 0)
-		resp = binary.LittleEndian.AppendUint32(resp, 0)
-	case rpcOpPrimaryWrite:
-		if len(buf) < 21 {
-			return
-		}
-		vlen := int(binary.LittleEndian.Uint32(buf[17:21]))
-		if len(buf) < 21+vlen || n.cache == nil {
-			return
-		}
-		// All hot writes serialize through this node's cache; the update
-		// broadcast reaches every other node, including the origin.
-		upd, err := n.cache.WriteSC(key, buf[21:21+vlen])
-		if err != nil {
-			resp = append(resp, rpcStatusNotFound)
-		} else {
-			n.broadcastConsistency(metrics.ClassUpdate, upd.Encode(nil))
-			resp = append(resp, rpcStatusOK)
-			resp = binary.LittleEndian.AppendUint32(resp, upd.TS.Clock)
-			resp = append(resp, upd.TS.Writer)
-			resp = binary.LittleEndian.AppendUint32(resp, 0)
-		}
-	case rpcOpSeqTS:
-		n.seqMu.Lock()
-		n.seqClocks[key]++
-		clock := n.seqClocks[key]
-		n.seqMu.Unlock()
-		resp = append(resp, rpcStatusOK)
-		resp = binary.LittleEndian.AppendUint32(resp, clock)
-		resp = append(resp, p.Src.Node) // writer id: the requesting node
-		resp = binary.LittleEndian.AppendUint32(resp, 0)
-	default:
-		return
+		buf = buf[consumed:]
+		resp = n.serveRequest(p.Src.Node, req, resp)
 	}
+	// Always answer, even when nothing was decodable (resp may be empty):
+	// the sender charged one credit for this packet and only the response
+	// packet restores it — swallowing a malformed packet would leak the
+	// credit and eventually wedge all remote traffic from that peer.
 	n.cluster.transport.Send(fabric.Packet{
 		Src:   fabric.Addr{Node: n.id, Thread: threadKVS},
 		Dst:   fabric.Addr{Node: p.Src.Node, Thread: threadResp},
 		Class: metrics.ClassCacheMiss,
 		Data:  resp,
 	})
+}
+
+// serveRequest executes one decoded request and appends its response entry.
+func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte) []byte {
+	switch req.op {
+	case rpcOpGet:
+		v, ts, err := n.kvs.Get(req.key, nil)
+		if err != nil {
+			return appendStatusOnly(resp, req.reqID, rpcStatusNotFound)
+		}
+		return appendOKResponse(resp, req.reqID, ts, v)
+	case rpcOpPut:
+		// Puts that miss the cache go to the home shard; they carry no
+		// protocol timestamp, so advance the stored clock to serialize
+		// (home-node writes are trivially serialized per key).
+		_, ts, err := n.kvs.Get(req.key, nil)
+		if err != nil {
+			ts = timestamp.TS{}
+		}
+		n.kvs.Put(req.key, req.value, ts.Next(n.id))
+		return appendOKResponse(resp, req.reqID, timestamp.TS{}, nil)
+	case rpcOpPrimaryWrite:
+		if n.cache == nil {
+			return appendStatusOnly(resp, req.reqID, rpcStatusBadRequest)
+		}
+		// All hot writes serialize through this node's cache; the update
+		// broadcast reaches every other node, including the origin.
+		upd, err := n.cache.WriteSC(req.key, req.value)
+		if err != nil {
+			return appendStatusOnly(resp, req.reqID, rpcStatusNotFound)
+		}
+		n.broadcastConsistency(metrics.ClassUpdate, upd.Encode(nil))
+		return appendOKResponse(resp, req.reqID, upd.TS, nil)
+	case rpcOpSeqTS:
+		n.seqMu.Lock()
+		n.seqClocks[req.key]++
+		clock := n.seqClocks[req.key]
+		n.seqMu.Unlock()
+		// Writer id: the requesting node.
+		return appendOKResponse(resp, req.reqID, timestamp.TS{Clock: clock, Writer: src}, nil)
+	default:
+		// Unreachable today — parseRequest rejects unknown ops — but kept so
+		// the two dispatch tables cannot drift apart silently.
+		return appendStatusOnly(resp, req.reqID, rpcStatusBadRequest)
+	}
 }

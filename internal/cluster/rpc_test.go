@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/timestamp"
+)
+
+// Wire-format round trips for the coalesced RPC framing: multi-request and
+// multi-response packets must decode back to what was encoded, and truncated
+// or garbage inputs must fail the affected calls explicitly instead of
+// silently dropping them (the pre-pipeline code path deadlocked the caller).
+
+func TestParseRequestRoundTripMulti(t *testing.T) {
+	val := bytes.Repeat([]byte{0xAB}, 40)
+	var pkt []byte
+	pkt = appendGetReq(pkt, rpcOpGet, 1, 100)
+	pkt = appendPutReq(pkt, rpcOpPut, 2, 200, val)
+	pkt = appendPutReq(pkt, rpcOpPrimaryWrite, 3, 300, val[:7])
+	pkt = appendGetReq(pkt, rpcOpSeqTS, 4, 400)
+
+	want := []rpcRequest{
+		{op: rpcOpGet, reqID: 1, key: 100},
+		{op: rpcOpPut, reqID: 2, key: 200, value: val},
+		{op: rpcOpPrimaryWrite, reqID: 3, key: 300, value: val[:7]},
+		{op: rpcOpSeqTS, reqID: 4, key: 400},
+	}
+	for i, w := range want {
+		req, consumed, err := parseRequest(pkt)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if req.op != w.op || req.reqID != w.reqID || req.key != w.key || !bytes.Equal(req.value, w.value) {
+			t.Fatalf("entry %d: got %+v want %+v", i, req, w)
+		}
+		pkt = pkt[consumed:]
+	}
+	if len(pkt) != 0 {
+		t.Fatalf("%d trailing bytes after last entry", len(pkt))
+	}
+}
+
+func TestParseRequestRejectsMalformed(t *testing.T) {
+	val := bytes.Repeat([]byte{1}, 16)
+	full := appendPutReq(nil, rpcOpPut, 7, 9, val)
+	cases := map[string][]byte{
+		"empty":            nil,
+		"header only":      full[:9],
+		"no key":           full[:12],
+		"no vlen":          full[:19],
+		"truncated value":  full[:len(full)-3],
+		"unknown op":       appendGetReq(nil, 99, 7, 9),
+		"short get":        appendGetReq(nil, rpcOpGet, 7, 9)[:16],
+		"garbage":          {0xde, 0xad, 0xbe, 0xef},
+		"vlen past buffer": append(appendPutReq(nil, rpcOpPut, 7, 9, nil)[:17], 0xff, 0xff, 0xff, 0x7f),
+	}
+	for name, buf := range cases {
+		if _, _, err := parseRequest(buf); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+	// Entries whose 9-byte header survived must surface the request id so
+	// the server can refuse them explicitly.
+	req, _, err := parseRequest(full[:12])
+	if err == nil || req.reqID != 7 {
+		t.Fatalf("truncated entry: id=%d err=%v, want id=7 and error", req.reqID, err)
+	}
+}
+
+// respTestClient builds a bare client whose node has just enough state for
+// handleResponse (credits only).
+func respTestClient() *rpcClient {
+	n := &Node{credits: fabric.NewCredits()}
+	n.rpc = newRPCClient(n)
+	return n.rpc
+}
+
+func TestHandleResponseMultiCompletesAll(t *testing.T) {
+	r := respTestClient()
+	ch1 := r.register(1)
+	ch2 := r.register(2)
+	ch3 := r.register(3)
+
+	val := bytes.Repeat([]byte{0x5A}, 24)
+	var pkt []byte
+	pkt = appendOKResponse(pkt, 1, timestamp.TS{Clock: 9, Writer: 2}, val)
+	pkt = appendStatusOnly(pkt, 2, rpcStatusNotFound)
+	pkt = appendOKResponse(pkt, 3, timestamp.TS{}, nil)
+	r.handleResponse(fabric.Packet{Data: pkt})
+
+	res1 := <-ch1
+	if res1.err != nil || res1.status != rpcStatusOK || !bytes.Equal(res1.value, val) ||
+		res1.ts != (timestamp.TS{Clock: 9, Writer: 2}) {
+		t.Fatalf("res1 = %+v", res1)
+	}
+	if res2 := <-ch2; res2.err != nil || res2.status != rpcStatusNotFound {
+		t.Fatalf("res2 = %+v", res2)
+	}
+	if res3 := <-ch3; res3.err != nil || res3.status != rpcStatusOK || len(res3.value) != 0 {
+		t.Fatalf("res3 = %+v", res3)
+	}
+	if len(r.pend) != 0 {
+		t.Fatalf("%d pending calls left", len(r.pend))
+	}
+}
+
+// A truncated response must fail the pending call with an explicit error —
+// this is the silent-drop deadlock fix.
+func TestHandleResponseTruncatedFailsPending(t *testing.T) {
+	val := bytes.Repeat([]byte{0x77}, 40)
+	for _, tc := range []struct {
+		name string
+		cut  int // bytes to strip from the full entry
+	}{
+		{"value cut", 10},
+		{"payload header cut", 41}, // leaves reqID+status+partial ts
+	} {
+		r := respTestClient()
+		ch := r.register(5)
+		full := appendOKResponse(nil, 5, timestamp.TS{Clock: 1}, val)
+		r.handleResponse(fabric.Packet{Data: full[:len(full)-tc.cut]})
+		select {
+		case res := <-ch:
+			if res.err == nil {
+				t.Fatalf("%s: completed without error: %+v", tc.name, res)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: pending call never completed (deadlock)", tc.name)
+		}
+		if r.node.RPCDecodeErrors.Load() == 0 {
+			t.Fatalf("%s: decode error not counted", tc.name)
+		}
+	}
+}
+
+func TestHandleResponseGarbageTailIgnored(t *testing.T) {
+	r := respTestClient()
+	ch := r.register(8)
+	pkt := appendStatusOnly(nil, 8, rpcStatusNotFound) // valid entry...
+	pkt = append(pkt, 0xBA, 0xD1)                      // ...plus a tail too short to name an id
+	r.handleResponse(fabric.Packet{Data: pkt})
+	if res := <-ch; res.err != nil || res.status != rpcStatusNotFound {
+		t.Fatalf("res = %+v", res)
+	}
+	if r.node.RPCDecodeErrors.Load() != 1 {
+		t.Fatal("garbage tail not counted")
+	}
+}
+
+// A malformed or unservable request must come back as an explicit rpc error
+// through the live stack, not hang the caller.
+func TestServerRefusesBadRequests(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 2, System: Base, NumKeys: 100})
+	n := c.Node(0)
+	for name, req := range map[string][]byte{
+		"unknown op":       appendGetReq(nil, 42, 0, 5),
+		"truncated put":    appendPutReq(nil, rpcOpPut, 0, 5, bytes.Repeat([]byte{1}, 16))[:15],
+		"primary no cache": appendPutReq(nil, rpcOpPrimaryWrite, 0, 5, []byte("v")),
+	} {
+		id := n.rpc.newReqID()
+		// Stamp the fresh id into the encoded entry (offset 1, little endian).
+		if len(req) >= 9 {
+			binary.LittleEndian.PutUint64(req[1:9], id)
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := n.rpc.call(1, req, id)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Errorf("%s: call succeeded, want refusal", name)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s: call deadlocked", name)
+		}
+	}
+}
+
+// The server must answer one request packet with exactly one response packet
+// no matter how many requests it coalesces — the invariant behind charging
+// credits per packet.
+func TestBatchedRequestOneResponsePacket(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 2, System: Base, NumKeys: 1000})
+	n := c.Node(0)
+	// Collect keys homed on node 1.
+	var keys []uint64
+	for k := uint64(0); len(keys) < 10 && k < 1000; k++ {
+		if c.HomeNode(k) == 1 {
+			keys = append(keys, k)
+		}
+	}
+	want := make([][]byte, len(keys))
+	for i := range keys {
+		want[i] = bytes.Repeat([]byte{byte(0x10 + i)}, 40)
+	}
+	if err := n.RemoteMultiPut(1, keys, want); err != nil {
+		t.Fatal(err)
+	}
+	values, _, err := n.RemoteMultiGet(1, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		if !bytes.Equal(v, want[i]) {
+			t.Fatalf("key %d: got %v want %v", keys[i], v, want[i])
+		}
+	}
+	if got := n.RemoteReqMsgs.Load(); got != uint64(2*len(keys)) {
+		t.Fatalf("request messages = %d, want %d", got, 2*len(keys))
+	}
+	pkts := n.RemoteReqPackets.Load()
+	if pkts == 0 || pkts > uint64(2*len(keys)) {
+		t.Fatalf("request packets = %d for %d requests", pkts, 2*len(keys))
+	}
+	t.Logf("coalescing: %d requests in %d packets", 2*len(keys), pkts)
+}
+
+// Calls issued against a closed cluster must fail, not hang.
+func TestCallAfterCloseFails(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 2, System: Base, NumKeys: 100})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Node(0).RemoteGet(1, 5)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("remote get on closed cluster succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("remote get on closed cluster deadlocked")
+	}
+}
+
+// Even a fully undecodable request packet must be answered (with an empty
+// response packet): the sender charged a credit for it, and only the
+// response restores that credit — otherwise malformed packets would wedge
+// all remote traffic toward that home node.
+func TestUndecodablePacketStillRestoresCredit(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 2, System: Base, NumKeys: 100, CreditsPerPeer: 4})
+	n := c.Node(0)
+	kvs := fabric.Addr{Node: 1, Thread: threadKVS}
+	for i := 0; i < 4; i++ {
+		n.credits.Acquire(kvs) // drain the budget
+	}
+	// Inject a garbage packet as if node 0's pipeline had sent it.
+	if err := c.transport.Send(fabric.Packet{
+		Src:   fabric.Addr{Node: 0, Thread: threadResp},
+		Dst:   kvs,
+		Class: metrics.ClassCacheMiss,
+		Data:  []byte{0xde, 0xad},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for n.credits.Available(kvs) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("credit never restored after undecodable packet")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// The coalescer must never exceed BatchMaxBytes: a request that would bust
+// the bound rides in the next packet instead.
+func TestPipelineRespectsByteBound(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Nodes: 2, System: Base, NumKeys: 1000,
+		BatchMaxBytes: 100, BatchMaxMsgs: 64, ValueSize: 60,
+	})
+	n := c.Node(0)
+	var keys []uint64
+	var vals [][]byte
+	for k := uint64(0); len(keys) < 8 && k < 1000; k++ {
+		if c.HomeNode(k) == 1 {
+			keys = append(keys, k)
+			vals = append(vals, bytes.Repeat([]byte{byte(k)}, 60))
+		}
+	}
+	// Each put request is 21+60 = 81 bytes; two would exceed the 100-byte
+	// bound, so every packet must carry exactly one request.
+	if err := n.RemoteMultiPut(1, keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if msgs, pkts := n.RemoteReqMsgs.Load(), n.RemoteReqPackets.Load(); pkts != msgs {
+		t.Fatalf("byte bound violated: %d requests in %d packets", msgs, pkts)
+	}
+}

@@ -49,6 +49,11 @@ type RunOptions struct {
 	Clients int
 	// OpsPerClient bounds the run by operation count.
 	OpsPerClient int
+	// BatchSize > 1 drives the cluster through MultiGet/MultiPut in client
+	// batches of that many operations — the application-level half of the
+	// request coalescing of §6.3 (the pipeline coalesces whatever is
+	// concurrently outstanding either way). 0 or 1 issues one op per call.
+	BatchSize int
 	// Workload generates the request stream (cloned per client).
 	Workload workload.Config
 }
@@ -81,27 +86,68 @@ func (c *Cluster) Run(opts RunOptions) (RunResult, error) {
 			defer wg.Done()
 			g := gen.Clone(uint64(id))
 			node := id % c.NumNodes()
-			for i := 0; i < opts.OpsPerClient; i++ {
-				op := g.Next()
+			fail := func(i int, op workload.Op, err error) {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("client %d op %d (%s key %d): %w",
+						id, i, op.Type, op.Key, err)
+				}
+				errMu.Unlock()
+			}
+			for i := 0; i < opts.OpsPerClient; {
 				n := c.nodes[node]
 				node = (node + 1) % c.NumNodes() // round-robin load balance
-				t0 := time.Now()
-				var err error
-				if op.Type == workload.Put {
-					err = n.Put(op.Key, op.Value)
-					writeLat.Record(uint64(time.Since(t0).Nanoseconds()))
-				} else {
-					_, err = n.Get(op.Key)
-					readLat.Record(uint64(time.Since(t0).Nanoseconds()))
-				}
-				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("client %d op %d (%s key %d): %w",
-							id, i, op.Type, op.Key, err)
+				if opts.BatchSize <= 1 {
+					op := g.Next()
+					t0 := time.Now()
+					var err error
+					if op.Type == workload.Put {
+						err = n.Put(op.Key, op.Value)
+						writeLat.Record(uint64(time.Since(t0).Nanoseconds()))
+					} else {
+						_, err = n.Get(op.Key)
+						readLat.Record(uint64(time.Since(t0).Nanoseconds()))
 					}
-					errMu.Unlock()
-					return
+					if err != nil {
+						fail(i, op, err)
+						return
+					}
+					i++
+					continue
+				}
+				// Batched mode: gather up to BatchSize ops and issue them as
+				// one MultiGet plus one MultiPut. Latency is recorded per
+				// call, mirroring what a batching client observes.
+				var getKeys, putKeys []uint64
+				var putVals [][]byte
+				for len(getKeys)+len(putKeys) < opts.BatchSize && i < opts.OpsPerClient {
+					op := g.Next()
+					if op.Type == workload.Put {
+						putKeys = append(putKeys, op.Key)
+						// The generator reuses its value buffer; copy.
+						putVals = append(putVals, append([]byte(nil), op.Value...))
+					} else {
+						getKeys = append(getKeys, op.Key)
+					}
+					i++
+				}
+				if len(putKeys) > 0 {
+					t0 := time.Now()
+					err := n.MultiPut(putKeys, putVals)
+					writeLat.Record(uint64(time.Since(t0).Nanoseconds()))
+					if err != nil {
+						fail(i, workload.Op{Type: workload.Put, Key: putKeys[0]}, err)
+						return
+					}
+				}
+				if len(getKeys) > 0 {
+					t0 := time.Now()
+					_, err := n.MultiGet(getKeys)
+					readLat.Record(uint64(time.Since(t0).Nanoseconds()))
+					if err != nil {
+						fail(i, workload.Op{Key: getKeys[0]}, err)
+						return
+					}
 				}
 			}
 		}(cl)
