@@ -113,13 +113,14 @@ func Open(opts Options) (*KV, error) {
 		return nil, fmt.Errorf("cckvs: %w", err)
 	}
 	c.Populate()
-	c.InstallHotSet(cluster.DefaultHotSet(opts.CacheItems))
+	initial := cluster.DefaultHotSet(opts.CacheItems)
+	c.InstallHotSet(initial)
 	kv := &KV{
 		c:     c,
 		coord: topk.NewCoordinator(opts.CacheItems, opts.CacheItems*4, opts.SampleRate),
 		items: opts.CacheItems,
 	}
-	kv.coord.Seed(cluster.DefaultHotSet(opts.CacheItems))
+	kv.coord.Seed(initial)
 	return kv, nil
 }
 
@@ -250,18 +251,26 @@ func (kv *KV) fanOut(n int, observe func(i int), do func(node int, idxs []int) e
 	return firstErr
 }
 
-// RefreshHotSet ends the popularity epoch: the top-k keys observed since
-// the previous refresh become the new symmetric cache content on every
-// node (dirty evicted items are written back to their home shards). It
-// returns how many keys entered and left the hot set.
+// RefreshHotSet ends the popularity epoch: the top-k keys observed since the
+// previous refresh become the new symmetric cache content on every node. The
+// change is applied *incrementally and online* (cluster.ApplyHotSet): only
+// the epoch delta moves — demoted keys have their dirty values written
+// back to their home shards over RPC before leaving every cache, promoted
+// keys are fetched from their (placeholder-pinned) home shards over the
+// coalescing pipeline and installed everywhere — while client traffic
+// keeps flowing; a key mid-transition misses to its home shard, and writes
+// briefly spin at phase boundaries. The epoch always rolls,
+// even when the interval observed nothing (the coordinator then republishes
+// the incumbent set), and the returned counts are exactly the promotions and
+// demotions applied to the caches.
 func (kv *KV) RefreshHotSet() (added, removed int) {
-	hs, a, r := kv.coord.EndEpoch()
-	keys := hs.Keys
-	if len(keys) == 0 {
-		return 0, 0
-	}
-	kv.c.InstallHotSet(keys)
-	return a, r
+	hs, _, _ := kv.coord.EndEpoch()
+	// Best-effort: the delta can only fail when the deployment is closing
+	// mid-refresh; the stats still report what did apply. The delta against
+	// the installed set is computed inside ApplyHotSet, under the cluster's
+	// reconfiguration lock.
+	st, _ := kv.c.ApplyHotSet(kv.pick(), hs.Keys)
+	return st.Promoted, st.Demoted
 }
 
 // Stats summarizes cache behaviour since Open.

@@ -8,11 +8,14 @@
 //	cckvs-bench -all              # every figure and ablation
 //	cckvs-bench -local            # in-process cluster validation run
 //	cckvs-bench -local -ops 5000  # longer validation run
+//	cckvs-bench -churn            # online hot-set reconfiguration ablation
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -20,16 +23,31 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses args and executes the selected experiment, writing tables to
+// stdout and diagnostics to stderr. It returns the process exit code
+// (factored out of main so the CLI is testable end to end).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cckvs-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig   = flag.String("fig", "", "experiment id to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment ids")
-		local = flag.Bool("local", false, "run the in-process cluster validation")
-		fig4  = flag.Bool("fig4", false, "run the Figure 4 serialization design space on the live cluster")
-		coal  = flag.Bool("coalesce", false, "run the request-coalescing (batched vs per-request) ablation on the live cluster")
-		ops   = flag.Int("ops", 2000, "operations per client for -local/-fig4/-coalesce")
+		fig   = fs.String("fig", "", "experiment id to run (see -list)")
+		all   = fs.Bool("all", false, "run every experiment")
+		list  = fs.Bool("list", false, "list experiment ids")
+		local = fs.Bool("local", false, "run the in-process cluster validation")
+		fig4  = fs.Bool("fig4", false, "run the Figure 4 serialization design space on the live cluster")
+		coal  = fs.Bool("coalesce", false, "run the request-coalescing (batched vs per-request) ablation on the live cluster")
+		churn = fs.Bool("churn", false, "run the hot-set reconfiguration (full reinstall vs incremental) ablation under a moving hotspot")
+		ops   = fs.Int("ops", 2000, "operations per client for -local/-fig4/-coalesce/-churn")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	registry := experiments.All()
 	ids := make([]string, 0, len(registry))
@@ -38,46 +56,44 @@ func main() {
 	}
 	sort.Strings(ids)
 
+	liveRun := func(name string, f func(int) (experiments.Table, error)) int {
+		tab, err := f(*ops)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", name, err)
+			return 1
+		}
+		fmt.Fprint(stdout, tab.Render())
+		return 0
+	}
+
 	switch {
 	case *list:
 		for _, id := range ids {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
 	case *local:
-		tab, err := experiments.LocalValidation(*ops)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "local validation:", err)
-			os.Exit(1)
-		}
-		fmt.Print(tab.Render())
+		return liveRun("local validation", experiments.LocalValidation)
 	case *fig4:
-		tab, err := experiments.LocalSerializationAblation(*ops)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "serialization ablation:", err)
-			os.Exit(1)
-		}
-		fmt.Print(tab.Render())
+		return liveRun("serialization ablation", experiments.LocalSerializationAblation)
 	case *coal:
-		tab, err := experiments.LocalCoalescingAblation(*ops)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "coalescing ablation:", err)
-			os.Exit(1)
-		}
-		fmt.Print(tab.Render())
+		return liveRun("coalescing ablation", experiments.LocalCoalescingAblation)
+	case *churn:
+		return liveRun("churn ablation", experiments.LocalChurnAblation)
 	case *all:
 		for _, id := range ids {
-			fmt.Print(registry[id]().Render())
-			fmt.Println()
+			fmt.Fprint(stdout, registry[id]().Render())
+			fmt.Fprintln(stdout)
 		}
 	case *fig != "":
 		fn, ok := registry[*fig]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *fig)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown experiment %q; use -list\n", *fig)
+			return 2
 		}
-		fmt.Print(fn().Render())
+		fmt.Fprint(stdout, fn().Render())
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }

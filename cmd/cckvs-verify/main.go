@@ -12,22 +12,38 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/mcheck"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses args and executes the requested verification, returning the
+// process exit code (factored out of main so the CLI is testable end to
+// end).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cckvs-verify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		protoName = flag.String("protocol", "", "lin or sc (empty: verify both with the default matrix)")
-		procs     = flag.Int("procs", 3, "number of replicas")
-		addrs     = flag.Int("addrs", 1, "number of keys")
-		clock     = flag.Int("clock", 1, "Lamport clock bound")
-		faultName = flag.String("fault", "", "inject a protocol bug: conditional-ack | mismatched-update")
+		protoName = fs.String("protocol", "", "lin or sc (empty: verify both with the default matrix)")
+		procs     = fs.Int("procs", 3, "number of replicas")
+		addrs     = fs.Int("addrs", 1, "number of keys")
+		clock     = fs.Int("clock", 1, "Lamport clock bound")
+		faultName = fs.String("fault", "", "inject a protocol bug: conditional-ack | mismatched-update")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *protoName == "" && *faultName == "" {
 		matrix := []struct {
@@ -43,18 +59,18 @@ func main() {
 		for _, m := range matrix {
 			rep, err := mcheck.Check(m.p, m.b)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
-			fmt.Println(rep.String())
+			fmt.Fprintln(stdout, rep.String())
 			if !rep.OK() {
 				failed = true
 			}
 		}
 		if failed {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	proto := mcheck.Lin
@@ -69,24 +85,25 @@ func main() {
 	case "mismatched-update":
 		fault = mcheck.FaultApplyMismatchedUpdate
 	default:
-		fmt.Fprintf(os.Stderr, "unknown fault %q\n", *faultName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown fault %q\n", *faultName)
+		return 2
 	}
 	rep, err := mcheck.CheckFault(proto, mcheck.Bounds{
 		Procs: *procs, Addrs: *addrs, MaxClock: uint8(*clock),
 	}, fault)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	fmt.Println(rep.String())
+	fmt.Fprintln(stdout, rep.String())
 	if !rep.OK() {
-		fmt.Println("counterexample trace:")
+		fmt.Fprintln(stdout, "counterexample trace:")
 		for i, step := range rep.Trace {
-			fmt.Printf("  %2d. %s\n", i+1, step)
+			fmt.Fprintf(stdout, "  %2d. %s\n", i+1, step)
 		}
 		if fault == mcheck.FaultNone {
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

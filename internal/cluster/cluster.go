@@ -203,6 +203,8 @@ type Cluster struct {
 	nodes     []*Node
 	closed    bool
 	mu        sync.Mutex
+	// reconfigMu serializes hot-set reconfigurations (reconfig.go).
+	reconfigMu sync.Mutex
 }
 
 // Node is one server: a KVS shard plus (for ccKVS) a symmetric cache.
@@ -220,6 +222,15 @@ type Node struct {
 	seqMu     sync.Mutex
 	seqClocks map[uint64]uint32
 
+	// homeMu orders local miss-path puts against a local promotion fetch
+	// (reconfig.go): a put whose cache probe predates the promotion's
+	// placeholder re-checks the cache under this mutex before touching the
+	// local shard, so it either lands before the fetch reads the shard or
+	// bounces back through the cache. Remote miss-path puts get the same
+	// guarantee for free — they serialize with the fetch on the home's
+	// single KVS dispatcher thread.
+	homeMu sync.Mutex
+
 	// Lin write completion plumbing: one waiter per key (a node allows a
 	// single outstanding Lin write per key, see core.ErrWritePending).
 	waitMu  sync.Mutex
@@ -233,6 +244,9 @@ type Node struct {
 	LocalOps, RemoteOps    metrics.Counter
 	InvalidRetries         metrics.Counter
 	WritePendingRetries    metrics.Counter
+	// FrozenRetries counts writes that found their entry frozen
+	// mid-demotion and had to retry until the key left the hot set.
+	FrozenRetries metrics.Counter
 	// RemoteReqPackets counts request packets the coalescing pipeline sent;
 	// RemoteReqMsgs counts the requests they carried. Their ratio is the
 	// achieved coalescing factor (§8.5).
@@ -317,7 +331,14 @@ func (c *Cluster) Close() error {
 	for _, n := range c.nodes {
 		n.pipe.close()
 	}
-	return c.transport.Close()
+	err := c.transport.Close()
+	// A response whose send lost the race against the transport close never
+	// reached its caller; fail whatever is still pending so no session
+	// blocks forever.
+	for _, n := range c.nodes {
+		n.rpc.failAll(ErrPipelineClosed)
+	}
+	return err
 }
 
 // Populate loads the dataset: every key 0..NumKeys-1 is written to its home
@@ -335,13 +356,18 @@ func (c *Cluster) Populate() {
 
 // InstallHotSet fills every node's symmetric cache with the given keys
 // (typically ranks 0..CacheItems-1), fetching initial values from the home
-// shards, and flushes any dirty evicted items home. It is the epoch-change
-// path of §4, driven here by the test/benchmark harness acting as the cache
-// coordinator.
+// shards, and flushes any dirty evicted items home. It is the *bootstrap*
+// (full-reinstall) epoch path of §4: the harness acts as an omniscient
+// coordinator that reads peer KVS state directly, bypassing the fabric, and
+// it offers no write-ordering guarantees against concurrent traffic. Online
+// epoch changes under live traffic use ApplyHotSetDelta (reconfig.go), which
+// applies only the delta over the RPC fabric.
 func (c *Cluster) InstallHotSet(keys []uint64) {
 	if c.cfg.System != CCKVS {
 		return
 	}
+	c.reconfigMu.Lock()
+	defer c.reconfigMu.Unlock()
 	for _, n := range c.nodes {
 		wbs := n.cache.Install(keys, func(key uint64) ([]byte, timestamp.TS, bool) {
 			home := c.nodes[c.HomeNode(key)]

@@ -16,8 +16,22 @@ import (
 // hanging.
 var ErrRetriesExhausted = errors.New("cluster: read retries exhausted on invalid entry")
 
+// ErrFrozenRetriesExhausted is returned when a write spun on a frozen entry
+// for an implausibly long time — a hot-set reconfiguration always commits,
+// aborts or removes the entry in bounded time, so this indicates a
+// reconfiguration that died without cleaning up (e.g. the deployment closed
+// mid-refresh).
+var ErrFrozenRetriesExhausted = errors.New("cluster: write retries exhausted on frozen entry")
+
 // invalidRetryLimit bounds the Read retry loop on Lin-invalidated entries.
 const invalidRetryLimit = 10_000_000
+
+// frozenRetryLimit bounds write retries on entries frozen by a hot-set
+// reconfiguration. A transition always commits, aborts, or removes the
+// entry in bounded time; hitting the limit means a reconfiguration died
+// without cleaning up (e.g. the deployment closed mid-refresh) and the
+// write fails loudly instead of spinning forever.
+const frozenRetryLimit = 10_000_000
 
 // cacheRead probes the symmetric cache, spinning while an entry is
 // invalidated by an in-flight Lin write. hit=false reports a clean miss.
@@ -134,20 +148,50 @@ func (n *Node) MultiGet(keys []uint64) ([][]byte, error) {
 
 // Put serves a client write arriving at this node (§6.1, "Writes"): a cache
 // hit runs the configured consistency protocol; a miss forwards the write
-// to the home node.
+// to the home node. A miss-path write whose probe went stale — the key
+// (re)entered the hot set before the write reached the home shard — bounces
+// back and re-probes, so it can never overtake a promotion's fetch of the
+// home value.
 func (n *Node) Put(key uint64, value []byte) error {
-	done, err := n.putCached(key, value)
-	if err != nil || done {
-		return err
+	for attempt := 0; ; attempt++ {
+		if attempt > frozenRetryLimit {
+			return ErrFrozenRetriesExhausted
+		}
+		done, err := n.putCached(key, value)
+		if err != nil || done {
+			return err
+		}
+		home := n.cluster.HomeNode(key)
+		if home == int(n.id) {
+			bounced := n.localHomePut(key, value)
+			if !bounced {
+				return nil
+			}
+		} else {
+			n.RemoteOps.Add(1)
+			err := n.RemotePut(uint8(home), key, value)
+			if err != errPutBounced {
+				return err
+			}
+		}
+		n.FrozenRetries.Add(1)
+		yield()
 	}
-	home := n.cluster.HomeNode(key)
-	if home == int(n.id) {
-		n.LocalOps.Add(1)
-		n.localKVSPut(key, value)
-		return nil
+}
+
+// localHomePut applies a miss-path put to this node's own shard, unless the
+// key is (again) cached — the stale-probe re-check runs under homeMu, the
+// mutex a local promotion fetch holds while reading the shard, so the put
+// either lands before the fetch or bounces back through the cache.
+func (n *Node) localHomePut(key uint64, value []byte) (bounced bool) {
+	n.homeMu.Lock()
+	defer n.homeMu.Unlock()
+	if n.cache != nil && n.cache.Contains(key) {
+		return true
 	}
-	n.RemoteOps.Add(1)
-	return n.RemotePut(uint8(home), key, value)
+	n.LocalOps.Add(1)
+	n.localKVSPut(key, value)
+	return false
 }
 
 // MultiPut serves a batch of writes in one call: hot keys run the
@@ -167,8 +211,14 @@ func (n *Node) MultiPut(keys []uint64, values [][]byte) error {
 		}
 		home := n.cluster.HomeNode(key)
 		if home == int(n.id) {
-			n.LocalOps.Add(1)
-			n.localKVSPut(key, values[i])
+			if n.localHomePut(key, values[i]) {
+				// Stale probe (the key re-entered the hot set): re-execute
+				// through the full write path.
+				n.FrozenRetries.Add(1)
+				if err := n.Put(key, values[i]); err != nil {
+					return err
+				}
+			}
 			continue
 		}
 		n.RemoteOps.Add(1)
@@ -179,7 +229,11 @@ func (n *Node) MultiPut(keys []uint64, values [][]byte) error {
 	var firstErr error
 	for _, p := range pend {
 		res, err := n.rpc.await(p.ch)
-		if err == nil && res.status != rpcStatusOK {
+		if err == nil && res.status == rpcStatusRetry {
+			// Bounced by the home: the key went hot mid-flight; re-probe
+			// and re-execute this write through the cache protocol.
+			err = n.Put(keys[p.idx], values[p.idx])
+		} else if err == nil && res.status != rpcStatusOK {
 			err = fmt.Errorf("cluster: remote put failed (status %d)", res.status)
 		}
 		if err != nil && firstErr == nil {
@@ -210,68 +264,116 @@ func (n *Node) putCached(key uint64, value []byte) (done bool, err error) {
 }
 
 // putSC runs an SC cache write under the configured Figure 4 serialization
-// design. done=false with nil error means the key missed the cache.
+// design. done=false with nil error means the key missed the cache. A write
+// that finds its entry frozen mid-demotion retries until the key either
+// unfreezes (never happens today: demotions always commit) or leaves the hot
+// set, at which point it misses to the home shard — which by then holds the
+// demotion's write-back, so the write can never be clobbered by it.
 func (n *Node) putSC(key uint64, value []byte) (bool, error) {
 	const coordinator = 0 // primary/sequencer node when selected
 	switch n.cluster.cfg.Serialization {
 	case SerializationPrimary:
-		if !n.cache.Contains(key) {
-			return false, nil // putCached counts the miss
+		for attempt := 0; ; attempt++ {
+			if attempt > frozenRetryLimit {
+				return false, ErrFrozenRetriesExhausted
+			}
+			if !n.cache.Contains(key) {
+				return false, nil // putCached counts the miss
+			}
+			if n.id == coordinator {
+				done, retry, err := n.commitSC(n.cache.WriteSC(key, value))
+				if retry {
+					continue
+				}
+				return done, err
+			}
+			// All writes serialize at the primary (Figure 4a): forward and
+			// wait for its ack; the update reaches us via broadcast.
+			err := n.PrimaryWrite(coordinator, key, value)
+			if err == errPrimaryMiss {
+				// The hot set shifted under us; wait for our own commit
+				// and re-probe (the write then goes to the home shard).
+				yield()
+				continue
+			}
+			if err == nil {
+				n.CacheHits.Add(1)
+				return true, nil
+			}
+			return false, err
 		}
-		n.CacheHits.Add(1)
-		if n.id == coordinator {
-			upd, err := n.cache.WriteSC(key, value)
-			if err != nil {
+	case SerializationSequencer:
+		for attempt := 0; ; attempt++ {
+			if attempt > frozenRetryLimit {
+				return false, ErrFrozenRetriesExhausted
+			}
+			if !n.cache.Contains(key) {
+				return false, nil // putCached counts the miss
+			}
+			var ts timestamp.TS
+			var err error
+			if n.id == coordinator {
+				// The sequencer's own writes take the timestamp locally.
+				n.seqMu.Lock()
+				n.seqClocks[key]++
+				ts = timestamp.TS{Clock: n.seqClocks[key], Writer: n.id}
+				n.seqMu.Unlock()
+			} else if ts, err = n.SeqTS(coordinator, key); err != nil {
 				return false, err
 			}
-			n.broadcastConsistency(metrics.ClassUpdate, upd.Encode(nil))
-			return true, nil
+			// On a frozen retry the consumed sequencer timestamp is
+			// abandoned; gaps in the per-key clock are harmless (it only
+			// ever advances).
+			done, retry, err := n.commitSC(n.cache.WriteSCWithTS(key, value, ts))
+			if retry {
+				continue
+			}
+			return done, err
 		}
-		// All writes serialize at the primary (Figure 4a): forward and
-		// wait for its ack; the update reaches us via broadcast.
-		return true, n.PrimaryWrite(coordinator, key, value)
-	case SerializationSequencer:
-		if !n.cache.Contains(key) {
-			return false, nil // putCached counts the miss
-		}
-		n.CacheHits.Add(1)
-		var ts timestamp.TS
-		var err error
-		if n.id == coordinator {
-			// The sequencer's own writes take the timestamp locally.
-			n.seqMu.Lock()
-			n.seqClocks[key]++
-			ts = timestamp.TS{Clock: n.seqClocks[key], Writer: n.id}
-			n.seqMu.Unlock()
-		} else if ts, err = n.SeqTS(coordinator, key); err != nil {
-			return false, err
-		}
-		upd, err := n.cache.WriteSCWithTS(key, value, ts)
-		if err != nil {
-			return false, err
-		}
-		n.broadcastConsistency(metrics.ClassUpdate, upd.Encode(nil))
-		return true, nil
 	default:
-		upd, err := n.cache.WriteSC(key, value)
-		if err == core.ErrMiss {
-			return false, nil // putCached counts the miss
+		for attempt := 0; ; attempt++ {
+			if attempt > frozenRetryLimit {
+				return false, ErrFrozenRetriesExhausted
+			}
+			// Non-blocking: the local write is already visible; propagate
+			// asynchronously to all replicas (§5.2).
+			done, retry, err := n.commitSC(n.cache.WriteSC(key, value))
+			if retry {
+				continue
+			}
+			return done, err
 		}
-		if err != nil {
-			return false, err
-		}
+	}
+}
+
+// commitSC finishes one SC cache-write attempt, whatever serialization
+// design produced it: a successful write is broadcast; a frozen entry
+// (mid-demotion) yields and asks the caller to retry; a miss falls through
+// to the home-shard path.
+func (n *Node) commitSC(upd core.Update, err error) (done, retry bool, _ error) {
+	switch err {
+	case nil:
 		n.CacheHits.Add(1)
-		// Non-blocking: the local write is already visible; propagate
-		// asynchronously to all replicas (§5.2).
 		n.broadcastConsistency(metrics.ClassUpdate, upd.Encode(nil))
-		return true, nil
+		return true, false, nil
+	case core.ErrFrozen:
+		n.FrozenRetries.Add(1)
+		yield()
+		return false, true, nil
+	case core.ErrMiss:
+		return false, false, nil // putCached counts the miss
+	default:
+		return false, false, err
 	}
 }
 
 // putLin runs the blocking two-phase Lin write. done=false with nil error
 // means the key missed the cache.
 func (n *Node) putLin(key uint64, value []byte) (bool, error) {
-	for {
+	for attempt := 0; ; attempt++ {
+		if attempt > frozenRetryLimit {
+			return false, ErrFrozenRetriesExhausted
+		}
 		// Register the waiter first: acks can arrive the moment the
 		// invalidations hit the wire. Registration doubles as the
 		// node-local write mutex for the key: if a waiter exists, another
@@ -297,6 +399,14 @@ func (n *Node) putLin(key uint64, value []byte) (bool, error) {
 			// it and retry — writes must serialize.
 			n.unregisterLinWaiter(key, ch)
 			n.WritePendingRetries.Add(1)
+			yield()
+			continue
+		case core.ErrFrozen:
+			// The key is being demoted; retry until it leaves the hot set
+			// and the write misses to the home shard (which by then holds
+			// the demotion's write-back).
+			n.unregisterLinWaiter(key, ch)
+			n.FrozenRetries.Add(1)
 			yield()
 			continue
 		case core.ErrMiss:

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/metrics"
 	"repro/internal/store"
@@ -23,6 +25,9 @@ import (
 // entries; each entry is self-framing:
 //
 //	request:  op(1) reqID(8) key(8) [vlen(4) value]      op: 0=get 1=put 2=primary-write 3=seq-ts
+//	          op(1) reqID(8) key(8) clock(4) writer(1) vlen(4) value
+//	                                                     op: 4=promote 8=writeback
+//	          op(1) reqID(8) key(8)                      op: 5/6/7=demote freeze/collect/commit, 9/10=promote prepare/fetch, 11=unfreeze, 12=demote-retire
 //	response: reqID(8) status(1) [clock(4) writer(1) vlen(4) value]
 //
 // The response payload (timestamp + value) is present only when status is
@@ -30,7 +35,17 @@ import (
 // rpcStatusBadRequest answers requests the server could identify (it parsed
 // op+reqID) but could not serve — a truncated value, an unknown op, a
 // primary write on a cache-less node — so the caller fails loudly instead of
-// deadlocking on a response that will never come.
+// deadlocking on a response that will never come. rpcStatusRetry is a
+// backpressure answer: the server cannot serve the request *yet* (a frozen
+// entry still has protocol traffic in flight, a primary write hit a frozen
+// entry) and the caller should re-issue it after yielding.
+//
+// Ops 4..8 are the incremental hot-set reconfiguration protocol (§4 under
+// live traffic, see reconfig.go): promote installs a fetched value on a
+// node's cache; demote-freeze/collect/commit run the three-step demotion;
+// writeback applies a demoted dirty value to its home shard with
+// PutIfNewer semantics (the version travels with the value, unlike op 1
+// puts, which re-stamp against the stored clock).
 const (
 	rpcOpGet byte = 0
 	rpcOpPut byte = 1
@@ -40,10 +55,50 @@ const (
 	// rpcOpSeqTS fetches the next per-key serialization timestamp from
 	// the sequencer (Figure 4b design).
 	rpcOpSeqTS byte = 3
+	// rpcOpPromote commits a promotion: the carried value+version turn the
+	// key's placeholder (rpcOpPromotePrepare) into a live cache entry.
+	// Without a placeholder it installs directly (no-op if already live).
+	rpcOpPromote byte = 4
+	// rpcOpDemoteFreeze marks key frozen in the receiving node's cache:
+	// reads keep hitting, new writes are refused and retried by their
+	// sessions until the key is gone.
+	rpcOpDemoteFreeze byte = 5
+	// rpcOpDemoteCollect snapshots the frozen entry for write-back; the
+	// server answers Retry while the entry still has consistency traffic
+	// in flight, NotFound when clean, OK(ts, value) when dirty.
+	rpcOpDemoteCollect byte = 6
+	// rpcOpDemoteCommit removes key from the receiving node's cache.
+	rpcOpDemoteCommit byte = 7
+	// rpcOpWriteback applies a demoted dirty value at its home shard iff
+	// the carried version is newer than the stored one.
+	rpcOpWriteback byte = 8
+	// rpcOpPromotePrepare installs a frozen, valueless placeholder for key
+	// in the receiving node's cache: reads miss to the home shard, writes
+	// spin. Once every node holds it, the home value is stable and the
+	// coordinator can fetch it without racing client puts.
+	rpcOpPromotePrepare byte = 9
+	// rpcOpPromoteFetch reads key's value+version for a promotion. Unlike
+	// a plain get it takes the home's homeMu, so it serializes with local
+	// miss-path puts whose cache probe predates the placeholders (remote
+	// puts already serialize on this dispatcher thread).
+	rpcOpPromoteFetch byte = 10
+	// rpcOpUnfreeze lifts the write freeze from key in the receiving
+	// node's cache: the final round of a promotion (only once every
+	// replica is filled may writes resume, or a write completing early
+	// would be invisible to readers still missing to the home shard) and
+	// the abort path of a failed demotion.
+	rpcOpUnfreeze byte = 11
+	// rpcOpDemoteRetire darkens key in the receiving node's cache: reads
+	// miss to the home shard (current since the write-back), writes stay
+	// frozen. Only once every replica is dark may the commits remove the
+	// key — otherwise a write landing at the home shard after the home's
+	// own removal would be invisible to readers of the remaining copies.
+	rpcOpDemoteRetire byte = 12
 
 	rpcStatusOK         byte = 0
 	rpcStatusNotFound   byte = 1
 	rpcStatusBadRequest byte = 2
+	rpcStatusRetry      byte = 3
 )
 
 // rpcClient matches responses to outstanding requests for one node.
@@ -90,6 +145,19 @@ func (r *rpcClient) complete(id uint64, res rpcResult) {
 func (r *rpcClient) fail(ids []uint64, err error) {
 	for _, id := range ids {
 		r.complete(id, rpcResult{err: err})
+	}
+}
+
+// failAll fails every pending call. Used at cluster shutdown: a response
+// whose Send lost the race against transport close would otherwise leave
+// its caller blocked forever.
+func (r *rpcClient) failAll(err error) {
+	r.mu.Lock()
+	pend := r.pend
+	r.pend = map[uint64]chan rpcResult{}
+	r.mu.Unlock()
+	for _, ch := range pend {
+		ch <- rpcResult{err: err}
 	}
 }
 
@@ -213,6 +281,18 @@ func appendPutReq(buf []byte, op byte, id, key uint64, value []byte) []byte {
 	return append(buf, value...)
 }
 
+// appendVersionedReq encodes a promote or writeback request entry, which
+// carries the value's version alongside the value.
+func appendVersionedReq(buf []byte, op byte, id, key uint64, ts timestamp.TS, value []byte) []byte {
+	buf = append(buf, op)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = binary.LittleEndian.AppendUint64(buf, key)
+	buf = binary.LittleEndian.AppendUint32(buf, ts.Clock)
+	buf = append(buf, ts.Writer)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(value)))
+	return append(buf, value...)
+}
+
 // RemoteGet fetches key from its home node over the fabric.
 func (n *Node) RemoteGet(home uint8, key uint64) ([]byte, timestamp.TS, error) {
 	id := n.rpc.newReqID()
@@ -226,11 +306,14 @@ func (n *Node) RemoteGet(home uint8, key uint64) ([]byte, timestamp.TS, error) {
 	return res.value, res.ts, nil
 }
 
-// RemoteMultiGet fetches a batch of keys homed on one node with a single
+// remoteMultiGet fetches a batch of keys homed on one node with a single
 // pipelined exchange (few multi-request packets instead of len(keys)
 // round-trips). values[i] is nil when keys[i] is absent; a non-nil error
-// reports the first transport or protocol failure.
-func (n *Node) RemoteMultiGet(home uint8, keys []uint64) ([][]byte, []timestamp.TS, error) {
+// reports the first transport or protocol failure. It exists to exercise
+// the coalescing pipeline in isolation (tests); production batch reads go
+// through Node.MultiGet, which interleaves cache probes with the remote
+// fan-out.
+func (n *Node) remoteMultiGet(home uint8, keys []uint64) ([][]byte, []timestamp.TS, error) {
 	ids := make([]uint64, len(keys))
 	reqs := make([][]byte, len(keys))
 	for i, key := range keys {
@@ -252,6 +335,11 @@ func (n *Node) RemoteMultiGet(home uint8, keys []uint64) ([][]byte, []timestamp.
 	return values, tss, nil
 }
 
+// errPutBounced reports that the home node refused a miss-path put because
+// it currently caches the key (the probe was stale); the origin re-probes
+// its own cache and re-executes the write.
+var errPutBounced = errors.New("cluster: put bounced by home (key is hot)")
+
 // RemotePut forwards a put for key to its home node.
 func (n *Node) RemotePut(home uint8, key uint64, value []byte) error {
 	id := n.rpc.newReqID()
@@ -259,15 +347,23 @@ func (n *Node) RemotePut(home uint8, key uint64, value []byte) error {
 	if err != nil {
 		return err
 	}
-	if res.status != rpcStatusOK {
+	switch res.status {
+	case rpcStatusOK:
+		return nil
+	case rpcStatusRetry:
+		return errPutBounced
+	default:
 		return fmt.Errorf("cluster: remote put failed (status %d)", res.status)
 	}
-	return nil
 }
 
-// RemoteMultiPut forwards a batch of puts homed on one node with a single
-// pipelined exchange.
-func (n *Node) RemoteMultiPut(home uint8, keys []uint64, values [][]byte) error {
+// remoteMultiPut forwards a batch of puts homed on one node with a single
+// pipelined exchange. Like remoteMultiGet it exists to exercise the
+// pipeline in isolation; production batch writes go through Node.MultiPut,
+// which owns the bounce-and-re-execute handling for keys that went hot
+// mid-flight (a bounce here, on the cache-less clusters the tests drive,
+// would be a protocol error).
+func (n *Node) remoteMultiPut(home uint8, keys []uint64, values [][]byte) error {
 	ids := make([]uint64, len(keys))
 	reqs := make([][]byte, len(keys))
 	for i, key := range keys {
@@ -286,17 +382,38 @@ func (n *Node) RemoteMultiPut(home uint8, keys []uint64, values [][]byte) error 
 	return nil
 }
 
+// errPrimaryMiss reports that the primary no longer caches the key (the hot
+// set shifted); the origin re-probes its own cache and falls back to the
+// home shard.
+var errPrimaryMiss = errors.New("cluster: primary missed the key")
+
 // PrimaryWrite forwards a hot write to the primary node's cache (Figure 4a).
+// A Retry answer means the primary's entry is frozen mid-demotion; the write
+// is re-issued until the key either writes through or leaves the primary's
+// hot set (errPrimaryMiss). The retries are bounded like every other frozen
+// spin, so a freeze stranded by a failed reconfiguration fails loudly.
 func (n *Node) PrimaryWrite(primary uint8, key uint64, value []byte) error {
-	id := n.rpc.newReqID()
-	res, err := n.rpc.call(primary, appendPutReq(make([]byte, 0, 21+len(value)), rpcOpPrimaryWrite, id, key, value), id)
-	if err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		if attempt > frozenRetryLimit {
+			return ErrFrozenRetriesExhausted
+		}
+		id := n.rpc.newReqID()
+		res, err := n.rpc.call(primary, appendPutReq(make([]byte, 0, 21+len(value)), rpcOpPrimaryWrite, id, key, value), id)
+		if err != nil {
+			return err
+		}
+		switch res.status {
+		case rpcStatusOK:
+			return nil
+		case rpcStatusRetry:
+			n.FrozenRetries.Add(1)
+			yield()
+		case rpcStatusNotFound:
+			return errPrimaryMiss
+		default:
+			return fmt.Errorf("cluster: primary write failed (status %d)", res.status)
+		}
 	}
-	if res.status != rpcStatusOK {
-		return fmt.Errorf("cluster: primary write failed (status %d)", res.status)
-	}
-	return nil
 }
 
 // SeqTS fetches the next serialization timestamp for key from the
@@ -318,7 +435,8 @@ type rpcRequest struct {
 	op    byte
 	reqID uint64
 	key   uint64
-	value []byte // nil for get/seq-ts; aliases the packet buffer
+	ts    timestamp.TS // promote/writeback only: the value's version
+	value []byte       // nil for get/seq-ts/demote; aliases the packet buffer
 }
 
 // errBadRequest distinguishes identifiable-but-unservable requests (the
@@ -352,6 +470,27 @@ func parseRequest(buf []byte) (req rpcRequest, consumed int, err error) {
 		}
 		req.value = buf[21 : 21+vlen]
 		return req, 21 + vlen, nil
+	case rpcOpDemoteFreeze, rpcOpDemoteCollect, rpcOpDemoteCommit, rpcOpPromotePrepare, rpcOpPromoteFetch, rpcOpUnfreeze, rpcOpDemoteRetire:
+		if len(buf) < 17 {
+			return req, 0, errBadRequest
+		}
+		req.key = binary.LittleEndian.Uint64(buf[9:17])
+		return req, 17, nil
+	case rpcOpPromote, rpcOpWriteback:
+		if len(buf) < 26 {
+			return req, 0, errBadRequest
+		}
+		req.key = binary.LittleEndian.Uint64(buf[9:17])
+		req.ts = timestamp.TS{
+			Clock:  binary.LittleEndian.Uint32(buf[17:21]),
+			Writer: buf[21],
+		}
+		vlen := int(binary.LittleEndian.Uint32(buf[22:26]))
+		if vlen < 0 || len(buf) < 26+vlen {
+			return req, 0, errBadRequest
+		}
+		req.value = buf[26 : 26+vlen]
+		return req, 26 + vlen, nil
 	default:
 		return req, 0, errBadRequest
 	}
@@ -421,11 +560,28 @@ func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte) []byte {
 		// Puts that miss the cache go to the home shard; they carry no
 		// protocol timestamp, so advance the stored clock to serialize
 		// (home-node writes are trivially serialized per key).
+		//
+		// A put for a key this node currently caches is a stale probe: the
+		// key (re)entered the hot set between the origin's cache miss and
+		// this packet's arrival. Bounce it — the origin re-probes and the
+		// write re-executes through the cache protocol. The check and the
+		// shard write run under homeMu, the mutex a promotion fetch holds
+		// while reading this shard (whether served by rpcOpPromoteFetch or
+		// read directly by a coordinator homed here), so a miss-path put
+		// can never slip into the home shard between the placeholder
+		// barrier and the fetch — on any transport, however its dispatch
+		// threads are laid out.
+		n.homeMu.Lock()
+		if n.cache != nil && n.cache.Contains(req.key) {
+			n.homeMu.Unlock()
+			return appendStatusOnly(resp, req.reqID, rpcStatusRetry)
+		}
 		_, ts, err := n.kvs.Get(req.key, nil)
 		if err != nil {
 			ts = timestamp.TS{}
 		}
 		n.kvs.Put(req.key, req.value, ts.Next(n.id))
+		n.homeMu.Unlock()
 		return appendOKResponse(resp, req.reqID, timestamp.TS{}, nil)
 	case rpcOpPrimaryWrite:
 		if n.cache == nil {
@@ -434,6 +590,11 @@ func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte) []byte {
 		// All hot writes serialize through this node's cache; the update
 		// broadcast reaches every other node, including the origin.
 		upd, err := n.cache.WriteSC(req.key, req.value)
+		if err == core.ErrFrozen {
+			// Mid-demotion: the origin retries until the key leaves the
+			// hot set and the write goes to the home shard instead.
+			return appendStatusOnly(resp, req.reqID, rpcStatusRetry)
+		}
 		if err != nil {
 			return appendStatusOnly(resp, req.reqID, rpcStatusNotFound)
 		}
@@ -446,6 +607,75 @@ func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte) []byte {
 		n.seqMu.Unlock()
 		// Writer id: the requesting node.
 		return appendOKResponse(resp, req.reqID, timestamp.TS{Clock: clock, Writer: src}, nil)
+	case rpcOpPromotePrepare:
+		if n.cache == nil {
+			return appendStatusOnly(resp, req.reqID, rpcStatusBadRequest)
+		}
+		n.cache.AddPending([]uint64{req.key})
+		return appendOKResponse(resp, req.reqID, timestamp.TS{}, nil)
+	case rpcOpPromoteFetch:
+		n.homeMu.Lock()
+		v, ts, err := n.kvs.Get(req.key, nil)
+		n.homeMu.Unlock()
+		if err != nil {
+			return appendStatusOnly(resp, req.reqID, rpcStatusNotFound)
+		}
+		return appendOKResponse(resp, req.reqID, ts, v)
+	case rpcOpUnfreeze:
+		if n.cache == nil {
+			return appendStatusOnly(resp, req.reqID, rpcStatusBadRequest)
+		}
+		n.cache.Unfreeze([]uint64{req.key})
+		return appendOKResponse(resp, req.reqID, timestamp.TS{}, nil)
+	case rpcOpDemoteRetire:
+		if n.cache == nil {
+			return appendStatusOnly(resp, req.reqID, rpcStatusBadRequest)
+		}
+		n.cache.Retire([]uint64{req.key})
+		return appendOKResponse(resp, req.reqID, timestamp.TS{}, nil)
+	case rpcOpPromote:
+		if n.cache == nil {
+			return appendStatusOnly(resp, req.reqID, rpcStatusBadRequest)
+		}
+		if !n.cache.FillAdd(req.key, req.value, req.ts) {
+			// No placeholder (e.g. a prepare raced an overlapping epoch):
+			// install directly; an already-live entry is left alone.
+			val, ts := req.value, req.ts
+			n.cache.Add([]uint64{req.key}, func(uint64) ([]byte, timestamp.TS, bool) {
+				return val, ts, true
+			})
+		}
+		return appendOKResponse(resp, req.reqID, timestamp.TS{}, nil)
+	case rpcOpDemoteFreeze:
+		if n.cache == nil {
+			return appendStatusOnly(resp, req.reqID, rpcStatusBadRequest)
+		}
+		n.cache.Freeze([]uint64{req.key})
+		return appendOKResponse(resp, req.reqID, timestamp.TS{}, nil)
+	case rpcOpDemoteCollect:
+		if n.cache == nil {
+			return appendStatusOnly(resp, req.reqID, rpcStatusBadRequest)
+		}
+		wb, dirty, quiescent := n.cache.CollectFrozen(req.key)
+		if !quiescent {
+			return appendStatusOnly(resp, req.reqID, rpcStatusRetry)
+		}
+		if !dirty {
+			return appendStatusOnly(resp, req.reqID, rpcStatusNotFound)
+		}
+		return appendOKResponse(resp, req.reqID, wb.TS, wb.Value)
+	case rpcOpDemoteCommit:
+		if n.cache == nil {
+			return appendStatusOnly(resp, req.reqID, rpcStatusBadRequest)
+		}
+		n.cache.Remove([]uint64{req.key})
+		return appendOKResponse(resp, req.reqID, timestamp.TS{}, nil)
+	case rpcOpWriteback:
+		// A stale write-back (the home already holds something newer, e.g.
+		// a post-demotion client put) loses quietly — exactly the
+		// PutIfNewer contract the epoch change relies on.
+		_ = n.kvs.PutIfNewer(req.key, req.value, req.ts)
+		return appendOKResponse(resp, req.reqID, timestamp.TS{}, nil)
 	default:
 		// Unreachable today — parseRequest rejects unknown ops — but kept so
 		// the two dispatch tables cannot drift apart silently.

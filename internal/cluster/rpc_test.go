@@ -200,10 +200,10 @@ func TestBatchedRequestOneResponsePacket(t *testing.T) {
 	for i := range keys {
 		want[i] = bytes.Repeat([]byte{byte(0x10 + i)}, 40)
 	}
-	if err := n.RemoteMultiPut(1, keys, want); err != nil {
+	if err := n.remoteMultiPut(1, keys, want); err != nil {
 		t.Fatal(err)
 	}
-	values, _, err := n.RemoteMultiGet(1, keys)
+	values, _, err := n.remoteMultiGet(1, keys)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestPipelineRespectsByteBound(t *testing.T) {
 	}
 	// Each put request is 21+60 = 81 bytes; two would exceed the 100-byte
 	// bound, so every packet must carry exactly one request.
-	if err := n.RemoteMultiPut(1, keys, vals); err != nil {
+	if err := n.remoteMultiPut(1, keys, vals); err != nil {
 		t.Fatal(err)
 	}
 	if msgs, pkts := n.RemoteReqMsgs.Load(), n.RemoteReqPackets.Load(); pkts != msgs {

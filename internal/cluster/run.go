@@ -56,6 +56,21 @@ type RunOptions struct {
 	BatchSize int
 	// Workload generates the request stream (cloned per client).
 	Workload workload.Config
+	// RefreshEvery, when positive (and OnRefresh is set), runs the epoch
+	// refresh loop of §4 in the background for the duration of the run:
+	// OnRefresh is invoked every RefreshEvery while the clients are
+	// issuing requests — concurrently with them, which is the point (the
+	// hot set adapts under live traffic). The loop stops when the last
+	// client finishes.
+	RefreshEvery time.Duration
+	// OnRefresh closes an epoch: typically it asks a topk.Coordinator for
+	// the new hot set and applies the delta with Cluster.ApplyHotSetDelta
+	// (or reinstalls in full with InstallHotSet, the ablation baseline).
+	OnRefresh func()
+	// Observe, when set, is called with every generated key before the
+	// operation executes — the request-sampling hook that feeds the
+	// popularity tracker (§4).
+	Observe func(key uint64)
 }
 
 // Run drives the cluster with closed-loop clients and returns aggregate
@@ -79,6 +94,28 @@ func (c *Cluster) Run(opts RunOptions) (RunResult, error) {
 	var errMu sync.Mutex
 
 	start := time.Now()
+
+	// Background epoch-refresh loop (§4): reconfigures the hot set while
+	// the clients below are in full flight.
+	var refreshWG sync.WaitGroup
+	refreshStop := make(chan struct{})
+	if opts.RefreshEvery > 0 && opts.OnRefresh != nil {
+		refreshWG.Add(1)
+		go func() {
+			defer refreshWG.Done()
+			tick := time.NewTicker(opts.RefreshEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-refreshStop:
+					return
+				case <-tick.C:
+					opts.OnRefresh()
+				}
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for cl := 0; cl < opts.Clients; cl++ {
 		wg.Add(1)
@@ -94,11 +131,25 @@ func (c *Cluster) Run(opts RunOptions) (RunResult, error) {
 				}
 				errMu.Unlock()
 			}
+			// Batched calls cannot name the failing op (MultiGet/MultiPut
+			// report only the first error of the batch); attribute the
+			// whole batch instead of fabricating an op.
+			failBatch := func(i int, kind string, keys []uint64, err error) {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("client %d %s batch of %d keys ending at op %d: %w",
+						id, kind, len(keys), i, err)
+				}
+				errMu.Unlock()
+			}
 			for i := 0; i < opts.OpsPerClient; {
 				n := c.nodes[node]
 				node = (node + 1) % c.NumNodes() // round-robin load balance
 				if opts.BatchSize <= 1 {
 					op := g.Next()
+					if opts.Observe != nil {
+						opts.Observe(op.Key)
+					}
 					t0 := time.Now()
 					var err error
 					if op.Type == workload.Put {
@@ -122,6 +173,9 @@ func (c *Cluster) Run(opts RunOptions) (RunResult, error) {
 				var putVals [][]byte
 				for len(getKeys)+len(putKeys) < opts.BatchSize && i < opts.OpsPerClient {
 					op := g.Next()
+					if opts.Observe != nil {
+						opts.Observe(op.Key)
+					}
 					if op.Type == workload.Put {
 						putKeys = append(putKeys, op.Key)
 						// The generator reuses its value buffer; copy.
@@ -136,7 +190,7 @@ func (c *Cluster) Run(opts RunOptions) (RunResult, error) {
 					err := n.MultiPut(putKeys, putVals)
 					writeLat.Record(uint64(time.Since(t0).Nanoseconds()))
 					if err != nil {
-						fail(i, workload.Op{Type: workload.Put, Key: putKeys[0]}, err)
+						failBatch(i, "put", putKeys, err)
 						return
 					}
 				}
@@ -145,7 +199,7 @@ func (c *Cluster) Run(opts RunOptions) (RunResult, error) {
 					_, err := n.MultiGet(getKeys)
 					readLat.Record(uint64(time.Since(t0).Nanoseconds()))
 					if err != nil {
-						fail(i, workload.Op{Key: getKeys[0]}, err)
+						failBatch(i, "get", getKeys, err)
 						return
 					}
 				}
@@ -153,6 +207,8 @@ func (c *Cluster) Run(opts RunOptions) (RunResult, error) {
 		}(cl)
 	}
 	wg.Wait()
+	close(refreshStop)
+	refreshWG.Wait()
 	elapsed := time.Since(start)
 	if firstErr != nil {
 		return RunResult{}, firstErr

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/metrics"
@@ -21,6 +22,12 @@ var (
 	// ErrWritePending means this node already has an outstanding Lin write
 	// for the key; the new write must wait for it to complete.
 	ErrWritePending = errors.New("core: write already pending for key")
+	// ErrFrozen means the key is being demoted from the hot set: new writes
+	// must not land in the dying entry (they would race the write-back to
+	// the home shard), so the caller retries until the entry is gone and the
+	// write misses to the home shard — which by then holds the write-back.
+	// Reads keep hitting frozen entries.
+	ErrFrozen = errors.New("core: entry frozen for demotion")
 )
 
 // State is the consistency state of a cached entry. SC uses only StateValid;
@@ -65,6 +72,20 @@ type entry struct {
 	vlen  int
 	val   []byte // len == cap, mutated in place
 	dirty bool   // differs from the home shard (write-back caching, §4)
+	// frozen marks an entry mid-demotion: reads still hit and in-flight
+	// consistency traffic still applies, but new local writes are refused
+	// with ErrFrozen (see Freeze). Entries dropped by Remove stay frozen so
+	// writers that resolved the key through a stale table pointer also fail
+	// and re-probe.
+	frozen bool
+	// installing marks a dark entry: reads miss to the home shard while
+	// writes are held by frozen. Promotion placeholders (AddPending) are
+	// dark until filled — which is what makes the home value stable
+	// between the promotion's fetch and its commit (FillAdd) — and
+	// demotions darken entries (Retire) before removing them, so no
+	// replica serves a cached read after the home shard starts accepting
+	// post-demotion writes.
+	installing bool
 
 	// Lin per-writer bookkeeping for this node's outstanding write.
 	pendActive bool
@@ -74,8 +95,11 @@ type entry struct {
 	acks       int
 }
 
-// table is an immutable key set with mutable entries; a new table is
-// installed wholesale at each epoch change.
+// table is an immutable key set with mutable entries. A new table is
+// installed wholesale at a full epoch change (Install) and copy-on-write at
+// an incremental one (Add/Remove): readers and the consistency protocol keep
+// running against whichever table pointer they loaded, entries being shared
+// between the old and new tables.
 type table struct {
 	m map[uint64]*entry
 }
@@ -101,6 +125,9 @@ type Cache struct {
 	numNodes int
 	table    atomic.Pointer[table]
 	stats    Stats
+	// reconfMu serializes table swaps (Install/Add/Remove). Reads and the
+	// protocol paths never take it.
+	reconfMu sync.Mutex
 }
 
 // NewCache returns an empty cache for node nodeID of a numNodes deployment.
@@ -147,6 +174,8 @@ type WriteBack struct {
 // flushes to their home shards with PutIfNewer. Concurrent reads continue
 // against the old table until the swap.
 func (c *Cache) Install(keys []uint64, fetch func(key uint64) ([]byte, timestamp.TS, bool)) []WriteBack {
+	c.reconfMu.Lock()
+	defer c.reconfMu.Unlock()
 	old := c.table.Load()
 	next := &table{m: make(map[uint64]*entry, len(keys))}
 	for _, k := range keys {
@@ -184,6 +213,289 @@ func (c *Cache) Install(keys []uint64, fetch func(key uint64) ([]byte, timestamp
 	return wb
 }
 
+// Incremental reconfiguration (§4 under live traffic).
+//
+// An epoch change rarely moves more than a handful of keys, so instead of
+// reinstalling the whole table the cluster applies the delta. Promotions
+// run AddPending (a frozen, valueless placeholder: reads miss to the home
+// shard, writes spin — which pins the home value for the coordinator's
+// fetch), FillAdd (the fetched value becomes readable, writes still held)
+// and Unfreeze (once every replica is filled, writes resume); Add installs
+// directly when no write barrier is needed. Demotions run a four-step
+// dance per key — Freeze (new local writes refused, reads keep hitting,
+// protocol traffic keeps draining), CollectFrozen (snapshot the dirty value
+// once the entry is quiescent, for the write-back to the home shard),
+// Retire (reads go dark once the home is current — removal must not start
+// while any replica still serves cached reads), Remove (drop the key; the
+// next access misses to the home shard, which by then holds the
+// write-back). The freeze step is what makes the transition
+// safe under traffic: a write refused with ErrFrozen retries until the key
+// is gone and then forwards to the home shard, so it can neither land in a
+// dying entry nor overtake the write-back and be clobbered by it.
+
+// Add extends the hot set with keys, copy-on-write: concurrent readers keep
+// using the previous table until the atomic swap; existing entries are
+// shared, and keys already cached are left untouched. fetch supplies the
+// value and version for each new key; ok=false skips the key (unlike
+// Install, Add never installs an entry it has no value for — a key that
+// cannot be fetched simply keeps missing to its home shard). It returns how
+// many keys were installed.
+func (c *Cache) Add(keys []uint64, fetch func(key uint64) ([]byte, timestamp.TS, bool)) int {
+	c.reconfMu.Lock()
+	defer c.reconfMu.Unlock()
+	old := c.table.Load()
+	fresh := make([]uint64, 0, len(keys))
+	for _, k := range keys {
+		if _, ok := old.m[k]; !ok {
+			fresh = append(fresh, k)
+		}
+	}
+	if len(fresh) == 0 {
+		return 0
+	}
+	next := &table{m: make(map[uint64]*entry, len(old.m)+len(fresh))}
+	for k, e := range old.m {
+		next.m[k] = e
+	}
+	installed := 0
+	for _, k := range fresh {
+		if _, dup := next.m[k]; dup {
+			continue // duplicate key in the promotion list
+		}
+		v, ts, ok := fetch(k)
+		if !ok {
+			continue
+		}
+		e := &entry{
+			val:  append(make([]byte, 0, len(v)), v...),
+			vlen: len(v),
+			ts:   ts,
+		}
+		next.m[k] = e
+		installed++
+	}
+	if installed == 0 {
+		return 0
+	}
+	c.table.Store(next)
+	return installed
+}
+
+// AddPending installs promotion placeholders for keys, copy-on-write: the
+// entries are frozen (writes spin) and valueless (reads miss to the home
+// shard). Once every replica holds the placeholder, no client write can
+// reach the key's home shard — every write path probes the cache first and
+// spins on ErrFrozen — so the value the promotion then fetches from the
+// home cannot be overtaken by a racing put. FinishAdd later turns the
+// placeholder into a live entry. Keys already cached are skipped; it
+// returns how many placeholders were installed.
+func (c *Cache) AddPending(keys []uint64) int {
+	c.reconfMu.Lock()
+	defer c.reconfMu.Unlock()
+	old := c.table.Load()
+	fresh := make([]uint64, 0, len(keys))
+	for _, k := range keys {
+		if _, ok := old.m[k]; !ok {
+			fresh = append(fresh, k)
+		}
+	}
+	if len(fresh) == 0 {
+		return 0
+	}
+	next := &table{m: make(map[uint64]*entry, len(old.m)+len(fresh))}
+	for k, e := range old.m {
+		next.m[k] = e
+	}
+	installed := 0
+	for _, k := range fresh {
+		if _, dup := next.m[k]; dup {
+			continue
+		}
+		next.m[k] = &entry{frozen: true, installing: true}
+		installed++
+	}
+	c.table.Store(next)
+	return installed
+}
+
+// FillAdd fills a promotion placeholder with the fetched value and version:
+// reads start hitting, but the entry stays frozen — writes may resume only
+// once every replica is filled (Unfreeze), otherwise a write completing at
+// an early replica would be invisible to readers still missing to the home
+// shard. The value is applied only if its version orders after whatever the
+// entry holds — stale consistency traffic from an earlier epoch of the same
+// key may have landed on the placeholder, and a newer such value must win.
+// It reports whether key was a placeholder (false for live or missing
+// entries, which are left alone).
+func (c *Cache) FillAdd(key uint64, value []byte, ts timestamp.TS) bool {
+	e, ok := c.table.Load().m[key]
+	if !ok {
+		return false
+	}
+	e.lock.Lock()
+	defer e.lock.Unlock()
+	if !e.installing {
+		return false
+	}
+	e.installing = false
+	// An untouched placeholder carries the zero timestamp; apply the fetch
+	// even when the home version is itself zero (a never-written dataset
+	// key). Anything a stray update left behind has a non-zero version and
+	// wins unless the fetch is newer.
+	if ts.After(e.ts) || e.ts == timestamp.Zero {
+		e.setValueLocked(value)
+		e.ts = ts
+	}
+	return true
+}
+
+// Retire darkens cached keys for the final stretch of a demotion: reads
+// miss to the home shard (which, after the write-back, holds exactly the
+// cached value) and writes stay frozen. Only once every replica is dark may
+// the keys be removed — if replicas were removed one by one while others
+// still served reads, a write landing at the home shard the moment its
+// cache copy disappeared would be invisible to readers of the remaining
+// copies, a stale read past the write-back. It returns how many entries
+// this call darkened.
+func (c *Cache) Retire(keys []uint64) int {
+	t := c.table.Load()
+	n := 0
+	for _, k := range keys {
+		e, ok := t.m[k]
+		if !ok {
+			continue
+		}
+		e.lock.Lock()
+		if !e.installing {
+			e.installing = true
+			e.frozen = true
+			n++
+		}
+		e.lock.Unlock()
+	}
+	return n
+}
+
+// Unfreeze lifts the write freeze from cached keys — the final round of a
+// promotion (after every replica is filled) and the abort path of a failed
+// demotion. Placeholders that were never filled stay frozen (they have no
+// value to serve; their writers are released when the placeholder is
+// removed). It returns how many entries this call unfroze.
+func (c *Cache) Unfreeze(keys []uint64) int {
+	t := c.table.Load()
+	n := 0
+	for _, k := range keys {
+		e, ok := t.m[k]
+		if !ok {
+			continue
+		}
+		e.lock.Lock()
+		if e.frozen && !e.installing {
+			e.frozen = false
+			n++
+		}
+		e.lock.Unlock()
+	}
+	return n
+}
+
+// Freeze marks cached keys as demoting. Reads keep hitting (the cached value
+// stays the latest committed one until the write-back lands at the home
+// shard) and in-flight consistency messages still apply, but new local
+// writes are refused with ErrFrozen. It returns how many entries this call
+// transitioned to frozen.
+func (c *Cache) Freeze(keys []uint64) int {
+	t := c.table.Load()
+	n := 0
+	for _, k := range keys {
+		e, ok := t.m[k]
+		if !ok {
+			continue
+		}
+		e.lock.Lock()
+		if !e.frozen {
+			e.frozen = true
+			n++
+		}
+		e.lock.Unlock()
+	}
+	return n
+}
+
+// CollectFrozen snapshots a frozen entry for its demotion write-back once
+// the entry is quiescent: no outstanding local Lin write and not Invalid
+// awaiting a remote writer's update. ok=false means protocol traffic is
+// still draining and the caller must retry once the dispatcher made
+// progress. dirty=false with ok=true means the entry matches the home shard
+// and needs no write-back. A key that is no longer cached is trivially
+// quiescent and clean.
+func (c *Cache) CollectFrozen(key uint64) (wb WriteBack, dirty, ok bool) {
+	e, present := c.table.Load().m[key]
+	if !present {
+		return WriteBack{}, false, true
+	}
+	e.lock.Lock()
+	defer e.lock.Unlock()
+	if e.pendActive || e.state != StateValid {
+		return WriteBack{}, false, false
+	}
+	if !e.dirty {
+		return WriteBack{}, false, true
+	}
+	return WriteBack{
+		Key:   key,
+		Value: append([]byte(nil), e.val[:e.vlen]...),
+		TS:    e.ts,
+	}, true, true
+}
+
+// Remove drops keys from the hot set, copy-on-write. Callers are expected to
+// have frozen the keys and flushed their write-backs first (Freeze /
+// CollectFrozen); Remove marks the dropped entries frozen regardless, so a
+// writer that resolved the key through a stale table pointer still fails
+// with ErrFrozen, re-probes, and misses to the home shard. It returns how
+// many keys were removed (counted as evictions).
+func (c *Cache) Remove(keys []uint64) int {
+	c.reconfMu.Lock()
+	defer c.reconfMu.Unlock()
+	old := c.table.Load()
+	dropKeys := make(map[uint64]*entry, len(keys))
+	for _, k := range keys {
+		if e, ok := old.m[k]; ok {
+			dropKeys[k] = e
+		}
+	}
+	if len(dropKeys) == 0 {
+		return 0
+	}
+	next := &table{m: make(map[uint64]*entry, len(old.m)-len(dropKeys))}
+	for k, e := range old.m {
+		if _, gone := dropKeys[k]; !gone {
+			next.m[k] = e
+		}
+	}
+	c.table.Store(next)
+	for _, e := range dropKeys {
+		e.lock.Lock()
+		e.frozen = true
+		e.lock.Unlock()
+		c.stats.Evictions.Add(1)
+	}
+	return len(dropKeys)
+}
+
+// Frozen reports whether key is cached and currently frozen for demotion
+// (test hook).
+func (c *Cache) Frozen(key uint64) bool {
+	e, ok := c.table.Load().m[key]
+	if !ok {
+		return false
+	}
+	var f bool
+	e.lock.Read(func() { f = e.frozen })
+	return f
+}
+
 // Read probes the cache. On a hit it copies the value into dst and returns
 // it with the entry's timestamp. It returns ErrMiss for uncached keys and
 // ErrInvalid when a Lin invalidation is outstanding. Reads are lock-free.
@@ -198,28 +510,35 @@ func (c *Cache) Read(key uint64, dst []byte) ([]byte, timestamp.TS, error) {
 		state := e.state
 		ts := e.ts
 		vlen := e.vlen
-		if state == StateInvalid {
-			if !e.lock.ReadRetry(v) {
-				c.stats.InvalidStalls.Add(1)
-				return dst, timestamp.TS{}, ErrInvalid
+		installing := e.installing
+		// A torn length is rejected by the validation below; guard the copy
+		// and call ReadRetry exactly once per ReadBegin (the race-build
+		// seqlock depends on strict pairing).
+		sane := vlen >= 0 && vlen <= len(e.val)
+		if sane && state != StateInvalid && !installing {
+			if cap(dst) < vlen {
+				dst = make([]byte, vlen)
 			}
+			dst = dst[:vlen]
+			copy(dst, e.val[:vlen])
+		}
+		if e.lock.ReadRetry(v) {
 			continue
 		}
-		if vlen < 0 || vlen > len(e.val) {
-			if e.lock.ReadRetry(v) {
-				continue
-			}
-			vlen = 0
+		if installing {
+			// Promotion placeholder: no value yet, the home shard serves.
+			c.stats.Misses.Add(1)
+			return dst, timestamp.TS{}, ErrMiss
 		}
-		if cap(dst) < vlen {
-			dst = make([]byte, vlen)
+		if state == StateInvalid {
+			c.stats.InvalidStalls.Add(1)
+			return dst, timestamp.TS{}, ErrInvalid
 		}
-		dst = dst[:vlen]
-		copy(dst, e.val[:vlen])
-		if !e.lock.ReadRetry(v) {
-			c.stats.Hits.Add(1)
-			return dst, ts, nil
+		if !sane {
+			dst = dst[:0] // unreachable on a validated snapshot; defensive
 		}
+		c.stats.Hits.Add(1)
+		return dst, ts, nil
 	}
 }
 

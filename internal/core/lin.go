@@ -35,6 +35,13 @@ func (c *Cache) WriteLinStart(key uint64, value []byte) (Invalidation, error) {
 	}
 	var inv Invalidation
 	e.lock.Lock()
+	if e.frozen {
+		// The key is being demoted; the caller retries until the entry is
+		// removed and the write misses to the home shard (which by then
+		// holds the demotion's write-back).
+		e.lock.Unlock()
+		return Invalidation{}, ErrFrozen
+	}
 	if e.pendActive {
 		e.lock.Unlock()
 		return Invalidation{}, ErrWritePending

@@ -25,6 +25,10 @@ func (c *Cache) WriteSC(key uint64, value []byte) (Update, error) {
 	}
 	var out Update
 	e.lock.Lock()
+	if e.frozen {
+		e.lock.Unlock()
+		return Update{}, ErrFrozen
+	}
 	e.ts = e.ts.Next(c.nodeID)
 	e.setValueLocked(value)
 	e.dirty = true
@@ -49,6 +53,10 @@ func (c *Cache) WriteSCWithTS(key uint64, value []byte, ts timestamp.TS) (Update
 		return Update{}, ErrMiss
 	}
 	e.lock.Lock()
+	if e.frozen {
+		e.lock.Unlock()
+		return Update{}, ErrFrozen
+	}
 	if ts.After(e.ts) {
 		e.ts = ts
 		e.setValueLocked(value)

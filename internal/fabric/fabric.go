@@ -114,6 +114,7 @@ type ChanTransport struct {
 	mu     sync.RWMutex
 	queues map[Addr]chan Packet
 	wg     sync.WaitGroup
+	sends  sync.WaitGroup // in-flight Send calls (see Close)
 	closed bool
 	depth  int
 	stats  *Stats
@@ -157,7 +158,13 @@ func (t *ChanTransport) Register(addr Addr, h Handler) {
 }
 
 // Send enqueues p for its destination. Unknown destinations drop the packet
-// (datagram semantics).
+// (datagram semantics). The sender registers itself in t.sends before
+// releasing the lock, so Close can wait for every in-flight (possibly
+// blocked-on-backpressure) send to land before it closes the queues — a
+// send on a closed channel is therefore impossible, and because Close only
+// *marks* the transport closed before waiting, nested Sends issued by
+// dispatcher handlers fail fast with ErrClosed instead of deadlocking the
+// drain.
 func (t *ChanTransport) Send(p Packet) error {
 	t.mu.RLock()
 	if t.closed {
@@ -165,8 +172,10 @@ func (t *ChanTransport) Send(p Packet) error {
 		return ErrClosed
 	}
 	q, ok := t.queues[p.Dst]
-	t.mu.RUnlock()
 	t.stats.account(p)
+	t.sends.Add(1)
+	t.mu.RUnlock()
+	defer t.sends.Done()
 	if !ok {
 		return nil
 	}
@@ -176,12 +185,16 @@ func (t *ChanTransport) Send(p Packet) error {
 		if t.stats != nil {
 			t.stats.SendBlocked.Add(1)
 		}
-		q <- p // block until space frees up
+		q <- p // block until space frees up; dispatchers keep draining
 	}
 	return nil
 }
 
-// Close stops all dispatchers after draining queued packets.
+// Close stops all dispatchers after draining queued packets. Sends that
+// were already in flight complete (the dispatchers are still consuming, so
+// even backpressure-blocked senders drain); Sends arriving after Close —
+// including ones issued by handlers while the drain runs — fail with
+// ErrClosed.
 func (t *ChanTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -189,6 +202,9 @@ func (t *ChanTransport) Close() error {
 		return nil
 	}
 	t.closed = true
+	t.mu.Unlock()
+	t.sends.Wait()
+	t.mu.Lock()
 	for _, q := range t.queues {
 		close(q)
 	}

@@ -1,0 +1,29 @@
+//go:build !race
+
+package seqlock
+
+import "runtime"
+
+// RaceEnabled reports whether this build runs under the race detector, in
+// which case the reader side of the seqlock is mutual exclusion rather than
+// the optimistic version protocol (see the package comment).
+const RaceEnabled = false
+
+// ReadBegin returns a version snapshot to be validated with ReadRetry. It
+// spins until the version is even, i.e. until no write is in progress.
+func (s *SeqLock) ReadBegin() uint64 {
+	for {
+		v := s.version.Load()
+		if v&1 == 0 {
+			return v
+		}
+		runtime.Gosched()
+	}
+}
+
+// ReadRetry reports whether a read section that started at version v must be
+// retried because a writer intervened. It must be called exactly once per
+// ReadBegin (the race-build variant releases a lock here).
+func (s *SeqLock) ReadRetry(v uint64) bool {
+	return s.version.Load() != v
+}

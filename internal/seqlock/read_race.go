@@ -1,0 +1,29 @@
+//go:build race
+
+package seqlock
+
+import "runtime"
+
+// RaceEnabled reports whether this build runs under the race detector, in
+// which case the reader side of the seqlock is mutual exclusion rather than
+// the optimistic version protocol (see the package comment).
+const RaceEnabled = true
+
+// ReadBegin acquires the writer spinlock so the read section is exclusive
+// and visible to the race detector as properly synchronized. The returned
+// snapshot is taken while holding the lock, so ReadRetry never asks for a
+// retry.
+func (s *SeqLock) ReadBegin() uint64 {
+	for !s.lock.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+	return s.version.Load()
+}
+
+// ReadRetry releases the spinlock taken by ReadBegin and reports that the
+// (exclusive) snapshot is valid. It must be called exactly once per
+// ReadBegin on every control path.
+func (s *SeqLock) ReadRetry(v uint64) bool {
+	s.lock.Store(0)
+	return false
+}

@@ -101,21 +101,25 @@ func (s *Store) Get(key uint64, dst []byte) ([]byte, timestamp.TS, error) {
 		}
 		vlen := found.vlen
 		ts := found.ts
-		if vlen < 0 || vlen > len(found.val) {
-			// Torn length observed mid-write; validate will fail.
-			if !b.lock.ReadRetry(v) {
-				return nil, timestamp.TS{}, ErrNotFound
+		// A torn length can only be observed mid-write; the validation
+		// below rejects the snapshot. Guard the copy, and call ReadRetry
+		// exactly once per ReadBegin (the race-build seqlock depends on
+		// strict pairing).
+		sane := vlen >= 0 && vlen <= len(found.val)
+		if sane {
+			if cap(dst) < vlen {
+				dst = make([]byte, vlen)
 			}
+			dst = dst[:vlen]
+			copy(dst, found.val[:vlen])
+		}
+		if b.lock.ReadRetry(v) {
 			continue
 		}
-		if cap(dst) < vlen {
-			dst = make([]byte, vlen)
+		if !sane {
+			return nil, timestamp.TS{}, ErrNotFound
 		}
-		dst = dst[:vlen]
-		copy(dst, found.val[:vlen])
-		if !b.lock.ReadRetry(v) {
-			return dst, ts, nil
-		}
+		return dst, ts, nil
 	}
 }
 

@@ -1,0 +1,114 @@
+package topk
+
+import "testing"
+
+// An epoch that observed nothing must still roll, republishing the
+// incumbent set with zero churn — the caller's epoch counter and the cache
+// content stay consistent (the bug this fixes: the old coordinator rotated
+// the epoch but handed back an empty key list, so callers either cleared
+// the caches or silently skipped the epoch).
+func TestEmptyEpochRollsAndRetains(t *testing.T) {
+	c := NewCoordinator(4, 16, 1)
+	c.Seed([]uint64{10, 11, 12, 13})
+	hs, added, removed := c.EndEpoch()
+	if hs.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", hs.Epoch)
+	}
+	if added != 0 || removed != 0 {
+		t.Fatalf("empty epoch churned: +%d -%d", added, removed)
+	}
+	if hs.Size() != 4 || !hs.Contains(10) || !hs.Contains(13) {
+		t.Fatalf("incumbents lost: %v", hs.Keys)
+	}
+	// And again: epochs keep rolling.
+	hs, _, _ = c.EndEpoch()
+	if hs.Epoch != 2 || hs.Size() != 4 {
+		t.Fatalf("second empty epoch: %+v", hs)
+	}
+}
+
+// A short epoch fills the remainder with incumbents instead of shrinking.
+func TestShortEpochBackfillsIncumbents(t *testing.T) {
+	c := NewCoordinator(4, 16, 1)
+	c.Seed([]uint64{10, 11, 12, 13})
+	for i := 0; i < 50; i++ {
+		c.Observe(99)
+	}
+	hs, added, removed := c.EndEpoch()
+	if hs.Size() != 4 {
+		t.Fatalf("hot set shrank to %d", hs.Size())
+	}
+	if !hs.Contains(99) {
+		t.Fatalf("observed key not promoted: %v", hs.Keys)
+	}
+	if added != 1 || removed != 1 {
+		t.Fatalf("churn +%d -%d, want +1 -1", added, removed)
+	}
+}
+
+// Each epoch measures popularity afresh: a key hot last epoch but silent
+// since — and absent from the candidate band — gets demoted.
+func TestEpochsResetTheSampler(t *testing.T) {
+	c := NewCoordinator(2, 8, 1)
+	for i := 0; i < 100; i++ {
+		c.Observe(1)
+		c.Observe(2)
+	}
+	c.EndEpoch()
+	for i := 0; i < 100; i++ {
+		c.Observe(7)
+		c.Observe(8)
+	}
+	hs, added, removed := c.EndEpoch()
+	if !hs.Contains(7) || !hs.Contains(8) {
+		t.Fatalf("stale counts kept the old hot set: %v", hs.Keys)
+	}
+	if added != 2 || removed != 2 {
+		t.Fatalf("churn +%d -%d, want +2 -2", added, removed)
+	}
+}
+
+// Hysteresis: incumbents score double, so a challenger needs more than
+// twice an incumbent's count to displace it — near-ties (the Zipf tail
+// noise a memoryless top-k churns on) stick with the incumbent, while a
+// clearly hotter challenger still wins.
+func TestIncumbentHysteresis(t *testing.T) {
+	c := NewCoordinator(2, 8, 1)
+	for i := 0; i < 40; i++ {
+		c.Observe(1)
+		c.Observe(2)
+	}
+	c.EndEpoch() // hot set {1, 2}
+	// Near-tie: challenger 3 (40) beats incumbent 2 (25) in raw counts,
+	// but not the 2x sticky factor — no churn.
+	for i := 0; i < 40; i++ {
+		c.Observe(1)
+		c.Observe(3)
+	}
+	for i := 0; i < 25; i++ {
+		c.Observe(2)
+	}
+	hs, added, removed := c.EndEpoch()
+	if !hs.Contains(1) || !hs.Contains(2) || hs.Contains(3) {
+		t.Fatalf("near-tie churned the set: %v", hs.Keys)
+	}
+	if added != 0 || removed != 0 {
+		t.Fatalf("churn +%d -%d, want none", added, removed)
+	}
+	// Clearly hotter challenger: 3 (40) vs incumbent 2 (5, doubled to 10)
+	// — the challenger takes the slot.
+	for i := 0; i < 40; i++ {
+		c.Observe(1)
+		c.Observe(3)
+	}
+	for i := 0; i < 5; i++ {
+		c.Observe(2)
+	}
+	hs, added, removed = c.EndEpoch()
+	if !hs.Contains(1) || !hs.Contains(3) || hs.Contains(2) {
+		t.Fatalf("hot challenger not promoted: %v", hs.Keys)
+	}
+	if added != 1 || removed != 1 {
+		t.Fatalf("churn +%d -%d, want +1 -1", added, removed)
+	}
+}

@@ -145,6 +145,19 @@ func (s *Sampler) Top(n int) []Entry {
 	return s.ss.Top(n)
 }
 
+// TopAndReset atomically snapshots the top-n entries and starts a new
+// epoch: an observation lands either in the returned snapshot or in the
+// next epoch, never in neither (a separate Top-then-Reset would drop
+// whatever arrived in between).
+func (s *Sampler) TopAndReset(n int) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.ss.Top(n)
+	s.ss.Reset()
+	s.ticks = 0
+	return out
+}
+
 // Reset starts a new epoch.
 func (s *Sampler) Reset() {
 	s.mu.Lock()
@@ -236,17 +249,61 @@ func (c *Coordinator) Subscribe(fn func(*HotSet)) {
 	c.mu.Unlock()
 }
 
-// EndEpoch closes the current epoch: the top cacheSize keys become the new
-// hot set, which is published to all subscribers. It returns the new set and
-// the number of keys that entered and left relative to the previous epoch.
+// EndEpoch closes the current epoch: the top cacheSize keys observed since
+// the previous epoch boundary become the new hot set, which is published to
+// all subscribers. The epoch always rolls, and the returned (added, removed)
+// churn always describes the published set relative to the previous one:
+// when the epoch observed too few distinct keys to fill the cache — a short
+// epoch, aggressive sampling, or an idle system — incumbent keys are
+// retained to fill the remainder rather than shrinking (or, in the extreme,
+// clearing) the hot set, so an empty epoch publishes the previous set again
+// with zero churn. The sampler is reset so each epoch measures popularity
+// afresh, which is what lets the hot set track a moving workload.
+//
+// Selection applies demotion hysteresis: candidates are ranked by their
+// epoch count with incumbents' counts doubled, so an incumbent is displaced
+// only by a challenger observed more than twice as often. Below the first
+// few dozen ranks of a Zipf distribution the estimated counts are nearly
+// tied, so a memoryless top-k re-rolls its tail every epoch; the sticky
+// factor suppresses that noise (churn then tracks genuine popularity
+// shifts, the "handful of keys per epoch" the paper observes) while both a
+// clearly hotter challenger and a hotspot move still churn the set — cold
+// incumbents stop being observed and score zero.
 func (c *Coordinator) EndEpoch() (*HotSet, int, int) {
-	top := c.sampler.Top(c.cacheSize)
-	keys := make([]uint64, len(top))
-	for i, e := range top {
-		keys[i] = e.Key
-	}
+	scored := c.sampler.TopAndReset(2 * c.cacheSize)
 
 	c.mu.Lock()
+	incumbent := make(map[uint64]struct{}, len(c.current.Keys))
+	for _, k := range c.current.Keys {
+		incumbent[k] = struct{}{}
+	}
+	for i := range scored {
+		if _, ok := incumbent[scored[i].Key]; ok {
+			scored[i].Count *= 2 // sticky factor
+		}
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Count != scored[j].Count {
+			return scored[i].Count > scored[j].Count
+		}
+		return scored[i].Key < scored[j].Key
+	})
+	keys := make([]uint64, 0, c.cacheSize)
+	seen := make(map[uint64]struct{}, c.cacheSize)
+	add := func(k uint64) {
+		if _, dup := seen[k]; !dup && len(keys) < c.cacheSize {
+			seen[k] = struct{}{}
+			keys = append(keys, k)
+		}
+	}
+	for _, e := range scored {
+		add(e.Key)
+	}
+	// Incumbent backfill for short epochs (too few distinct keys observed
+	// to fill the cache), hottest-first order preserved.
+	for _, k := range c.current.Keys {
+		add(k)
+	}
 	c.epoch++
 	next := newHotSet(c.epoch, keys)
 	added, removed := 0, 0

@@ -17,6 +17,12 @@ const (
 	// PaperDefault is the paper's headline configuration: alpha = 0.99,
 	// 1% writes, 40-byte values.
 	PaperDefault = "paper-default"
+	// ShiftingHotspot is the churn workload for adaptive hot-set
+	// management: the paper's default skew and 5% writes, with the
+	// popularity hotspot rotating to a fresh keyspace region every few
+	// thousand operations. A static hot set decays toward zero hit rate
+	// under it; an adaptive one keeps up.
+	ShiftingHotspot = "shifting-hotspot"
 )
 
 // Preset returns the named workload configuration over numKeys keys, or
@@ -38,6 +44,12 @@ func Preset(name string, numKeys uint64) (Config, bool) {
 		base.WriteRatio = 0.002
 	case PaperDefault:
 		base.WriteRatio = 0.01
+	case ShiftingHotspot:
+		base.WriteRatio = 0.05
+		// A handful of shifts within even short benchmark runs; the
+		// stride default (numKeys/3+1) makes consecutive hot sets nearly
+		// disjoint.
+		base.ShiftEvery = 4096
 	default:
 		return Config{}, false
 	}
@@ -46,5 +58,5 @@ func Preset(name string, numKeys uint64) (Config, bool) {
 
 // Presets lists the known preset names.
 func Presets() []string {
-	return []string{YCSBA, YCSBB, YCSBC, Facebook, PaperDefault}
+	return []string{YCSBA, YCSBB, YCSBC, Facebook, PaperDefault, ShiftingHotspot}
 }

@@ -1,0 +1,78 @@
+package workload
+
+import "testing"
+
+// mostFrequent returns the key generated most often over n ops.
+func mostFrequent(g *Generator, n int) uint64 {
+	counts := map[uint64]int{}
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	var best uint64
+	bestN := -1
+	for k, c := range counts {
+		if c > bestN || (c == bestN && k < best) {
+			best, bestN = k, c
+		}
+	}
+	return best
+}
+
+func TestShiftingHotspotMovesTheHotKey(t *testing.T) {
+	const numKeys = 1 << 12
+	const every = 3000
+	g := MustNew(Config{
+		NumKeys: numKeys, Alpha: 0.99, ShiftEvery: every, ShiftStride: 1000, Seed: 7,
+	})
+	first := mostFrequent(g, every)
+	second := mostFrequent(g, every)
+	if first == second {
+		t.Fatalf("hotspot did not move: %d in both windows", first)
+	}
+	if want := (first + 1000) % numKeys; second != want {
+		t.Fatalf("hotspot moved to %d, want %d (stride 1000)", second, want)
+	}
+}
+
+func TestShiftStrideDefaultsAndBounds(t *testing.T) {
+	g := MustNew(Config{NumKeys: 100, Alpha: 0.99, ShiftEvery: 5, Seed: 3})
+	if s := g.Config().ShiftStride; s == 0 {
+		t.Fatal("ShiftEvery without ShiftStride must pick a default")
+	}
+	for i := 0; i < 500; i++ {
+		if k := g.Next().Key; k >= 100 {
+			t.Fatalf("key %d out of keyspace", k)
+		}
+	}
+	// Static configs stay static.
+	if s := MustNew(Config{NumKeys: 100, Alpha: 0.99}).Config().ShiftStride; s != 0 {
+		t.Fatalf("static config grew a stride: %d", s)
+	}
+}
+
+func TestShiftingHotspotPreset(t *testing.T) {
+	cfg, ok := Preset(ShiftingHotspot, 5000)
+	if !ok {
+		t.Fatal("preset missing")
+	}
+	if cfg.ShiftEvery == 0 || cfg.WriteRatio == 0 || cfg.Alpha == 0 {
+		t.Fatalf("preset underspecified: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range Presets() {
+		if name == ShiftingHotspot {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("preset not listed")
+	}
+	// Clones keep the churn behaviour (per-client streams shift too).
+	g := MustNew(cfg).Clone(3)
+	if g.Config().ShiftEvery != cfg.ShiftEvery {
+		t.Fatal("clone lost the shift cadence")
+	}
+}

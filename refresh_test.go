@@ -1,0 +1,117 @@
+package cckvs
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The epoch must roll even when the interval observed nothing, with the
+// return values and Stats agreeing: nothing was promoted or demoted and the
+// caches kept their content (the old behaviour rotated the coordinator
+// epoch but skipped the install and reported 0,0 with a k-key churn inside
+// the coordinator).
+func TestRefreshHotSetEmptyEpochRollsEpoch(t *testing.T) {
+	kv, err := Open(Options{Nodes: 2, NumKeys: 100, CacheItems: 4, SampleRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	for epoch := 1; epoch <= 3; epoch++ {
+		added, removed := kv.RefreshHotSet()
+		if added != 0 || removed != 0 {
+			t.Fatalf("empty epoch %d churned: +%d -%d", epoch, added, removed)
+		}
+		if got := kv.Stats().HotSetEpoch; got != uint64(epoch) {
+			t.Fatalf("epoch = %d, want %d (the epoch must roll)", got, epoch)
+		}
+		if kv.Stats().HotSetSize != 4 {
+			t.Fatalf("hot set size %d after empty epoch", kv.Stats().HotSetSize)
+		}
+	}
+	// The bootstrap hot set is intact: key 0 still hits.
+	before := kv.Stats().CacheHits
+	if _, err := kv.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if kv.Stats().CacheHits != before+1 {
+		t.Fatal("initial hot set lost across empty refreshes")
+	}
+}
+
+// RefreshHotSet keeps working while clients hammer the deployment — the
+// refresh races the traffic by design (run with -race).
+func TestRefreshHotSetUnderConcurrentTraffic(t *testing.T) {
+	kv, err := Open(Options{Nodes: 3, NumKeys: 3000, CacheItems: 16, SampleRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+
+	const clients = 4
+	stop := make(chan struct{})
+	errs := make(chan error, clients)
+	var ops atomic.Uint64
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			val := make([]byte, 8)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Hammer a hot region far outside the bootstrap hot set
+				// (keys 0..15), hopping regions as the run progresses so
+				// successive epochs promote and demote for real.
+				region := uint64(1000 + (i/400%3)*50)
+				key := region + uint64((id+i)%16)
+				if i%5 == 0 {
+					val[0] = byte(i)
+					if err := kv.Put(key, val); err != nil {
+						errs <- fmt.Errorf("client %d put: %w", id, err)
+						return
+					}
+				} else if _, err := kv.Get(key); err != nil {
+					errs <- fmt.Errorf("client %d get: %w", id, err)
+					return
+				}
+				ops.Add(1)
+			}
+		}(cl)
+	}
+	totalAdded := 0
+	for epoch := 0; epoch < 10; epoch++ {
+		// Let the clients put real traffic into the epoch before closing it.
+		target := ops.Load() + 1500
+		for ops.Load() < target {
+			runtime.Gosched()
+		}
+		added, removed := kv.RefreshHotSet()
+		if added < 0 || removed < 0 {
+			t.Fatalf("negative churn %d/%d", added, removed)
+		}
+		totalAdded += added
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if totalAdded == 0 {
+		t.Fatal("ten epochs under hot traffic promoted nothing")
+	}
+	if kv.Stats().HotSetEpoch != 10 {
+		t.Fatalf("epoch = %d, want 10", kv.Stats().HotSetEpoch)
+	}
+	if kv.Stats().HotSetSize == 0 {
+		t.Fatal("hot set emptied out")
+	}
+}
