@@ -114,7 +114,10 @@ func Open(opts Options) (*KV, error) {
 	}
 	c.Populate()
 	initial := cluster.DefaultHotSet(opts.CacheItems)
-	c.InstallHotSet(initial)
+	if err := c.InstallHotSet(initial); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("cckvs: install hot set: %w", err)
+	}
 	kv := &KV{
 		c:     c,
 		coord: topk.NewCoordinator(opts.CacheItems, opts.CacheItems*4, opts.SampleRate),

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,14 +34,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cckvs-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig   = fs.String("fig", "", "experiment id to run (see -list)")
-		all   = fs.Bool("all", false, "run every experiment")
-		list  = fs.Bool("list", false, "list experiment ids")
-		local = fs.Bool("local", false, "run the in-process cluster validation")
-		fig4  = fs.Bool("fig4", false, "run the Figure 4 serialization design space on the live cluster")
-		coal  = fs.Bool("coalesce", false, "run the request-coalescing (batched vs per-request) ablation on the live cluster")
-		churn = fs.Bool("churn", false, "run the hot-set reconfiguration (full reinstall vs incremental) ablation under a moving hotspot")
-		ops   = fs.Int("ops", 2000, "operations per client for -local/-fig4/-coalesce/-churn")
+		fig     = fs.String("fig", "", "experiment id to run (see -list)")
+		all     = fs.Bool("all", false, "run every experiment")
+		list    = fs.Bool("list", false, "list experiment ids")
+		local   = fs.Bool("local", false, "run the in-process cluster validation")
+		fig4    = fs.Bool("fig4", false, "run the Figure 4 serialization design space on the live cluster")
+		coal    = fs.Bool("coalesce", false, "run the request-coalescing (batched vs per-request) ablation on the live cluster")
+		churn   = fs.Bool("churn", false, "run the hot-set reconfiguration (full reinstall vs incremental) ablation under a moving hotspot")
+		ops     = fs.Int("ops", 2000, "operations per client for -local/-fig4/-coalesce/-churn")
+		jsonOut = fs.String("json", "", "additionally write the produced tables as JSON to this file (CI benchmark artifacts)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -56,13 +58,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	sort.Strings(ids)
 
+	// Every produced table is rendered as text and collected, so a -json
+	// sidecar can archive the run (the CI benchmark artifact).
+	var tables []experiments.Table
+	emit := func(tab experiments.Table) {
+		fmt.Fprint(stdout, tab.Render())
+		tables = append(tables, tab)
+	}
 	liveRun := func(name string, f func(int) (experiments.Table, error)) int {
 		tab, err := f(*ops)
 		if err != nil {
 			fmt.Fprintf(stderr, "%s: %v\n", name, err)
 			return 1
 		}
-		fmt.Fprint(stdout, tab.Render())
+		emit(tab)
 		return 0
 	}
 
@@ -72,16 +81,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, id)
 		}
 	case *local:
-		return liveRun("local validation", experiments.LocalValidation)
+		if code := liveRun("local validation", experiments.LocalValidation); code != 0 {
+			return code
+		}
 	case *fig4:
-		return liveRun("serialization ablation", experiments.LocalSerializationAblation)
+		if code := liveRun("serialization ablation", experiments.LocalSerializationAblation); code != 0 {
+			return code
+		}
 	case *coal:
-		return liveRun("coalescing ablation", experiments.LocalCoalescingAblation)
+		if code := liveRun("coalescing ablation", experiments.LocalCoalescingAblation); code != 0 {
+			return code
+		}
 	case *churn:
-		return liveRun("churn ablation", experiments.LocalChurnAblation)
+		if code := liveRun("churn ablation", experiments.LocalChurnAblation); code != 0 {
+			return code
+		}
 	case *all:
 		for _, id := range ids {
-			fmt.Fprint(stdout, registry[id]().Render())
+			emit(registry[id]())
 			fmt.Fprintln(stdout)
 		}
 	case *fig != "":
@@ -90,10 +107,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "unknown experiment %q; use -list\n", *fig)
 			return 2
 		}
-		fmt.Fprint(stdout, fn().Render())
+		emit(fn())
 	default:
 		fs.Usage()
 		return 2
 	}
+
+	if *jsonOut != "" && len(tables) > 0 {
+		if err := writeJSON(*jsonOut, tables); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %d table(s) to %s\n", len(tables), *jsonOut)
+	}
 	return 0
+}
+
+// writeJSON archives the run's tables for the benchmark-trajectory artifact.
+func writeJSON(path string, tables []experiments.Table) error {
+	doc := struct {
+		Tables []experiments.Table `json:"tables"`
+	}{Tables: tables}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }

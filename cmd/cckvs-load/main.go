@@ -1,104 +1,505 @@
-// Command cckvs-load drives a multi-process cckvs-node deployment with a
-// YCSB-style Zipfian workload and reports throughput and latency.
+// Command cckvs-load drives a multi-process cckvs-node deployment through
+// the session layer: it bootstraps the hot set, runs a YCSB-style Zipfian
+// workload against every node (the paper's black-box load balancing),
+// optionally applies an online hot-set refresh in the middle of the run,
+// and can finish with a consistency check that fails on any stale or lost
+// read — the multi-process counterpart of cmd/cckvs-verify.
 //
-// Example:
+// Example (after starting three cckvs-node processes):
 //
-//	cckvs-load -nodes 127.0.0.1:7000,127.0.0.1:7001 -keys 10000 \
-//	           -alpha 0.99 -writes 0.01 -ops 100000 -clients 4
+//	cckvs-load -nodes 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
+//	           -keys 16384 -hotset 64 -alpha 0.99 -writes 0.05 \
+//	           -ops 5000 -clients 4 -refresh-at 0.5 -verify -min-hit-rate 0.2
 package main
 
 import (
+	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/metrics"
-	"repro/internal/remote"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
 func main() {
-	var (
-		nodeList = flag.String("nodes", "127.0.0.1:7000", "comma-separated node addresses, ordered by node id")
-		keys     = flag.Uint64("keys", 10000, "keyspace size")
-		alpha    = flag.Float64("alpha", 0.99, "zipfian exponent (0 = uniform)")
-		writes   = flag.Float64("writes", 0.01, "write ratio")
-		ops      = flag.Int("ops", 100000, "operations per client")
-		clients  = flag.Int("clients", 4, "concurrent clients")
-		valSize  = flag.Int("value", 40, "value size in bytes")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	addrs := strings.Split(*nodeList, ",")
-	peers := map[uint8]string{}
-	for i, a := range addrs {
-		peers[uint8(i)] = strings.TrimSpace(a)
+// run parses args and drives the deployment end to end, returning the
+// process exit code (factored out of main so the CLI is testable).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cckvs-load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		nodeList   = fs.String("nodes", "127.0.0.1:7000", "comma-separated node addresses, ordered by node id")
+		keys       = fs.Uint64("keys", 16384, "keyspace size (must match the nodes' -keys)")
+		alpha      = fs.Float64("alpha", 0.99, "zipfian exponent (0 = uniform)")
+		writes     = fs.Float64("writes", 0.05, "write ratio")
+		ops        = fs.Int("ops", 5000, "operations per client")
+		clients    = fs.Int("clients", 4, "concurrent clients")
+		valSize    = fs.Int("value", 40, "value size in bytes")
+		hotset     = fs.Int("hotset", 0, "install ranks [0,hotset) as the hot set before the run (0 = skip)")
+		refreshAt  = fs.Float64("refresh-at", 0, "apply an online hot-set refresh after this fraction of ops (0 = never)")
+		refShift   = fs.Int("refresh-shift", 0, "ranks to shift the hot window at the mid-run refresh (default hotset/4)")
+		verify     = fs.Bool("verify", false, "run the consistency check after the workload")
+		verKeys    = fs.Int("verify-keys", 12, "keys exercised by the consistency check")
+		verRounds  = fs.Int("verify-rounds", 25, "sequential writes per key in the consistency check")
+		minHitRate = fs.Float64("min-hit-rate", 0, "fail unless the aggregate cache hit rate reaches this")
+		waitReady  = fs.Duration("wait", 15*time.Second, "how long to wait for all nodes to answer pings")
+		timeout    = fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
 
+	addrs := strings.Split(*nodeList, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	nodes := len(addrs)
+
+	cl, err := cluster.DialTCP(250, addrs)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer cl.Close()
+	cl.SetTimeout(*timeout)
+	if err := cl.WaitReady(*waitReady); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "deployment ready: %d nodes\n", nodes)
+
+	if *hotset > 0 {
+		promoted, demoted, err := cl.Refresh(0, hotWindow(0, *hotset))
+		if err != nil {
+			fmt.Fprintf(stderr, "hot-set install: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "hot set installed: %d keys (promoted=%d demoted=%d)\n", *hotset, promoted, demoted)
+	}
+
+	shifted, code := runWorkload(cl, workloadOpts{
+		nodes: nodes, keys: *keys, alpha: *alpha, writes: *writes,
+		ops: *ops, clients: *clients, valSize: *valSize,
+		hotset: *hotset, refreshAt: *refreshAt, refShift: *refShift,
+	}, stdout, stderr)
+	if code != 0 {
+		return code
+	}
+
+	if *verify {
+		shift := *refShift
+		if shift == 0 {
+			shift = *hotset / 4
+		}
+		if err := runVerify(cl, verifyOpts{
+			nodes: nodes, keys: *keys, verifyKeys: *verKeys, rounds: *verRounds,
+			hotset: *hotset, shift: shift, workloadShifted: shifted,
+		}, stdout); err != nil {
+			fmt.Fprintf(stderr, "consistency check FAILED: %v\n", err)
+			return 1
+		}
+	}
+
+	return reportStats(cl, nodes, *hotset, *minHitRate, stdout, stderr)
+}
+
+// hotWindow returns ranks [from, from+n).
+func hotWindow(from, n int) []uint64 {
+	w := make([]uint64, n)
+	for i := range w {
+		w[i] = uint64(from + i)
+	}
+	return w
+}
+
+type workloadOpts struct {
+	nodes     int
+	keys      uint64
+	alpha     float64
+	writes    float64
+	ops       int
+	clients   int
+	valSize   int
+	hotset    int
+	refreshAt float64
+	refShift  int
+}
+
+// runWorkload drives the Zipfian phase, optionally applying one online
+// hot-set refresh once the deployment has executed refreshAt of the total
+// operations — while the clients keep hammering it. shifted reports whether
+// that refresh actually ran (the verifier picks its own refresh target so
+// the epoch change always has a real delta).
+func runWorkload(cl *cluster.Client, o workloadOpts, stdout, stderr io.Writer) (shifted bool, code int) {
 	gen, err := workload.New(workload.Config{
-		NumKeys: *keys, Alpha: *alpha, WriteRatio: *writes, ValueSize: *valSize, Seed: 42,
+		NumKeys: o.keys, Alpha: o.alpha, WriteRatio: o.writes, ValueSize: o.valSize, Seed: 42,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return false, 1
 	}
 
 	lat := metrics.NewHistogram()
-	var wg sync.WaitGroup
-	var mu sync.Mutex
+	var done atomic.Uint64
 	var firstErr error
+	var errMu sync.Mutex
+	fail := func(client int, err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("client %d: %w", client, err)
+		}
+		errMu.Unlock()
+	}
+
+	total := uint64(o.clients * o.ops)
+	refreshTrigger := make(chan struct{}, 1)
+	threshold := uint64(float64(total) * o.refreshAt)
+
+	var wg sync.WaitGroup
 	start := time.Now()
-	for c := 0; c < *clients; c++ {
+	for c := 0; c < o.clients; c++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			cl, err := remote.DialCluster(uint8(100+id), peers)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			defer cl.Close()
 			g := gen.Clone(uint64(id))
-			for i := 0; i < *ops; i++ {
+			for i := 0; i < o.ops; i++ {
 				op := g.Next()
+				node := (id + i) % o.nodes // round-robin load balancing
 				t0 := time.Now()
+				var err error
 				if op.Type == workload.Put {
-					err = cl.Put(op.Key, op.Value)
+					err = cl.Put(node, op.Key, op.Value)
 				} else {
-					_, err = cl.Get(op.Key)
-					if err == remote.ErrNotFound {
-						err = nil // cold keys are fine on an unloaded deployment
+					_, err = cl.Get(node, op.Key)
+					if errors.Is(err, store.ErrNotFound) {
+						err = nil // keyspace mismatch tolerance on cold reads
 					}
 				}
 				lat.Record(uint64(time.Since(t0).Nanoseconds()))
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("client %d: %w", id, err)
-					}
-					mu.Unlock()
+					fail(id, err)
 					return
+				}
+				if n := done.Add(1); threshold > 0 && n == threshold {
+					select {
+					case refreshTrigger <- struct{}{}:
+					default:
+					}
 				}
 			}
 		}(c)
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	if firstErr != nil {
-		fmt.Fprintln(os.Stderr, firstErr)
-		os.Exit(1)
+
+	// Online refresh under full client load: shift the hot window by
+	// refShift ranks through an arbitrary node, exactly the §4 epoch change.
+	// workloadDone aborts the refresher when the threshold was never reached
+	// (a client failed, or refresh-at is past the end) — it must not run a
+	// pointless epoch change after the workload.
+	var refreshErr error
+	var didRefresh atomic.Bool
+	refreshed := make(chan struct{})
+	workloadDone := make(chan struct{})
+	if threshold > 0 && o.hotset > 0 {
+		go func() {
+			defer close(refreshed)
+			select {
+			case <-workloadDone:
+				// The workload may have reached the threshold in its final
+				// ops, leaving both channels ready; honor a fired trigger
+				// with priority so a short run cannot randomly skip the
+				// refresh it earned.
+				select {
+				case <-refreshTrigger:
+				default:
+					return
+				}
+			case <-refreshTrigger:
+			}
+			shift := o.refShift
+			if shift == 0 {
+				shift = o.hotset / 4
+			}
+			promoted, demoted, err := cl.Refresh(1%o.nodes, hotWindow(shift, o.hotset))
+			if err != nil {
+				refreshErr = err
+				return
+			}
+			didRefresh.Store(true)
+			fmt.Fprintf(stdout, "mid-run refresh: shifted hot window by %d (promoted=%d demoted=%d)\n",
+				shift, promoted, demoted)
+		}()
+	} else {
+		close(refreshed)
 	}
-	total := float64(*clients * *ops)
+
+	wg.Wait()
+	close(workloadDone)
+	elapsed := time.Since(start)
+	<-refreshed
+	if firstErr != nil {
+		fmt.Fprintln(stderr, firstErr)
+		return didRefresh.Load(), 1
+	}
+	if refreshErr != nil {
+		fmt.Fprintf(stderr, "mid-run refresh: %v\n", refreshErr)
+		return didRefresh.Load(), 1
+	}
+
 	snap := lat.Snapshot()
-	fmt.Printf("%d nodes, %d clients, %.0f ops in %v\n", len(peers), *clients, total, elapsed.Round(time.Millisecond))
-	fmt.Printf("throughput: %.0f ops/s\n", total/elapsed.Seconds())
-	fmt.Printf("latency:    avg %.1fus  p50 %.1fus  p95 %.1fus  p99 %.1fus\n",
+	fmt.Fprintf(stdout, "%d nodes, %d clients, %d ops in %v\n", o.nodes, o.clients, total, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "throughput: %.0f ops/s\n", float64(total)/elapsed.Seconds())
+	fmt.Fprintf(stdout, "latency:    avg %.1fus  p50 %.1fus  p95 %.1fus  p99 %.1fus\n",
 		snap.Mean/1000, float64(snap.P50)/1000, float64(snap.P95)/1000, float64(snap.P99)/1000)
+	return didRefresh.Load(), 0
+}
+
+type verifyOpts struct {
+	nodes      int
+	keys       uint64
+	verifyKeys int
+	rounds     int
+	hotset     int
+	shift      int
+	// workloadShifted records whether the workload's mid-run refresh moved
+	// the hot window to [shift, shift+hotset); the verifier's own refresh
+	// targets the *other* window so its epoch change always has a delta.
+	workloadShifted bool
+}
+
+// runVerify is the lost/stale-read detector: one writer per key issues a
+// strictly increasing sequence of tagged values through a fixed node while
+// one reader per node concurrently checks that the sequence it observes
+// never goes backwards; half-way through, an online hot-set refresh runs
+// under the checked traffic. Afterwards every node must converge to every
+// key's final value. Any regression, mismatch, non-convergence or lost
+// final write fails the run.
+func runVerify(cl *cluster.Client, o verifyOpts, stdout io.Writer) error {
+	// Half the checked keys from the hot window (cache protocol paths), half
+	// cold (remote-access paths). With no (or a small) hot set the cold side
+	// takes up the slack — the keys must be distinct, or two writers would
+	// race one key and fake a stale read.
+	var keys []uint64
+	hot := min(o.verifyKeys/2, o.hotset)
+	for i := 0; i < hot; i++ {
+		keys = append(keys, uint64(i))
+	}
+	for i := hot; i < o.verifyKeys; i++ {
+		keys = append(keys, o.keys/2+uint64(i))
+	}
+
+	var (
+		halfway      = make(chan struct{})
+		halfwayOnce  sync.Once
+		halfProgress = atomic.Int64{}
+		errMu        sync.Mutex
+		firstErr     error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func(key uint64) {
+			defer wg.Done()
+			// The halfway barrier must always fall, even when a writer fails
+			// or rounds is tiny — otherwise the refresh select below would
+			// stall for its full timeout on an already-doomed run.
+			marked := false
+			mark := func() {
+				if !marked {
+					marked = true
+					if halfProgress.Add(1) == int64(len(keys)) {
+						halfwayOnce.Do(func() { close(halfway) })
+					}
+				}
+			}
+			defer mark()
+			node := int(key) % o.nodes // writer affinity: per-key writes serialize
+			for seq := 1; seq <= o.rounds; seq++ {
+				if err := cl.Put(node, key, encodeVerify(key, uint64(seq))); err != nil {
+					fail(fmt.Errorf("writer key %d seq %d: %w", key, seq, err))
+					return
+				}
+				if seq == (o.rounds+1)/2 {
+					mark()
+				}
+			}
+		}(k)
+	}
+
+	// Readers: per-node monotonicity. A fixed replica may only ever move
+	// forward through a key's write sequence.
+	readerStop := make(chan struct{})
+	var readers sync.WaitGroup
+	for node := 0; node < o.nodes; node++ {
+		readers.Add(1)
+		go func(node int) {
+			defer readers.Done()
+			last := make(map[uint64]uint64, len(keys))
+			for {
+				select {
+				case <-readerStop:
+					return
+				default:
+				}
+				for _, k := range keys {
+					v, err := cl.Get(node, k)
+					if err != nil {
+						if errors.Is(err, store.ErrNotFound) {
+							continue
+						}
+						fail(fmt.Errorf("reader node %d key %d: %w", node, k, err))
+						return
+					}
+					seq, ok := decodeVerify(k, v)
+					if !ok {
+						continue // pre-check populate value
+					}
+					if seq > uint64(o.rounds) {
+						fail(fmt.Errorf("reader node %d key %d: impossible seq %d > %d", node, k, seq, o.rounds))
+						return
+					}
+					if seq < last[k] {
+						fail(fmt.Errorf("STALE READ: node %d key %d went backwards: %d after %d", node, k, seq, last[k]))
+						return
+					}
+					last[k] = seq
+				}
+			}
+		}(node)
+	}
+
+	// The online refresh under checked traffic: shift the hot window once
+	// every writer is half done. The target is whichever window is NOT
+	// currently installed — [shift,·) if the workload never refreshed,
+	// back to [0,·) if it did — so the epoch change always moves real keys
+	// (including checked hot keys, when shift reaches into them). A
+	// zero-delta refresh would silently skip the very reconfiguration
+	// concurrency this phase exists to exercise, hence the tripwire.
+	var refreshErr error
+	if o.hotset > 0 && o.shift > 0 {
+		target := hotWindow(o.shift, o.hotset)
+		if o.workloadShifted {
+			target = hotWindow(0, o.hotset)
+		}
+		select {
+		case <-halfway:
+			promoted, demoted, err := cl.Refresh(0, target)
+			switch {
+			case err != nil:
+				refreshErr = fmt.Errorf("refresh during check: %w", err)
+			case promoted == 0 && demoted == 0:
+				refreshErr = errors.New("refresh during check moved no keys (zero delta: reconfiguration concurrency not exercised)")
+			default:
+				fmt.Fprintf(stdout, "consistency check: hot window shifted under checked traffic (promoted=%d demoted=%d)\n",
+					promoted, demoted)
+			}
+		case <-time.After(2 * time.Minute):
+			refreshErr = errors.New("writers never reached the refresh point")
+		}
+	}
+
+	wg.Wait()
+	close(readerStop)
+	readers.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if refreshErr != nil {
+		return refreshErr
+	}
+
+	// Convergence: every node must serve every key's final write. A node
+	// stuck below it has lost the write or serves a stale replica.
+	deadline := time.Now().Add(15 * time.Second)
+	for _, k := range keys {
+		for node := 0; node < o.nodes; node++ {
+			for {
+				v, err := cl.Get(node, k)
+				if err == nil {
+					if seq, ok := decodeVerify(k, v); ok && seq == uint64(o.rounds) {
+						break
+					}
+				}
+				if time.Now().After(deadline) {
+					seq := uint64(0)
+					if err == nil {
+						seq, _ = decodeVerify(k, v)
+					}
+					return fmt.Errorf("LOST/STALE: node %d key %d stuck at seq %d, want %d (err=%v)",
+						node, k, seq, o.rounds, err)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "consistency check passed: %d keys x %d writes, %d readers, all nodes converged\n",
+		len(keys), o.rounds, o.nodes)
+	return nil
+}
+
+// encodeVerify tags a checker value with its key and sequence number.
+func encodeVerify(key, seq uint64) []byte {
+	v := make([]byte, 16)
+	binary.LittleEndian.PutUint64(v[:8], key)
+	binary.LittleEndian.PutUint64(v[8:], seq)
+	return v
+}
+
+// decodeVerify recovers the sequence number of a checker value; ok=false
+// for anything else (e.g. the populate-time value before the first write).
+func decodeVerify(key uint64, v []byte) (uint64, bool) {
+	if len(v) != 16 || binary.LittleEndian.Uint64(v[:8]) != key {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(v[8:]), true
+}
+
+// reportStats prints per-node counters and enforces the hit-rate floor.
+func reportStats(cl *cluster.Client, nodes, hotset int, minHitRate float64, stdout, stderr io.Writer) int {
+	var agg cluster.SessionStats
+	for node := 0; node < nodes; node++ {
+		st, err := cl.Stats(node)
+		if err != nil {
+			fmt.Fprintf(stderr, "stats node %d: %v\n", node, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "node %d: hits=%d misses=%d local=%d remote=%d hot=%d hit-rate=%.3f\n",
+			node, st.CacheHits, st.CacheMisses, st.LocalOps, st.RemoteOps, st.HotKeys, st.HitRate())
+		agg.CacheHits += st.CacheHits
+		agg.CacheMisses += st.CacheMisses
+		agg.LocalOps += st.LocalOps
+		agg.RemoteOps += st.RemoteOps
+	}
+	fmt.Fprintf(stdout, "aggregate hit rate: %.3f\n", agg.HitRate())
+	if hotset > 0 && agg.CacheHits == 0 {
+		fmt.Fprintln(stderr, "no cache hits despite an installed hot set")
+		return 1
+	}
+	if minHitRate > 0 && agg.HitRate() < minHitRate {
+		fmt.Fprintf(stderr, "aggregate hit rate %.3f below required %.3f\n", agg.HitRate(), minHitRate)
+		return 1
+	}
+	return 0
 }

@@ -1,60 +1,159 @@
-// Command cckvs-node runs one standalone KVS shard server over TCP: the
-// remote-access (NUMA abstraction) layer of the reproduction deployed
-// across real processes. Start one process per node, then drive the
-// deployment with cmd/cckvs-load.
+// Command cckvs-node runs ONE member of a multi-process ccKVS deployment
+// over TCP: a full cluster node — KVS shard, symmetric hot-set cache, the
+// Lin/SC consistency protocols, coalesced remote accesses and online
+// hot-set reconfiguration — exactly the protocol stack the in-process
+// evaluation cluster runs, deployed as a real OS process per node.
 //
-// Example (two nodes on one machine):
+// Start one process per node with identical -peers/-keys/-cache/-protocol
+// settings, then drive the deployment with cmd/cckvs-load (which also
+// bootstraps the hot set and can trigger online refreshes):
 //
-//	cckvs-node -id 0 -listen 127.0.0.1:7000 -nodes 2 -preload 10000 &
-//	cckvs-node -id 1 -listen 127.0.0.1:7001 -nodes 2 -preload 10000 &
-//	cckvs-load -nodes 127.0.0.1:7000,127.0.0.1:7001 -ops 100000
+//	cckvs-node -id 0 -listen 127.0.0.1:7000 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	cckvs-node -id 1 -listen 127.0.0.1:7001 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	cckvs-node -id 2 -listen 127.0.0.1:7002 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 &
+//	cckvs-load -nodes 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -hotset 64 -verify
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"strings"
+	"syscall"
 
-	"repro/internal/remote"
-	"repro/internal/timestamp"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fabric"
 )
 
 func main() {
-	var (
-		id      = flag.Int("id", 0, "node id (0-based)")
-		listen  = flag.String("listen", "127.0.0.1:7000", "listen address")
-		nodes   = flag.Int("nodes", 1, "total nodes in the deployment")
-		preload = flag.Int("preload", 0, "preload this many keys (those homed here) with 40B values")
-	)
-	flag.Parse()
-
-	node, err := remote.StartNode(uint8(*id), *listen, *preload+1024)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	defer node.Close()
-
-	if *preload > 0 {
-		val := make([]byte, 40)
-		loaded := 0
-		for k := uint64(0); k < uint64(*preload); k++ {
-			if remote.HomeNode(k, *nodes) != uint8(*id) {
-				continue
-			}
-			for i := range val {
-				val[i] = byte(k) ^ byte(i)
-			}
-			node.Store().Put(k, val, timestamp.TS{})
-			loaded++
-		}
-		fmt.Printf("node %d: preloaded %d/%d keys\n", *id, loaded, *preload)
-	}
-	fmt.Printf("node %d: serving on %s (ctrl-c to stop)\n", *id, node.Addr())
-
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Printf("node %d: served %d requests\n", *id, node.Served.Load())
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, sig, nil))
+}
+
+// run starts one cluster member and serves until stop fires. onReady, when
+// non-nil, receives the bound listen address once the node is serving
+// (tests start nodes on ephemeral ports and need the real address); it is
+// factored out of main so the CLI is testable end to end.
+func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, onReady func(addr string)) int {
+	fs := flag.NewFlagSet("cckvs-node", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		id       = fs.Int("id", 0, "node id (0-based, indexes -peers)")
+		listen   = fs.String("listen", "", "listen address (default: this node's -peers entry)")
+		peerList = fs.String("peers", "127.0.0.1:7000", "comma-separated node addresses for the whole deployment, ordered by node id")
+		system   = fs.String("system", "cckvs", "system flavour: cckvs, base, base-erew")
+		protocol = fs.String("protocol", "sc", "cache consistency protocol for cckvs: sc or lin")
+		keys     = fs.Uint64("keys", 16384, "keyspace size (identical on every node)")
+		cache    = fs.Int("cache", 0, "symmetric cache capacity in objects (cckvs; default keys/100)")
+		value    = fs.Int("value", 40, "populated value size in bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	peers := strings.Split(*peerList, ",")
+	for i := range peers {
+		peers[i] = strings.TrimSpace(peers[i])
+	}
+	if *id < 0 || *id >= len(peers) {
+		fmt.Fprintf(stderr, "node id %d out of range for %d peers\n", *id, len(peers))
+		return 2
+	}
+
+	cfg := cluster.Config{
+		Nodes:     len(peers),
+		NumKeys:   *keys,
+		ValueSize: *value,
+	}
+	switch *system {
+	case "cckvs":
+		cfg.System = cluster.CCKVS
+		cfg.CacheItems = *cache
+		if cfg.CacheItems == 0 {
+			cfg.CacheItems = int(*keys / 100)
+			if cfg.CacheItems == 0 {
+				cfg.CacheItems = 1
+			}
+		}
+		switch *protocol {
+		case "sc":
+			cfg.Protocol = core.SC
+		case "lin":
+			cfg.Protocol = core.Lin
+		default:
+			fmt.Fprintf(stderr, "unknown protocol %q (want sc or lin)\n", *protocol)
+			return 2
+		}
+	case "base":
+		cfg.System = cluster.Base
+	case "base-erew":
+		cfg.System = cluster.BaseEREW
+	default:
+		fmt.Fprintf(stderr, "unknown system %q (want cckvs, base or base-erew)\n", *system)
+		return 2
+	}
+
+	bind := *listen
+	if bind == "" {
+		bind = peers[*id]
+	}
+	tr, err := fabric.NewTCPTransport(uint8(*id), bind, fabric.NewStats())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	for i, addr := range peers {
+		if i != *id {
+			tr.AddPeer(uint8(i), addr)
+		}
+	}
+	member, err := cluster.NewMember(cfg, *id, tr, nil)
+	if err != nil {
+		tr.Close()
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// A dead peer must fail our pending RPCs toward it, not hang sessions.
+	// Fabric ids past the member range are ephemeral session clients
+	// (cckvs-load) — their disconnects are routine, never RPC targets.
+	tr.SetPeerDownHandler(func(peer uint8, cause error) {
+		if int(peer) >= len(peers) {
+			return
+		}
+		fmt.Fprintf(stderr, "node %d: peer %d down: %v\n", *id, peer, cause)
+		member.PeerDown(peer, cause)
+	})
+	member.Populate()
+
+	fmt.Fprintf(stdout, "node %d/%d: %s serving %d keys (cache %d) on %s\n",
+		*id, len(peers), systemLabel(cfg), *keys, cfg.CacheItems, tr.ListenAddr())
+	if onReady != nil {
+		onReady(tr.ListenAddr())
+	}
+
+	<-stop
+
+	n := member.LocalNode()
+	fmt.Fprintf(stdout, "node %d: hits=%d misses=%d local=%d remote=%d\n",
+		*id, n.CacheHits.Load(), n.CacheMisses.Load(), n.LocalOps.Load(), n.RemoteOps.Load())
+	if err := member.Close(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}
+
+func systemLabel(cfg cluster.Config) string {
+	if cfg.System == cluster.CCKVS {
+		return "ccKVS-" + cfg.Protocol.String()
+	}
+	return cfg.System.String()
 }

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func exec(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	stop := make(chan os.Signal, 1)
+	stop <- os.Interrupt // flag/validation failures return before serving
+	code := run(args, &out, &errb, stop, nil)
+	return code, out.String(), errb.String()
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	if code, _, _ := exec(t, "-definitely-not-a-flag"); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	if code, _, _ := exec(t, "-h"); code != 0 {
+		t.Fatalf("-h exit code %d, want 0", code)
+	}
+}
+
+func TestIDOutOfRangeExitsTwo(t *testing.T) {
+	code, _, errb := exec(t, "-id", "5", "-peers", "127.0.0.1:1,127.0.0.1:2")
+	if code != 2 || !strings.Contains(errb, "out of range") {
+		t.Fatalf("code=%d stderr=%q", code, errb)
+	}
+}
+
+func TestUnknownProtocolExitsTwo(t *testing.T) {
+	if code, _, _ := exec(t, "-protocol", "eventual"); code != 2 {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestUnknownSystemExitsTwo(t *testing.T) {
+	if code, _, _ := exec(t, "-system", "dynamo"); code != 2 {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+// reservePorts grabs n distinct loopback ports and releases them for the
+// nodes to rebind (the usual test-deployment dance; the race window is
+// negligible on loopback).
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// A real 3-process-shaped deployment: three run() instances over loopback
+// TCP, driven end to end through a session client, then shut down cleanly.
+func TestNodeEndToEndDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node loopback deployment")
+	}
+	addrs := reservePorts(t, 3)
+	peers := strings.Join(addrs, ",")
+
+	type nodeProc struct {
+		stop chan os.Signal
+		code chan int
+		out  *lockedBuffer
+	}
+	procs := make([]*nodeProc, 3)
+	var ready sync.WaitGroup
+	for i := range procs {
+		p := &nodeProc{
+			stop: make(chan os.Signal, 1),
+			code: make(chan int, 1),
+			out:  &lockedBuffer{},
+		}
+		procs[i] = p
+		ready.Add(1)
+		go func(id int) {
+			p.code <- run([]string{
+				"-id", fmt.Sprint(id), "-peers", peers,
+				"-protocol", "lin", "-keys", "2048", "-cache", "16", "-value", "16",
+			}, p.out, p.out, p.stop, func(string) { ready.Done() })
+		}(i)
+	}
+	ready.Wait()
+
+	cl, err := cluster.DialTCP(250, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WaitReady(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p, _, err := cl.Refresh(0, cluster.DefaultHotSet(16)); err != nil || p != 16 {
+		t.Fatalf("refresh: promoted=%d err=%v", p, err)
+	}
+	if err := cl.Put(1, 3, []byte("through-process")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Get(2, 3)
+	if err != nil || string(got) != "through-process" {
+		t.Fatalf("cross-node read: %q, %v", got, err)
+	}
+	st, err := cl.Stats(0)
+	if err != nil || st.HotKeys != 16 {
+		t.Fatalf("stats: %+v, %v", st, err)
+	}
+
+	for _, p := range procs {
+		p.stop <- os.Interrupt
+	}
+	for i, p := range procs {
+		select {
+		case code := <-p.code:
+			if code != 0 {
+				t.Fatalf("node %d exit code %d; output:\n%s", i, code, p.out.String())
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("node %d never exited", i)
+		}
+		if out := p.out.String(); !strings.Contains(out, "serving") || !strings.Contains(out, "hits=") {
+			t.Fatalf("node %d output missing serving/stats lines:\n%s", i, out)
+		}
+	}
+}
+
+// lockedBuffer makes the shared stdout/stderr writer race-safe between the
+// node goroutine and the test's assertions.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// Client drives a deployment through the session layer: it holds a fabric
+// endpoint of its own (a node id outside the server range) and may send any
+// request to any node — the black-box abstraction's client. One Client is
+// safe for concurrent use by many goroutines; each in-flight request is
+// matched to its caller by request id, so a single TCP connection per server
+// carries the whole process's traffic.
+type Client struct {
+	id      uint8
+	tr      fabric.Transport
+	owns    bool
+	nodes   int
+	timeout time.Duration
+
+	mu     sync.Mutex
+	closed bool
+	nextID uint64
+	pend   map[uint64]sessPending
+}
+
+type sessPending struct {
+	ch   chan sessResult
+	node uint8
+}
+
+type sessResult struct {
+	status  byte
+	payload []byte
+	err     error
+}
+
+// ErrClientClosed fails calls issued against (or pending on) a closed Client.
+var ErrClientClosed = errors.New("cluster: client closed")
+
+// ErrSessionTimeout is returned when a response does not arrive in time.
+var ErrSessionTimeout = errors.New("cluster: session request timed out")
+
+// NewClient attaches a client with fabric id to an existing transport —
+// typically the ChanTransport of an in-process cluster (tests) — serving a
+// deployment of nodes servers. id must not collide with any server node id.
+func NewClient(id uint8, nodes int, tr fabric.Transport) *Client {
+	cl := &Client{
+		id:      id,
+		tr:      tr,
+		nodes:   nodes,
+		timeout: 10 * time.Second,
+		pend:    map[uint64]sessPending{},
+	}
+	tr.Register(fabric.Addr{Node: id, Thread: threadSession}, cl.onResponse)
+	return cl
+}
+
+// DialTCP connects a client to a multi-process deployment: peers lists the
+// server listen addresses indexed by node id. The client owns its transport
+// (an ephemeral loopback listener for the return route) and fails pending
+// calls to a server the moment its connection drops.
+func DialTCP(id uint8, peers []string) (*Client, error) {
+	tr, err := fabric.NewTCPTransport(id, "127.0.0.1:0", fabric.NewStats())
+	if err != nil {
+		return nil, err
+	}
+	cl := NewClient(id, len(peers), tr)
+	cl.owns = true
+	for i, addr := range peers {
+		tr.AddPeer(uint8(i), addr)
+	}
+	tr.SetPeerDownHandler(func(node uint8, cause error) {
+		cl.failNode(node, fmt.Errorf("cluster: server node %d down: %w", node, cause))
+	})
+	return cl, nil
+}
+
+// SetTimeout bounds each call (default 10s).
+func (cl *Client) SetTimeout(d time.Duration) { cl.timeout = d }
+
+// NumNodes returns the deployment size the client was built for.
+func (cl *Client) NumNodes() int { return cl.nodes }
+
+// Close fails every pending call and, if the client owns its transport,
+// closes it.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	pend := cl.pend
+	cl.pend = map[uint64]sessPending{}
+	cl.mu.Unlock()
+	for _, p := range pend {
+		p.ch <- sessResult{err: ErrClientClosed}
+	}
+	if cl.owns {
+		return cl.tr.Close()
+	}
+	return nil
+}
+
+// onResponse completes the pending call named by the response's request id.
+func (cl *Client) onResponse(p fabric.Packet) {
+	if len(p.Data) < 9 {
+		return
+	}
+	id := binary.LittleEndian.Uint64(p.Data[:8])
+	res := sessResult{status: p.Data[8], payload: append([]byte(nil), p.Data[9:]...)}
+	cl.mu.Lock()
+	pd, ok := cl.pend[id]
+	delete(cl.pend, id)
+	cl.mu.Unlock()
+	if ok {
+		pd.ch <- res
+	}
+}
+
+// failNode fails every pending call addressed to node (peer-down handling).
+func (cl *Client) failNode(node uint8, err error) {
+	cl.mu.Lock()
+	var chs []chan sessResult
+	for id, p := range cl.pend {
+		if p.node == node {
+			delete(cl.pend, id)
+			chs = append(chs, p.ch)
+		}
+	}
+	cl.mu.Unlock()
+	for _, ch := range chs {
+		ch <- sessResult{err: err}
+	}
+}
+
+// call sends one framed session request to node and waits for its response
+// or the default timeout.
+func (cl *Client) call(node uint8, op byte, body []byte) (sessResult, error) {
+	return cl.callT(node, op, body, cl.timeout)
+}
+
+// callT is call with an explicit per-request timeout (ready probes poll
+// fast; epoch changes get extra room).
+func (cl *Client) callT(node uint8, op byte, body []byte, timeout time.Duration) (sessResult, error) {
+	ch := make(chan sessResult, 1)
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return sessResult{}, ErrClientClosed
+	}
+	cl.nextID++
+	id := cl.nextID
+	cl.pend[id] = sessPending{ch: ch, node: node}
+	cl.mu.Unlock()
+
+	req := make([]byte, 0, sessHeader+len(body))
+	req = append(req, op)
+	req = binary.LittleEndian.AppendUint64(req, id)
+	req = append(req, body...)
+	err := cl.tr.Send(fabric.Packet{
+		Src:   fabric.Addr{Node: cl.id, Thread: threadSession},
+		Dst:   fabric.Addr{Node: node, Thread: threadSession},
+		Class: metrics.ClassCacheMiss,
+		Data:  req,
+	})
+	if err != nil {
+		cl.drop(id)
+		return sessResult{}, err
+	}
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return sessResult{}, res.err
+		}
+		if res.status == sessStatusErr {
+			return sessResult{}, fmt.Errorf("cluster: node %d: %s", node, sessErrorText(res.payload))
+		}
+		if res.status == sessStatusBad {
+			return sessResult{}, fmt.Errorf("cluster: node %d rejected session request (bad request)", node)
+		}
+		return res, nil
+	case <-time.After(timeout):
+		cl.drop(id)
+		return sessResult{}, fmt.Errorf("%w (node %d, op %d)", ErrSessionTimeout, node, op)
+	}
+}
+
+// drop forgets a pending call whose send failed or timed out.
+func (cl *Client) drop(id uint64) {
+	cl.mu.Lock()
+	delete(cl.pend, id)
+	cl.mu.Unlock()
+}
+
+// sessErrorText decodes the message of a sessStatusErr payload.
+func sessErrorText(payload []byte) string {
+	if len(payload) < 4 {
+		return "(no message)"
+	}
+	n := int(binary.LittleEndian.Uint32(payload[:4]))
+	if n < 0 || len(payload) < 4+n {
+		return "(truncated message)"
+	}
+	return string(payload[4 : 4+n])
+}
+
+// Ping checks that node answers session requests.
+func (cl *Client) Ping(node int) error {
+	_, err := cl.call(uint8(node), sessOpPing, nil)
+	return err
+}
+
+// WaitReady pings every node until all answer or the deadline passes — the
+// barrier a load generator runs before traffic, so racing a deployment's
+// startup cannot be mistaken for a protocol failure.
+func (cl *Client) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for node := 0; node < cl.nodes; node++ {
+		for {
+			_, err := cl.callT(uint8(node), sessOpPing, nil, 500*time.Millisecond)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("cluster: node %d not ready after %v: %w", node, timeout, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// Get reads key through node's session layer (any node serves any key).
+// Absent keys return store.ErrNotFound.
+func (cl *Client) Get(node int, key uint64) ([]byte, error) {
+	body := binary.LittleEndian.AppendUint64(make([]byte, 0, 8), key)
+	res, err := cl.call(uint8(node), sessOpGet, body)
+	if err != nil {
+		return nil, err
+	}
+	if res.status == sessStatusNotFound {
+		return nil, store.ErrNotFound
+	}
+	if len(res.payload) < 4 {
+		return nil, fmt.Errorf("cluster: malformed get response from node %d", node)
+	}
+	vlen := int(binary.LittleEndian.Uint32(res.payload[:4]))
+	if vlen < 0 || len(res.payload) < 4+vlen {
+		return nil, fmt.Errorf("cluster: truncated get response from node %d", node)
+	}
+	return res.payload[4 : 4+vlen], nil
+}
+
+// Put writes key through node's session layer.
+func (cl *Client) Put(node int, key uint64, value []byte) error {
+	body := make([]byte, 0, 12+len(value))
+	body = binary.LittleEndian.AppendUint64(body, key)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(value)))
+	body = append(body, value...)
+	_, err := cl.call(uint8(node), sessOpPut, body)
+	return err
+}
+
+// Refresh asks node to reconfigure the deployment's hot set to exactly
+// target (an online epoch change driven over the RPC fabric) and reports
+// how many keys were promoted and demoted.
+func (cl *Client) Refresh(node int, target []uint64) (promoted, demoted int, err error) {
+	body := binary.LittleEndian.AppendUint32(make([]byte, 0, 4+8*len(target)), uint32(len(target)))
+	for _, k := range target {
+		body = binary.LittleEndian.AppendUint64(body, k)
+	}
+	// An epoch change freezes/copies per key across every node; give it more
+	// room than a point op.
+	res, err := cl.callT(uint8(node), sessOpRefresh, body, cl.timeout*3)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(res.payload) < 12 {
+		return 0, 0, fmt.Errorf("cluster: malformed refresh response from node %d", node)
+	}
+	return int(binary.LittleEndian.Uint32(res.payload[:4])),
+		int(binary.LittleEndian.Uint32(res.payload[4:8])), nil
+}
+
+// SessionStats is one node's counters as reported over the session layer.
+type SessionStats struct {
+	CacheHits, CacheMisses uint64
+	LocalOps, RemoteOps    uint64
+	HotKeys                uint64
+	FrozenRetries          uint64
+}
+
+// HitRate returns the node's cache hit ratio.
+func (s SessionStats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Stats fetches node's operation counters.
+func (cl *Client) Stats(node int) (SessionStats, error) {
+	res, err := cl.call(uint8(node), sessOpStats, nil)
+	if err != nil {
+		return SessionStats{}, err
+	}
+	if len(res.payload) < 48 {
+		return SessionStats{}, fmt.Errorf("cluster: malformed stats response from node %d", node)
+	}
+	return SessionStats{
+		CacheHits:     binary.LittleEndian.Uint64(res.payload[0:8]),
+		CacheMisses:   binary.LittleEndian.Uint64(res.payload[8:16]),
+		LocalOps:      binary.LittleEndian.Uint64(res.payload[16:24]),
+		RemoteOps:     binary.LittleEndian.Uint64(res.payload[24:32]),
+		HotKeys:       binary.LittleEndian.Uint64(res.payload[32:40]),
+		FrozenRetries: binary.LittleEndian.Uint64(res.payload[40:48]),
+	}, nil
+}

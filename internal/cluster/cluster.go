@@ -63,10 +63,11 @@ func (s System) String() string {
 
 // Thread ids within a node's fabric address space.
 const (
-	threadCache uint8 = iota // consistency messages between cache threads
-	threadKVS                // remote KVS request server
-	threadResp               // remote KVS responses (RPC completions)
-	threadFlow               // explicit credit updates
+	threadCache   uint8 = iota // consistency messages between cache threads
+	threadKVS                  // remote KVS request server
+	threadResp                 // remote KVS responses (RPC completions)
+	threadFlow                 // explicit credit updates
+	threadSession              // client-facing session requests (session.go)
 )
 
 // Serialization selects how hot writes obtain their place in the per-key
@@ -195,14 +196,22 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Cluster is an in-process deployment.
+// Cluster is a deployment view. In the in-process form (New,
+// NewWithTransport) it holds every node; in member form (NewMember) it holds
+// exactly one node of a multi-process deployment and reaches the others over
+// the injected transport — same protocol code, same RPCs, different process
+// layout.
 type Cluster struct {
 	cfg       Config
 	transport fabric.Transport
 	stats     *fabric.Stats
-	nodes     []*Node
-	closed    bool
-	mu        sync.Mutex
+	// nodes is indexed by node id and always cfg.Nodes long; in member form
+	// every entry except the local node is nil.
+	nodes  []*Node
+	member bool
+	self   int
+	closed bool
+	mu     sync.Mutex
 	// reconfigMu serializes hot-set reconfigurations (reconfig.go).
 	reconfigMu sync.Mutex
 }
@@ -256,7 +265,8 @@ type Node struct {
 	RPCDecodeErrors metrics.Counter
 }
 
-// New builds and starts a cluster.
+// New builds and starts a fully in-process cluster over a ChanTransport —
+// the default harness for experiments and tests.
 func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -267,12 +277,53 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.ReorderDepth > 0 {
 		tr = fabric.NewReorder(tr, cfg.ReorderDepth, cfg.ReorderSeed|1)
 	}
+	return NewWithTransport(cfg, tr, stats)
+}
+
+// NewWithTransport builds and starts a cluster whose nodes all live in this
+// process but exchange messages over the given transport. stats should be
+// the block the transport accounts into (nil allocates an unattached one).
+func NewWithTransport(cfg Config, tr fabric.Transport, stats *fabric.Stats) (*Cluster, error) {
+	return build(cfg, tr, stats, -1)
+}
+
+// NewMember builds and starts ONE node of a multi-process deployment: the
+// cluster view holds only node self, and every remote access, consistency
+// message and reconfiguration RPC crosses the injected transport (a
+// TCPTransport with the peer table filled in, or a ChanTransport shared by
+// several members of the same process in tests). All members must run an
+// identical Config. The caller populates the local shard (Populate writes
+// only locally-homed keys in member form) and bootstraps the hot set with
+// ApplyHotSet from any one member once its peers are reachable.
+func NewMember(cfg Config, self int, tr fabric.Transport, stats *fabric.Stats) (*Cluster, error) {
+	return build(cfg, tr, stats, self)
+}
+
+// build assembles the node set: every node for self < 0, exactly one
+// otherwise.
+func build(cfg Config, tr fabric.Transport, stats *fabric.Stats, self int) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if self >= cfg.Nodes {
+		return nil, fmt.Errorf("cluster: member id %d out of range [0,%d)", self, cfg.Nodes)
+	}
+	if stats == nil {
+		stats = fabric.NewStats()
+	}
 	c := &Cluster{
 		cfg:       cfg,
 		stats:     stats,
 		transport: tr,
+		member:    self >= 0,
+		self:      self,
 	}
+	c.nodes = make([]*Node, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
+		if c.member && i != self {
+			continue
+		}
 		parts := 1
 		if cfg.System == BaseEREW {
 			parts = cfg.KVSPartitions
@@ -290,10 +341,12 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		n.rpc = newRPCClient(n)
 		n.pipe = newPipeline(n, cfg.Nodes, cfg.QueueDepth, cfg.BatchMaxMsgs, cfg.BatchMaxBytes)
-		c.nodes = append(c.nodes, n)
+		c.nodes[i] = n
 	}
 	for _, n := range c.nodes {
-		n.start()
+		if n != nil {
+			n.start()
+		}
 	}
 	return c, nil
 }
@@ -304,16 +357,46 @@ func (c *Cluster) Config() Config { return c.cfg }
 // FabricStats returns the transport counters (traffic breakdown etc.).
 func (c *Cluster) FabricStats() *fabric.Stats { return c.stats }
 
-// NumNodes returns the deployment size.
-func (c *Cluster) NumNodes() int { return len(c.nodes) }
+// NumNodes returns the deployment size (including remote members).
+func (c *Cluster) NumNodes() int { return c.cfg.Nodes }
 
-// Node returns node i.
+// Node returns node i; nil in member form when i is not the local node.
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
+// LocalNode returns the member's own node (member form), or node 0.
+func (c *Cluster) LocalNode() *Node {
+	if c.member {
+		return c.nodes[c.self]
+	}
+	return c.nodes[0]
+}
+
+// IsMember reports whether this cluster view holds a single node of a
+// multi-process deployment.
+func (c *Cluster) IsMember() bool { return c.member }
+
 // HomeNode returns the node owning key's shard. Like the paper we place
-// keys by hash, so the hottest keys scatter across shards.
+// keys by hash, so the hottest keys scatter across shards. Every member of
+// a deployment computes the same placement (it depends only on Config.Nodes).
 func (c *Cluster) HomeNode(key uint64) int {
-	return int(zipf.Mix64(key^0x7f4a7c15) % uint64(len(c.nodes)))
+	return int(zipf.Mix64(key^0x7f4a7c15) % uint64(c.cfg.Nodes))
+}
+
+// PeerDown fails every RPC this process has pending toward peer. Transports
+// that can detect a dead peer (TCPTransport.SetPeerDownHandler) call it so
+// sessions blocked on a response that can no longer arrive fail immediately
+// instead of hanging; new calls toward the peer fail at send time. This
+// mirrors the cluster-shutdown guarantee for the remote-access/RPC path
+// only: consistency traffic (Lin ack waiters, broadcast credits) assumes
+// fixed membership, exactly like the paper's protocols — reconfiguring the
+// deployment around a dead member is future work (see ROADMAP).
+func (c *Cluster) PeerDown(peer uint8, cause error) {
+	err := fmt.Errorf("cluster: peer node %d down: %w", peer, cause)
+	for _, n := range c.nodes {
+		if n != nil {
+			n.rpc.failPeer(peer, err)
+		}
+	}
 }
 
 // Close shuts the cluster down.
@@ -329,27 +412,36 @@ func (c *Cluster) Close() error {
 	// anything enqueued from here on fails with ErrPipelineClosed instead
 	// of waiting on a response that can no longer arrive.
 	for _, n := range c.nodes {
-		n.pipe.close()
+		if n != nil {
+			n.pipe.close()
+		}
 	}
 	err := c.transport.Close()
 	// A response whose send lost the race against the transport close never
 	// reached its caller; fail whatever is still pending so no session
 	// blocks forever.
 	for _, n := range c.nodes {
-		n.rpc.failAll(ErrPipelineClosed)
+		if n != nil {
+			n.rpc.failAll(ErrPipelineClosed)
+		}
 	}
 	return err
 }
 
 // Populate loads the dataset: every key 0..NumKeys-1 is written to its home
-// shard with the given value size and a zero timestamp.
+// shard with the given value size and a zero timestamp. In member form only
+// locally-homed keys are written — each process populates its own shard, and
+// the shards together hold the full dataset.
 func (c *Cluster) Populate() {
 	val := make([]byte, c.cfg.ValueSize)
 	for k := uint64(0); k < c.cfg.NumKeys; k++ {
+		home := c.nodes[c.HomeNode(k)]
+		if home == nil {
+			continue
+		}
 		for i := range val {
 			val[i] = byte(k) ^ byte(i)
 		}
-		home := c.nodes[c.HomeNode(k)]
 		home.kvs.Put(k, val, timestamp.TS{})
 	}
 }
@@ -362,9 +454,17 @@ func (c *Cluster) Populate() {
 // it offers no write-ordering guarantees against concurrent traffic. Online
 // epoch changes under live traffic use ApplyHotSetDelta (reconfig.go), which
 // applies only the delta over the RPC fabric.
-func (c *Cluster) InstallHotSet(keys []uint64) {
+func (c *Cluster) InstallHotSet(keys []uint64) error {
 	if c.cfg.System != CCKVS {
-		return
+		return nil
+	}
+	if c.member {
+		// A member cannot read peer KVS state directly; the bootstrap runs
+		// as an ordinary online epoch change over the RPC fabric instead —
+		// which can fail (the peers must already be reachable), unlike the
+		// infallible direct path below.
+		_, err := c.ApplyHotSet(c.self, keys)
+		return err
 	}
 	c.reconfigMu.Lock()
 	defer c.reconfigMu.Unlock()
@@ -383,6 +483,7 @@ func (c *Cluster) InstallHotSet(keys []uint64) {
 			_ = home.kvs.PutIfNewer(wb.Key, wb.Value, wb.TS)
 		}
 	}
+	return nil
 }
 
 // DefaultHotSet returns the top-k ranks [0, k) — with an unscrambled
@@ -423,6 +524,7 @@ func (n *Node) start() {
 	tr.Register(fabric.Addr{Node: n.id, Thread: threadKVS}, n.handleKVSRequest)
 	tr.Register(fabric.Addr{Node: n.id, Thread: threadResp}, n.rpc.handleResponse)
 	tr.Register(fabric.Addr{Node: n.id, Thread: threadFlow}, n.handleFlowControl)
+	tr.Register(fabric.Addr{Node: n.id, Thread: threadSession}, n.handleSession)
 }
 
 // handleFlowControl restores credits granted by a peer's credit update.

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/store"
+)
+
+// Member-form deployments: the same protocol stack, but each node built as
+// its own Cluster view over a shared transport — the in-process twin of the
+// multi-process cckvs-node deployment. Everything the full in-process
+// cluster can do (remote accesses, Lin/SC consistency, online hot-set
+// reconfiguration) must work when no member can see any other member's
+// memory.
+
+// newChanMembers builds one member per node over a single shared
+// ChanTransport and populates every shard.
+func newChanMembers(t *testing.T, cfg Config) []*Cluster {
+	t.Helper()
+	stats := fabric.NewStats()
+	tr := fabric.NewChanTransport(cfg.QueueDepth, stats)
+	members := make([]*Cluster, cfg.Nodes)
+	for i := range members {
+		m, err := NewMember(cfg, i, tr, stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Populate()
+		members[i] = m
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			m.Close() // the shared transport closes with the first member
+		}
+	})
+	return members
+}
+
+func TestMemberPopulateCoversEveryShardOnce(t *testing.T) {
+	cfg := Config{Nodes: 3, System: Base, NumKeys: 512}
+	members := newChanMembers(t, cfg)
+	for k := uint64(0); k < cfg.NumKeys; k++ {
+		holders := 0
+		for _, m := range members {
+			if n := m.LocalNode(); n != nil {
+				if _, _, err := n.kvs.Get(k, nil); err == nil {
+					holders++
+				}
+			}
+		}
+		if holders != 1 {
+			t.Fatalf("key %d present on %d shards, want exactly 1", k, holders)
+		}
+	}
+}
+
+func TestMemberRemoteAccessAndProtocols(t *testing.T) {
+	for _, proto := range []core.Protocol{core.SC, core.Lin} {
+		t.Run(proto.String(), func(t *testing.T) {
+			cfg := Config{
+				Nodes: 3, System: CCKVS, Protocol: proto,
+				NumKeys: 2048, CacheItems: 32, ValueSize: 24,
+			}
+			members := newChanMembers(t, cfg)
+
+			// Bootstrap the hot set from member 0, entirely over the fabric.
+			hot := DefaultHotSet(cfg.CacheItems)
+			st, err := members[0].ApplyHotSet(0, hot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Promoted != cfg.CacheItems {
+				t.Fatalf("promoted %d keys, want %d", st.Promoted, cfg.CacheItems)
+			}
+			for i, m := range members {
+				if got := len(m.HotKeys()); got != cfg.CacheItems {
+					t.Fatalf("member %d caches %d keys, want %d", i, got, cfg.CacheItems)
+				}
+			}
+
+			// A hot write through one member must become visible to reads at
+			// every other member (SC propagates asynchronously; poll).
+			want := bytes.Repeat([]byte{0x42}, 24)
+			if err := members[1].LocalNode().Put(hot[3], want); err != nil {
+				t.Fatal(err)
+			}
+			for i, m := range members {
+				waitForValue(t, fmt.Sprintf("member %d", i), want, func() ([]byte, error) {
+					return m.LocalNode().Get(hot[3])
+				})
+			}
+
+			// A cold key homed on a remote member crosses the fabric.
+			cold := coldKeyHomedOn(t, members[0], 2, cfg.NumKeys)
+			want2 := []byte("cold-value")
+			if err := members[0].LocalNode().Put(cold, want2); err != nil {
+				t.Fatal(err)
+			}
+			got, err := members[1].LocalNode().Get(cold)
+			if err != nil || !bytes.Equal(got, want2) {
+				t.Fatalf("cold read via member 1: %q, %v", got, err)
+			}
+
+			// Online epoch change driven from a *different* member: shift the
+			// hot window; caches stay symmetric.
+			shifted := make([]uint64, cfg.CacheItems)
+			for i := range shifted {
+				shifted[i] = uint64(cfg.CacheItems/2 + i)
+			}
+			if _, err := members[2].ApplyHotSet(2, shifted); err != nil {
+				t.Fatal(err)
+			}
+			for i, m := range members {
+				if !m.LocalNode().cache.Contains(shifted[len(shifted)-1]) {
+					t.Fatalf("member %d missing promoted key after shift", i)
+				}
+				if m.LocalNode().cache.Contains(hot[0]) {
+					t.Fatalf("member %d still caches demoted key", i)
+				}
+			}
+		})
+	}
+}
+
+// waitForValue polls read until it returns want (asynchronous SC update
+// propagation) or a deadline.
+func waitForValue(t *testing.T, who string, want []byte, read func() ([]byte, error)) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err := read()
+		if err == nil && bytes.Equal(got, want) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: value never converged: got %q err %v", who, got, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// coldKeyHomedOn finds a key outside the default hot set homed on node.
+func coldKeyHomedOn(t *testing.T, c *Cluster, node int, numKeys uint64) uint64 {
+	t.Helper()
+	for k := numKeys / 2; k < numKeys; k++ {
+		if c.HomeNode(k) == node {
+			return k
+		}
+	}
+	t.Fatal("no cold key homed on node")
+	return 0
+}
+
+// A member cannot drive a reconfiguration through a node it does not hold.
+func TestMemberRejectsRemoteVia(t *testing.T) {
+	cfg := Config{Nodes: 3, System: CCKVS, Protocol: core.SC, NumKeys: 256, CacheItems: 8}
+	members := newChanMembers(t, cfg)
+	if _, err := members[1].ApplyHotSet(0, DefaultHotSet(8)); err == nil {
+		t.Fatal("ApplyHotSet via a remote node succeeded, want error")
+	}
+}
+
+// The session layer end to end over a shared transport: an external client
+// (its own fabric id, no access to any member's memory) drives the full
+// protocol, triggers an online refresh, and reads node counters.
+func TestSessionClientDrivesMemberDeployment(t *testing.T) {
+	cfg := Config{
+		Nodes: 3, System: CCKVS, Protocol: core.Lin,
+		NumKeys: 2048, CacheItems: 16, ValueSize: 16,
+	}
+	members := newChanMembers(t, cfg)
+	cl := NewClient(200, cfg.Nodes, members[0].transport)
+	t.Cleanup(func() { cl.Close() })
+
+	if err := cl.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p, _, err := cl.Refresh(0, DefaultHotSet(cfg.CacheItems)); err != nil || p != cfg.CacheItems {
+		t.Fatalf("refresh: promoted=%d err=%v", p, err)
+	}
+
+	// Writes through one node's session read back through every node. Lin
+	// writes are synchronous, so the new value is globally visible at return.
+	want := []byte("session-value")
+	if err := cl.Put(1, 5, want); err != nil {
+		t.Fatal(err)
+	}
+	for node := 0; node < cfg.Nodes; node++ {
+		got, err := cl.Get(node, 5)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("get via node %d: %q, %v", node, got, err)
+		}
+	}
+	if _, err := cl.Get(0, cfg.NumKeys+99); err != store.ErrNotFound {
+		t.Fatalf("absent key: err=%v, want store.ErrNotFound", err)
+	}
+
+	// The hot reads above hit the symmetric caches; stats must show it.
+	var hits uint64
+	for node := 0; node < cfg.Nodes; node++ {
+		st, err := cl.Stats(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.HotKeys != uint64(cfg.CacheItems) {
+			t.Fatalf("node %d reports %d hot keys, want %d", node, st.HotKeys, cfg.CacheItems)
+		}
+		hits += st.CacheHits
+	}
+	if hits == 0 {
+		t.Fatal("no cache hits recorded across the deployment")
+	}
+
+	// An online refresh through the session layer, then traffic continues.
+	shifted := make([]uint64, cfg.CacheItems)
+	for i := range shifted {
+		shifted[i] = uint64(8 + i)
+	}
+	if _, _, err := cl.Refresh(2, shifted); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put(0, shifted[0], []byte("after-refresh")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Get(2, shifted[0])
+	if err != nil || !bytes.Equal(got, []byte("after-refresh")) {
+		t.Fatalf("post-refresh read: %q, %v", got, err)
+	}
+}

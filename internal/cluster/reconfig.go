@@ -82,13 +82,20 @@ func (c *Cluster) ApplyHotSetDelta(via int, promote, demote []uint64) (DeltaStat
 // against the currently installed key set is computed under the
 // reconfiguration lock (so concurrent callers cannot apply stale deltas)
 // and applied incrementally. This is the one-call epoch change both
-// KV.RefreshHotSet and the churn ablation drive.
+// KV.RefreshHotSet and the churn ablation drive. In member form, via must be
+// the local node (any member can drive an epoch change, but only from
+// itself); outside transitions the caches are symmetric, so the local view
+// of the installed set is the deployment's view.
 func (c *Cluster) ApplyHotSet(via int, target []uint64) (DeltaStats, error) {
 	if c.cfg.System != CCKVS {
 		return DeltaStats{}, nil
 	}
 	c.reconfigMu.Lock()
 	defer c.reconfigMu.Unlock()
+	n, err := c.viaNode(via)
+	if err != nil {
+		return DeltaStats{}, err
+	}
 	next := make(map[uint64]struct{}, len(target))
 	var promote []uint64
 	for _, k := range target {
@@ -96,17 +103,27 @@ func (c *Cluster) ApplyHotSet(via int, target []uint64) (DeltaStats, error) {
 			continue
 		}
 		next[k] = struct{}{}
-		if !c.nodes[0].cache.Contains(k) {
+		if !n.cache.Contains(k) {
 			promote = append(promote, k)
 		}
 	}
 	var demote []uint64
-	for _, k := range c.nodes[0].cache.Keys() {
+	for _, k := range n.cache.Keys() {
 		if _, keep := next[k]; !keep {
 			demote = append(demote, k)
 		}
 	}
 	return c.applyDelta(via, promote, demote)
+}
+
+// viaNode resolves the node driving a reconfiguration; in member form only
+// the local node can drive.
+func (c *Cluster) viaNode(via int) (*Node, error) {
+	n := c.nodes[via%c.cfg.Nodes]
+	if n == nil {
+		return nil, fmt.Errorf("cluster: node %d is not local to this member (only node %d can drive from here)", via, c.self)
+	}
+	return n, nil
 }
 
 // applyDelta runs the demotion then promotion phases; the caller holds
@@ -116,7 +133,10 @@ func (c *Cluster) applyDelta(via int, promote, demote []uint64) (DeltaStats, err
 	if c.cfg.System != CCKVS || (len(promote) == 0 && len(demote) == 0) {
 		return st, nil
 	}
-	n := c.nodes[via%len(c.nodes)]
+	n, err := c.viaNode(via)
+	if err != nil {
+		return st, err
+	}
 	if err := n.demoteKeys(demote, &st); err != nil {
 		return st, err
 	}
@@ -126,19 +146,19 @@ func (c *Cluster) applyDelta(via int, promote, demote []uint64) (DeltaStats, err
 	return st, nil
 }
 
-// HotKeys returns the currently installed hot-set keys (node 0's view;
-// caches are symmetric outside of transitions). Baselines return nil.
+// HotKeys returns the currently installed hot-set keys (the local node's
+// view; caches are symmetric outside of transitions). Baselines return nil.
 func (c *Cluster) HotKeys() []uint64 {
 	if c.cfg.System != CCKVS {
 		return nil
 	}
-	return c.nodes[0].cache.Keys()
+	return c.LocalNode().cache.Keys()
 }
 
-// peerIDs lists every other node.
+// peerIDs lists every other node of the deployment (present or remote).
 func (n *Node) peerIDs() []uint8 {
-	peers := make([]uint8, 0, len(n.cluster.nodes)-1)
-	for i := range n.cluster.nodes {
+	peers := make([]uint8, 0, n.cluster.cfg.Nodes-1)
+	for i := 0; i < n.cluster.cfg.Nodes; i++ {
 		if uint8(i) != n.id {
 			peers = append(peers, uint8(i))
 		}

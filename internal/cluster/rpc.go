@@ -106,7 +106,14 @@ type rpcClient struct {
 	node *Node
 	mu   sync.Mutex
 	next uint64
-	pend map[uint64]chan rpcResult
+	pend map[uint64]rpcPending
+}
+
+// rpcPending is one outstanding call: its completion channel plus the peer
+// it targets, so a detected peer failure can fail exactly its calls.
+type rpcPending struct {
+	ch   chan rpcResult
+	peer uint8
 }
 
 type rpcResult struct {
@@ -117,14 +124,15 @@ type rpcResult struct {
 }
 
 func newRPCClient(n *Node) *rpcClient {
-	return &rpcClient{node: n, pend: map[uint64]chan rpcResult{}}
+	return &rpcClient{node: n, pend: map[uint64]rpcPending{}}
 }
 
-// register installs a pending-completion channel for a fresh request id.
-func (r *rpcClient) register(id uint64) chan rpcResult {
+// register installs a pending-completion channel for a fresh request id
+// targeting peer.
+func (r *rpcClient) register(peer uint8, id uint64) chan rpcResult {
 	ch := make(chan rpcResult, 1)
 	r.mu.Lock()
-	r.pend[id] = ch
+	r.pend[id] = rpcPending{ch: ch, peer: peer}
 	r.mu.Unlock()
 	return ch
 }
@@ -132,11 +140,11 @@ func (r *rpcClient) register(id uint64) chan rpcResult {
 // complete finishes the pending call id, if still registered.
 func (r *rpcClient) complete(id uint64, res rpcResult) {
 	r.mu.Lock()
-	ch := r.pend[id]
+	p, ok := r.pend[id]
 	delete(r.pend, id)
 	r.mu.Unlock()
-	if ch != nil {
-		ch <- res
+	if ok {
+		p.ch <- res
 	}
 }
 
@@ -154,9 +162,27 @@ func (r *rpcClient) fail(ids []uint64, err error) {
 func (r *rpcClient) failAll(err error) {
 	r.mu.Lock()
 	pend := r.pend
-	r.pend = map[uint64]chan rpcResult{}
+	r.pend = map[uint64]rpcPending{}
 	r.mu.Unlock()
-	for _, ch := range pend {
+	for _, p := range pend {
+		p.ch <- rpcResult{err: err}
+	}
+}
+
+// failPeer fails every pending call targeting peer — the mirror of failAll
+// for a single dead destination (Cluster.PeerDown). Calls to live peers keep
+// waiting for their responses.
+func (r *rpcClient) failPeer(peer uint8, err error) {
+	r.mu.Lock()
+	var chs []chan rpcResult
+	for id, p := range r.pend {
+		if p.peer == peer {
+			delete(r.pend, id)
+			chs = append(chs, p.ch)
+		}
+	}
+	r.mu.Unlock()
+	for _, ch := range chs {
 		ch <- rpcResult{err: err}
 	}
 }
@@ -167,7 +193,7 @@ func (r *rpcClient) failAll(err error) {
 // multi-request packets, then collect the completions from the returned
 // channels. No goroutines are needed to overlap remote accesses.
 func (r *rpcClient) startCall(home uint8, reqID uint64, req []byte) chan rpcResult {
-	ch := r.register(reqID)
+	ch := r.register(home, reqID)
 	r.node.pipe.enqueue(home, reqID, req)
 	return ch
 }

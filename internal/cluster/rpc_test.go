@@ -82,9 +82,9 @@ func respTestClient() *rpcClient {
 
 func TestHandleResponseMultiCompletesAll(t *testing.T) {
 	r := respTestClient()
-	ch1 := r.register(1)
-	ch2 := r.register(2)
-	ch3 := r.register(3)
+	ch1 := r.register(1, 1)
+	ch2 := r.register(1, 2)
+	ch3 := r.register(1, 3)
 
 	val := bytes.Repeat([]byte{0x5A}, 24)
 	var pkt []byte
@@ -121,7 +121,7 @@ func TestHandleResponseTruncatedFailsPending(t *testing.T) {
 		{"payload header cut", 41}, // leaves reqID+status+partial ts
 	} {
 		r := respTestClient()
-		ch := r.register(5)
+		ch := r.register(1, 5)
 		full := appendOKResponse(nil, 5, timestamp.TS{Clock: 1}, val)
 		r.handleResponse(fabric.Packet{Data: full[:len(full)-tc.cut]})
 		select {
@@ -140,7 +140,7 @@ func TestHandleResponseTruncatedFailsPending(t *testing.T) {
 
 func TestHandleResponseGarbageTailIgnored(t *testing.T) {
 	r := respTestClient()
-	ch := r.register(8)
+	ch := r.register(1, 8)
 	pkt := appendStatusOnly(nil, 8, rpcStatusNotFound) // valid entry...
 	pkt = append(pkt, 0xBA, 0xD1)                      // ...plus a tail too short to name an id
 	r.handleResponse(fabric.Packet{Data: pkt})

@@ -116,13 +116,24 @@ func (c *Cluster) Run(opts RunOptions) (RunResult, error) {
 		}()
 	}
 
+	// Clients round-robin across the nodes present in this process: every
+	// node of an in-process cluster, just the local one in member form (a
+	// multi-process deployment is driven per member, or externally through
+	// the session layer by cmd/cckvs-load).
+	var locals []*Node
+	for _, n := range c.nodes {
+		if n != nil {
+			locals = append(locals, n)
+		}
+	}
+
 	var wg sync.WaitGroup
 	for cl := 0; cl < opts.Clients; cl++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			g := gen.Clone(uint64(id))
-			node := id % c.NumNodes()
+			node := id % len(locals)
 			fail := func(i int, op workload.Op, err error) {
 				errMu.Lock()
 				if firstErr == nil {
@@ -143,8 +154,8 @@ func (c *Cluster) Run(opts RunOptions) (RunResult, error) {
 				errMu.Unlock()
 			}
 			for i := 0; i < opts.OpsPerClient; {
-				n := c.nodes[node]
-				node = (node + 1) % c.NumNodes() // round-robin load balance
+				n := locals[node]
+				node = (node + 1) % len(locals) // round-robin load balance
 				if opts.BatchSize <= 1 {
 					op := g.Next()
 					if opts.Observe != nil {
@@ -225,6 +236,9 @@ func (c *Cluster) Run(opts RunOptions) (RunResult, error) {
 	}
 	res.Throughput = float64(res.Ops) / elapsed.Seconds()
 	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
 		res.CacheHits += n.CacheHits.Load()
 		res.CacheMiss += n.CacheMisses.Load()
 		res.LocalOps += n.LocalOps.Load()
@@ -250,10 +264,13 @@ func (n *Node) CacheStatsWritesSC() uint64 {
 }
 
 // VerifyShardIntegrity checks that every key is present on exactly its home
-// shard (test support).
+// shard (test support). In member form only locally-homed keys are checked.
 func (c *Cluster) VerifyShardIntegrity() error {
 	for k := uint64(0); k < c.cfg.NumKeys; k++ {
 		home := c.HomeNode(k)
+		if c.nodes[home] == nil {
+			continue
+		}
 		if _, _, err := c.nodes[home].kvs.Get(k, nil); err != nil {
 			return fmt.Errorf("key %d missing from home node %d: %w", k, home, err)
 		}

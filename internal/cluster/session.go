@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// The session layer: client-facing RPC served by every node on
+// threadSession. It is how external processes (cmd/cckvs-load, or any
+// Client) drive a deployment — a session request executes the *full*
+// protocol at the receiving node (symmetric-cache probe, Lin/SC write
+// protocol, remote access to the home shard on a miss), exactly as if the
+// request had arrived at one of the paper's worker threads. This is the
+// black-box load-balancer abstraction of §3: a client may send any request
+// to any node.
+//
+// Wire formats (little endian). Unlike the inter-node KVS RPC, session
+// packets carry exactly one request and receive exactly one response —
+// clients provide concurrency by keeping many requests outstanding, and the
+// per-connection TCP framing already amortizes syscall costs. Session
+// requests may block (a Lin write waits for acks; a cache miss crosses the
+// fabric), so each one is served on its own goroutine rather than on the
+// transport's dispatcher.
+//
+//	request:  op(1) reqID(8) rest
+//	  get:     key(8)
+//	  put:     key(8) vlen(4) value
+//	  ping:    -
+//	  refresh: count(4) key(8)*count     — ApplyHotSet(target) at this node
+//	  stats:   -
+//	response: reqID(8) status(1) payload
+//	  ok get:     vlen(4) value
+//	  ok refresh: promoted(4) demoted(4) writebacks(4)
+//	  ok stats:   hits(8) misses(8) local(8) remote(8) hot(8) frozenRetries(8)
+//	  error:      vlen(4) message
+const (
+	sessOpGet     byte = 0
+	sessOpPut     byte = 1
+	sessOpPing    byte = 2
+	sessOpRefresh byte = 3
+	sessOpStats   byte = 4
+
+	sessStatusOK       byte = 0
+	sessStatusNotFound byte = 1
+	sessStatusBad      byte = 2
+	sessStatusErr      byte = 3
+)
+
+const sessHeader = 1 + 8
+
+// handleSession dispatches one client request. The handler goroutine per
+// request is what lets a single client connection keep many blocking
+// operations in flight.
+func (n *Node) handleSession(p fabric.Packet) {
+	if len(p.Data) < sessHeader {
+		return // not even a request id to answer; drop (datagram semantics)
+	}
+	go n.serveSession(p)
+}
+
+func (n *Node) serveSession(p fabric.Packet) {
+	op := p.Data[0]
+	reqID := binary.LittleEndian.Uint64(p.Data[1:9])
+	body := p.Data[sessHeader:]
+
+	resp := binary.LittleEndian.AppendUint64(make([]byte, 0, 64), reqID)
+	switch op {
+	case sessOpGet:
+		if len(body) < 8 {
+			resp = append(resp, sessStatusBad)
+			break
+		}
+		key := binary.LittleEndian.Uint64(body[:8])
+		v, err := n.Get(key)
+		switch {
+		case err == nil:
+			resp = append(resp, sessStatusOK)
+			resp = binary.LittleEndian.AppendUint32(resp, uint32(len(v)))
+			resp = append(resp, v...)
+		case errors.Is(err, store.ErrNotFound):
+			resp = append(resp, sessStatusNotFound)
+		default:
+			resp = appendSessError(resp, err)
+		}
+	case sessOpPut:
+		if len(body) < 12 {
+			resp = append(resp, sessStatusBad)
+			break
+		}
+		key := binary.LittleEndian.Uint64(body[:8])
+		vlen := int(binary.LittleEndian.Uint32(body[8:12]))
+		if vlen < 0 || len(body) < 12+vlen {
+			resp = append(resp, sessStatusBad)
+			break
+		}
+		// The value aliases the packet buffer; copy before it escapes into
+		// the store or the consistency broadcast.
+		val := append([]byte(nil), body[12:12+vlen]...)
+		if err := n.Put(key, val); err != nil {
+			resp = appendSessError(resp, err)
+		} else {
+			resp = append(resp, sessStatusOK)
+		}
+	case sessOpPing:
+		resp = append(resp, sessStatusOK)
+	case sessOpRefresh:
+		if len(body) < 4 {
+			resp = append(resp, sessStatusBad)
+			break
+		}
+		count := int(binary.LittleEndian.Uint32(body[:4]))
+		if count < 0 || len(body) < 4+8*count {
+			resp = append(resp, sessStatusBad)
+			break
+		}
+		target := make([]uint64, count)
+		for i := range target {
+			target[i] = binary.LittleEndian.Uint64(body[4+8*i:])
+		}
+		st, err := n.cluster.ApplyHotSet(int(n.id), target)
+		if err != nil {
+			resp = appendSessError(resp, err)
+			break
+		}
+		resp = append(resp, sessStatusOK)
+		resp = binary.LittleEndian.AppendUint32(resp, uint32(st.Promoted))
+		resp = binary.LittleEndian.AppendUint32(resp, uint32(st.Demoted))
+		resp = binary.LittleEndian.AppendUint32(resp, uint32(st.WriteBacks))
+	case sessOpStats:
+		resp = append(resp, sessStatusOK)
+		resp = binary.LittleEndian.AppendUint64(resp, n.CacheHits.Load())
+		resp = binary.LittleEndian.AppendUint64(resp, n.CacheMisses.Load())
+		resp = binary.LittleEndian.AppendUint64(resp, n.LocalOps.Load())
+		resp = binary.LittleEndian.AppendUint64(resp, n.RemoteOps.Load())
+		var hot uint64
+		if n.cache != nil {
+			hot = uint64(len(n.cache.Keys()))
+		}
+		resp = binary.LittleEndian.AppendUint64(resp, hot)
+		resp = binary.LittleEndian.AppendUint64(resp, n.FrozenRetries.Load())
+	default:
+		resp = append(resp, sessStatusBad)
+	}
+
+	// Reply to wherever the request came from; the TCP transport learned the
+	// return route from the inbound connection, so ephemeral clients outside
+	// the peer table still get their answer. A failed send means the client
+	// is gone (its timeout or peer-down handler cleans up).
+	_ = n.cluster.transport.Send(fabric.Packet{
+		Src:   fabric.Addr{Node: n.id, Thread: threadSession},
+		Dst:   p.Src,
+		Class: metrics.ClassCacheMiss,
+		Data:  resp,
+	})
+}
+
+// appendSessError encodes a failed operation: the error text travels to the
+// client so a CI failure names the real cause.
+func appendSessError(resp []byte, err error) []byte {
+	msg := err.Error()
+	resp = append(resp, sessStatusErr)
+	resp = binary.LittleEndian.AppendUint32(resp, uint32(len(msg)))
+	return append(resp, msg...)
+}

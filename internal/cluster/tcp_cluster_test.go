@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+)
+
+// The full ccKVS protocol stack over real sockets: one member per
+// TCPTransport on loopback — the same deployment shape as three cckvs-node
+// processes, minus the process boundary.
+
+// newTCPMembers builds cfg.Nodes members, each with its own TCP transport on
+// an ephemeral loopback port, wires the peer tables and peer-down handlers,
+// and populates the shards. It returns the members and their listen
+// addresses (for session clients).
+func newTCPMembers(t *testing.T, cfg Config) ([]*Cluster, []string) {
+	t.Helper()
+	n := cfg.Nodes
+	trs := make([]*fabric.TCPTransport, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		stats := fabric.NewStats()
+		tr, err := fabric.NewTCPTransport(uint8(i), "127.0.0.1:0", stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[i] = tr
+		addrs[i] = tr.ListenAddr()
+	}
+	members := make([]*Cluster, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j != i {
+				trs[i].AddPeer(uint8(j), addrs[j])
+			}
+		}
+		m, err := NewMember(cfg, i, trs[i], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[i].SetPeerDownHandler(m.PeerDown)
+		m.Populate()
+		members[i] = m
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			m.Close()
+		}
+	})
+	return members, addrs
+}
+
+func TestTCPMemberFullProtocol(t *testing.T) {
+	for _, proto := range []core.Protocol{core.SC, core.Lin} {
+		t.Run(proto.String(), func(t *testing.T) {
+			cfg := Config{
+				Nodes: 3, System: CCKVS, Protocol: proto,
+				NumKeys: 1024, CacheItems: 16, ValueSize: 16,
+			}
+			members, addrs := newTCPMembers(t, cfg)
+
+			cl, err := DialTCP(200, addrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { cl.Close() })
+			if err := cl.WaitReady(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+
+			// Bootstrap the hot set over sockets.
+			hot := DefaultHotSet(cfg.CacheItems)
+			if p, _, err := cl.Refresh(0, hot); err != nil || p != cfg.CacheItems {
+				t.Fatalf("refresh: promoted=%d err=%v", p, err)
+			}
+
+			// Hot write through one node, read through the others.
+			want := bytes.Repeat([]byte{0x7}, 16)
+			if err := cl.Put(1, hot[2], want); err != nil {
+				t.Fatal(err)
+			}
+			for node := 0; node < cfg.Nodes; node++ {
+				node := node
+				waitForValue(t, "tcp node", want, func() ([]byte, error) {
+					return cl.Get(node, hot[2])
+				})
+			}
+
+			// Cold keys cross the socket fabric between members.
+			cold := coldKeyHomedOn(t, members[0], 2, cfg.NumKeys)
+			if err := cl.Put(0, cold, []byte("tcp-cold")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := cl.Get(1, cold)
+			if err != nil || !bytes.Equal(got, []byte("tcp-cold")) {
+				t.Fatalf("cold read: %q, %v", got, err)
+			}
+
+			// Online refresh while clients keep issuing traffic.
+			stop := make(chan struct{})
+			trafficErr := make(chan error, 1)
+			go func() {
+				defer close(trafficErr)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k := hot[i%len(hot)]
+					if err := cl.Put(i%cfg.Nodes, k, want); err != nil {
+						trafficErr <- err
+						return
+					}
+					if _, err := cl.Get((i+1)%cfg.Nodes, k); err != nil {
+						trafficErr <- err
+						return
+					}
+				}
+			}()
+			shifted := make([]uint64, cfg.CacheItems)
+			for i := range shifted {
+				shifted[i] = uint64(cfg.CacheItems/2 + i)
+			}
+			_, _, rerr := cl.Refresh(2, shifted)
+			close(stop)
+			if err := <-trafficErr; err != nil {
+				t.Fatalf("traffic during refresh: %v", err)
+			}
+			if rerr != nil {
+				t.Fatalf("refresh under load: %v", rerr)
+			}
+
+			// Hits must have accrued on the symmetric caches.
+			var hits uint64
+			for node := 0; node < cfg.Nodes; node++ {
+				st, err := cl.Stats(node)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hits += st.CacheHits
+			}
+			if hits == 0 {
+				t.Fatal("no cache hits over TCP deployment")
+			}
+		})
+	}
+}
+
+// Killing a member must fail the RPCs other members have pending toward it —
+// the cluster-shutdown guarantee extended to peer failure. Without the
+// peer-down hook, callers blocked on a response from the dead node would
+// hang forever.
+func TestTCPPeerDisconnectFailsPendingRPCs(t *testing.T) {
+	cfg := Config{Nodes: 3, System: Base, NumKeys: 1024}
+	members, _ := newTCPMembers(t, cfg)
+
+	// Warm the connection so the failure path is a broken established
+	// stream, not a refused dial.
+	k := coldKeyHomedOn(t, members[0], 2, cfg.NumKeys)
+	if _, _, err := members[0].Node(0).RemoteGet(2, k); err != nil {
+		t.Fatalf("warm-up remote get: %v", err)
+	}
+
+	// Kill member 2 abruptly (transport teardown, not a graceful protocol
+	// exit), then hammer it with remote accesses. Every call must complete
+	// with an error — whether it raced onto the broken stream (failed by the
+	// peer-down handler) or found the connection gone (failed at send).
+	if err := members[2].Close(); err != nil {
+		t.Fatal(err)
+	}
+	const calls = 16
+	done := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		go func() {
+			_, _, err := members[0].Node(0).RemoteGet(2, k)
+			done <- err
+		}()
+	}
+	for i := 0; i < calls; i++ {
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("remote get to killed node succeeded")
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("remote get to killed node hung (peer-down never failed the pending call)")
+		}
+	}
+
+	// The two survivors keep serving each other.
+	k01 := coldKeyHomedOn(t, members[0], 1, cfg.NumKeys)
+	if _, _, err := members[0].Node(0).RemoteGet(1, k01); err != nil {
+		t.Fatalf("survivor remote get: %v", err)
+	}
+}
+
+// A session client must also fail fast when its server dies mid-call.
+func TestTCPClientFailsOnServerDeath(t *testing.T) {
+	cfg := Config{Nodes: 2, System: Base, NumKeys: 256}
+	members, addrs := newTCPMembers(t, cfg)
+	cl, err := DialTCP(200, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	if err := cl.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get(1, 1); err != nil && !errors.Is(err, ErrSessionTimeout) {
+		// Key 1 may be homed anywhere; only transport-level failure matters.
+		t.Fatalf("warm-up get: %v", err)
+	}
+	if err := members[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := cl.Get(1, 1)
+		if err != nil && !errors.Is(err, ErrSessionTimeout) {
+			break // failed fast with a transport error, as required
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never observed the server death")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

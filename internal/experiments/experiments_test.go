@@ -293,8 +293,8 @@ func TestAblationCoalesceFactor(t *testing.T) {
 
 func TestAblationCreditBatch(t *testing.T) {
 	tab := AblationCreditBatch()
-	first := parseCell(t, tab.Rows[0][1])                // fc share at batch=1
-	last := parseCell(t, tab.Rows[len(tab.Rows)-1][1])   // fc share at batch=32
+	first := parseCell(t, tab.Rows[0][1])              // fc share at batch=1
+	last := parseCell(t, tab.Rows[len(tab.Rows)-1][1]) // fc share at batch=32
 	if last >= first {
 		t.Errorf("credit batching must shrink flow-control share: %v -> %v", first, last)
 	}

@@ -352,19 +352,19 @@ func Verification() Table {
 // All returns every figure runner keyed by id (Fig13c with default length).
 func All() map[string]func() Table {
 	return map[string]func() Table{
-		"fig1":   Fig1,
-		"fig3":   Fig3,
-		"fig8":   Fig8,
-		"fig9":   Fig9,
-		"fig10":  Fig10,
-		"fig11":  Fig11,
-		"fig12":  Fig12,
-		"fig13a": Fig13a,
-		"fig13b": Fig13b,
-		"fig13c": func() Table { return Fig13c(0) },
-		"fig14":  Fig14,
-		"fig15":  Fig15,
-		"verify": Verification,
+		"fig1":                   Fig1,
+		"fig3":                   Fig3,
+		"fig8":                   Fig8,
+		"fig9":                   Fig9,
+		"fig10":                  Fig10,
+		"fig11":                  Fig11,
+		"fig12":                  Fig12,
+		"fig13a":                 Fig13a,
+		"fig13b":                 Fig13b,
+		"fig13c":                 func() Table { return Fig13c(0) },
+		"fig14":                  Fig14,
+		"fig15":                  Fig15,
+		"verify":                 Verification,
 		"ablation-serialization": AblationWriteSerialization,
 		"ablation-coalesce":      AblationCoalesceFactor,
 		"ablation-credits":       AblationCreditBatch,

@@ -36,6 +36,10 @@ type TCPTransport struct {
 	inbound  []net.Conn
 	handlers map[Addr]Handler
 	wg       sync.WaitGroup
+
+	// onPeerDown, when set, is invoked once per broken connection with the
+	// node id the connection served (see SetPeerDownHandler).
+	onPeerDown func(node uint8, cause error)
 }
 
 type tcpConn struct {
@@ -82,6 +86,46 @@ func (t *TCPTransport) Register(addr Addr, h Handler) {
 	t.mu.Unlock()
 }
 
+// SetPeerDownHandler installs a callback fired when a connection to a peer
+// breaks — the peer process died, was killed, or closed its transport. The
+// owner uses it to fail RPCs pending toward that peer (Cluster.PeerDown,
+// Client peer-down handling) instead of letting their callers hang; TCP's
+// reliable stream guarantees a response can never arrive once the carrying
+// connection is gone. Not fired on local Close (the owner is tearing down
+// and fails its pending calls itself). Set before traffic starts.
+func (t *TCPTransport) SetPeerDownHandler(f func(node uint8, cause error)) {
+	t.mu.Lock()
+	t.onPeerDown = f
+	t.mu.Unlock()
+}
+
+// notePeerDown drops the broken connection's route entry and fires the
+// peer-down callback. Only the connection currently routing to node
+// triggers it — a redundant inbound connection breaking says nothing about
+// the peer, and the route-entry delete makes the callback fire exactly once
+// per broken route even when read and write sides fail together. Not fired
+// while the transport itself is closing.
+func (t *TCPTransport) notePeerDown(node uint8, c net.Conn, cause error) {
+	if t.closed.Load() {
+		return
+	}
+	t.mu.Lock()
+	tc, ok := t.conns[node]
+	active := ok && tc.c == c
+	if active {
+		delete(t.conns, node) // a retry will redial
+	}
+	f := t.onPeerDown
+	t.mu.Unlock()
+	if !active || f == nil {
+		return
+	}
+	if cause == nil {
+		cause = fmt.Errorf("connection to node %d closed", node)
+	}
+	f(node, cause)
+}
+
 func (t *TCPTransport) acceptLoop() {
 	defer t.wg.Done()
 	for {
@@ -93,29 +137,35 @@ func (t *TCPTransport) acceptLoop() {
 		t.inbound = append(t.inbound, c)
 		t.mu.Unlock()
 		t.wg.Add(1)
-		go t.readLoop(c)
+		go t.readLoop(c, -1)
 	}
 }
 
-func (t *TCPTransport) readLoop(c net.Conn) {
+// readLoop drains one connection. peer is the node id the connection serves
+// when known at start (outbound dials); inbound connections learn it from
+// the first frame. A broken connection whose peer is known reports it down.
+func (t *TCPTransport) readLoop(c net.Conn, peer int) {
 	defer t.wg.Done()
 	defer c.Close()
 	hdr := make([]byte, tcpFrameHeader)
-	learned := false
 	for {
 		if _, err := io.ReadFull(c, hdr); err != nil {
+			if peer >= 0 {
+				t.notePeerDown(uint8(peer), c, err)
+			}
 			return
 		}
-		if !learned {
+		if peer < 0 {
 			// Learn the return route: replies to this sender can reuse the
 			// inbound connection even when the sender (e.g. a client with
 			// an ephemeral port) is not in the peers table.
+			peer = int(hdr[2])
 			t.noteRoute(hdr[2], c)
-			learned = true
 		}
 		n := binary.LittleEndian.Uint32(hdr[5:9])
 		data := make([]byte, n)
 		if _, err := io.ReadFull(c, data); err != nil {
+			t.notePeerDown(uint8(peer), c, err)
 			return
 		}
 		p := Packet{
@@ -161,12 +211,10 @@ func (t *TCPTransport) Send(p Packet) error {
 	_, werr := conn.c.Write(frame)
 	conn.mu.Unlock()
 	if werr != nil {
-		// Drop the broken connection; a retry will redial.
-		t.mu.Lock()
-		if t.conns[p.Dst.Node] == conn {
-			delete(t.conns, p.Dst.Node)
-		}
-		t.mu.Unlock()
+		// Frames already written may never be answered; report the peer down
+		// so their pending calls fail (whichever of the read and write sides
+		// notices first wins; the other finds the route already gone).
+		t.notePeerDown(p.Dst.Node, conn.c, werr)
 		return fmt.Errorf("fabric: send to node %d: %w", p.Dst.Node, werr)
 	}
 	return nil
@@ -209,9 +257,10 @@ func (t *TCPTransport) connTo(node uint8) (*tcpConn, error) {
 	t.inbound = append(t.inbound, c) // ensure Close tears it down
 	t.mu.Unlock()
 	// Outbound connections are full duplex: the peer replies on the same
-	// socket, so it needs a read loop just like accepted connections.
+	// socket, so it needs a read loop just like accepted connections. The
+	// peer id is known from the dial.
 	t.wg.Add(1)
-	go t.readLoop(c)
+	go t.readLoop(c, int(node))
 	return tc, nil
 }
 

@@ -138,6 +138,49 @@ func TestTCPManyMessagesInOrderPerConnection(t *testing.T) {
 	}
 }
 
+// The peer-down handler must fire when an established peer's transport goes
+// away — and must NOT fire on local Close.
+func TestTCPPeerDownHandlerFiresOnPeerClose(t *testing.T) {
+	a, b := newTCPPair(t)
+	down := make(chan uint8, 4)
+	a.SetPeerDownHandler(func(node uint8, cause error) {
+		if cause == nil {
+			t.Error("peer-down fired with nil cause")
+		}
+		down <- node
+	})
+	b.Register(Addr{Node: 1}, func(Packet) {})
+	// Establish the route a→b.
+	if err := a.Send(Packet{Src: Addr{Node: 0}, Dst: Addr{Node: 1}, Data: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	select {
+	case node := <-down:
+		if node != 1 {
+			t.Fatalf("peer-down for node %d, want 1", node)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer-down handler never fired")
+	}
+}
+
+func TestTCPPeerDownHandlerSilentOnLocalClose(t *testing.T) {
+	a, b := newTCPPair(t)
+	fired := make(chan uint8, 4)
+	a.SetPeerDownHandler(func(node uint8, _ error) { fired <- node })
+	b.Register(Addr{Node: 1}, func(Packet) {})
+	if err := a.Send(Packet{Src: Addr{Node: 0}, Dst: Addr{Node: 1}, Data: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	select {
+	case node := <-fired:
+		t.Fatalf("peer-down fired for node %d on local close", node)
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
 func TestTCPSendAfterClose(t *testing.T) {
 	a, _ := newTCPPair(t)
 	a.Close()

@@ -7,12 +7,12 @@ import (
 
 // Report is the outcome of an exhaustive check.
 type Report struct {
-	Protocol   Protocol
-	Bounds     Bounds
-	States     int  // distinct states explored
+	Protocol    Protocol
+	Bounds      Bounds
+	States      int // distinct states explored
 	Transitions int // transitions taken
-	Depth      int  // BFS depth (protocol diameter within bounds)
-	Quiescent  int  // quiescent states encountered
+	Depth       int // BFS depth (protocol diameter within bounds)
+	Quiescent   int // quiescent states encountered
 	// Violation is empty when the protocol is safe and deadlock-free;
 	// otherwise it describes the failed invariant and Trace holds the
 	// action sequence reaching it.

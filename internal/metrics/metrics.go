@@ -157,10 +157,10 @@ func (h *Histogram) Snapshot() HistSnapshot {
 
 // HistSnapshot is a summarized histogram.
 type HistSnapshot struct {
-	Count          uint64
-	Mean           float64
-	P50, P95, P99  uint64
-	Max            uint64
+	Count         uint64
+	Mean          float64
+	P50, P95, P99 uint64
+	Max           uint64
 }
 
 // String renders the snapshot compactly.
@@ -175,11 +175,11 @@ type MsgClass int
 
 // Message classes in the order the paper's Figure 11 stacks them.
 const (
-	ClassCacheMiss MsgClass = iota // remote KVS requests + responses
-	ClassUpdate                    // SC/Lin value broadcasts
-	ClassInvalidate                // Lin invalidations
-	ClassAck                       // Lin acknowledgements
-	ClassFlowControl               // explicit credit updates
+	ClassCacheMiss   MsgClass = iota // remote KVS requests + responses
+	ClassUpdate                      // SC/Lin value broadcasts
+	ClassInvalidate                  // Lin invalidations
+	ClassAck                         // Lin acknowledgements
+	ClassFlowControl                 // explicit credit updates
 	numClasses
 )
 

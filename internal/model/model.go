@@ -47,11 +47,11 @@ type Params struct {
 
 // Paper-measured defaults (§8.7).
 const (
-	DefaultBRR     = 113.0
-	DefaultBSC     = 83.0
-	DefaultBLin    = 183.0
-	DefaultBWGbps  = 21.5
-	DefaultHit099  = 0.65 // alpha = 0.99, cache = 0.1% of dataset
+	DefaultBRR    = 113.0
+	DefaultBSC    = 83.0
+	DefaultBLin   = 183.0
+	DefaultBWGbps = 21.5
+	DefaultHit099 = 0.65 // alpha = 0.99, cache = 0.1% of dataset
 )
 
 // Defaults returns the paper's validation configuration for N servers with
@@ -136,9 +136,9 @@ func (p Params) BreakEvenLin() float64 {
 
 // ScalePoint is one row of the Figure 14 scalability study.
 type ScalePoint struct {
-	N                  int
-	UniformMRPS        float64
-	SCMRPS, LinMRPS    float64
+	N               int
+	UniformMRPS     float64
+	SCMRPS, LinMRPS float64
 }
 
 // ScalabilityStudy evaluates the model from minN to maxN servers at the
@@ -159,7 +159,7 @@ func ScalabilityStudy(minN, maxN int, writeRatio float64) []ScalePoint {
 
 // BreakEvenPoint is one row of the Figure 15 study.
 type BreakEvenPoint struct {
-	N            int
+	N             int
 	SCPct, LinPct float64 // break-even write ratios in percent
 }
 

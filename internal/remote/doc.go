@@ -1,0 +1,14 @@
+// Package remote is retired. It used to hold a shard-only smoke deployment
+// (TCP get/put against bare shards, no caching, no consistency protocol)
+// that existed solely to exercise the socket transport end to end.
+//
+// Its replacement is the transport-pluggable cluster: internal/cluster now
+// runs the complete ccKVS protocol stack — symmetric hot-set caches, the
+// Lin and SC write protocols, coalesced remote accesses and online hot-set
+// reconfiguration — over any fabric.Transport. cluster.NewMember builds one
+// node of a multi-process deployment over a fabric.TCPTransport (see
+// cmd/cckvs-node), cluster.DialTCP connects a session client to it (see
+// cmd/cckvs-load), and the in-process harness keeps using the same protocol
+// code over a fabric.ChanTransport. There is one protocol codebase with two
+// transports, which is why this package no longer carries an implementation.
+package remote

@@ -94,12 +94,12 @@ func SimulateLatency(cfg Config, offeredRPS float64, requests int) (LatencyPoint
 	// is a faithful FIFO queue; lumping types into one engine would let a
 	// late-offset visit block an earlier-offset one, which the processing
 	// order here (request order, not event order) cannot untangle.
-	ingressNet := make([]float64, n)  // handler-side packet processing
-	handlerCPU := make([]float64, n)  // cache probe / request handling
-	homeNet := make([]float64, n)     // home-side packet processing
-	homeCPU := make([]float64, n)     // home KVS service
-	consistNet := make([]float64, n)  // invalidation/update/ack processing
-	consistCPU := make([]float64, n)  // consistency message application
+	ingressNet := make([]float64, n) // handler-side packet processing
+	handlerCPU := make([]float64, n) // cache probe / request handling
+	homeNet := make([]float64, n)    // home-side packet processing
+	homeCPU := make([]float64, n)    // home KVS service
+	consistNet := make([]float64, n) // invalidation/update/ack processing
+	consistCPU := make([]float64, n) // consistency message application
 
 	rng := newRand(0x13c)
 	hist := metrics.NewHistogram()

@@ -171,11 +171,11 @@ func (c Config) Validate() error {
 // Wire sizes. For 40-byte values these yield the paper's §8.7 constants:
 // request+response = 113 B, update = 83 B, invalidation+ack = 100 B
 // (B_Lin = 183 B total).
-func (c Config) reqBytes() float64  { return 57 }                         // hdr + key + rpc envelope
-func (c Config) respBytes() float64 { return float64(c.ValueSize) + 16 }  // hdr + value
-func (c Config) updBytes() float64  { return float64(c.ValueSize) + 43 }  // hdr + key + ts + value
-func (c Config) invBytes() float64  { return 50 }
-func (c Config) ackBytes() float64  { return 50 }
+func (c Config) reqBytes() float64    { return 57 }                        // hdr + key + rpc envelope
+func (c Config) respBytes() float64   { return float64(c.ValueSize) + 16 } // hdr + value
+func (c Config) updBytes() float64    { return float64(c.ValueSize) + 43 } // hdr + key + ts + value
+func (c Config) invBytes() float64    { return 50 }
+func (c Config) ackBytes() float64    { return 50 }
 func (c Config) creditBytes() float64 { return 34 } // header-only
 
 // hitRatio returns the symmetric-cache hit ratio for the configured skew

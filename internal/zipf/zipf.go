@@ -183,11 +183,11 @@ type Generator struct {
 	n     uint64
 	alpha float64
 
-	zetan   float64
-	eta     float64
-	alphaG  float64 // 1/(1-alpha)
-	half    float64 // 0.5^alpha
-	rng     *splitMix
+	zetan    float64
+	eta      float64
+	alphaG   float64 // 1/(1-alpha)
+	half     float64 // 0.5^alpha
+	rng      *splitMix
 	scramble bool
 }
 

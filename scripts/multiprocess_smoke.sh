@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Multi-process smoke deployment: build the node and load binaries, launch a
+# 3-node ccKVS cluster as separate OS processes on loopback, drive a skewed
+# workload with a mid-run online hot-set refresh, and run the lost/stale-read
+# consistency check — once per protocol (SC and Lin). Any lost write, stale
+# read, refresh failure or missing cache traffic fails the script.
+#
+# Usage: scripts/multiprocess_smoke.sh [base_port]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE_PORT="${1:-17360}"
+KEYS=16384
+CACHE=64
+OPS="${OPS:-3000}"
+CLIENTS=4
+
+BIN=$(mktemp -d)
+trap 'rm -rf "$BIN"' EXIT
+go build -o "$BIN/cckvs-node" ./cmd/cckvs-node
+go build -o "$BIN/cckvs-load" ./cmd/cckvs-load
+
+run_deployment() {
+    local proto="$1" port0="$2"
+    local p0="127.0.0.1:$port0" p1="127.0.0.1:$((port0 + 1))" p2="127.0.0.1:$((port0 + 2))"
+    local peers="$p0,$p1,$p2"
+    local pids=()
+
+    echo "=== $proto: 3-node deployment on $peers ==="
+    for id in 0 1 2; do
+        "$BIN/cckvs-node" -id "$id" -peers "$peers" -protocol "$proto" \
+            -keys "$KEYS" -cache "$CACHE" &
+        pids+=($!)
+    done
+    # shellcheck disable=SC2064
+    trap "kill ${pids[*]} 2>/dev/null || true" RETURN
+
+    "$BIN/cckvs-load" -nodes "$peers" -keys "$KEYS" -hotset "$CACHE" \
+        -alpha 0.99 -writes 0.05 -ops "$OPS" -clients "$CLIENTS" \
+        -refresh-at 0.5 -refresh-shift 16 \
+        -verify -verify-keys 12 -verify-rounds 25 \
+        -min-hit-rate 0.15 -wait 30s
+
+    kill -INT "${pids[@]}" 2>/dev/null || true
+    local code=0
+    for pid in "${pids[@]}"; do
+        wait "$pid" || code=$?
+    done
+    if [ "$code" -ne 0 ]; then
+        echo "$proto: a node exited non-zero ($code)" >&2
+        return 1
+    fi
+    echo "=== $proto: OK ==="
+}
+
+run_deployment sc "$BASE_PORT"
+run_deployment lin "$((BASE_PORT + 10))"
+echo "multiprocess smoke: all deployments passed"
