@@ -9,14 +9,17 @@
 package cckvs
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/mcheck"
 	"repro/internal/model"
+	"repro/internal/workload"
 	"repro/internal/zipf"
 )
 
@@ -316,4 +319,66 @@ func BenchmarkCoalescingRemoteOps(b *testing.B) {
 	}
 	b.Run("per-request", func(b *testing.B) { run(b, 1, 1) })
 	b.Run("batched-64", func(b *testing.B) { run(b, 0, 64) })
+}
+
+// BenchmarkWorkerScaling measures the multi-worker node (§6.2) on the
+// remote-access hot path: a 2-node Base cluster where every measured op is
+// issued at node 0 for a key homed on node 1 under the paper's Zipfian
+// preset, so the whole load funnels through node 1's KVS worker bank (and
+// node 0's per-worker pipelines). With 1 worker per node every remote
+// access serializes through a single dispatcher goroutine; W workers serve
+// W disjoint key stripes in parallel. Run with -cpu 4,8 on multi-core
+// hardware to see the banks scale; ns/op here is per *remote* op.
+func BenchmarkWorkerScaling(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			const numKeys = 1 << 15
+			c, err := cluster.New(cluster.Config{
+				Nodes: 2, System: cluster.Base, NumKeys: numKeys, WorkersPerNode: w,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			c.Populate()
+			// Rank-preserving remap of the Zipfian key stream onto the keys
+			// homed at node 1: the popularity shape survives, and every op
+			// is a remote access from node 0's point of view.
+			var remote []uint64
+			for k := uint64(0); k < numKeys; k++ {
+				if c.HomeNode(k) == 1 {
+					remote = append(remote, k)
+				}
+			}
+			wl, _ := workload.Preset(workload.PaperDefault, numKeys)
+			gen, err := workload.New(wl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n0 := c.Node(0)
+			var clientSeed atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				g := gen.Clone(clientSeed.Add(1))
+				for pb.Next() {
+					op := g.Next()
+					key := remote[op.Key%uint64(len(remote))]
+					// b.Error, not b.Fatal: FailNow must not be called from
+					// RunParallel worker goroutines.
+					if op.Type == workload.Put {
+						if err := n0.Put(key, op.Value); err != nil {
+							b.Error(err)
+							return
+						}
+					} else if _, err := n0.Get(key); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "remote_ops/s")
+		})
+	}
 }

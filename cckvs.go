@@ -69,6 +69,12 @@ type Options struct {
 	// SampleRate is the request-sampling rate feeding the top-k hot-key
 	// tracker (§4; default 16: one in 16 requests is recorded).
 	SampleRate uint64
+	// WorkersPerNode is the width of every node's worker banks (the
+	// paper's cache/KVS threads, §6.2): requests are steered to workers by
+	// key hash and each worker runs its own dispatchers, RPC pipeline and
+	// flow-control budget. Default: GOMAXPROCS, capped at
+	// cluster.MaxWorkersPerNode.
+	WorkersPerNode int
 }
 
 // KV is an embedded ccKVS deployment with a client-side load balancer.
@@ -102,12 +108,13 @@ func Open(opts Options) (*KV, error) {
 		opts.SampleRate = 16
 	}
 	c, err := cluster.New(cluster.Config{
-		Nodes:      opts.Nodes,
-		System:     cluster.CCKVS,
-		Protocol:   opts.Consistency,
-		NumKeys:    opts.NumKeys,
-		CacheItems: opts.CacheItems,
-		ValueSize:  opts.ValueSize,
+		Nodes:          opts.Nodes,
+		System:         cluster.CCKVS,
+		Protocol:       opts.Consistency,
+		NumKeys:        opts.NumKeys,
+		CacheItems:     opts.CacheItems,
+		ValueSize:      opts.ValueSize,
+		WorkersPerNode: opts.WorkersPerNode,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cckvs: %w", err)

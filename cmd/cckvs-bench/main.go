@@ -9,6 +9,7 @@
 //	cckvs-bench -local            # in-process cluster validation run
 //	cckvs-bench -local -ops 5000  # longer validation run
 //	cckvs-bench -churn            # online hot-set reconfiguration ablation
+//	cckvs-bench -workers          # per-node worker-scaling ablation
 package main
 
 import (
@@ -41,7 +42,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fig4    = fs.Bool("fig4", false, "run the Figure 4 serialization design space on the live cluster")
 		coal    = fs.Bool("coalesce", false, "run the request-coalescing (batched vs per-request) ablation on the live cluster")
 		churn   = fs.Bool("churn", false, "run the hot-set reconfiguration (full reinstall vs incremental) ablation under a moving hotspot")
-		ops     = fs.Int("ops", 2000, "operations per client for -local/-fig4/-coalesce/-churn")
+		workers = fs.Bool("workers", false, "run the per-node worker-scaling ablation (WorkersPerNode in {1,2,4,8}) on the live cluster")
+		reqScal = fs.Bool("require-scaling", false, "with -workers: exit non-zero unless 4-worker remote throughput beats 1-worker (skipped on a single hardware thread)")
+		ops     = fs.Int("ops", 2000, "operations per client for -local/-fig4/-coalesce/-churn/-workers")
 		jsonOut = fs.String("json", "", "additionally write the produced tables as JSON to this file (CI benchmark artifacts)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	exit := 0
 	switch {
 	case *list:
 		for _, id := range ids {
@@ -95,6 +99,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *churn:
 		if code := liveRun("churn ablation", experiments.LocalChurnAblation); code != 0 {
 			return code
+		}
+	case *workers:
+		// Emit whatever was measured even when the scaling gate trips, so
+		// the CI artifact still carries the numbers behind the failure.
+		tab, err := experiments.LocalWorkerScalingAblation(*ops, *reqScal)
+		if len(tab.Rows) > 0 {
+			emit(tab)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "worker scaling ablation: %v\n", err)
+			exit = 1
 		}
 	case *all:
 		for _, id := range ids {
@@ -120,7 +135,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "wrote %d table(s) to %s\n", len(tables), *jsonOut)
 	}
-	return 0
+	return exit
 }
 
 // writeJSON archives the run's tables for the benchmark-trajectory artifact.

@@ -51,11 +51,21 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, onReady
 		keys     = fs.Uint64("keys", 16384, "keyspace size (identical on every node)")
 		cache    = fs.Int("cache", 0, "symmetric cache capacity in objects (cckvs; default keys/100)")
 		value    = fs.Int("value", 40, "populated value size in bytes")
+		workers  = fs.Int("workers", 4, "worker threads per node (cache/KVS/resp banks); MUST be identical on every node — it fixes the fabric thread layout")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
+		return 2
+	}
+
+	if *workers < 1 || *workers > cluster.MaxWorkersPerNode {
+		// A machine-derived default would silently diverge across
+		// heterogeneous nodes and hang every cross-node RPC (frames to
+		// unregistered threads are dropped); demand an explicit match.
+		fmt.Fprintf(stderr, "-workers %d out of range [1,%d]; every node must pass the same value\n",
+			*workers, cluster.MaxWorkersPerNode)
 		return 2
 	}
 
@@ -69,9 +79,10 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, onReady
 	}
 
 	cfg := cluster.Config{
-		Nodes:     len(peers),
-		NumKeys:   *keys,
-		ValueSize: *value,
+		Nodes:          len(peers),
+		NumKeys:        *keys,
+		ValueSize:      *value,
+		WorkersPerNode: *workers,
 	}
 	switch *system {
 	case "cckvs":
@@ -133,8 +144,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, onReady
 	})
 	member.Populate()
 
-	fmt.Fprintf(stdout, "node %d/%d: %s serving %d keys (cache %d) on %s\n",
-		*id, len(peers), systemLabel(cfg), *keys, cfg.CacheItems, tr.ListenAddr())
+	fmt.Fprintf(stdout, "node %d/%d: %s serving %d keys (cache %d, workers %d) on %s\n",
+		*id, len(peers), systemLabel(cfg), *keys, cfg.CacheItems, member.Config().WorkersPerNode, tr.ListenAddr())
 	if onReady != nil {
 		onReady(tr.ListenAddr())
 	}

@@ -1,0 +1,44 @@
+package cluster
+
+import "testing"
+
+// The allocation diet of the multi-worker PR: a remote get on the in-process
+// transport costs a bounded, small number of heap allocations per op. The
+// seed measured 7.0 allocs/op on this exact scenario; encode-at-send (no
+// per-request scratch buffer), pooled completion channels and the pooled
+// server-side read staging bring it to 3 — the remaining ones are the
+// per-packet buffers a reference-passing transport cannot recycle plus the
+// one unavoidable copy that hands the value to the caller. The assertion
+// leaves half an alloc of headroom for map-rehash noise but fails well
+// before the seed's count, so a regression that reintroduces per-call
+// garbage is caught.
+func TestRemoteGetAllocsPerOp(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	for _, w := range []int{1, 4} {
+		c, err := New(Config{Nodes: 2, System: Base, NumKeys: 1024, WorkersPerNode: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Populate()
+		n := c.Node(0)
+		key := uint64(0)
+		for k := uint64(0); k < 1024; k++ {
+			if c.HomeNode(k) == 1 {
+				key = k
+				break
+			}
+		}
+		allocs := testing.AllocsPerRun(2000, func() {
+			if _, err := n.Get(key); err != nil {
+				t.Fatal(err)
+			}
+		})
+		c.Close()
+		t.Logf("workers=%d: remote get %.1f allocs/op (seed: 7.0)", w, allocs)
+		if allocs > 4.5 {
+			t.Fatalf("workers=%d: remote get costs %.1f allocs/op, want <= 4.5 (seed was 7.0)", w, allocs)
+		}
+	}
+}

@@ -61,14 +61,47 @@ func (s System) String() string {
 	}
 }
 
-// Thread ids within a node's fabric address space.
+// Thread ids within a node's fabric address space. A node no longer exposes
+// one thread per traffic class: the cache, KVS and response roles are
+// *banks* of WorkersPerNode threads each (the paper's cache/KVS worker
+// threads, §6.2), laid out back to back above the two fixed singleton
+// threads. Requests are steered to a bank member by key hash on the sender
+// side (Config.workerOf), so the same key always lands on the same worker
+// everywhere — which is what lets each worker run lock-free against its
+// brethren (EREW across workers, exactly MICA's discipline).
 const (
-	threadCache   uint8 = iota // consistency messages between cache threads
-	threadKVS                  // remote KVS request server
-	threadResp                 // remote KVS responses (RPC completions)
-	threadFlow                 // explicit credit updates
-	threadSession              // client-facing session requests (session.go)
+	threadFlow     uint8 = 0 // explicit credit updates (one per node)
+	threadSession  uint8 = 1 // client-facing session requests (session.go)
+	threadBankBase uint8 = 2 // first worker-bank thread
 )
+
+// MaxWorkersPerNode bounds the per-node worker count: the three per-worker
+// banks (cache, KVS, resp) must fit the uint8 thread address space above
+// the fixed threads.
+const MaxWorkersPerNode = 64
+
+// cacheThread returns worker w's consistency-message endpoint.
+func (c Config) cacheThread(w int) uint8 {
+	return threadBankBase + uint8(w)
+}
+
+// kvsThread returns worker w's remote KVS request server endpoint.
+func (c Config) kvsThread(w int) uint8 {
+	return threadBankBase + uint8(c.WorkersPerNode) + uint8(w)
+}
+
+// respThread returns worker w's RPC completion endpoint.
+func (c Config) respThread(w int) uint8 {
+	return threadBankBase + uint8(2*c.WorkersPerNode) + uint8(w)
+}
+
+// workerOf steers a key to its worker index — the same on every node, so
+// a request encoded by any sender lands on the worker that owns the key's
+// stripe at the receiver. The salt decorrelates worker steering from home
+// placement (HomeNode), so one node's keys still spread across all workers.
+func (c Config) workerOf(key uint64) int {
+	return int(zipf.Mix64(key^0x2545f4914f6cdd1d) % uint64(c.WorkersPerNode))
+}
 
 // Serialization selects how hot writes obtain their place in the per-key
 // write order — the design space of the paper's Figure 4. The paper's
@@ -118,6 +151,12 @@ type Config struct {
 	// CacheItems is the symmetric cache capacity in objects (paper: 0.1%
 	// of the dataset = 250K).
 	CacheItems int
+	// WorkersPerNode is the width of each node's worker banks: every node
+	// runs this many cache/KVS/resp worker threads (§6.2), with requests
+	// steered to workers by key hash. Default: GOMAXPROCS, capped at
+	// MaxWorkersPerNode. Every member of a deployment must use the same
+	// value — it determines the fabric thread layout.
+	WorkersPerNode int
 	// ValueSize is the object payload size (paper default 40B).
 	ValueSize int
 	// KVSPartitions is the per-node partition count for BaseEREW
@@ -159,6 +198,12 @@ func (c Config) withDefaults() Config {
 	if c.KVSPartitions == 0 {
 		c.KVSPartitions = 8
 	}
+	if c.WorkersPerNode == 0 {
+		c.WorkersPerNode = runtime.GOMAXPROCS(0)
+		if c.WorkersPerNode > MaxWorkersPerNode {
+			c.WorkersPerNode = MaxWorkersPerNode
+		}
+	}
 	if c.CreditsPerPeer == 0 {
 		c.CreditsPerPeer = 64
 	}
@@ -188,6 +233,10 @@ func (c Config) Validate() error {
 	if c.System != CCKVS && c.CacheItems > 0 {
 		return errors.New("cluster: baselines have no cache; CacheItems must be 0")
 	}
+	if c.WorkersPerNode < 0 || c.WorkersPerNode > MaxWorkersPerNode {
+		return fmt.Errorf("cluster: WorkersPerNode %d out of range [0,%d] (0 selects the GOMAXPROCS-derived default)",
+			c.WorkersPerNode, MaxWorkersPerNode)
+	}
 	if c.Serialization != SerializationDistributed {
 		if c.System != CCKVS || c.Protocol != core.SC {
 			return errors.New("cluster: primary/sequencer serialization is implemented for ccKVS-SC only")
@@ -205,6 +254,12 @@ type Cluster struct {
 	cfg       Config
 	transport fabric.Transport
 	stats     *fabric.Stats
+	// trCopies reports that the transport serializes packet data during
+	// Send (fabric.TCPTransport): senders may reuse their encode buffers
+	// the moment Send returns, which is what makes the hot path's pooled
+	// buffers possible. Channel-based transports pass data by reference,
+	// so there the buffers must stay fresh per packet.
+	trCopies bool
 	// nodes is indexed by node id and always cfg.Nodes long; in member form
 	// every entry except the local node is nil.
 	nodes  []*Node
@@ -216,37 +271,18 @@ type Cluster struct {
 	reconfigMu sync.Mutex
 }
 
-// Node is one server: a KVS shard plus (for ccKVS) a symmetric cache.
+// Node is one server: a KVS shard plus (for ccKVS) a symmetric cache,
+// fronted by a bank of WorkersPerNode workers that own disjoint key stripes.
 type Node struct {
 	id      uint8
 	cluster *Cluster
 	kvs     *store.Partitioned
 	cache   *core.Cache // nil for baselines
 
-	rpc  *rpcClient
-	pipe *pipeline // per-destination request coalescing (pipeline.go)
-
-	// Sequencer state (node 0 when SerializationSequencer is selected):
-	// per-key clocks handed out to writers.
-	seqMu     sync.Mutex
-	seqClocks map[uint64]uint32
-
-	// homeMu orders local miss-path puts against a local promotion fetch
-	// (reconfig.go): a put whose cache probe predates the promotion's
-	// placeholder re-checks the cache under this mutex before touching the
-	// local shard, so it either lands before the fetch reads the shard or
-	// bounces back through the cache. Remote miss-path puts get the same
-	// guarantee for free — they serialize with the fetch on the home's
-	// single KVS dispatcher thread.
-	homeMu sync.Mutex
-
-	// Lin write completion plumbing: one waiter per key (a node allows a
-	// single outstanding Lin write per key, see core.ErrWritePending).
-	waitMu  sync.Mutex
-	waiters map[uint64]chan core.Update
-
-	credits *fabric.Credits
-	cbatch  *fabric.CreditBatcher
+	// workers are the node's request-processing lanes; worker i serves the
+	// keys with workerOf(key) == i on every node of the deployment, so no
+	// lock is shared between lanes on the hot path.
+	workers []*worker
 
 	// Counters for the evaluation.
 	CacheHits, CacheMisses metrics.Counter
@@ -263,6 +299,50 @@ type Node struct {
 	// RPCDecodeErrors counts malformed request/response entries that were
 	// refused or dropped instead of deadlocking their callers.
 	RPCDecodeErrors metrics.Counter
+}
+
+// worker is one of a node's W request-processing lanes — the reproduction's
+// form of the paper's worker threads (§6.2). Each worker owns the key
+// stripe workerOf(key) == idx: its own fabric endpoints (one cache, KVS and
+// resp thread), its own coalescing pipeline senders, its own credit budget
+// and completion table, and its own stripe of the serialization state that
+// used to be node-global (sequencer clocks, Lin waiters, the home-fetch
+// mutex). Two operations contend on a lock only if they touch the same
+// stripe; across stripes the hot path is lock-disjoint.
+type worker struct {
+	node *Node
+	idx  int
+
+	rpc  *rpcClient
+	pipe *pipeline // per-destination request coalescing (pipeline.go)
+
+	credits *fabric.Credits
+	cbatch  *fabric.CreditBatcher
+
+	// Sequencer state (node 0 when SerializationSequencer is selected):
+	// per-key clocks handed out to writers, striped by key.
+	seqMu     sync.Mutex
+	seqClocks map[uint64]uint32
+
+	// homeMu orders local miss-path puts against a local promotion fetch
+	// (reconfig.go) for this worker's keys: a put whose cache probe
+	// predates the promotion's placeholder re-checks the cache under this
+	// mutex before touching the local shard, so it either lands before the
+	// fetch reads the shard or bounces back through the cache. Remote
+	// miss-path puts get the same guarantee for free — a key's puts and
+	// promotion fetches serialize on the home's KVS dispatcher for the
+	// key's worker (same key, same worker, same dispatcher).
+	homeMu sync.Mutex
+
+	// Lin write completion plumbing: one waiter per key (a node allows a
+	// single outstanding Lin write per key, see core.ErrWritePending).
+	waitMu  sync.Mutex
+	waiters map[uint64]chan core.Update
+}
+
+// workerFor returns the worker owning key's stripe.
+func (n *Node) workerFor(key uint64) *worker {
+	return n.workers[n.cluster.cfg.workerOf(key)]
 }
 
 // New builds and starts a fully in-process cluster over a ChanTransport —
@@ -319,6 +399,9 @@ func build(cfg Config, tr fabric.Transport, stats *fabric.Stats, self int) (*Clu
 		member:    self >= 0,
 		self:      self,
 	}
+	if ct, ok := tr.(interface{ SendCopiesData() bool }); ok {
+		c.trCopies = ct.SendCopiesData()
+	}
 	c.nodes = make([]*Node, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		if c.member && i != self {
@@ -329,18 +412,26 @@ func build(cfg Config, tr fabric.Transport, stats *fabric.Stats, self int) (*Clu
 			parts = cfg.KVSPartitions
 		}
 		n := &Node{
-			id:        uint8(i),
-			cluster:   c,
-			kvs:       store.NewPartitioned(parts, int(cfg.NumKeys)/cfg.Nodes+16),
-			waiters:   map[uint64]chan core.Update{},
-			credits:   fabric.NewCredits(),
-			seqClocks: map[uint64]uint32{},
+			id:      uint8(i),
+			cluster: c,
+			kvs:     store.NewPartitioned(parts, int(cfg.NumKeys)/cfg.Nodes+16),
 		}
 		if cfg.System == CCKVS {
 			n.cache = core.NewCache(n.id, cfg.Nodes)
 		}
-		n.rpc = newRPCClient(n)
-		n.pipe = newPipeline(n, cfg.Nodes, cfg.QueueDepth, cfg.BatchMaxMsgs, cfg.BatchMaxBytes)
+		n.workers = make([]*worker, cfg.WorkersPerNode)
+		for w := range n.workers {
+			wk := &worker{
+				node:      n,
+				idx:       w,
+				credits:   fabric.NewCredits(),
+				seqClocks: map[uint64]uint32{},
+				waiters:   map[uint64]chan core.Update{},
+			}
+			wk.rpc = newRPCClient(wk)
+			wk.pipe = newPipeline(wk, cfg.Nodes, cfg.QueueDepth, cfg.BatchMaxMsgs, cfg.BatchMaxBytes)
+			n.workers[w] = wk
+		}
 		c.nodes[i] = n
 	}
 	for _, n := range c.nodes {
@@ -393,8 +484,11 @@ func (c *Cluster) HomeNode(key uint64) int {
 func (c *Cluster) PeerDown(peer uint8, cause error) {
 	err := fmt.Errorf("cluster: peer node %d down: %w", peer, cause)
 	for _, n := range c.nodes {
-		if n != nil {
-			n.rpc.failPeer(peer, err)
+		if n == nil {
+			continue
+		}
+		for _, wk := range n.workers {
+			wk.rpc.failPeer(peer, err)
 		}
 	}
 }
@@ -412,8 +506,11 @@ func (c *Cluster) Close() error {
 	// anything enqueued from here on fails with ErrPipelineClosed instead
 	// of waiting on a response that can no longer arrive.
 	for _, n := range c.nodes {
-		if n != nil {
-			n.pipe.close()
+		if n == nil {
+			continue
+		}
+		for _, wk := range n.workers {
+			wk.pipe.close()
 		}
 	}
 	err := c.transport.Close()
@@ -421,8 +518,11 @@ func (c *Cluster) Close() error {
 	// reached its caller; fail whatever is still pending so no session
 	// blocks forever.
 	for _, n := range c.nodes {
-		if n != nil {
-			n.rpc.failAll(ErrPipelineClosed)
+		if n == nil {
+			continue
+		}
+		for _, wk := range n.workers {
+			wk.rpc.failAll(ErrPipelineClosed)
 		}
 	}
 	return err
@@ -501,50 +601,65 @@ func (n *Node) start() {
 	cfg := n.cluster.cfg
 	tr := n.cluster.transport
 
-	for peer := 0; peer < cfg.Nodes; peer++ {
-		if peer == int(n.id) {
-			continue
+	for _, wk := range n.workers {
+		wk := wk
+		for peer := 0; peer < cfg.Nodes; peer++ {
+			if peer == int(n.id) {
+				continue
+			}
+			// One budget per remote node for each traffic kind, per worker:
+			// every bank member has its own receive queue at the peer, so
+			// every bank member gets its own in-flight budget toward it.
+			wk.credits.SetBudget(fabric.Addr{Node: uint8(peer), Thread: cfg.cacheThread(wk.idx)}, cfg.CreditsPerPeer)
+			wk.credits.SetBudget(fabric.Addr{Node: uint8(peer), Thread: cfg.kvsThread(wk.idx)}, cfg.CreditsPerPeer)
 		}
-		// One budget per remote node for each traffic kind.
-		n.credits.SetBudget(fabric.Addr{Node: uint8(peer), Thread: threadCache}, cfg.CreditsPerPeer)
-		n.credits.SetBudget(fabric.Addr{Node: uint8(peer), Thread: threadKVS}, cfg.CreditsPerPeer)
-	}
-	n.cbatch = fabric.NewCreditBatcher(cfg.CreditBatch, func(peer fabric.Addr, cnt int) {
-		// Header-only credit update (§6.4): the count rides in a 1-byte
-		// payload so the receiver can restore that many credits.
-		tr.Send(fabric.Packet{
-			Src:   fabric.Addr{Node: n.id, Thread: threadFlow},
-			Dst:   fabric.Addr{Node: peer.Node, Thread: threadFlow},
-			Class: metrics.ClassFlowControl,
-			Data:  []byte{byte(cnt)},
+		wk.cbatch = fabric.NewCreditBatcher(cfg.CreditBatch, func(peer fabric.Addr, cnt int) {
+			// Header-only credit update (§6.4): the count rides in a 2-byte
+			// payload (count, bank thread) so the receiver can restore that
+			// many credits to the right worker's budget.
+			tr.Send(fabric.Packet{
+				Src:   fabric.Addr{Node: n.id, Thread: threadFlow},
+				Dst:   fabric.Addr{Node: peer.Node, Thread: threadFlow},
+				Class: metrics.ClassFlowControl,
+				Data:  []byte{byte(cnt), peer.Thread},
+			})
 		})
-	})
 
-	tr.Register(fabric.Addr{Node: n.id, Thread: threadCache}, n.handleConsistency)
-	tr.Register(fabric.Addr{Node: n.id, Thread: threadKVS}, n.handleKVSRequest)
-	tr.Register(fabric.Addr{Node: n.id, Thread: threadResp}, n.rpc.handleResponse)
+		tr.Register(fabric.Addr{Node: n.id, Thread: cfg.cacheThread(wk.idx)}, wk.handleConsistency)
+		tr.Register(fabric.Addr{Node: n.id, Thread: cfg.kvsThread(wk.idx)}, n.handleKVSRequest)
+		tr.Register(fabric.Addr{Node: n.id, Thread: cfg.respThread(wk.idx)}, wk.rpc.handleResponse)
+	}
 	tr.Register(fabric.Addr{Node: n.id, Thread: threadFlow}, n.handleFlowControl)
 	tr.Register(fabric.Addr{Node: n.id, Thread: threadSession}, n.handleSession)
 }
 
-// handleFlowControl restores credits granted by a peer's credit update.
+// handleFlowControl restores credits granted by a peer's credit update to
+// the budget of the worker whose bank thread the payload names.
 func (n *Node) handleFlowControl(p fabric.Packet) {
-	if len(p.Data) < 1 {
+	if len(p.Data) < 2 {
 		return
 	}
-	n.credits.Grant(fabric.Addr{Node: p.Src.Node, Thread: threadCache}, int(p.Data[0]))
+	th := p.Data[1]
+	w := int(th) - int(threadBankBase)
+	if w < 0 || w >= len(n.workers) {
+		return // not a cache-bank thread of this deployment's layout
+	}
+	n.workers[w].credits.Grant(fabric.Addr{Node: p.Src.Node, Thread: th}, int(p.Data[0]))
 }
 
 // handleConsistency processes updates, invalidations and acks addressed to
-// this node's cache threads. Consistency messages may arrive coalesced;
-// the decode loop walks the whole packet.
-func (n *Node) handleConsistency(p fabric.Packet) {
+// this worker's cache thread. Consistency messages may arrive coalesced;
+// the decode loop walks the whole packet. Key steering guarantees every
+// message for a key lands on the same worker on every node.
+func (wk *worker) handleConsistency(p fabric.Packet) {
+	n := wk.node
 	if n.cache == nil {
 		return
 	}
 	// Consistency messages consume receive buffers; note them toward the
-	// sender's batched credit updates.
-	n.cbatch.Note(fabric.Addr{Node: p.Src.Node, Thread: threadFlow})
+	// sender's batched credit updates, tagged with this worker's bank
+	// thread so the sender restores the right per-worker budget.
+	wk.cbatch.Note(fabric.Addr{Node: p.Src.Node, Thread: p.Dst.Thread})
 
 	buf := p.Data
 	for len(buf) > 0 {
@@ -571,27 +686,32 @@ func (n *Node) handleConsistency(p fabric.Packet) {
 	}
 }
 
-// sendAck returns an ack to the writer node.
+// sendAck returns an ack to the writer node's cache thread for the key's
+// worker (the writer's completion table lives on that worker's stripe).
 func (n *Node) sendAck(to uint8, ack core.Ack) {
+	th := n.cluster.cfg.cacheThread(n.cluster.cfg.workerOf(ack.Key))
 	n.cluster.transport.Send(fabric.Packet{
-		Src:   fabric.Addr{Node: n.id, Thread: threadCache},
-		Dst:   fabric.Addr{Node: to, Thread: threadCache},
+		Src:   fabric.Addr{Node: n.id, Thread: th},
+		Dst:   fabric.Addr{Node: to, Thread: th},
 		Class: metrics.ClassAck,
 		Data:  ack.Encode(nil),
 	})
 }
 
-// broadcastConsistency sends one encoded consistency message to every other
-// node's cache thread, consuming one credit per destination.
-func (n *Node) broadcastConsistency(class metrics.MsgClass, data []byte) {
+// broadcastConsistency sends one encoded consistency message for key to
+// every other node's cache thread for the key's worker, consuming one
+// credit per destination from that worker's budget.
+func (n *Node) broadcastConsistency(key uint64, class metrics.MsgClass, data []byte) {
+	wk := n.workerFor(key)
+	th := n.cluster.cfg.cacheThread(wk.idx)
 	for peer := 0; peer < n.cluster.cfg.Nodes; peer++ {
 		if peer == int(n.id) {
 			continue
 		}
-		dst := fabric.Addr{Node: uint8(peer), Thread: threadCache}
-		n.credits.Acquire(fabric.Addr{Node: uint8(peer), Thread: threadCache})
+		dst := fabric.Addr{Node: uint8(peer), Thread: th}
+		wk.credits.Acquire(dst)
 		n.cluster.transport.Send(fabric.Packet{
-			Src:   fabric.Addr{Node: n.id, Thread: threadCache},
+			Src:   fabric.Addr{Node: n.id, Thread: th},
 			Dst:   dst,
 			Class: class,
 			Data:  data,
@@ -601,10 +721,11 @@ func (n *Node) broadcastConsistency(class metrics.MsgClass, data []byte) {
 
 // completeLinWrite wakes the session blocked in Put.
 func (n *Node) completeLinWrite(key uint64, upd core.Update) {
-	n.waitMu.Lock()
-	ch := n.waiters[key]
-	delete(n.waiters, key)
-	n.waitMu.Unlock()
+	wk := n.workerFor(key)
+	wk.waitMu.Lock()
+	ch := wk.waiters[key]
+	delete(wk.waiters, key)
+	wk.waitMu.Unlock()
 	if ch != nil {
 		ch <- upd
 	}
@@ -615,13 +736,14 @@ func (n *Node) completeLinWrite(key uint64, upd core.Update) {
 // fails if another session on this node already has a write in flight for
 // the key.
 func (n *Node) tryRegisterLinWaiter(key uint64) (chan core.Update, bool) {
-	n.waitMu.Lock()
-	defer n.waitMu.Unlock()
-	if _, busy := n.waiters[key]; busy {
+	wk := n.workerFor(key)
+	wk.waitMu.Lock()
+	defer wk.waitMu.Unlock()
+	if _, busy := wk.waiters[key]; busy {
 		return nil, false
 	}
 	ch := make(chan core.Update, 1)
-	n.waiters[key] = ch
+	wk.waiters[key] = ch
 	return ch, true
 }
 

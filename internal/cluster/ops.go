@@ -126,13 +126,12 @@ func (n *Node) MultiGet(keys []uint64) ([][]byte, error) {
 			continue
 		}
 		n.RemoteOps.Add(1)
-		id := n.rpc.newReqID()
-		req := appendGetReq(make([]byte, 0, 17), rpcOpGet, id, key)
-		pend = append(pend, pendingOp{idx: i, ch: n.rpc.startCall(uint8(home), id, req)})
+		ch := n.workerFor(key).rpc.start(uint8(home), wireReq{op: rpcOpGet, key: key})
+		pend = append(pend, pendingOp{idx: i, ch: ch})
 	}
 	var firstErr error
 	for _, p := range pend {
-		res, err := n.rpc.await(p.ch)
+		res, err := awaitRPC(p.ch)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -184,8 +183,9 @@ func (n *Node) Put(key uint64, value []byte) error {
 // mutex a local promotion fetch holds while reading the shard, so the put
 // either lands before the fetch or bounces back through the cache.
 func (n *Node) localHomePut(key uint64, value []byte) (bounced bool) {
-	n.homeMu.Lock()
-	defer n.homeMu.Unlock()
+	wk := n.workerFor(key)
+	wk.homeMu.Lock()
+	defer wk.homeMu.Unlock()
 	if n.cache != nil && n.cache.Contains(key) {
 		return true
 	}
@@ -222,13 +222,12 @@ func (n *Node) MultiPut(keys []uint64, values [][]byte) error {
 			continue
 		}
 		n.RemoteOps.Add(1)
-		id := n.rpc.newReqID()
-		req := appendPutReq(make([]byte, 0, 21+len(values[i])), rpcOpPut, id, key, values[i])
-		pend = append(pend, pendingOp{idx: i, ch: n.rpc.startCall(uint8(home), id, req)})
+		ch := n.workerFor(key).rpc.start(uint8(home), wireReq{op: rpcOpPut, key: key, value: values[i]})
+		pend = append(pend, pendingOp{idx: i, ch: ch})
 	}
 	var firstErr error
 	for _, p := range pend {
-		res, err := n.rpc.await(p.ch)
+		res, err := awaitRPC(p.ch)
 		if err == nil && res.status == rpcStatusRetry {
 			// Bounced by the home: the key went hot mid-flight; re-probe
 			// and re-execute this write through the cache protocol.
@@ -314,10 +313,11 @@ func (n *Node) putSC(key uint64, value []byte) (bool, error) {
 			var err error
 			if n.id == coordinator {
 				// The sequencer's own writes take the timestamp locally.
-				n.seqMu.Lock()
-				n.seqClocks[key]++
-				ts = timestamp.TS{Clock: n.seqClocks[key], Writer: n.id}
-				n.seqMu.Unlock()
+				wk := n.workerFor(key)
+				wk.seqMu.Lock()
+				wk.seqClocks[key]++
+				ts = timestamp.TS{Clock: wk.seqClocks[key], Writer: n.id}
+				wk.seqMu.Unlock()
 			} else if ts, err = n.SeqTS(coordinator, key); err != nil {
 				return false, err
 			}
@@ -354,7 +354,7 @@ func (n *Node) commitSC(upd core.Update, err error) (done, retry bool, _ error) 
 	switch err {
 	case nil:
 		n.CacheHits.Add(1)
-		n.broadcastConsistency(metrics.ClassUpdate, upd.Encode(nil))
+		n.broadcastConsistency(upd.Key, metrics.ClassUpdate, upd.Encode(nil))
 		return true, false, nil
 	case core.ErrFrozen:
 		n.FrozenRetries.Add(1)
@@ -388,11 +388,11 @@ func (n *Node) putLin(key uint64, value []byte) (bool, error) {
 		switch err {
 		case nil:
 			n.CacheHits.Add(1)
-			n.broadcastConsistency(metrics.ClassInvalidate, inv.Encode(nil))
+			n.broadcastConsistency(key, metrics.ClassInvalidate, inv.Encode(nil))
 			// Block until the last ack completes the write (§5.2: "writes
 			// are synchronous").
 			upd := <-ch
-			n.broadcastConsistency(metrics.ClassUpdate, upd.Encode(nil))
+			n.broadcastConsistency(key, metrics.ClassUpdate, upd.Encode(nil))
 			return true, nil
 		case core.ErrWritePending:
 			// Another session on this node is writing the key; wait for
@@ -421,11 +421,12 @@ func (n *Node) putLin(key uint64, value []byte) (bool, error) {
 
 // unregisterLinWaiter removes a waiter that never armed (write refused).
 func (n *Node) unregisterLinWaiter(key uint64, ch chan core.Update) {
-	n.waitMu.Lock()
-	if n.waiters[key] == ch {
-		delete(n.waiters, key)
+	wk := n.workerFor(key)
+	wk.waitMu.Lock()
+	if wk.waiters[key] == ch {
+		delete(wk.waiters, key)
 	}
-	n.waitMu.Unlock()
+	wk.waitMu.Unlock()
 }
 
 // localKVSPut writes a cache-missing key to the local shard with a fresh

@@ -15,10 +15,12 @@ import (
 // switch packet-processing rate to raw bandwidth (Figure 13a) and letting
 // credits be charged per packet rather than per request.
 //
-// This reproduction keeps the same shape in goroutine form: every node runs
-// one sender per peer. Callers enqueue encoded requests; the sender drains
-// whatever is pending — up to maxMsgs requests or maxBytes payload per
-// packet — and flushes immediately when the pipeline runs dry, so an
+// This reproduction keeps the same shape in goroutine form: every *worker*
+// runs one sender per peer, so a node's outbound request streams are as
+// parallel as its worker bank. Callers enqueue not-yet-encoded requests
+// (wireReq); the sender drains whatever is pending — up to maxMsgs requests
+// or maxBytes payload per packet — encoding each entry straight into the
+// packet buffer, and flushes immediately when the pipeline runs dry, so an
 // isolated request never waits for company (opportunistic batching, exactly
 // like fabric.Batcher's contract). Concurrency is the only source of
 // coalescing: a single closed-loop client sees one request per packet, many
@@ -30,38 +32,32 @@ import (
 // ErrPipelineClosed fails remote calls issued against a closed cluster.
 var ErrPipelineClosed = errors.New("cluster: request pipeline closed")
 
-// pipelineItem is one encoded request plus the id used to complete or fail
-// its pending call.
-type pipelineItem struct {
-	id  uint64
-	req []byte
-}
-
-// pipeline aggregates outstanding remote requests per destination node.
+// pipeline aggregates outstanding remote requests per destination node for
+// one worker.
 type pipeline struct {
-	node     *Node
+	w        *worker
 	maxMsgs  int
 	maxBytes int
 
 	mu     sync.RWMutex
-	queues map[uint8]chan pipelineItem
+	queues map[uint8]chan wireReq
 	closed bool
 	wg     sync.WaitGroup
 }
 
 // newPipeline starts one sender goroutine per remote peer.
-func newPipeline(n *Node, peers, depth, maxMsgs, maxBytes int) *pipeline {
+func newPipeline(w *worker, peers, depth, maxMsgs, maxBytes int) *pipeline {
 	pl := &pipeline{
-		node:     n,
+		w:        w,
 		maxMsgs:  maxMsgs,
 		maxBytes: maxBytes,
-		queues:   make(map[uint8]chan pipelineItem, peers),
+		queues:   make(map[uint8]chan wireReq, peers),
 	}
 	for peer := 0; peer < peers; peer++ {
-		if peer == int(n.id) {
+		if peer == int(w.node.id) {
 			continue
 		}
-		q := make(chan pipelineItem, depth)
+		q := make(chan wireReq, depth)
 		pl.queues[uint8(peer)] = q
 		pl.wg.Add(1)
 		go pl.sender(uint8(peer), q)
@@ -69,25 +65,25 @@ func newPipeline(n *Node, peers, depth, maxMsgs, maxBytes int) *pipeline {
 	return pl
 }
 
-// enqueue hands one encoded request to home's sender. The request is failed
-// (never dropped) if the pipeline is closed or home is unknown, so callers
-// blocked on the pending channel always complete.
-func (pl *pipeline) enqueue(home uint8, id uint64, req []byte) {
+// enqueue hands one request to home's sender. The request is failed (never
+// dropped) if the pipeline is closed or home is unknown, so callers blocked
+// on the pending channel always complete.
+func (pl *pipeline) enqueue(home uint8, q wireReq) {
 	pl.mu.RLock()
 	if pl.closed {
 		pl.mu.RUnlock()
-		pl.node.rpc.fail([]uint64{id}, ErrPipelineClosed)
+		pl.w.rpc.fail([]uint64{q.id}, ErrPipelineClosed)
 		return
 	}
-	q := pl.queues[home]
-	if q == nil {
+	ch := pl.queues[home]
+	if ch == nil {
 		pl.mu.RUnlock()
-		pl.node.rpc.fail([]uint64{id}, errors.New("cluster: no pipeline for home node"))
+		pl.w.rpc.fail([]uint64{q.id}, errors.New("cluster: no pipeline for home node"))
 		return
 	}
 	// The channel send stays under the read lock so close() cannot close the
 	// queue between the check and the send.
-	q <- pipelineItem{id: id, req: req}
+	ch <- q
 	pl.mu.RUnlock()
 }
 
@@ -96,14 +92,23 @@ func (pl *pipeline) enqueue(home uint8, id uint64, req []byte) {
 // else is already pending, up to the packet limits. A request that would
 // push the packet past maxBytes is carried into the next packet (a single
 // oversized request still ships alone — it must go somehow).
-func (pl *pipeline) sender(home uint8, q chan pipelineItem) {
+func (pl *pipeline) sender(home uint8, q chan wireReq) {
 	defer pl.wg.Done()
-	n := pl.node
-	kvsAddr := fabric.Addr{Node: home, Thread: threadKVS}
+	w := pl.w
+	n := w.node
+	cfg := n.cluster.cfg
+	kvsAddr := fabric.Addr{Node: home, Thread: cfg.kvsThread(w.idx)}
+	srcAddr := fabric.Addr{Node: n.id, Thread: cfg.respThread(w.idx)}
 	ids := make([]uint64, 0, pl.maxMsgs)
-	var carry *pipelineItem
+	// When the transport serializes packets during Send (TCP), the packet
+	// buffer is reused across iterations — the request hot path then
+	// allocates nothing per packet. Reference-passing transports get a
+	// fresh buffer per packet.
+	reuse := n.cluster.trCopies
+	var buf []byte
+	var carry *wireReq
 	for {
-		var first pipelineItem
+		var first wireReq
 		if carry != nil {
 			first, carry = *carry, nil
 		} else {
@@ -112,8 +117,12 @@ func (pl *pipeline) sender(home uint8, q chan pipelineItem) {
 				return
 			}
 		}
-		buf := make([]byte, 0, len(first.req)*2)
-		buf = append(buf, first.req...)
+		if reuse {
+			buf = buf[:0]
+		} else {
+			buf = make([]byte, 0, first.encodedSize()*2)
+		}
+		buf = first.appendTo(buf)
 		ids = append(ids[:0], first.id)
 	collect:
 		for len(ids) < pl.maxMsgs && len(buf) < pl.maxBytes {
@@ -122,20 +131,20 @@ func (pl *pipeline) sender(home uint8, q chan pipelineItem) {
 				if !ok {
 					break collect
 				}
-				if len(buf)+len(it.req) > pl.maxBytes {
+				if len(buf)+it.encodedSize() > pl.maxBytes {
 					carry = &it // would bust the byte bound: next packet
 					break collect
 				}
-				buf = append(buf, it.req...)
+				buf = it.appendTo(buf)
 				ids = append(ids, it.id)
 			default:
 				break collect // pipeline drained: flush now, never wait
 			}
 		}
 		// One credit per packet (§6.3): the batched response restores it.
-		n.credits.Acquire(kvsAddr)
+		w.credits.Acquire(kvsAddr)
 		err := n.cluster.transport.Send(fabric.Packet{
-			Src:   fabric.Addr{Node: n.id, Thread: threadResp},
+			Src:   srcAddr,
 			Dst:   kvsAddr,
 			Class: metrics.ClassCacheMiss,
 			Data:  buf,
@@ -143,8 +152,8 @@ func (pl *pipeline) sender(home uint8, q chan pipelineItem) {
 		if err != nil {
 			// No response will arrive to restore the credit; put it back so
 			// the drain of a closing pipeline cannot starve.
-			n.credits.Grant(kvsAddr, 1)
-			n.rpc.fail(ids, err)
+			w.credits.Grant(kvsAddr, 1)
+			w.rpc.fail(ids, err)
 			continue
 		}
 		n.RemoteReqPackets.Add(1)

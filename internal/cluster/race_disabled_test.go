@@ -1,0 +1,7 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled reports that this test binary runs under the race detector,
+// whose instrumentation changes allocation counts.
+const raceEnabled = false

@@ -183,14 +183,13 @@ func (n *Node) controlAll(peers []uint8, op byte, keys []uint64) error {
 	calls := make([]controlCall, 0, len(peers)*len(keys))
 	for _, peer := range peers {
 		for _, k := range keys {
-			id := n.rpc.newReqID()
-			req := appendGetReq(make([]byte, 0, 17), op, id, k)
-			calls = append(calls, controlCall{peer: peer, key: k, ch: n.rpc.startCall(peer, id, req)})
+			ch := n.workerFor(k).rpc.start(peer, wireReq{op: op, key: k})
+			calls = append(calls, controlCall{peer: peer, key: k, ch: ch})
 		}
 	}
 	var firstErr error
 	for _, c := range calls {
-		res, err := n.rpc.await(c.ch)
+		res, err := awaitRPC(c.ch)
 		if err == nil && res.status != rpcStatusOK {
 			err = fmt.Errorf("cluster: control op %d refused by node %d (status %d)", op, c.peer, res.status)
 		}
@@ -272,14 +271,13 @@ func (n *Node) demoteKeys(keys []uint64, st *DeltaStats) (err error) {
 	}
 	for len(pending) > 0 {
 		for i := range pending {
-			id := n.rpc.newReqID()
-			req := appendGetReq(make([]byte, 0, 17), rpcOpDemoteCollect, id, pending[i].key)
-			pending[i].ch = n.rpc.startCall(pending[i].peer, id, req)
+			pending[i].ch = n.workerFor(pending[i].key).rpc.start(
+				pending[i].peer, wireReq{op: rpcOpDemoteCollect, key: pending[i].key})
 		}
 		retry := pending[:0]
 		var firstErr error
 		for _, c := range pending {
-			res, cerr := n.rpc.await(c.ch)
+			res, cerr := awaitRPC(c.ch)
 			if cerr != nil {
 				if firstErr == nil {
 					firstErr = fmt.Errorf("demote collect: %w", cerr)
@@ -320,13 +318,12 @@ func (n *Node) demoteKeys(keys []uint64, st *DeltaStats) (err error) {
 			_ = n.kvs.PutIfNewer(wb.Key, wb.Value, wb.TS)
 			continue
 		}
-		id := n.rpc.newReqID()
-		req := appendVersionedReq(make([]byte, 0, 26+len(wb.Value)), rpcOpWriteback, id, wb.Key, wb.TS, wb.Value)
-		wbCalls = append(wbCalls, controlCall{peer: home, key: wb.Key, ch: n.rpc.startCall(home, id, req)})
+		ch := n.workerFor(wb.Key).rpc.start(home, wireReq{op: rpcOpWriteback, key: wb.Key, ts: wb.TS, value: wb.Value})
+		wbCalls = append(wbCalls, controlCall{peer: home, key: wb.Key, ch: ch})
 	}
 	var wbErr error
 	for _, c := range wbCalls {
-		res, cerr := n.rpc.await(c.ch)
+		res, cerr := awaitRPC(c.ch)
 		if cerr == nil && res.status != rpcStatusOK {
 			cerr = fmt.Errorf("cluster: writeback refused by node %d (status %d)", c.peer, res.status)
 		}
@@ -421,27 +418,26 @@ func (n *Node) promoteKeys(keys []uint64, st *DeltaStats) (err error) {
 		}
 		st.HomeFetches++
 		st.RemoteFetches++
-		id := n.rpc.newReqID()
-		req := appendGetReq(make([]byte, 0, 17), rpcOpPromoteFetch, id, k)
-		fetchCalls = append(fetchCalls, controlCall{peer: home, key: k, ch: n.rpc.startCall(home, id, req)})
+		ch := n.workerFor(k).rpc.start(home, wireReq{op: rpcOpPromoteFetch, key: k})
+		fetchCalls = append(fetchCalls, controlCall{peer: home, key: k, ch: ch})
 	}
-	if len(local) > 0 {
-		// homeMu orders this fetch against local miss-path puts whose cache
-		// probe predates the placeholders (see localHomePut); remote puts
-		// serialize with the rpcOpPromoteFetch handler under the same mutex
-		// on their home nodes.
-		n.homeMu.Lock()
-		for _, k := range local {
-			st.HomeFetches++
-			if v, ts, gerr := n.kvs.Get(k, nil); gerr == nil {
-				vals[k] = fetched{val: v, ts: ts}
-			}
+	// The key's worker homeMu orders each local fetch against local
+	// miss-path puts whose cache probe predates the placeholders (see
+	// localHomePut); remote puts serialize with the rpcOpPromoteFetch
+	// handler under the same mutex on their home nodes.
+	for _, k := range local {
+		st.HomeFetches++
+		wk := n.workerFor(k)
+		wk.homeMu.Lock()
+		v, ts, gerr := n.kvs.Get(k, nil)
+		wk.homeMu.Unlock()
+		if gerr == nil {
+			vals[k] = fetched{val: v, ts: ts}
 		}
-		n.homeMu.Unlock()
 	}
 	var fetchErr error
 	for _, c := range fetchCalls {
-		res, ferr := n.rpc.await(c.ch)
+		res, ferr := awaitRPC(c.ch)
 		if ferr != nil {
 			if fetchErr == nil {
 				fetchErr = ferr
@@ -476,14 +472,13 @@ func (n *Node) promoteKeys(keys []uint64, st *DeltaStats) (err error) {
 	for _, peer := range peers {
 		for _, k := range install {
 			f := vals[k]
-			id := n.rpc.newReqID()
-			req := appendVersionedReq(make([]byte, 0, 26+len(f.val)), rpcOpPromote, id, k, f.ts, f.val)
-			fillCalls = append(fillCalls, controlCall{peer: peer, key: k, ch: n.rpc.startCall(peer, id, req)})
+			ch := n.workerFor(k).rpc.start(peer, wireReq{op: rpcOpPromote, key: k, ts: f.ts, value: f.val})
+			fillCalls = append(fillCalls, controlCall{peer: peer, key: k, ch: ch})
 		}
 	}
 	var fillErr error
 	for _, c := range fillCalls {
-		res, cerr := n.rpc.await(c.ch)
+		res, cerr := awaitRPC(c.ch)
 		if cerr == nil && res.status != rpcStatusOK {
 			cerr = fmt.Errorf("cluster: promotion refused by node %d (status %d)", c.peer, res.status)
 		}

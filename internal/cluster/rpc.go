@@ -101,9 +101,12 @@ const (
 	rpcStatusRetry      byte = 3
 )
 
-// rpcClient matches responses to outstanding requests for one node.
+// rpcClient matches responses to outstanding requests for one worker. Every
+// worker has its own completion table (and its own id space — ids only need
+// to be unique per worker, since a response always returns to the resp
+// thread of the worker that issued the request).
 type rpcClient struct {
-	node *Node
+	w    *worker
 	mu   sync.Mutex
 	next uint64
 	pend map[uint64]rpcPending
@@ -123,14 +126,19 @@ type rpcResult struct {
 	err    error
 }
 
-func newRPCClient(n *Node) *rpcClient {
-	return &rpcClient{node: n, pend: map[uint64]rpcPending{}}
+// resChPool recycles completion channels: every call uses its channel for
+// exactly one send and one receive, so awaitRPC can return it to the pool
+// the moment the result is out.
+var resChPool = sync.Pool{New: func() any { return make(chan rpcResult, 1) }}
+
+func newRPCClient(w *worker) *rpcClient {
+	return &rpcClient{w: w, pend: map[uint64]rpcPending{}}
 }
 
 // register installs a pending-completion channel for a fresh request id
 // targeting peer.
 func (r *rpcClient) register(peer uint8, id uint64) chan rpcResult {
-	ch := make(chan rpcResult, 1)
+	ch := resChPool.Get().(chan rpcResult)
 	r.mu.Lock()
 	r.pend[id] = rpcPending{ch: ch, peer: peer}
 	r.mu.Unlock()
@@ -187,21 +195,61 @@ func (r *rpcClient) failPeer(peer uint8, err error) {
 	}
 }
 
-// startCall registers reqID and hands the encoded request to the coalescing
+// wireReq is one not-yet-encoded request entry. The pipeline sender encodes
+// it straight into the outgoing packet buffer (encode-at-send), so issuing
+// a call allocates no per-request scratch. value (put/primary/promote/
+// writeback) aliases caller memory and must stay stable until the call
+// completes — trivially true, the caller blocks on the response.
+type wireReq struct {
+	op    byte
+	id    uint64
+	key   uint64
+	ts    timestamp.TS // promote/writeback only: the value's version
+	value []byte
+}
+
+// encodedSize returns the entry's wire length.
+func (q wireReq) encodedSize() int {
+	switch q.op {
+	case rpcOpPut, rpcOpPrimaryWrite:
+		return 21 + len(q.value)
+	case rpcOpPromote, rpcOpWriteback:
+		return 26 + len(q.value)
+	default:
+		return 17
+	}
+}
+
+// appendTo encodes the entry onto buf.
+func (q wireReq) appendTo(buf []byte) []byte {
+	switch q.op {
+	case rpcOpPut, rpcOpPrimaryWrite:
+		return appendPutReq(buf, q.op, q.id, q.key, q.value)
+	case rpcOpPromote, rpcOpWriteback:
+		return appendVersionedReq(buf, q.op, q.id, q.key, q.ts, q.value)
+	default:
+		return appendGetReq(buf, q.op, q.id, q.key)
+	}
+}
+
+// start registers a fresh request id for q and hands it to the coalescing
 // pipeline without waiting — callers start any number of calls (across any
 // set of home nodes), letting the per-destination senders pack them into
 // multi-request packets, then collect the completions from the returned
 // channels. No goroutines are needed to overlap remote accesses.
-func (r *rpcClient) startCall(home uint8, reqID uint64, req []byte) chan rpcResult {
-	ch := r.register(home, reqID)
-	r.node.pipe.enqueue(home, reqID, req)
+func (r *rpcClient) start(home uint8, q wireReq) chan rpcResult {
+	q.id = r.newReqID()
+	ch := r.register(home, q.id)
+	r.w.pipe.enqueue(home, q)
 	return ch
 }
 
-// await blocks for one started call and normalizes transport errors and
-// server refusals.
-func (r *rpcClient) await(ch chan rpcResult) (rpcResult, error) {
+// awaitRPC blocks for one started call and normalizes transport errors and
+// server refusals. The completion channel goes back to the pool — callers
+// must not receive from it again.
+func awaitRPC(ch chan rpcResult) (rpcResult, error) {
 	res := <-ch
+	resChPool.Put(ch)
 	if res.err != nil {
 		return rpcResult{}, res.err
 	}
@@ -212,28 +260,8 @@ func (r *rpcClient) await(ch chan rpcResult) (rpcResult, error) {
 }
 
 // call runs one blocking request/response exchange.
-func (r *rpcClient) call(home uint8, req []byte, reqID uint64) (rpcResult, error) {
-	return r.await(r.startCall(home, reqID, req))
-}
-
-// callMulti starts a batch of requests for one home node back-to-back — the
-// pipeline coalesces them into few packets — and blocks until every response
-// arrived. The first error is returned after all calls completed.
-func (r *rpcClient) callMulti(home uint8, ids []uint64, reqs [][]byte) ([]rpcResult, error) {
-	chs := make([]chan rpcResult, len(ids))
-	for i, id := range ids {
-		chs[i] = r.startCall(home, id, reqs[i])
-	}
-	out := make([]rpcResult, len(ids))
-	var firstErr error
-	for i, ch := range chs {
-		res, err := r.await(ch)
-		out[i] = res
-		if firstErr == nil {
-			firstErr = err
-		}
-	}
-	return out, firstErr
+func (r *rpcClient) call(home uint8, q wireReq) (rpcResult, error) {
+	return awaitRPC(r.start(home, q))
 }
 
 func (r *rpcClient) newReqID() uint64 {
@@ -255,8 +283,10 @@ func (r *rpcClient) newReqID() uint64 {
 func (r *rpcClient) handleResponse(p fabric.Packet) {
 	// One response packet answers exactly one request packet, so its arrival
 	// is the implicit per-packet credit update (§6.3), no matter how many
-	// responses it coalesces.
-	r.node.credits.Grant(fabric.Addr{Node: p.Src.Node, Thread: threadKVS}, 1)
+	// responses it coalesces. The credit belongs to this worker's budget
+	// toward the answering peer's KVS thread.
+	n := r.w.node
+	n.cluster.cfg.grantKVS(r.w, p.Src.Node)
 	buf := p.Data
 	for len(buf) >= 9 {
 		reqID := binary.LittleEndian.Uint64(buf[:8])
@@ -265,7 +295,7 @@ func (r *rpcClient) handleResponse(p fabric.Packet) {
 		res := rpcResult{status: status}
 		if status == rpcStatusOK {
 			if len(buf) < 9 {
-				r.node.RPCDecodeErrors.Add(1)
+				n.RPCDecodeErrors.Add(1)
 				r.complete(reqID, rpcResult{err: fmt.Errorf("cluster: truncated response header for req %d", reqID)})
 				return
 			}
@@ -276,7 +306,7 @@ func (r *rpcClient) handleResponse(p fabric.Packet) {
 			vlen := int(binary.LittleEndian.Uint32(buf[5:9]))
 			buf = buf[9:]
 			if len(buf) < vlen {
-				r.node.RPCDecodeErrors.Add(1)
+				n.RPCDecodeErrors.Add(1)
 				r.complete(reqID, rpcResult{err: fmt.Errorf("cluster: truncated response value for req %d", reqID)})
 				return
 			}
@@ -287,8 +317,13 @@ func (r *rpcClient) handleResponse(p fabric.Packet) {
 	}
 	if len(buf) > 0 {
 		// Trailing garbage too short to name a request id; nothing to fail.
-		r.node.RPCDecodeErrors.Add(1)
+		n.RPCDecodeErrors.Add(1)
 	}
+}
+
+// grantKVS restores one request-packet credit to wk's budget toward peer.
+func (c Config) grantKVS(wk *worker, peer uint8) {
+	wk.credits.Grant(fabric.Addr{Node: peer, Thread: c.kvsThread(wk.idx)}, 1)
 }
 
 // appendGetReq encodes a get (or seq-ts) request entry.
@@ -321,8 +356,7 @@ func appendVersionedReq(buf []byte, op byte, id, key uint64, ts timestamp.TS, va
 
 // RemoteGet fetches key from its home node over the fabric.
 func (n *Node) RemoteGet(home uint8, key uint64) ([]byte, timestamp.TS, error) {
-	id := n.rpc.newReqID()
-	res, err := n.rpc.call(home, appendGetReq(make([]byte, 0, 17), rpcOpGet, id, key), id)
+	res, err := n.workerFor(key).rpc.call(home, wireReq{op: rpcOpGet, key: key})
 	if err != nil {
 		return nil, timestamp.TS{}, err
 	}
@@ -340,23 +374,28 @@ func (n *Node) RemoteGet(home uint8, key uint64) ([]byte, timestamp.TS, error) {
 // through Node.MultiGet, which interleaves cache probes with the remote
 // fan-out.
 func (n *Node) remoteMultiGet(home uint8, keys []uint64) ([][]byte, []timestamp.TS, error) {
-	ids := make([]uint64, len(keys))
-	reqs := make([][]byte, len(keys))
+	chs := make([]chan rpcResult, len(keys))
 	for i, key := range keys {
-		ids[i] = n.rpc.newReqID()
-		reqs[i] = appendGetReq(make([]byte, 0, 17), rpcOpGet, ids[i], key)
-	}
-	results, err := n.rpc.callMulti(home, ids, reqs)
-	if err != nil {
-		return nil, nil, err
+		chs[i] = n.workerFor(key).rpc.start(home, wireReq{op: rpcOpGet, key: key})
 	}
 	values := make([][]byte, len(keys))
 	tss := make([]timestamp.TS, len(keys))
-	for i, res := range results {
+	var firstErr error
+	for i, ch := range chs {
+		res, err := awaitRPC(ch)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
 		if res.status == rpcStatusOK {
 			values[i] = res.value
 			tss[i] = res.ts
 		}
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
 	}
 	return values, tss, nil
 }
@@ -368,8 +407,7 @@ var errPutBounced = errors.New("cluster: put bounced by home (key is hot)")
 
 // RemotePut forwards a put for key to its home node.
 func (n *Node) RemotePut(home uint8, key uint64, value []byte) error {
-	id := n.rpc.newReqID()
-	res, err := n.rpc.call(home, appendPutReq(make([]byte, 0, 21+len(value)), rpcOpPut, id, key, value), id)
+	res, err := n.workerFor(key).rpc.call(home, wireReq{op: rpcOpPut, key: key, value: value})
 	if err != nil {
 		return err
 	}
@@ -390,22 +428,21 @@ func (n *Node) RemotePut(home uint8, key uint64, value []byte) error {
 // mid-flight (a bounce here, on the cache-less clusters the tests drive,
 // would be a protocol error).
 func (n *Node) remoteMultiPut(home uint8, keys []uint64, values [][]byte) error {
-	ids := make([]uint64, len(keys))
-	reqs := make([][]byte, len(keys))
+	chs := make([]chan rpcResult, len(keys))
 	for i, key := range keys {
-		ids[i] = n.rpc.newReqID()
-		reqs[i] = appendPutReq(make([]byte, 0, 21+len(values[i])), rpcOpPut, ids[i], key, values[i])
+		chs[i] = n.workerFor(key).rpc.start(home, wireReq{op: rpcOpPut, key: key, value: values[i]})
 	}
-	results, err := n.rpc.callMulti(home, ids, reqs)
-	if err != nil {
-		return err
-	}
-	for _, res := range results {
-		if res.status != rpcStatusOK {
-			return fmt.Errorf("cluster: remote put failed (status %d)", res.status)
+	var firstErr error
+	for _, ch := range chs {
+		res, err := awaitRPC(ch)
+		if err == nil && res.status != rpcStatusOK {
+			err = fmt.Errorf("cluster: remote put failed (status %d)", res.status)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // errPrimaryMiss reports that the primary no longer caches the key (the hot
@@ -423,8 +460,7 @@ func (n *Node) PrimaryWrite(primary uint8, key uint64, value []byte) error {
 		if attempt > frozenRetryLimit {
 			return ErrFrozenRetriesExhausted
 		}
-		id := n.rpc.newReqID()
-		res, err := n.rpc.call(primary, appendPutReq(make([]byte, 0, 21+len(value)), rpcOpPrimaryWrite, id, key, value), id)
+		res, err := n.workerFor(key).rpc.call(primary, wireReq{op: rpcOpPrimaryWrite, key: key, value: value})
 		if err != nil {
 			return err
 		}
@@ -445,8 +481,7 @@ func (n *Node) PrimaryWrite(primary uint8, key uint64, value []byte) error {
 // SeqTS fetches the next serialization timestamp for key from the
 // sequencer node (Figure 4b).
 func (n *Node) SeqTS(sequencer uint8, key uint64) (timestamp.TS, error) {
-	id := n.rpc.newReqID()
-	res, err := n.rpc.call(sequencer, appendGetReq(make([]byte, 0, 17), rpcOpSeqTS, id, key), id)
+	res, err := n.workerFor(key).rpc.call(sequencer, wireReq{op: rpcOpSeqTS, key: key})
 	if err != nil {
 		return timestamp.TS{}, err
 	}
@@ -538,14 +573,36 @@ func appendOKResponse(buf []byte, reqID uint64, ts timestamp.TS, value []byte) [
 	return append(buf, value...)
 }
 
+// srvBuf is a pooled server-side scratch buffer (response packets, KVS read
+// staging).
+type srvBuf struct{ b []byte }
+
+var (
+	respBufPool = sync.Pool{New: func() any { return &srvBuf{b: make([]byte, 0, 256)} }}
+	scratchPool = sync.Pool{New: func() any { return new(srvBuf) }}
+)
+
 // handleKVSRequest serves every request of a (possibly multi-request) packet
 // against the local shard and answers with exactly one batched response
 // packet — the request/response symmetry the per-packet credit accounting
-// relies on. It runs on the KVS-thread dispatcher; KVS threads never talk to
-// each other (§6.2), they only answer cache threads.
+// relies on. It runs on a KVS-bank dispatcher; KVS threads never talk to
+// each other (§6.2), they only answer cache threads. The response returns
+// to the requesting worker's resp thread (the packet's source address), so
+// a request served by bank member w completes on the requester's bank
+// member w — the two sides' stripes stay aligned.
 func (n *Node) handleKVSRequest(p fabric.Packet) {
 	buf := p.Data
-	resp := make([]byte, 0, 64)
+	scratch := scratchPool.Get().(*srvBuf)
+	var pooled *srvBuf
+	var resp []byte
+	if n.cluster.trCopies {
+		// The transport serializes the packet during Send, so the response
+		// buffer can be recycled the moment Send returns.
+		pooled = respBufPool.Get().(*srvBuf)
+		resp = pooled.b[:0]
+	} else {
+		resp = make([]byte, 0, 64)
+	}
 	for len(buf) > 0 {
 		req, consumed, err := parseRequest(buf)
 		if err != nil {
@@ -559,28 +616,36 @@ func (n *Node) handleKVSRequest(p fabric.Packet) {
 			break
 		}
 		buf = buf[consumed:]
-		resp = n.serveRequest(p.Src.Node, req, resp)
+		resp = n.serveRequest(p.Src.Node, req, resp, scratch)
 	}
 	// Always answer, even when nothing was decodable (resp may be empty):
 	// the sender charged one credit for this packet and only the response
 	// packet restores it — swallowing a malformed packet would leak the
 	// credit and eventually wedge all remote traffic from that peer.
 	n.cluster.transport.Send(fabric.Packet{
-		Src:   fabric.Addr{Node: n.id, Thread: threadKVS},
-		Dst:   fabric.Addr{Node: p.Src.Node, Thread: threadResp},
+		Src:   fabric.Addr{Node: n.id, Thread: p.Dst.Thread},
+		Dst:   p.Src,
 		Class: metrics.ClassCacheMiss,
 		Data:  resp,
 	})
+	scratchPool.Put(scratch)
+	if pooled != nil {
+		pooled.b = resp
+		respBufPool.Put(pooled)
+	}
 }
 
 // serveRequest executes one decoded request and appends its response entry.
-func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte) []byte {
+// scratch stages KVS reads so a get copies once (shard into scratch, scratch
+// into resp) without allocating.
+func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte, scratch *srvBuf) []byte {
 	switch req.op {
 	case rpcOpGet:
-		v, ts, err := n.kvs.Get(req.key, nil)
+		v, ts, err := n.kvs.Get(req.key, scratch.b[:0])
 		if err != nil {
 			return appendStatusOnly(resp, req.reqID, rpcStatusNotFound)
 		}
+		scratch.b = v
 		return appendOKResponse(resp, req.reqID, ts, v)
 	case rpcOpPut:
 		// Puts that miss the cache go to the home shard; they carry no
@@ -591,23 +656,26 @@ func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte) []byte {
 		// key (re)entered the hot set between the origin's cache miss and
 		// this packet's arrival. Bounce it — the origin re-probes and the
 		// write re-executes through the cache protocol. The check and the
-		// shard write run under homeMu, the mutex a promotion fetch holds
-		// while reading this shard (whether served by rpcOpPromoteFetch or
-		// read directly by a coordinator homed here), so a miss-path put
-		// can never slip into the home shard between the placeholder
-		// barrier and the fetch — on any transport, however its dispatch
-		// threads are laid out.
-		n.homeMu.Lock()
+		// shard write run under the key's worker homeMu, the mutex a
+		// promotion fetch holds while reading this shard (whether served by
+		// rpcOpPromoteFetch or read directly by a coordinator homed here),
+		// so a miss-path put can never slip into the home shard between the
+		// placeholder barrier and the fetch — on any transport, however its
+		// dispatch threads are laid out.
+		wk := n.workerFor(req.key)
+		wk.homeMu.Lock()
 		if n.cache != nil && n.cache.Contains(req.key) {
-			n.homeMu.Unlock()
+			wk.homeMu.Unlock()
 			return appendStatusOnly(resp, req.reqID, rpcStatusRetry)
 		}
-		_, ts, err := n.kvs.Get(req.key, nil)
+		v, ts, err := n.kvs.Get(req.key, scratch.b[:0])
 		if err != nil {
 			ts = timestamp.TS{}
+		} else {
+			scratch.b = v
 		}
 		n.kvs.Put(req.key, req.value, ts.Next(n.id))
-		n.homeMu.Unlock()
+		wk.homeMu.Unlock()
 		return appendOKResponse(resp, req.reqID, timestamp.TS{}, nil)
 	case rpcOpPrimaryWrite:
 		if n.cache == nil {
@@ -624,13 +692,14 @@ func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte) []byte {
 		if err != nil {
 			return appendStatusOnly(resp, req.reqID, rpcStatusNotFound)
 		}
-		n.broadcastConsistency(metrics.ClassUpdate, upd.Encode(nil))
+		n.broadcastConsistency(req.key, metrics.ClassUpdate, upd.Encode(nil))
 		return appendOKResponse(resp, req.reqID, upd.TS, nil)
 	case rpcOpSeqTS:
-		n.seqMu.Lock()
-		n.seqClocks[req.key]++
-		clock := n.seqClocks[req.key]
-		n.seqMu.Unlock()
+		wk := n.workerFor(req.key)
+		wk.seqMu.Lock()
+		wk.seqClocks[req.key]++
+		clock := wk.seqClocks[req.key]
+		wk.seqMu.Unlock()
 		// Writer id: the requesting node.
 		return appendOKResponse(resp, req.reqID, timestamp.TS{Clock: clock, Writer: src}, nil)
 	case rpcOpPromotePrepare:
@@ -640,12 +709,14 @@ func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte) []byte {
 		n.cache.AddPending([]uint64{req.key})
 		return appendOKResponse(resp, req.reqID, timestamp.TS{}, nil)
 	case rpcOpPromoteFetch:
-		n.homeMu.Lock()
-		v, ts, err := n.kvs.Get(req.key, nil)
-		n.homeMu.Unlock()
+		wk := n.workerFor(req.key)
+		wk.homeMu.Lock()
+		v, ts, err := n.kvs.Get(req.key, scratch.b[:0])
+		wk.homeMu.Unlock()
 		if err != nil {
 			return appendStatusOnly(resp, req.reqID, rpcStatusNotFound)
 		}
+		scratch.b = v
 		return appendOKResponse(resp, req.reqID, ts, v)
 	case rpcOpUnfreeze:
 		if n.cache == nil {

@@ -72,12 +72,14 @@ func TestParseRequestRejectsMalformed(t *testing.T) {
 	}
 }
 
-// respTestClient builds a bare client whose node has just enough state for
-// handleResponse (credits only).
+// respTestClient builds a bare client whose worker has just enough state
+// for handleResponse (credits only).
 func respTestClient() *rpcClient {
-	n := &Node{credits: fabric.NewCredits()}
-	n.rpc = newRPCClient(n)
-	return n.rpc
+	n := &Node{cluster: &Cluster{cfg: Config{WorkersPerNode: 1}}}
+	wk := &worker{node: n, credits: fabric.NewCredits()}
+	wk.rpc = newRPCClient(wk)
+	n.workers = []*worker{wk}
+	return wk.rpc
 }
 
 func TestHandleResponseMultiCompletesAll(t *testing.T) {
@@ -132,7 +134,7 @@ func TestHandleResponseTruncatedFailsPending(t *testing.T) {
 		case <-time.After(5 * time.Second):
 			t.Fatalf("%s: pending call never completed (deadlock)", tc.name)
 		}
-		if r.node.RPCDecodeErrors.Load() == 0 {
+		if r.w.node.RPCDecodeErrors.Load() == 0 {
 			t.Fatalf("%s: decode error not counted", tc.name)
 		}
 	}
@@ -147,29 +149,42 @@ func TestHandleResponseGarbageTailIgnored(t *testing.T) {
 	if res := <-ch; res.err != nil || res.status != rpcStatusNotFound {
 		t.Fatalf("res = %+v", res)
 	}
-	if r.node.RPCDecodeErrors.Load() != 1 {
+	if r.w.node.RPCDecodeErrors.Load() != 1 {
 		t.Fatal("garbage tail not counted")
 	}
 }
 
 // A malformed or unservable request must come back as an explicit rpc error
-// through the live stack, not hang the caller.
+// through the live stack, not hang the caller. The encode-at-send pipeline
+// can no longer emit malformed bytes itself, so the raw packets are injected
+// straight into the transport, as a buggy or hostile peer would.
 func TestServerRefusesBadRequests(t *testing.T) {
 	c := newTestCluster(t, Config{Nodes: 2, System: Base, NumKeys: 100})
 	n := c.Node(0)
+	cfg := c.Config()
+	wk := n.workers[0]
 	for name, req := range map[string][]byte{
 		"unknown op":       appendGetReq(nil, 42, 0, 5),
 		"truncated put":    appendPutReq(nil, rpcOpPut, 0, 5, bytes.Repeat([]byte{1}, 16))[:15],
 		"primary no cache": appendPutReq(nil, rpcOpPrimaryWrite, 0, 5, []byte("v")),
 	} {
-		id := n.rpc.newReqID()
+		id := wk.rpc.newReqID()
 		// Stamp the fresh id into the encoded entry (offset 1, little endian).
 		if len(req) >= 9 {
 			binary.LittleEndian.PutUint64(req[1:9], id)
 		}
+		ch := wk.rpc.register(1, id)
+		if err := c.transport.Send(fabric.Packet{
+			Src:   fabric.Addr{Node: 0, Thread: cfg.respThread(0)},
+			Dst:   fabric.Addr{Node: 1, Thread: cfg.kvsThread(0)},
+			Class: metrics.ClassCacheMiss,
+			Data:  req,
+		}); err != nil {
+			t.Fatal(err)
+		}
 		done := make(chan error, 1)
 		go func() {
-			_, err := n.rpc.call(1, req, id)
+			_, err := awaitRPC(ch)
 			done <- err
 		}()
 		select {
@@ -250,13 +265,15 @@ func TestCallAfterCloseFails(t *testing.T) {
 func TestUndecodablePacketStillRestoresCredit(t *testing.T) {
 	c := newTestCluster(t, Config{Nodes: 2, System: Base, NumKeys: 100, CreditsPerPeer: 4})
 	n := c.Node(0)
-	kvs := fabric.Addr{Node: 1, Thread: threadKVS}
+	cfg := c.Config()
+	wk := n.workers[0]
+	kvs := fabric.Addr{Node: 1, Thread: cfg.kvsThread(0)}
 	for i := 0; i < 4; i++ {
-		n.credits.Acquire(kvs) // drain the budget
+		wk.credits.Acquire(kvs) // drain the budget
 	}
-	// Inject a garbage packet as if node 0's pipeline had sent it.
+	// Inject a garbage packet as if node 0's worker-0 pipeline had sent it.
 	if err := c.transport.Send(fabric.Packet{
-		Src:   fabric.Addr{Node: 0, Thread: threadResp},
+		Src:   fabric.Addr{Node: 0, Thread: cfg.respThread(0)},
 		Dst:   kvs,
 		Class: metrics.ClassCacheMiss,
 		Data:  []byte{0xde, 0xad},
@@ -264,7 +281,7 @@ func TestUndecodablePacketStillRestoresCredit(t *testing.T) {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
-	for n.credits.Available(kvs) == 0 {
+	for wk.credits.Available(kvs) == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("credit never restored after undecodable packet")
 		}

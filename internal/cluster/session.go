@@ -59,6 +59,10 @@ func (n *Node) handleSession(p fabric.Packet) {
 	if len(p.Data) < sessHeader {
 		return // not even a request id to answer; drop (datagram semantics)
 	}
+	// The goroutine outlives this handler, and the TCP transport reuses its
+	// receive buffer the moment the handler returns — the request must be
+	// copied out of the packet before it escapes.
+	p.Data = append([]byte(nil), p.Data...)
 	go n.serveSession(p)
 }
 

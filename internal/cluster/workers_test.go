@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Tests for the multi-worker node: key steering, per-worker isolation, and
+// full-stack correctness of concurrent remote traffic spanning every worker
+// bank while an online epoch change rewires the hot set underneath it
+// (run with -race in CI).
+
+// TestWorkerSteeringCoversAllBanks pins the steering contract: workerOf is a
+// pure function of (key, WorkersPerNode), spreads keys across all banks, and
+// the thread banks do not overlap.
+func TestWorkerSteeringCoversAllBanks(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8, MaxWorkersPerNode} {
+		cfg := Config{WorkersPerNode: w}
+		seen := make(map[int]bool)
+		threads := make(map[uint8]string)
+		claim := func(th uint8, role string) {
+			if prev, dup := threads[th]; dup {
+				t.Fatalf("workers=%d: thread %d assigned to both %s and %s", w, th, prev, role)
+			}
+			threads[th] = role
+		}
+		claim(threadFlow, "flow")
+		claim(threadSession, "session")
+		for i := 0; i < w; i++ {
+			claim(cfg.cacheThread(i), fmt.Sprintf("cache[%d]", i))
+			claim(cfg.kvsThread(i), fmt.Sprintf("kvs[%d]", i))
+			claim(cfg.respThread(i), fmt.Sprintf("resp[%d]", i))
+		}
+		for k := uint64(0); k < 4096; k++ {
+			idx := cfg.workerOf(k)
+			if idx < 0 || idx >= w {
+				t.Fatalf("workers=%d: key %d steered to worker %d", w, k, idx)
+			}
+			seen[idx] = true
+			if again := cfg.workerOf(k); again != idx {
+				t.Fatalf("workers=%d: steering not stable for key %d", w, k)
+			}
+		}
+		if len(seen) != w {
+			t.Fatalf("workers=%d: only %d banks hit by 4096 keys", w, len(seen))
+		}
+	}
+}
+
+// TestWorkersPerNodeValidation rejects bank widths outside the thread
+// address space.
+func TestWorkersPerNodeValidation(t *testing.T) {
+	if err := (Config{Nodes: 2, WorkersPerNode: MaxWorkersPerNode + 1}).Validate(); err == nil {
+		t.Fatal("oversized WorkersPerNode accepted")
+	}
+	if _, err := New(Config{Nodes: 2, System: Base, NumKeys: 64, WorkersPerNode: MaxWorkersPerNode + 1}); err == nil {
+		t.Fatal("New accepted oversized WorkersPerNode")
+	}
+}
+
+// TestMultiWorkerRemoteOps drives gets and puts through every worker bank of
+// a multi-worker Base cluster and checks plain read-your-writes.
+func TestMultiWorkerRemoteOps(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 3, System: Base, NumKeys: 2048, WorkersPerNode: 4})
+	n := c.Node(0)
+	cfg := c.Config()
+	perWorker := make(map[int]int)
+	for k := uint64(0); k < 256; k++ {
+		perWorker[cfg.workerOf(k)]++
+		want := []byte(fmt.Sprintf("v-%d", k))
+		if err := n.Put(k, want); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+		got, err := n.Get(k)
+		if err != nil {
+			t.Fatalf("get %d: %v", k, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("key %d: got %q want %q", k, got, want)
+		}
+	}
+	for w := 0; w < 4; w++ {
+		if perWorker[w] == 0 {
+			t.Fatalf("worker %d served no keys", w)
+		}
+	}
+}
+
+// verifyMagic tags checker values so readers can tell them apart from the
+// Populate fill.
+const verifyMagic = uint64(0xccddee0011223344)
+
+func encodeSeq(key, seq uint64) []byte {
+	b := make([]byte, 24)
+	binary.LittleEndian.PutUint64(b[0:8], verifyMagic)
+	binary.LittleEndian.PutUint64(b[8:16], key)
+	binary.LittleEndian.PutUint64(b[16:24], seq)
+	return b
+}
+
+func decodeSeq(key uint64, v []byte) (uint64, bool) {
+	if len(v) < 24 || binary.LittleEndian.Uint64(v[0:8]) != verifyMagic ||
+		binary.LittleEndian.Uint64(v[8:16]) != key {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(v[16:24]), true
+}
+
+// testWorkersAcrossEpochChange hammers ONE node with concurrent gets and
+// puts whose keys span every worker bank while the hot set is repeatedly
+// reconfigured online underneath them — the cluster-level analogue of the
+// mcheck reconfiguration conformance schedules (no lost writes, no stale
+// reads), executed for real across all worker banks under the race
+// detector. Each key has one writer issuing a strictly increasing tagged
+// sequence through node 0 and a reader asserting the observed sequence
+// never goes backwards; at the end every node must converge on each key's
+// final write.
+func testWorkersAcrossEpochChange(t *testing.T, proto core.Protocol) {
+	const (
+		nodes   = 3
+		workers = 4
+		numKeys = 1024
+		rounds  = 60
+		flips   = 6
+	)
+	c := newTestCluster(t, Config{
+		Nodes: nodes, System: CCKVS, Protocol: proto,
+		NumKeys: numKeys, CacheItems: 16, WorkersPerNode: workers,
+	})
+	c.Populate()
+	cfg := c.Config()
+
+	// Two disjoint hot-set windows; the epoch changes flip between them, so
+	// every flip demotes one window and promotes the other.
+	setA := make([]uint64, 0, 16)
+	setB := make([]uint64, 0, 16)
+	for k := uint64(0); len(setA) < 16; k++ {
+		setA = append(setA, k)
+	}
+	for k := uint64(16); len(setB) < 16; k++ {
+		setB = append(setB, k)
+	}
+	if err := c.InstallHotSet(setA); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammered keys: from both windows plus always-cold ones, covering every
+	// worker bank in each class.
+	var keys []uint64
+	coveredHot := make(map[int]bool)
+	coveredCold := make(map[int]bool)
+	for k := uint64(0); k < 32; k++ { // window keys (hot in A or B)
+		if !coveredHot[cfg.workerOf(k)] || len(keys) < 12 {
+			coveredHot[cfg.workerOf(k)] = true
+			keys = append(keys, k)
+		}
+	}
+	for k := uint64(100); k < 200 && len(coveredCold) < workers; k++ {
+		if !coveredCold[cfg.workerOf(k)] {
+			coveredCold[cfg.workerOf(k)] = true
+			keys = append(keys, k)
+		}
+	}
+	if len(coveredHot) != workers || len(coveredCold) != workers {
+		t.Fatalf("key choice misses banks: hot=%d cold=%d", len(coveredHot), len(coveredCold))
+	}
+
+	n0 := c.Node(0) // the hammered node
+	var writerWG, flipperWG, readerWG sync.WaitGroup
+	var failed atomic.Bool
+	fatal := make(chan error, 1)
+	fail := func(err error) {
+		if !failed.Swap(true) {
+			fatal <- err
+		}
+	}
+
+	// One writer per key: a strictly increasing sequence through node 0.
+	for _, key := range keys {
+		writerWG.Add(1)
+		go func(key uint64) {
+			defer writerWG.Done()
+			for seq := uint64(1); seq <= rounds; seq++ {
+				if failed.Load() {
+					return
+				}
+				if err := n0.Put(key, encodeSeq(key, seq)); err != nil {
+					fail(fmt.Errorf("writer key %d seq %d: %w", key, seq, err))
+					return
+				}
+			}
+		}(key)
+	}
+	// One reader per key: observed sequence must be monotone (a decrease is
+	// a stale read — e.g. a read served from a cache replica after the home
+	// shard accepted a newer post-demotion write).
+	readerStop := make(chan struct{})
+	for _, key := range keys {
+		readerWG.Add(1)
+		go func(key uint64) {
+			defer readerWG.Done()
+			var last uint64
+			for {
+				select {
+				case <-readerStop:
+					return
+				default:
+				}
+				v, err := n0.Get(key)
+				if err != nil {
+					fail(fmt.Errorf("reader key %d: %w", key, err))
+					return
+				}
+				if seq, ok := decodeSeq(key, v); ok {
+					if seq < last {
+						fail(fmt.Errorf("stale read: key %d went %d -> %d", key, last, seq))
+						return
+					}
+					last = seq
+				}
+			}
+		}(key)
+	}
+
+	// The epoch changer: flip the hot set while the traffic is in flight.
+	flipperWG.Add(1)
+	go func() {
+		defer flipperWG.Done()
+		for i := 0; i < flips && !failed.Load(); i++ {
+			target := setA
+			if i%2 == 0 {
+				target = setB
+			}
+			if _, err := c.ApplyHotSet(0, target); err != nil {
+				fail(fmt.Errorf("epoch flip %d: %w", i, err))
+				return
+			}
+		}
+	}()
+
+	writerWG.Wait()
+	flipperWG.Wait()
+	close(readerStop)
+	readerWG.Wait()
+	select {
+	case err := <-fatal:
+		t.Fatal(err)
+	default:
+	}
+
+	// Convergence: every node must come to see each key's final write (no
+	// lost writes across the demotion write-backs and promotion fetches).
+	// SC propagates asynchronously, so poll briefly before declaring a
+	// write lost.
+	deadline := time.Now().Add(20 * time.Second)
+	for _, key := range keys {
+		for i := 0; i < nodes; i++ {
+			for {
+				v, err := c.Node(i).Get(key)
+				if err != nil {
+					t.Fatalf("final get key %d via node %d: %v", key, i, err)
+				}
+				seq, ok := decodeSeq(key, v)
+				if ok && seq == rounds {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("lost write: key %d via node %d stuck at seq %d (ok=%v), want %d", key, i, seq, ok, rounds)
+				}
+				yield()
+			}
+		}
+	}
+}
+
+func TestWorkersAcrossEpochChangeSC(t *testing.T) {
+	testWorkersAcrossEpochChange(t, core.SC)
+}
+
+func TestWorkersAcrossEpochChangeLin(t *testing.T) {
+	testWorkersAcrossEpochChange(t, core.Lin)
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// LocalWorkerScalingAblation measures how per-node worker banks scale the
+// remote-access path on the real in-process cluster: the cache-less Base
+// system under the paper's Zipfian preset pushes (N-1)/N of all requests
+// over the fabric, so every op crosses a KVS dispatcher — exactly the
+// single-goroutine bottleneck multi-worker nodes remove (§6.2's cache/KVS
+// thread partitioning). Rows sweep WorkersPerNode; on multi-core hosts the
+// 4-worker row must beat the 1-worker row (the CI gate), on a single
+// hardware thread scaling is physically impossible and the gate is skipped.
+func LocalWorkerScalingAblation(opsPerClient int, requireScaling bool) (Table, error) {
+	if opsPerClient <= 0 {
+		opsPerClient = 3000
+	}
+	t := Table{
+		ID:      "local-workers",
+		Title:   "Per-node worker scaling on the live cluster [3 nodes, Base, alpha=0.99, 1% writes]",
+		Columns: []string{"workers/node", "throughput ops/s", "remote ops/s", "speedup", "p95 read us"},
+	}
+	const (
+		nodes   = 3
+		numKeys = 20000
+		clients = 16
+	)
+	wl, _ := workload.Preset(workload.PaperDefault, numKeys)
+	wl.Seed = 99
+
+	tput := map[int]float64{}
+	var baseline float64
+	for _, w := range []int{1, 2, 4, 8} {
+		cl, err := cluster.New(cluster.Config{
+			Nodes: nodes, System: cluster.Base, NumKeys: numKeys, WorkersPerNode: w,
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("workers=%d: %w", w, err)
+		}
+		cl.Populate()
+		res, err := cl.Run(cluster.RunOptions{
+			Clients:      clients,
+			OpsPerClient: opsPerClient,
+			Workload:     wl,
+		})
+		cl.Close()
+		if err != nil {
+			return Table{}, fmt.Errorf("workers=%d: %w", w, err)
+		}
+		remoteRate := float64(res.RemoteOps) / res.Duration.Seconds()
+		tput[w] = remoteRate
+		if w == 1 {
+			baseline = res.Throughput
+		}
+		t.AddRow(fmt.Sprintf("%d", w), res.Throughput, remoteRate,
+			fmt.Sprintf("%.2fx", res.Throughput/baseline), float64(res.ReadLat.P95)/1000)
+	}
+	t.Notes = append(t.Notes,
+		"1 worker serializes every remote access through one dispatcher goroutine per node; W workers serve disjoint key stripes in parallel",
+		fmt.Sprintf("GOMAXPROCS=%d during this run", runtime.GOMAXPROCS(0)))
+
+	if requireScaling {
+		if runtime.GOMAXPROCS(0) <= 1 {
+			t.Notes = append(t.Notes, "scaling gate skipped: a single hardware thread cannot run workers in parallel")
+		} else if tput[4] <= tput[1] {
+			return t, fmt.Errorf("worker scaling regression: 4-worker remote throughput %.0f ops/s is not above 1-worker %.0f ops/s",
+				tput[4], tput[1])
+		}
+	}
+	return t, nil
+}

@@ -49,6 +49,20 @@ type tcpConn struct {
 
 const tcpFrameHeader = 1 + 1 + 1 + 1 + 1 + 4
 
+// framePool recycles outbound frame buffers: Send fully serializes a packet
+// into one buffer before writing, so without a pool every send allocates a
+// frame-sized slice. Buffers are returned after the socket write completes.
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+type frameBuf struct{ b []byte }
+
+// SendCopiesData reports that Send serializes the packet into a private
+// frame before returning: callers may reuse p.Data as soon as Send returns.
+// Handlers get the mirror guarantee's *absence* — inbound frame buffers are
+// reused by the read loop, so a Handler must copy anything it retains past
+// its return (every in-tree handler either copies or finishes synchronously).
+func (t *TCPTransport) SendCopiesData() bool { return true }
+
 // NewTCPTransport starts a transport for node self listening on listenAddr
 // (e.g. ":7000" or "127.0.0.1:0" for an ephemeral test port).
 func NewTCPTransport(self uint8, listenAddr string, stats *Stats) (*TCPTransport, error) {
@@ -144,10 +158,15 @@ func (t *TCPTransport) acceptLoop() {
 // readLoop drains one connection. peer is the node id the connection serves
 // when known at start (outbound dials); inbound connections learn it from
 // the first frame. A broken connection whose peer is known reports it down.
+//
+// The payload buffer is reused across frames (the recv loop previously
+// allocated len(data) bytes per frame): a Handler runs synchronously and
+// must copy anything it keeps past its return.
 func (t *TCPTransport) readLoop(c net.Conn, peer int) {
 	defer t.wg.Done()
 	defer c.Close()
 	hdr := make([]byte, tcpFrameHeader)
+	var data []byte
 	for {
 		if _, err := io.ReadFull(c, hdr); err != nil {
 			if peer >= 0 {
@@ -163,7 +182,10 @@ func (t *TCPTransport) readLoop(c net.Conn, peer int) {
 			t.noteRoute(hdr[2], c)
 		}
 		n := binary.LittleEndian.Uint32(hdr[5:9])
-		data := make([]byte, n)
+		if uint32(cap(data)) < n {
+			data = make([]byte, n)
+		}
+		data = data[:n]
 		if _, err := io.ReadFull(c, data); err != nil {
 			t.notePeerDown(uint8(peer), c, err)
 			return
@@ -198,7 +220,11 @@ func (t *TCPTransport) Send(p Packet) error {
 	}
 	t.stats.account(p)
 
-	frame := make([]byte, tcpFrameHeader+len(p.Data))
+	fb := framePool.Get().(*frameBuf)
+	if cap(fb.b) < tcpFrameHeader+len(p.Data) {
+		fb.b = make([]byte, tcpFrameHeader+len(p.Data))
+	}
+	frame := fb.b[:tcpFrameHeader+len(p.Data)]
 	frame[0] = p.Dst.Node
 	frame[1] = p.Dst.Thread
 	frame[2] = t.self
@@ -210,6 +236,8 @@ func (t *TCPTransport) Send(p Packet) error {
 	conn.mu.Lock()
 	_, werr := conn.c.Write(frame)
 	conn.mu.Unlock()
+	fb.b = frame
+	framePool.Put(fb)
 	if werr != nil {
 		// Frames already written may never be answered; report the peer down
 		// so their pending calls fail (whichever of the read and write sides

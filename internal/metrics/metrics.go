@@ -14,7 +14,19 @@ import (
 )
 
 // Counter is a monotonically increasing counter safe for concurrent use.
-type Counter struct{ v atomic.Uint64 }
+// It is padded to a cache line: counters are laid out adjacently in hot
+// structs (cluster.Node, fabric.Stats), and without the padding every
+// increment invalidates its neighbours' lines on other cores — measurable
+// false sharing once a node runs many workers.
+type Counter struct {
+	v atomic.Uint64
+	_ [cacheLineSize - 8]byte
+}
+
+// cacheLineSize is the coherence granularity the padding targets (64 B on
+// every platform this runs on; ARM big cores use 128 B but 64 B still
+// removes same-word sharing).
+const cacheLineSize = 64
 
 // Inc adds one to the counter.
 func (c *Counter) Inc() { c.v.Add(1) }
@@ -30,12 +42,15 @@ func (c *Counter) Reset() uint64 { return c.v.Swap(0) }
 
 // Histogram is a fixed-layout latency histogram with logarithmically sized
 // buckets. It records values in nanoseconds (or any other unit; percentiles
-// come back in the same unit). Recording is lock-free.
+// come back in the same unit). Recording is lock-free. The three hot
+// atomics every Record touches (count, sum, max) each sit on their own
+// cache line so concurrent recorders do not false-share them.
 type Histogram struct {
-	buckets []atomic.Uint64
-	count   atomic.Uint64
-	sum     atomic.Uint64
+	count   Counter
+	sum     Counter
 	max     atomic.Uint64
+	_       [cacheLineSize - 8]byte
+	buckets []atomic.Uint64
 }
 
 // numBuckets covers values up to ~2^48 with ~4% relative resolution:

@@ -14,6 +14,9 @@ KEYS=16384
 CACHE=64
 OPS="${OPS:-3000}"
 CLIENTS=4
+# Every node runs a bank of worker threads (cache/KVS/resp); the value must
+# be identical on all nodes — it fixes the fabric thread layout.
+WORKERS="${WORKERS:-4}"
 
 BIN=$(mktemp -d)
 trap 'rm -rf "$BIN"' EXIT
@@ -29,7 +32,7 @@ run_deployment() {
     echo "=== $proto: 3-node deployment on $peers ==="
     for id in 0 1 2; do
         "$BIN/cckvs-node" -id "$id" -peers "$peers" -protocol "$proto" \
-            -keys "$KEYS" -cache "$CACHE" &
+            -keys "$KEYS" -cache "$CACHE" -workers "$WORKERS" &
         pids+=($!)
     done
     # shellcheck disable=SC2064
