@@ -56,6 +56,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		minHitRate = fs.Float64("min-hit-rate", 0, "fail unless the aggregate cache hit rate reaches this")
 		waitReady  = fs.Duration("wait", 15*time.Second, "how long to wait for all nodes to answer pings")
 		timeout    = fs.Duration("timeout", 10*time.Second, "per-request timeout")
+		chaosDown  = fs.Int("chaos-down", -1, "chaos mode: node id that dies mid-run; the workload reroutes around it, tolerates its failure window, and the checker verifies the survivors (-1 = off)")
+		chaosPid   = fs.Int("chaos-kill-pid", 0, "chaos mode: OS pid to SIGKILL once chaos-at of the ops executed (0 = the node was/will be killed externally; tolerance starts at workload start)")
+		chaosAt    = fs.Float64("chaos-at", 0.5, "chaos mode: fraction of total ops after which chaos-kill-pid is killed")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -92,10 +95,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "hot set installed: %d keys (promoted=%d demoted=%d)\n", *hotset, promoted, demoted)
 	}
 
+	if *chaosDown >= nodes {
+		fmt.Fprintf(stderr, "-chaos-down %d out of range for %d nodes\n", *chaosDown, nodes)
+		return 2
+	}
 	shifted, code := runWorkload(cl, workloadOpts{
 		nodes: nodes, keys: *keys, alpha: *alpha, writes: *writes,
 		ops: *ops, clients: *clients, valSize: *valSize,
 		hotset: *hotset, refreshAt: *refreshAt, refShift: *refShift,
+		chaosDown: *chaosDown, chaosPid: *chaosPid, chaosAt: *chaosAt,
 	}, stdout, stderr)
 	if code != 0 {
 		return code
@@ -106,16 +114,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if shift == 0 {
 			shift = *hotset / 4
 		}
+		if *chaosDown >= 0 {
+			// Chaos runs exercise the view-change concurrency, not the epoch
+			// change; a refresh mid-check would also try to move dead-homed
+			// keys (a no-op by design, but it muddies the assertion).
+			shift = 0
+		}
 		if err := runVerify(cl, verifyOpts{
 			nodes: nodes, keys: *keys, verifyKeys: *verKeys, rounds: *verRounds,
 			hotset: *hotset, shift: shift, workloadShifted: shifted,
+			chaosDown: *chaosDown,
 		}, stdout); err != nil {
 			fmt.Fprintf(stderr, "consistency check FAILED: %v\n", err)
 			return 1
 		}
 	}
 
-	return reportStats(cl, nodes, *hotset, *minHitRate, stdout, stderr)
+	return reportStats(cl, nodes, *hotset, *minHitRate, *chaosDown, stdout, stderr)
 }
 
 // hotWindow returns ranks [from, from+n).
@@ -138,6 +153,57 @@ type workloadOpts struct {
 	hotset    int
 	refreshAt float64
 	refShift  int
+	// Chaos orchestration: chaosDown is the node that dies mid-run (-1 =
+	// off); chaosPid, when non-zero, is SIGKILLed once chaosAt of the total
+	// ops executed. See chaosState.
+	chaosDown int
+	chaosPid  int
+	chaosAt   float64
+}
+
+// chaosState tracks the kill: clients reroute around the downed node,
+// tolerate ErrHomeDown outright (fail-fast on dead-homed keys IS the correct
+// post-kill behavior), and retry any other failure within a bounded grace
+// window after the kill — the deployment must converge to clean
+// survivor-side service within it.
+type chaosState struct {
+	node     int
+	killedAt atomic.Int64 // unixnano; 0 = not yet killed
+	down     []atomic.Bool
+	homeDown atomic.Uint64 // ops answered with the home-down status
+	retried  atomic.Uint64 // ops retried within the grace window
+}
+
+const chaosGrace = 10 * time.Second
+
+// kill SIGKILLs the victim (if a pid was given) and flips the routing mask.
+func (c *chaosState) kill(pid int, stdout io.Writer) {
+	if pid > 0 {
+		if p, err := os.FindProcess(pid); err == nil {
+			_ = p.Kill()
+		}
+	}
+	c.killedAt.Store(time.Now().UnixNano())
+	c.down[c.node].Store(true)
+	fmt.Fprintf(stdout, "chaos: killed node %d (pid %d)\n", c.node, pid)
+}
+
+// withinGrace reports whether the post-kill tolerance window is open.
+func (c *chaosState) withinGrace() bool {
+	at := c.killedAt.Load()
+	return at != 0 && time.Since(time.Unix(0, at)) < chaosGrace
+}
+
+// route returns the first non-down node at or after start (round-robin load
+// balancing that skips excised members).
+func (c *chaosState) route(start, nodes int) int {
+	for j := 0; j < nodes; j++ {
+		n := (start + j) % nodes
+		if !c.down[n].Load() {
+			return n
+		}
+	}
+	return start % nodes
 }
 
 // runWorkload drives the Zipfian phase, optionally applying one online
@@ -170,6 +236,25 @@ func runWorkload(cl *cluster.Client, o workloadOpts, stdout, stderr io.Writer) (
 	refreshTrigger := make(chan struct{}, 1)
 	threshold := uint64(float64(total) * o.refreshAt)
 
+	var chaos *chaosState
+	var chaosThreshold uint64
+	var killOnce sync.Once
+	if o.chaosDown >= 0 {
+		chaos = &chaosState{node: o.chaosDown, down: make([]atomic.Bool, o.nodes)}
+		if o.chaosPid > 0 {
+			chaosThreshold = uint64(float64(total) * o.chaosAt)
+			if chaosThreshold == 0 {
+				chaosThreshold = 1
+			}
+		} else {
+			// External kill (the script owns the SIGKILL): the tolerance
+			// window opens at workload start, as the flag documents, and
+			// re-opens whenever an op fails on the victim (a kill later than
+			// the initial grace is learned from its first failure).
+			chaos.killedAt.Store(time.Now().UnixNano())
+		}
+	}
+
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < o.clients; c++ {
@@ -179,27 +264,67 @@ func runWorkload(cl *cluster.Client, o workloadOpts, stdout, stderr io.Writer) (
 			g := gen.Clone(uint64(id))
 			for i := 0; i < o.ops; i++ {
 				op := g.Next()
-				node := (id + i) % o.nodes // round-robin load balancing
-				t0 := time.Now()
-				var err error
-				if op.Type == workload.Put {
-					err = cl.Put(node, op.Key, op.Value)
-				} else {
-					_, err = cl.Get(node, op.Key)
-					if errors.Is(err, store.ErrNotFound) {
-						err = nil // keyspace mismatch tolerance on cold reads
+				for attempt := 0; ; attempt++ {
+					// Round-robin load balancing; chaos mode skips downed nodes.
+					node := (id + i + attempt) % o.nodes
+					if chaos != nil {
+						node = chaos.route(node, o.nodes)
 					}
-				}
-				lat.Record(uint64(time.Since(t0).Nanoseconds()))
-				if err != nil {
+					t0 := time.Now()
+					var err error
+					if op.Type == workload.Put {
+						err = cl.Put(node, op.Key, op.Value)
+					} else {
+						_, err = cl.Get(node, op.Key)
+						if errors.Is(err, store.ErrNotFound) {
+							err = nil // keyspace mismatch tolerance on cold reads
+						}
+					}
+					lat.Record(uint64(time.Since(t0).Nanoseconds()))
+					if err == nil {
+						break
+					}
+					if chaos != nil {
+						// A dead-homed key answering home-down IS the correct
+						// post-kill behavior: count it and move on.
+						if errors.Is(err, cluster.ErrHomeDown) {
+							chaos.homeDown.Add(1)
+							break
+						}
+						// An op routed to the victim: note the death (external
+						// kills are learned here — the grace window slides to
+						// the observed failure), reroute, retry.
+						if node == o.chaosDown {
+							chaos.down[node].Store(true)
+							chaos.killedAt.Store(time.Now().UnixNano())
+							chaos.retried.Add(1)
+							continue
+						}
+						// Collateral failure on a survivor (a server-side RPC
+						// caught mid-flip, a Lin write racing the excision):
+						// tolerated within the grace window — the deployment
+						// must converge to clean service inside it.
+						if chaos.withinGrace() && attempt < 1000 {
+							chaos.retried.Add(1)
+							time.Sleep(10 * time.Millisecond)
+							continue
+						}
+					}
 					fail(id, err)
 					return
 				}
-				if n := done.Add(1); threshold > 0 && n == threshold {
+				// Independent checks: each counter value passes exactly once,
+				// so folding these into if/else would silently skip the kill
+				// whenever the two thresholds coincide.
+				n := done.Add(1)
+				if threshold > 0 && n == threshold {
 					select {
 					case refreshTrigger <- struct{}{}:
 					default:
 					}
+				}
+				if chaosThreshold > 0 && n == chaosThreshold {
+					killOnce.Do(func() { chaos.kill(o.chaosPid, stdout) })
 				}
 			}
 		}(c)
@@ -265,6 +390,14 @@ func runWorkload(cl *cluster.Client, o workloadOpts, stdout, stderr io.Writer) (
 	fmt.Fprintf(stdout, "throughput: %.0f ops/s\n", float64(total)/elapsed.Seconds())
 	fmt.Fprintf(stdout, "latency:    avg %.1fus  p50 %.1fus  p95 %.1fus  p99 %.1fus\n",
 		snap.Mean/1000, float64(snap.P50)/1000, float64(snap.P95)/1000, float64(snap.P99)/1000)
+	if chaos != nil {
+		if chaos.killedAt.Load() == 0 && o.chaosPid > 0 {
+			fmt.Fprintln(stderr, "chaos: the kill never triggered (run too short for -chaos-at?)")
+			return didRefresh.Load(), 1
+		}
+		fmt.Fprintf(stdout, "chaos: survivors served through the kill (%d home-down fast-fails, %d ops retried in the failure window)\n",
+			chaos.homeDown.Load(), chaos.retried.Load())
+	}
 	return didRefresh.Load(), 0
 }
 
@@ -279,6 +412,23 @@ type verifyOpts struct {
 	// the hot window to [shift, shift+hotset); the verifier's own refresh
 	// targets the *other* window so its epoch change always has a delta.
 	workloadShifted bool
+	// chaosDown, when >= 0, restricts the check to the survivors: writers
+	// and readers use only live nodes, cold checked keys must be homed on
+	// survivors (dead-homed HOT keys stay in the set on purpose — they must
+	// keep serving from the symmetric cache), and convergence is asserted on
+	// the survivors only.
+	chaosDown int
+}
+
+// liveNodes lists the check's usable nodes.
+func (o verifyOpts) liveNodes() []int {
+	var live []int
+	for n := 0; n < o.nodes; n++ {
+		if n != o.chaosDown {
+			live = append(live, n)
+		}
+	}
+	return live
 }
 
 // runVerify is the lost/stale-read detector: one writer per key issues a
@@ -292,14 +442,21 @@ func runVerify(cl *cluster.Client, o verifyOpts, stdout io.Writer) error {
 	// Half the checked keys from the hot window (cache protocol paths), half
 	// cold (remote-access paths). With no (or a small) hot set the cold side
 	// takes up the slack — the keys must be distinct, or two writers would
-	// race one key and fake a stale read.
+	// race one key and fake a stale read. In chaos mode the cold keys must be
+	// homed on survivors (dead-homed cold keys correctly fail fast and cannot
+	// be checked); dead-homed HOT keys stay in — the symmetric cache serves
+	// them through the node death, and that is exactly what gets verified.
+	live := o.liveNodes()
 	var keys []uint64
 	hot := min(o.verifyKeys/2, o.hotset)
 	for i := 0; i < hot; i++ {
 		keys = append(keys, uint64(i))
 	}
-	for i := hot; i < o.verifyKeys; i++ {
-		keys = append(keys, o.keys/2+uint64(i))
+	for k := o.keys / 2; len(keys) < o.verifyKeys && k < o.keys; k++ {
+		if o.chaosDown >= 0 && cluster.HomeOf(k, o.nodes) == o.chaosDown {
+			continue
+		}
+		keys = append(keys, k)
 	}
 
 	var (
@@ -335,7 +492,7 @@ func runVerify(cl *cluster.Client, o verifyOpts, stdout io.Writer) error {
 				}
 			}
 			defer mark()
-			node := int(key) % o.nodes // writer affinity: per-key writes serialize
+			node := live[int(key)%len(live)] // writer affinity: per-key writes serialize
 			for seq := 1; seq <= o.rounds; seq++ {
 				if err := cl.Put(node, key, encodeVerify(key, uint64(seq))); err != nil {
 					fail(fmt.Errorf("writer key %d seq %d: %w", key, seq, err))
@@ -352,7 +509,7 @@ func runVerify(cl *cluster.Client, o verifyOpts, stdout io.Writer) error {
 	// forward through a key's write sequence.
 	readerStop := make(chan struct{})
 	var readers sync.WaitGroup
-	for node := 0; node < o.nodes; node++ {
+	for _, node := range live {
 		readers.Add(1)
 		go func(node int) {
 			defer readers.Done()
@@ -405,7 +562,7 @@ func runVerify(cl *cluster.Client, o verifyOpts, stdout io.Writer) error {
 		}
 		select {
 		case <-halfway:
-			promoted, demoted, err := cl.Refresh(0, target)
+			promoted, demoted, err := cl.Refresh(live[0], target)
 			switch {
 			case err != nil:
 				refreshErr = fmt.Errorf("refresh during check: %w", err)
@@ -434,7 +591,7 @@ func runVerify(cl *cluster.Client, o verifyOpts, stdout io.Writer) error {
 	// stuck below it has lost the write or serves a stale replica.
 	deadline := time.Now().Add(15 * time.Second)
 	for _, k := range keys {
-		for node := 0; node < o.nodes; node++ {
+		for _, node := range live {
 			for {
 				v, err := cl.Get(node, k)
 				if err == nil {
@@ -454,8 +611,8 @@ func runVerify(cl *cluster.Client, o verifyOpts, stdout io.Writer) error {
 			}
 		}
 	}
-	fmt.Fprintf(stdout, "consistency check passed: %d keys x %d writes, %d readers, all nodes converged\n",
-		len(keys), o.rounds, o.nodes)
+	fmt.Fprintf(stdout, "consistency check passed: %d keys x %d writes, %d readers, all live nodes converged\n",
+		len(keys), o.rounds, len(live))
 	return nil
 }
 
@@ -476,10 +633,15 @@ func decodeVerify(key uint64, v []byte) (uint64, bool) {
 	return binary.LittleEndian.Uint64(v[8:]), true
 }
 
-// reportStats prints per-node counters and enforces the hit-rate floor.
-func reportStats(cl *cluster.Client, nodes, hotset int, minHitRate float64, stdout, stderr io.Writer) int {
+// reportStats prints per-node counters and enforces the hit-rate floor. In
+// chaos mode the dead node is skipped: it cannot answer, and the floor is a
+// survivors' property.
+func reportStats(cl *cluster.Client, nodes, hotset int, minHitRate float64, chaosDown int, stdout, stderr io.Writer) int {
 	var agg cluster.SessionStats
 	for node := 0; node < nodes; node++ {
+		if node == chaosDown {
+			continue
+		}
 		st, err := cl.Stats(node)
 		if err != nil {
 			fmt.Fprintf(stderr, "stats node %d: %v\n", node, err)

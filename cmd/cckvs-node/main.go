@@ -23,6 +23,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -52,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, onReady
 		cache    = fs.Int("cache", 0, "symmetric cache capacity in objects (cckvs; default keys/100)")
 		value    = fs.Int("value", 40, "populated value size in bytes")
 		workers  = fs.Int("workers", 4, "worker threads per node (cache/KVS/resp banks); MUST be identical on every node — it fixes the fabric thread layout")
+		pingIvl  = fs.Duration("ping-interval", 250*time.Millisecond, "membership ping interval (0 disables ping suspicion; broken TCP connections still trigger view changes)")
+		pingTo   = fs.Duration("ping-timeout", 0, "silence after which a peer is excised from the membership view (default 6x ping-interval)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -83,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, onReady
 		NumKeys:        *keys,
 		ValueSize:      *value,
 		WorkersPerNode: *workers,
+		PingInterval:   *pingIvl,
+		PingTimeout:    *pingTo,
 	}
 	switch *system {
 	case "cckvs":
@@ -132,7 +137,17 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, onReady
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	// A dead peer must fail our pending RPCs toward it, not hang sessions.
+	// Observability: log every membership view change (node deaths AND
+	// rejoins) so a deployment's failure timeline is reconstructible from
+	// the logs.
+	member.SetViewHandler(func(v *cluster.View) {
+		fmt.Fprintf(stderr, "node %d: view epoch %d: %d/%d live (down: %v)\n",
+			*id, v.Epoch, v.LiveCount(), len(peers), v.Down())
+	})
+	// A broken connection to a peer promotes straight to a membership view
+	// change: pending and queued RPCs fail, credit budgets shrink, Lin ack
+	// waiters recompute and wake, dead-homed keys fail fast. Ping suspicion
+	// (-ping-interval) covers hangs TCP cannot see and detects rejoins.
 	// Fabric ids past the member range are ephemeral session clients
 	// (cckvs-load) — their disconnects are routine, never RPC targets.
 	tr.SetPeerDownHandler(func(peer uint8, cause error) {

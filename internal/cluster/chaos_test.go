@@ -1,0 +1,466 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Chaos: kill one node of a 3-member deployment mid-run and assert the
+// membership machinery unblocks the survivors within a bounded window —
+// writes to survivor-homed (and cached) keys complete, dead-homed cold keys
+// fail fast with ErrHomeDown, mcheck-style monotonic readers observe no
+// stale or lost reads among the survivors, and everything stays race-clean.
+// Covered on the in-process ChanTransport (ping suspicion is the only
+// failure signal — nothing "breaks" when a member dies in-process) and over
+// real TCP sockets (transport-level detection plus suspicion), for both SC
+// and Lin.
+
+// chaosKeys picks the checked key set: hot keys (including, when possible,
+// one homed on the doomed node — those must KEEP serving through the kill,
+// from the symmetric cache) plus cold keys homed on each survivor.
+func chaosKeys(t *testing.T, cfg Config, hot []uint64, doomed int) []uint64 {
+	t.Helper()
+	keys := make([]uint64, 0, 6)
+	// One hot key homed on each node (dead-homed hot keys are the point).
+	seen := map[int]bool{}
+	for _, k := range hot {
+		h := HomeOf(k, cfg.Nodes)
+		if !seen[h] {
+			seen[h] = true
+			keys = append(keys, k)
+		}
+		if len(seen) == cfg.Nodes {
+			break
+		}
+	}
+	// One cold key per survivor home.
+	for n := 0; n < cfg.Nodes; n++ {
+		if n == doomed {
+			continue
+		}
+		for k := cfg.NumKeys / 2; k < cfg.NumKeys; k++ {
+			if HomeOf(k, cfg.Nodes) == n {
+				keys = append(keys, k)
+				break
+			}
+		}
+	}
+	if len(keys) < 3 {
+		t.Fatalf("could not assemble a chaos key set (got %v)", keys)
+	}
+	return keys
+}
+
+// coldKeyHomedOnCfg finds a cold key (outside the default hot set) homed on
+// node, without needing a cluster handle.
+func coldKeyHomedOnCfg(t *testing.T, cfg Config, node int) uint64 {
+	t.Helper()
+	for k := cfg.NumKeys / 2; k < cfg.NumKeys; k++ {
+		if HomeOf(k, cfg.Nodes) == node {
+			return k
+		}
+	}
+	t.Fatal("no cold key homed on node")
+	return 0
+}
+
+func encodeChaosSeq(seq uint64) []byte {
+	v := make([]byte, 8)
+	binary.LittleEndian.PutUint64(v, seq)
+	return v
+}
+
+func decodeChaosSeq(v []byte) (uint64, bool) {
+	if len(v) != 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(v), true
+}
+
+// waitViewDown polls until every given member's view excludes peer.
+func waitViewDown(t *testing.T, members []*Cluster, peer int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for _, m := range members {
+		for m.View().Live(peer) {
+			if time.Now().After(deadline) {
+				t.Fatalf("member %d never excised node %d from its view", m.self, peer)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// TestChaosKillMemberInProcess is the in-process half of the acceptance
+// criterion: 3 member-form clusters over one ChanTransport, ping suspicion
+// as the sole failure detector, node 2 killed under live checked traffic.
+func TestChaosKillMemberInProcess(t *testing.T) {
+	for _, proto := range []core.Protocol{core.SC, core.Lin} {
+		t.Run(proto.String(), func(t *testing.T) {
+			const doomed = 2
+			cfg := Config{
+				Nodes: 3, System: CCKVS, Protocol: proto,
+				NumKeys: 2048, CacheItems: 32, ValueSize: 16, WorkersPerNode: 2,
+				PingInterval: 5 * time.Millisecond, PingTimeout: 60 * time.Millisecond,
+			}
+			members := newChanMembers(t, cfg)
+			hot := DefaultHotSet(cfg.CacheItems)
+			if _, err := members[0].ApplyHotSet(0, hot); err != nil {
+				t.Fatal(err)
+			}
+			keys := chaosKeys(t, cfg, hot, doomed)
+			survivors := []*Cluster{members[0], members[1]}
+
+			// One writer per key through a fixed survivor (per-key writes
+			// serialize), one monotonic reader per survivor: a reader must
+			// never observe a key's sequence go backwards — not before the
+			// kill, not through it, not after.
+			var (
+				stop     = make(chan struct{})
+				wg       sync.WaitGroup
+				finalSeq = make([]atomic.Uint64, len(keys))
+				errMu    sync.Mutex
+				firstErr error
+			)
+			fail := func(err error) {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+			for ki, k := range keys {
+				wg.Add(1)
+				go func(ki int, key uint64) {
+					defer wg.Done()
+					n := survivors[ki%len(survivors)].LocalNode()
+					for seq := uint64(1); ; seq++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if err := n.Put(key, encodeChaosSeq(seq)); err != nil {
+							fail(fmt.Errorf("writer key %d seq %d: %w", key, seq, err))
+							return
+						}
+						finalSeq[ki].Store(seq)
+					}
+				}(ki, k)
+			}
+			for _, m := range survivors {
+				wg.Add(1)
+				go func(m *Cluster) {
+					defer wg.Done()
+					last := make(map[uint64]uint64, len(keys))
+					n := m.LocalNode()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						for _, k := range keys {
+							v, err := n.Get(k)
+							if err != nil {
+								fail(fmt.Errorf("reader member %d key %d: %w", m.self, k, err))
+								return
+							}
+							seq, ok := decodeChaosSeq(v)
+							if !ok {
+								continue // populate-time value
+							}
+							if seq < last[k] {
+								fail(fmt.Errorf("STALE READ member %d key %d: %d after %d", m.self, k, seq, last[k]))
+								return
+							}
+							last[k] = seq
+						}
+					}
+				}(m)
+			}
+
+			// Let traffic establish, then kill node 2 abruptly: it stops
+			// answering everything (consistency, KVS, pings). Survivors must
+			// excise it within the suspicion window and keep going.
+			time.Sleep(50 * time.Millisecond)
+			members[doomed].Kill()
+			waitViewDown(t, survivors, doomed, 5*time.Second)
+			time.Sleep(100 * time.Millisecond) // checked traffic through the new view
+			close(stop)
+			wg.Wait()
+			if firstErr != nil {
+				t.Fatal(firstErr)
+			}
+
+			// Dead-homed cold keys fail fast on every survivor.
+			deadCold := coldKeyHomedOnCfg(t, cfg, doomed)
+			for _, m := range survivors {
+				if _, err := m.LocalNode().Get(deadCold); !errors.Is(err, ErrHomeDown) {
+					t.Fatalf("member %d get dead-homed key: %v, want ErrHomeDown", m.self, err)
+				}
+				if err := m.LocalNode().Put(deadCold, []byte("x")); !errors.Is(err, ErrHomeDown) {
+					t.Fatalf("member %d put dead-homed key: %v, want ErrHomeDown", m.self, err)
+				}
+			}
+
+			// Writes to survivor-homed and cached keys complete post-kill
+			// without stalling (the test timeout is the bound).
+			for ki, k := range keys {
+				seq := finalSeq[ki].Load() + 1
+				if err := survivors[ki%2].LocalNode().Put(k, encodeChaosSeq(seq)); err != nil {
+					t.Fatalf("post-kill write key %d: %v", k, err)
+				}
+				finalSeq[ki].Store(seq)
+			}
+
+			// Convergence: both survivors serve every key's final write (SC
+			// propagates asynchronously; poll).
+			for ki, k := range keys {
+				want := finalSeq[ki].Load()
+				for _, m := range survivors {
+					m := m
+					waitForValue(t, fmt.Sprintf("member %d key %d", m.self, k), encodeChaosSeq(want), func() ([]byte, error) {
+						return m.LocalNode().Get(k)
+					})
+				}
+			}
+		})
+	}
+}
+
+// A Lin write already waiting on the doomed node's ack must be woken by the
+// view change — not stall until some client-level timeout. The window is
+// bounded by the suspicion timeout plus scheduling noise.
+func TestChaosLinWriteUnblocksWithinBoundedWindow(t *testing.T) {
+	const doomed = 2
+	cfg := Config{
+		Nodes: 3, System: CCKVS, Protocol: core.Lin,
+		NumKeys: 1024, CacheItems: 16, ValueSize: 16, WorkersPerNode: 1,
+		PingInterval: 5 * time.Millisecond, PingTimeout: 50 * time.Millisecond,
+	}
+	members := newChanMembers(t, cfg)
+	hot := DefaultHotSet(cfg.CacheItems)
+	if _, err := members[0].ApplyHotSet(0, hot); err != nil {
+		t.Fatal(err)
+	}
+	// Kill first, then write immediately: the invalidation broadcast still
+	// counts node 2 (the survivors' views have not flipped yet), its ack
+	// never arrives, and only the view change can complete the write.
+	members[doomed].Kill()
+	start := time.Now()
+	if err := members[0].LocalNode().Put(hot[0], []byte("unblocked-by-view")); err != nil {
+		t.Fatalf("lin write across the kill: %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("lin write took %v, want bounded by the suspicion window", d)
+	}
+	if !members[0].View().Live(doomed) {
+		// The flip happened before the write completed, as designed.
+		if got, err := members[1].LocalNode().Get(hot[0]); err != nil || string(got) != "unblocked-by-view" {
+			t.Fatalf("survivor read after unblocked write: %q %v", got, err)
+		}
+	}
+}
+
+// Manual view transitions without any real failure: PeerDown must fail fast
+// and shrink the Lin ack requirement; PeerUp must restore budgets, the ack
+// requirement, and home-down keys — the rejoin semantics.
+func TestViewDownUpRestoresService(t *testing.T) {
+	const down = 2
+	cfg := Config{
+		Nodes: 3, System: CCKVS, Protocol: core.Lin,
+		NumKeys: 1024, CacheItems: 16, ValueSize: 16, WorkersPerNode: 1,
+	}
+	members := newChanMembers(t, cfg)
+	hot := DefaultHotSet(cfg.CacheItems)
+	if _, err := members[0].ApplyHotSet(0, hot); err != nil {
+		t.Fatal(err)
+	}
+	deadCold := coldKeyHomedOnCfg(t, cfg, down)
+
+	epoch0 := members[0].View().Epoch
+	members[0].PeerDown(down, errors.New("operator said so"))
+	if members[0].View().Live(down) || members[0].View().Epoch != epoch0+1 {
+		t.Fatalf("view after PeerDown: %+v", members[0].View())
+	}
+	// The change gossips to member 1 over the fabric.
+	waitViewDown(t, []*Cluster{members[1]}, down, 5*time.Second)
+
+	// Fail-fast on both survivors; hot writes complete on the shrunken view
+	// (node 2 receives no invalidation, so only node 1's ack is required).
+	for _, m := range []*Cluster{members[0], members[1]} {
+		if _, err := m.LocalNode().Get(deadCold); !errors.Is(err, ErrHomeDown) {
+			t.Fatalf("member %d: %v, want ErrHomeDown", m.self, err)
+		}
+	}
+	if err := members[0].LocalNode().Put(hot[1], []byte("two-member-view")); err != nil {
+		t.Fatalf("lin write in two-member view: %v", err)
+	}
+	waitForValue(t, "member 1", []byte("two-member-view"), func() ([]byte, error) {
+		return members[1].LocalNode().Get(hot[1])
+	})
+
+	// Rejoin: each survivor re-admits node 2 (the prober would do this on a
+	// pong; here the test drives it). Node 2 was never actually gone, so
+	// service resumes at full membership immediately.
+	members[0].PeerUp(down)
+	members[1].PeerUp(down)
+	if !members[0].View().Live(down) {
+		t.Fatal("PeerUp did not restore the member")
+	}
+	if err := members[0].LocalNode().Put(deadCold, []byte("back")); err != nil {
+		t.Fatalf("put to rejoined home: %v", err)
+	}
+	if v, err := members[1].LocalNode().Get(deadCold); err != nil || string(v) != "back" {
+		t.Fatalf("get via rejoined home: %q %v", v, err)
+	}
+	// Full-view Lin write again requires (and gets) both acks.
+	if err := members[0].LocalNode().Put(hot[1], []byte("full-view")); err != nil {
+		t.Fatalf("lin write after rejoin: %v", err)
+	}
+	waitForValue(t, "member 2", []byte("full-view"), func() ([]byte, error) {
+		return members[down].LocalNode().Get(hot[1])
+	})
+}
+
+// TestTCPChaosKillNode is the sockets half of the acceptance criterion: the
+// same kill-one-node scenario over real TCP transports, driven through the
+// session layer exactly like a cckvs-load client, with transport-level
+// peer-down detection doing the fast excision.
+func TestTCPChaosKillNode(t *testing.T) {
+	for _, proto := range []core.Protocol{core.SC, core.Lin} {
+		t.Run(proto.String(), func(t *testing.T) {
+			const doomed = 2
+			cfg := Config{
+				Nodes: 3, System: CCKVS, Protocol: proto,
+				NumKeys: 2048, CacheItems: 32, ValueSize: 16, WorkersPerNode: 2,
+				PingInterval: 20 * time.Millisecond, PingTimeout: 200 * time.Millisecond,
+			}
+			members, addrs := newTCPMembers(t, cfg)
+			cl, err := DialTCP(200, addrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { cl.Close() })
+			if err := cl.WaitReady(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			hot := DefaultHotSet(cfg.CacheItems)
+			if _, _, err := cl.Refresh(0, hot); err != nil {
+				t.Fatal(err)
+			}
+			keys := chaosKeys(t, cfg, hot, doomed)
+			survivorNodes := []int{0, 1}
+
+			var (
+				stop     = make(chan struct{})
+				wg       sync.WaitGroup
+				finalSeq = make([]atomic.Uint64, len(keys))
+				errMu    sync.Mutex
+				firstErr error
+			)
+			fail := func(err error) {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+			for ki, k := range keys {
+				wg.Add(1)
+				go func(ki int, key uint64) {
+					defer wg.Done()
+					node := survivorNodes[ki%len(survivorNodes)]
+					for seq := uint64(1); ; seq++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if err := cl.Put(node, key, encodeChaosSeq(seq)); err != nil {
+							fail(fmt.Errorf("writer key %d seq %d via node %d: %w", key, seq, node, err))
+							return
+						}
+						finalSeq[ki].Store(seq)
+					}
+				}(ki, k)
+			}
+			for _, node := range survivorNodes {
+				wg.Add(1)
+				go func(node int) {
+					defer wg.Done()
+					last := make(map[uint64]uint64, len(keys))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						for _, k := range keys {
+							v, err := cl.Get(node, k)
+							if err != nil {
+								fail(fmt.Errorf("reader node %d key %d: %w", node, k, err))
+								return
+							}
+							if seq, ok := decodeChaosSeq(v); ok {
+								if seq < last[k] {
+									fail(fmt.Errorf("STALE READ node %d key %d: %d after %d", node, k, seq, last[k]))
+									return
+								}
+								last[k] = seq
+							}
+						}
+					}
+				}(node)
+			}
+
+			time.Sleep(100 * time.Millisecond)
+			// "Process death": tear node 2's transport down abruptly. The
+			// survivors' broken connections fire their peer-down handlers.
+			if err := members[doomed].Close(); err != nil {
+				t.Fatal(err)
+			}
+			waitViewDown(t, []*Cluster{members[0], members[1]}, doomed, 10*time.Second)
+			time.Sleep(150 * time.Millisecond)
+			close(stop)
+			wg.Wait()
+			if firstErr != nil {
+				t.Fatal(firstErr)
+			}
+
+			// Dead-homed cold keys surface the typed home-down status through
+			// the session layer on every survivor.
+			deadCold := coldKeyHomedOnCfg(t, cfg, doomed)
+			for _, node := range survivorNodes {
+				if _, err := cl.Get(node, deadCold); !errors.Is(err, ErrHomeDown) {
+					t.Fatalf("session get via node %d for dead-homed key: %v, want ErrHomeDown", node, err)
+				}
+				if err := cl.Put(node, deadCold, []byte("x")); !errors.Is(err, ErrHomeDown) {
+					t.Fatalf("session put via node %d for dead-homed key: %v, want ErrHomeDown", node, err)
+				}
+			}
+
+			// Convergence among survivors on every checked key's final write.
+			for ki, k := range keys {
+				want := finalSeq[ki].Load()
+				if want == 0 {
+					continue
+				}
+				for _, node := range survivorNodes {
+					node := node
+					waitForValue(t, fmt.Sprintf("node %d key %d", node, k), encodeChaosSeq(want), func() ([]byte, error) {
+						return cl.Get(node, k)
+					})
+				}
+			}
+		})
+	}
+}

@@ -48,6 +48,13 @@ var ErrClientClosed = errors.New("cluster: client closed")
 // ErrSessionTimeout is returned when a response does not arrive in time.
 var ErrSessionTimeout = errors.New("cluster: session request timed out")
 
+// ErrNodeUnreachable is returned when the transport cannot carry the request
+// to the server or the server's connection dropped mid-call: the dial
+// failed, or the established connection closed before the response arrived.
+// Unlike ErrSessionTimeout (which may hide a merely slow server) it is a
+// positive signal that the node is gone.
+var ErrNodeUnreachable = errors.New("cluster: node unreachable")
+
 // NewClient attaches a client with fabric id to an existing transport —
 // typically the ChanTransport of an in-process cluster (tests) — serving a
 // deployment of nodes servers. id must not collide with any server node id.
@@ -78,7 +85,7 @@ func DialTCP(id uint8, peers []string) (*Client, error) {
 		tr.AddPeer(uint8(i), addr)
 	}
 	tr.SetPeerDownHandler(func(node uint8, cause error) {
-		cl.failNode(node, fmt.Errorf("cluster: server node %d down: %w", node, cause))
+		cl.failNode(node, fmt.Errorf("%w: server node %d connection lost: %v", ErrNodeUnreachable, node, cause))
 	})
 	return cl, nil
 }
@@ -174,7 +181,7 @@ func (cl *Client) callT(node uint8, op byte, body []byte, timeout time.Duration)
 	})
 	if err != nil {
 		cl.drop(id)
-		return sessResult{}, err
+		return sessResult{}, fmt.Errorf("%w: node %d: %v", ErrNodeUnreachable, node, err)
 	}
 	select {
 	case res := <-ch:
@@ -186,6 +193,9 @@ func (cl *Client) callT(node uint8, op byte, body []byte, timeout time.Duration)
 		}
 		if res.status == sessStatusBad {
 			return sessResult{}, fmt.Errorf("cluster: node %d rejected session request (bad request)", node)
+		}
+		if res.status == sessStatusHomeDown {
+			return sessResult{}, fmt.Errorf("node %d reports %w", node, ErrHomeDown)
 		}
 		return res, nil
 	case <-time.After(timeout):

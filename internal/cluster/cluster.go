@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fabric"
@@ -72,7 +74,8 @@ func (s System) String() string {
 const (
 	threadFlow     uint8 = 0 // explicit credit updates (one per node)
 	threadSession  uint8 = 1 // client-facing session requests (session.go)
-	threadBankBase uint8 = 2 // first worker-bank thread
+	threadView     uint8 = 2 // membership: pings, pongs, view changes (view.go)
+	threadBankBase uint8 = 3 // first worker-bank thread
 )
 
 // MaxWorkersPerNode bounds the per-node worker count: the three per-worker
@@ -148,6 +151,15 @@ type Config struct {
 	// NumKeys is the dataset size; keys are 0..NumKeys-1 ranked by
 	// popularity (rank 0 hottest).
 	NumKeys uint64
+	// PingInterval, when positive, arms the ping-based failure detector in
+	// member form: the member pings every peer at this interval and excises
+	// any live peer silent for PingTimeout from the membership view
+	// (view.go). 0 (the default) disables suspicion — transports that detect
+	// failure themselves (TCP) still drive view changes through PeerDown.
+	PingInterval time.Duration
+	// PingTimeout is the silence after which a peer is declared down
+	// (default 6x PingInterval).
+	PingTimeout time.Duration
 	// CacheItems is the symmetric cache capacity in objects (paper: 0.1%
 	// of the dataset = 250K).
 	CacheItems int
@@ -219,6 +231,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 1024
 	}
+	if c.PingInterval > 0 && c.PingTimeout == 0 {
+		c.PingTimeout = 6 * c.PingInterval
+	}
 	return c
 }
 
@@ -269,6 +284,21 @@ type Cluster struct {
 	mu     sync.Mutex
 	// reconfigMu serializes hot-set reconfigurations (reconfig.go).
 	reconfigMu sync.Mutex
+
+	// Membership (view.go): the epoch-stamped live-member view, swapped
+	// atomically on every change; viewMu serializes the transitions.
+	view   atomic.Pointer[View]
+	viewMu sync.Mutex
+	onView func(*View)
+	// killed marks a chaos-killed member: every fabric handler drops its
+	// traffic so peers' suspicion timers fire (Kill).
+	killed atomic.Bool
+	// Ping-based failure detector state (startProber).
+	lastPong     []atomic.Int64
+	probeStop    chan struct{}
+	probeStopped bool
+	probeMu      sync.Mutex
+	probeWG      sync.WaitGroup
 }
 
 // Node is one server: a KVS shard plus (for ccKVS) a symmetric cache,
@@ -402,6 +432,8 @@ func build(cfg Config, tr fabric.Transport, stats *fabric.Stats, self int) (*Clu
 	if ct, ok := tr.(interface{ SendCopiesData() bool }); ok {
 		c.trCopies = ct.SendCopiesData()
 	}
+	c.view.Store(&View{live: core.FullNodeSet(cfg.Nodes), n: cfg.Nodes})
+	c.lastPong = make([]atomic.Int64, cfg.Nodes)
 	c.nodes = make([]*Node, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		if c.member && i != self {
@@ -439,6 +471,12 @@ func build(cfg Config, tr fabric.Transport, stats *fabric.Stats, self int) (*Clu
 			n.start()
 		}
 	}
+	// The membership endpoint answers pings and applies gossiped view
+	// changes; one per process (in member form the local id, else node 0 —
+	// the full in-process form never changes views, every node shares this
+	// Cluster).
+	tr.Register(fabric.Addr{Node: c.localID(), Thread: threadView}, c.handleView)
+	c.startProber()
 	return c, nil
 }
 
@@ -470,27 +508,15 @@ func (c *Cluster) IsMember() bool { return c.member }
 // keys by hash, so the hottest keys scatter across shards. Every member of
 // a deployment computes the same placement (it depends only on Config.Nodes).
 func (c *Cluster) HomeNode(key uint64) int {
-	return int(zipf.Mix64(key^0x7f4a7c15) % uint64(c.cfg.Nodes))
+	return HomeOf(key, c.cfg.Nodes)
 }
 
-// PeerDown fails every RPC this process has pending toward peer. Transports
-// that can detect a dead peer (TCPTransport.SetPeerDownHandler) call it so
-// sessions blocked on a response that can no longer arrive fail immediately
-// instead of hanging; new calls toward the peer fail at send time. This
-// mirrors the cluster-shutdown guarantee for the remote-access/RPC path
-// only: consistency traffic (Lin ack waiters, broadcast credits) assumes
-// fixed membership, exactly like the paper's protocols — reconfiguring the
-// deployment around a dead member is future work (see ROADMAP).
-func (c *Cluster) PeerDown(peer uint8, cause error) {
-	err := fmt.Errorf("cluster: peer node %d down: %w", peer, cause)
-	for _, n := range c.nodes {
-		if n == nil {
-			continue
-		}
-		for _, wk := range n.workers {
-			wk.rpc.failPeer(peer, err)
-		}
-	}
+// HomeOf returns the home node of key in a deployment of nodes servers —
+// the same placement every member computes. Exported for external
+// orchestrators (cmd/cckvs-load) that must reason about key homes, e.g. to
+// pick survivor-homed keys for a chaos consistency check.
+func HomeOf(key uint64, nodes int) int {
+	return int(zipf.Mix64(key^0x7f4a7c15) % uint64(nodes))
 }
 
 // Close shuts the cluster down.
@@ -501,6 +527,7 @@ func (c *Cluster) Close() error {
 		return nil
 	}
 	c.closed = true
+	c.stopProber()
 	// Drain the request pipelines while the transport is still up: queued
 	// requests flush and their responses complete the waiting callers;
 	// anything enqueued from here on fails with ErrPipelineClosed instead
@@ -636,7 +663,7 @@ func (n *Node) start() {
 // handleFlowControl restores credits granted by a peer's credit update to
 // the budget of the worker whose bank thread the payload names.
 func (n *Node) handleFlowControl(p fabric.Packet) {
-	if len(p.Data) < 2 {
+	if n.cluster.killed.Load() || len(p.Data) < 2 {
 		return
 	}
 	th := p.Data[1]
@@ -653,7 +680,7 @@ func (n *Node) handleFlowControl(p fabric.Packet) {
 // message for a key lands on the same worker on every node.
 func (wk *worker) handleConsistency(p fabric.Packet) {
 	n := wk.node
-	if n.cache == nil {
+	if n.cache == nil || n.cluster.killed.Load() {
 		return
 	}
 	// Consistency messages consume receive buffers; note them toward the
@@ -699,17 +726,23 @@ func (n *Node) sendAck(to uint8, ack core.Ack) {
 }
 
 // broadcastConsistency sends one encoded consistency message for key to
-// every other node's cache thread for the key's worker, consuming one
-// credit per destination from that worker's budget.
+// every *live* node's cache thread for the key's worker, consuming one
+// credit per destination from that worker's budget. Dead peers are skipped
+// — no send, no credit — and a peer excised while the sender was blocked on
+// its exhausted budget wakes the sender with Acquire=false (the budget was
+// dropped by the view change), which also skips it.
 func (n *Node) broadcastConsistency(key uint64, class metrics.MsgClass, data []byte) {
 	wk := n.workerFor(key)
 	th := n.cluster.cfg.cacheThread(wk.idx)
+	view := n.cluster.view.Load()
 	for peer := 0; peer < n.cluster.cfg.Nodes; peer++ {
-		if peer == int(n.id) {
+		if peer == int(n.id) || !view.Live(peer) {
 			continue
 		}
 		dst := fabric.Addr{Node: uint8(peer), Thread: th}
-		wk.credits.Acquire(dst)
+		if !wk.credits.Acquire(dst) {
+			continue // peer left the view mid-wait
+		}
 		n.cluster.transport.Send(fabric.Packet{
 			Src:   fabric.Addr{Node: n.id, Thread: th},
 			Dst:   dst,
@@ -719,7 +752,12 @@ func (n *Node) broadcastConsistency(key uint64, class metrics.MsgClass, data []b
 	}
 }
 
-// completeLinWrite wakes the session blocked in Put.
+// completeLinWrite wakes the session blocked in Put. On a shrunken view it
+// additionally checks for an orphaned conflict-lost write: if this
+// completion lost to a winner that has since left the view, the winner's
+// update can never arrive, and the acknowledged staged value must be
+// re-driven through a fresh write (on its own goroutine — the re-publish
+// blocks on live acks, and this may be called under viewMu).
 func (n *Node) completeLinWrite(key uint64, upd core.Update) {
 	wk := n.workerFor(key)
 	wk.waitMu.Lock()
@@ -728,6 +766,11 @@ func (n *Node) completeLinWrite(key uint64, upd core.Update) {
 	wk.waitMu.Unlock()
 	if ch != nil {
 		ch <- upd
+	}
+	if v := n.cluster.view.Load(); v.LiveCount() < n.cluster.cfg.Nodes {
+		if u, ok := n.cache.TakeOrphanedLoserWrite(key); ok {
+			go func() { _ = n.Put(u.Key, u.Value) }()
+		}
 	}
 }
 

@@ -58,9 +58,16 @@ func (n *Node) cacheRead(key uint64) (value []byte, hit bool, err error) {
 	}
 }
 
+// homeDownErr names the dead home a failed-fast operation needed.
+func homeDownErr(home int, key uint64) error {
+	return fmt.Errorf("%w (key %d, home node %d)", ErrHomeDown, key, home)
+}
+
 // Get serves a client read arriving at this node (§6.1, "Reads"): probe the
 // symmetric cache; on a miss, access the local shard or issue a remote
-// access to the home node.
+// access to the home node. A miss for a key homed on a node outside the
+// membership view fails fast with ErrHomeDown instead of timing out — hot
+// keys keep serving from the symmetric cache whoever their home is.
 func (n *Node) Get(key uint64) ([]byte, error) {
 	if n.cache != nil {
 		v, hit, err := n.cacheRead(key)
@@ -78,6 +85,9 @@ func (n *Node) Get(key uint64) ([]byte, error) {
 		n.LocalOps.Add(1)
 		v, _, err := n.kvs.Get(key, nil)
 		return v, err
+	}
+	if !n.cluster.view.Load().Live(home) {
+		return nil, homeDownErr(home, key)
 	}
 	n.RemoteOps.Add(1)
 	v, _, err := n.RemoteGet(uint8(home), key)
@@ -101,6 +111,7 @@ type pendingOp struct {
 func (n *Node) MultiGet(keys []uint64) ([][]byte, error) {
 	out := make([][]byte, len(keys))
 	var pend []pendingOp
+	var firstErr error
 	for i, key := range keys {
 		if n.cache != nil {
 			v, hit, err := n.cacheRead(key)
@@ -125,11 +136,19 @@ func (n *Node) MultiGet(keys []uint64) ([][]byte, error) {
 			}
 			continue
 		}
+		if !n.cluster.view.Load().Live(home) {
+			// Dead-homed key: fail fast for this entry, still serve the rest
+			// of the batch (the batch contract reports the first error after
+			// everything settled).
+			if firstErr == nil {
+				firstErr = homeDownErr(home, key)
+			}
+			continue
+		}
 		n.RemoteOps.Add(1)
 		ch := n.workerFor(key).rpc.start(uint8(home), wireReq{op: rpcOpGet, key: key})
 		pend = append(pend, pendingOp{idx: i, ch: ch})
 	}
-	var firstErr error
 	for _, p := range pend {
 		res, err := awaitRPC(p.ch)
 		if err != nil {
@@ -166,6 +185,12 @@ func (n *Node) Put(key uint64, value []byte) error {
 			if !bounced {
 				return nil
 			}
+		} else if !n.cluster.view.Load().Live(home) {
+			// Cache miss for a dead-homed key: fail fast; the write can be
+			// retried once the home rejoins. (Hot keys never reach here —
+			// they commit through the cache protocol among the live
+			// replicas whoever their home is.)
+			return homeDownErr(home, key)
 		} else {
 			n.RemoteOps.Add(1)
 			err := n.RemotePut(uint8(home), key, value)
@@ -201,6 +226,7 @@ func (n *Node) localHomePut(key uint64, value []byte) (bounced bool) {
 // failure is returned after the batch settled.
 func (n *Node) MultiPut(keys []uint64, values [][]byte) error {
 	var pend []pendingOp
+	var firstErr error
 	for i, key := range keys {
 		done, err := n.putCached(key, values[i])
 		if err != nil {
@@ -221,11 +247,16 @@ func (n *Node) MultiPut(keys []uint64, values [][]byte) error {
 			}
 			continue
 		}
+		if !n.cluster.view.Load().Live(home) {
+			if firstErr == nil {
+				firstErr = homeDownErr(home, key)
+			}
+			continue
+		}
 		n.RemoteOps.Add(1)
 		ch := n.workerFor(key).rpc.start(uint8(home), wireReq{op: rpcOpPut, key: key, value: values[i]})
 		pend = append(pend, pendingOp{idx: i, ch: ch})
 	}
-	var firstErr error
 	for _, p := range pend {
 		res, err := awaitRPC(p.ch)
 		if err == nil && res.status == rpcStatusRetry {
@@ -389,6 +420,19 @@ func (n *Node) putLin(key uint64, value []byte) (bool, error) {
 		case nil:
 			n.CacheHits.Add(1)
 			n.broadcastConsistency(key, metrics.ClassInvalidate, inv.Encode(nil))
+			// A view flip may have excised a counted peer between the
+			// write's live-set snapshot and the broadcast — or this node may
+			// be the only live member — in which case no further ack will
+			// arrive; re-run the completion check so the write can never
+			// wait on a peer that is gone. Guarded by one atomic view load:
+			// at full membership (the common case) no recheck — and no
+			// second entry-lock acquisition — is needed, and flips after
+			// this point are covered by Cache.SetLive's scan.
+			if v := n.cluster.view.Load(); v.LiveCount() < n.cluster.cfg.Nodes {
+				if upd, done := n.cache.RecheckPending(key); done {
+					n.completeLinWrite(key, upd)
+				}
+			}
 			// Block until the last ack completes the write (§5.2: "writes
 			// are synchronous").
 			upd := <-ch

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/fabric"
@@ -141,8 +142,16 @@ func (pl *pipeline) sender(home uint8, q chan wireReq) {
 				break collect // pipeline drained: flush now, never wait
 			}
 		}
-		// One credit per packet (§6.3): the batched response restores it.
-		w.credits.Acquire(kvsAddr)
+		// One credit per packet (§6.3): the batched response restores it. A
+		// failed acquire means home left the membership view (its budget was
+		// dropped by the view change): fail the whole batch — this is what
+		// fails requests *queued* toward a dead peer, not just the in-flight
+		// ones rpcClient.failPeer catches — and keep draining; the queue may
+		// still hold requests enqueued before the flip.
+		if !w.credits.Acquire(kvsAddr) {
+			w.rpc.fail(ids, fmt.Errorf("cluster: request for node %d dropped (%w)", home, ErrNodeDown))
+			continue
+		}
 		err := n.cluster.transport.Send(fabric.Packet{
 			Src:   srcAddr,
 			Dst:   kvsAddr,

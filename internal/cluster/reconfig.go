@@ -127,7 +127,11 @@ func (c *Cluster) viaNode(via int) (*Node, error) {
 }
 
 // applyDelta runs the demotion then promotion phases; the caller holds
-// reconfigMu.
+// reconfigMu. Keys homed on a node outside the membership view are dropped
+// from the delta: a dead home can neither serve a promotion's fetch nor
+// accept a demotion's write-back, so such keys keep their current placement
+// — notably, hot keys homed on a dead node stay cached and keep serving —
+// until the node rejoins.
 func (c *Cluster) applyDelta(via int, promote, demote []uint64) (DeltaStats, error) {
 	var st DeltaStats
 	if c.cfg.System != CCKVS || (len(promote) == 0 && len(demote) == 0) {
@@ -137,6 +141,11 @@ func (c *Cluster) applyDelta(via int, promote, demote []uint64) (DeltaStats, err
 	if err != nil {
 		return st, err
 	}
+	view := c.view.Load()
+	if view.LiveCount() < c.cfg.Nodes {
+		promote = c.liveHomedKeys(view, promote)
+		demote = c.liveHomedKeys(view, demote)
+	}
 	if err := n.demoteKeys(demote, &st); err != nil {
 		return st, err
 	}
@@ -144,6 +153,17 @@ func (c *Cluster) applyDelta(via int, promote, demote []uint64) (DeltaStats, err
 		return st, err
 	}
 	return st, nil
+}
+
+// liveHomedKeys filters keys down to those whose home node is in the view.
+func (c *Cluster) liveHomedKeys(view *View, keys []uint64) []uint64 {
+	kept := make([]uint64, 0, len(keys))
+	for _, k := range keys {
+		if view.Live(c.HomeNode(k)) {
+			kept = append(kept, k)
+		}
+	}
+	return kept
 }
 
 // HotKeys returns the currently installed hot-set keys (the local node's
@@ -155,11 +175,16 @@ func (c *Cluster) HotKeys() []uint64 {
 	return c.LocalNode().cache.Keys()
 }
 
-// peerIDs lists every other node of the deployment (present or remote).
+// peerIDs lists every other *live* node of the deployment (present or
+// remote): reconfiguration phases run against the membership view, so an
+// epoch change completes even while a member is down — its cache rejoins
+// empty and is reinstalled by the next hot-set install (README "Failure
+// model").
 func (n *Node) peerIDs() []uint8 {
+	view := n.cluster.view.Load()
 	peers := make([]uint8, 0, n.cluster.cfg.Nodes-1)
 	for i := 0; i < n.cluster.cfg.Nodes; i++ {
-		if uint8(i) != n.id {
+		if uint8(i) != n.id && view.Live(i) {
 			peers = append(peers, uint8(i))
 		}
 	}

@@ -286,6 +286,9 @@ func (r *rpcClient) handleResponse(p fabric.Packet) {
 	// responses it coalesces. The credit belongs to this worker's budget
 	// toward the answering peer's KVS thread.
 	n := r.w.node
+	if n.cluster.killed.Load() {
+		return
+	}
 	n.cluster.cfg.grantKVS(r.w, p.Src.Node)
 	buf := p.Data
 	for len(buf) >= 9 {
@@ -591,6 +594,9 @@ var (
 // a request served by bank member w completes on the requester's bank
 // member w — the two sides' stripes stay aligned.
 func (n *Node) handleKVSRequest(p fabric.Packet) {
+	if n.cluster.killed.Load() {
+		return // a dead process answers nothing; the sender's view change fails the call
+	}
 	buf := p.Data
 	scratch := scratchPool.Get().(*srvBuf)
 	var pooled *srvBuf

@@ -37,6 +37,8 @@ import (
 //	  ok refresh: promoted(4) demoted(4) writebacks(4)
 //	  ok stats:   hits(8) misses(8) local(8) remote(8) hot(8) frozenRetries(8)
 //	  error:      vlen(4) message
+//	  home-down:  -                 — the key's home node left the membership
+//	                                  view; fail fast, retry after rejoin
 const (
 	sessOpGet     byte = 0
 	sessOpPut     byte = 1
@@ -48,6 +50,11 @@ const (
 	sessStatusNotFound byte = 1
 	sessStatusBad      byte = 2
 	sessStatusErr      byte = 3
+	// sessStatusHomeDown answers operations on keys whose home node is
+	// outside the current membership view: the client surfaces it as the
+	// typed ErrHomeDown (fail fast, retry after the node rejoins) instead of
+	// a generic error string.
+	sessStatusHomeDown byte = 4
 )
 
 const sessHeader = 1 + 8
@@ -56,6 +63,9 @@ const sessHeader = 1 + 8
 // request is what lets a single client connection keep many blocking
 // operations in flight.
 func (n *Node) handleSession(p fabric.Packet) {
+	if n.cluster.killed.Load() {
+		return // a dead process answers nothing; the client's timeout cleans up
+	}
 	if len(p.Data) < sessHeader {
 		return // not even a request id to answer; drop (datagram semantics)
 	}
@@ -87,6 +97,8 @@ func (n *Node) serveSession(p fabric.Packet) {
 			resp = append(resp, v...)
 		case errors.Is(err, store.ErrNotFound):
 			resp = append(resp, sessStatusNotFound)
+		case errors.Is(err, ErrHomeDown):
+			resp = append(resp, sessStatusHomeDown)
 		default:
 			resp = appendSessError(resp, err)
 		}
@@ -104,10 +116,13 @@ func (n *Node) serveSession(p fabric.Packet) {
 		// The value aliases the packet buffer; copy before it escapes into
 		// the store or the consistency broadcast.
 		val := append([]byte(nil), body[12:12+vlen]...)
-		if err := n.Put(key, val); err != nil {
-			resp = appendSessError(resp, err)
-		} else {
+		switch err := n.Put(key, val); {
+		case err == nil:
 			resp = append(resp, sessStatusOK)
+		case errors.Is(err, ErrHomeDown):
+			resp = append(resp, sessStatusHomeDown)
+		default:
+			resp = appendSessError(resp, err)
 		}
 	case sessOpPing:
 		resp = append(resp, sessStatusOK)

@@ -1,0 +1,419 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+)
+
+// Membership views: the cluster-wide answer to "who is alive", threaded
+// through every layer that used to assume fixed membership.
+//
+// A View is an epoch-stamped live-member set. Node failure enters the system
+// as a transport-level signal — a broken TCP connection
+// (fabric.TCPTransport.SetPeerDownHandler) or ping-based suspicion (the
+// prober below, which also covers in-process transports, where nothing
+// "breaks" when a member dies) — and PeerDown promotes it into a view
+// change:
+//
+//   - the view's epoch advances and the peer leaves the live set;
+//   - every RPC pending toward the peer fails (rpcClient.failPeer), and the
+//     requests still queued in the coalescing pipeline fail when their
+//     sender finds the credit budget gone;
+//   - the per-worker credit budgets toward the peer are dropped
+//     (fabric.Credits.Drop) — outstanding credits are destroyed with the
+//     budget, blocked senders wake and skip the peer;
+//   - the symmetric cache recomputes every outstanding Lin write's required
+//     ack set against the new view (core.Cache.SetLive) and the writes whose
+//     remaining required acks are already in complete immediately, waking
+//     their blocked sessions;
+//   - SC/Lin broadcast fan-out shrinks to the live view
+//     (broadcastConsistency checks it per peer);
+//   - operations on keys homed on the dead node fail fast with ErrHomeDown
+//     at the session layer instead of timing out;
+//   - the new view is gossiped to the surviving peers (one change packet per
+//     live peer, re-forwarded only by receivers whose view it changed), so a
+//     failure detected by one survivor reaches all of them.
+//
+// Rejoin is the mirror image: the prober keeps pinging down peers, and a
+// pong from one (a restarted process, or a false suspicion healing) brings
+// it back — budgets re-armed, view re-grown, home-down errors clear. The
+// rejoined node's shard holds whatever it re-populated and its cache is
+// empty until the next hot-set install; see README "Failure model".
+
+// View is one epoch of the membership. Views are immutable; the cluster
+// swaps a fresh pointer on every change.
+type View struct {
+	// Epoch counts local view changes (monotonic per process; epochs are not
+	// globally agreed — the live set converges via gossip, the epoch is an
+	// observability handle).
+	Epoch uint64
+	live  core.NodeSet
+	n     int
+}
+
+// Live reports whether node is in the view's live set.
+func (v *View) Live(node int) bool {
+	return node >= 0 && node < v.n && v.live.Has(uint8(node))
+}
+
+// LiveCount returns the number of live members.
+func (v *View) LiveCount() int { return v.live.Count() }
+
+// LiveSet returns the live-member bitset.
+func (v *View) LiveSet() core.NodeSet { return v.live }
+
+// Down lists the excised node ids in ascending order.
+func (v *View) Down() []int {
+	var down []int
+	for i := 0; i < v.n; i++ {
+		if !v.live.Has(uint8(i)) {
+			down = append(down, i)
+		}
+	}
+	return down
+}
+
+// View returns the current membership view.
+func (c *Cluster) View() *View { return c.view.Load() }
+
+// SetViewHandler installs a callback invoked after every applied view change
+// (observability: cckvs-node logs flips). Set before traffic starts.
+func (c *Cluster) SetViewHandler(f func(*View)) {
+	c.viewMu.Lock()
+	c.onView = f
+	c.viewMu.Unlock()
+}
+
+// ErrNodeDown reports that an operation's target node is outside the current
+// membership view (or was excised while the operation was in flight).
+var ErrNodeDown = errors.New("cluster: node outside the membership view")
+
+// ErrHomeDown reports that a key's home node is outside the current
+// membership view: the key cannot be served until the node rejoins. It wraps
+// ErrNodeDown. The session layer gives it a dedicated wire status so
+// cluster.Client surfaces it typed.
+var ErrHomeDown = fmt.Errorf("key's home %w", ErrNodeDown)
+
+// errGossipDown is the cause recorded for failures learned from a peer's
+// view-change message rather than local detection.
+var errGossipDown = errors.New("reported down by peer view change")
+
+// PeerDown promotes a transport-level failure signal into a cluster-wide
+// membership view change: peer leaves the live view, every layer holding
+// per-peer state is reconfigured — pending AND queued RPCs toward the peer
+// fail, its credit budgets are dropped (blocked senders wake), Lin ack
+// waiters recompute their required ack set and complete when satisfied,
+// session operations on keys homed there start failing fast with ErrHomeDown
+// — and the new view is gossiped to the surviving peers. Transports that can
+// detect a dead peer (TCPTransport.SetPeerDownHandler) call it directly; the
+// ping prober calls it on suspicion timeout. Idempotent: a peer already out
+// of the view is a no-op.
+func (c *Cluster) PeerDown(peer uint8, cause error) {
+	c.applyDown(peer, cause, true)
+}
+
+// applyDown performs the view flip and its side effects; gossip controls
+// whether the change is forwarded to the live peers (true for local
+// detection and for changes that moved our view — dampening comes from the
+// idempotence check, so gossip storms die after one round). The side
+// effects run under viewMu: two concurrent transitions (prober vs TCP
+// handler, down vs up) must apply their SetLive/budget changes in the same
+// order they swapped the view pointer, or the consistency layer's live set
+// and the budgets drift permanently out of sync with the cluster view.
+// Everything done under the lock is non-blocking (buffered completion
+// channels, short entry spinlocks); blocking work (the resurrection writes,
+// gossip sends) happens after release.
+func (c *Cluster) applyDown(peer uint8, cause error, gossip bool) {
+	if int(peer) >= c.cfg.Nodes {
+		return // ephemeral session clients are not members
+	}
+	if c.member && int(peer) == c.self {
+		return // we are evidently alive
+	}
+	c.viewMu.Lock()
+	v := c.view.Load()
+	if !v.Live(int(peer)) {
+		c.viewMu.Unlock()
+		return
+	}
+	nv := &View{Epoch: v.Epoch + 1, live: v.live.Without(peer), n: v.n}
+	c.view.Store(nv)
+
+	if cause == nil {
+		cause = errors.New("unspecified cause")
+	}
+	err := fmt.Errorf("cluster: peer node %d down (%w): %v", peer, ErrNodeDown, cause)
+	var resurrect []resurrectWrite
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		for _, wk := range n.workers {
+			// Dropping the budgets first wakes senders blocked on credits the
+			// dead peer can never return; failPeer then completes the calls
+			// already on the wire.
+			wk.credits.Drop(fabric.Addr{Node: peer, Thread: c.cfg.cacheThread(wk.idx)})
+			wk.credits.Drop(fabric.Addr{Node: peer, Thread: c.cfg.kvsThread(wk.idx)})
+			wk.rpc.failPeer(peer, err)
+		}
+		if n.cache != nil {
+			// Lin ack waiters counting the dead peer: complete every write
+			// whose remaining required acks are in and wake its session.
+			for _, upd := range n.cache.SetLive(nv.live) {
+				n.completeLinWrite(upd.Key, upd)
+			}
+			// Entries the dead peer's own in-flight write left Invalid can
+			// never receive their update; re-validate them so readers do not
+			// spin on a state only the dead writer could clear. Healed keys
+			// holding a local acknowledged-but-superseded write must be
+			// re-published — discarding them would lose a write whose client
+			// was told it succeeded.
+			_, orphans := n.cache.DiscardOrphanedInvalidations(peer)
+			for _, u := range orphans {
+				resurrect = append(resurrect, resurrectWrite{n: n, key: u.Key, value: u.Value})
+			}
+		}
+	}
+	onView := c.onView
+	c.viewMu.Unlock()
+
+	for _, r := range resurrect {
+		// Full write protocol on its own goroutine (a Lin re-publish blocks
+		// on the live replicas' acks): the fresh timestamp dominates the
+		// dead winner's, so every replica re-converges on the acknowledged
+		// value.
+		r := r
+		go func() { _ = r.n.Put(r.key, r.value) }()
+	}
+	if gossip {
+		c.broadcastView(peer)
+	}
+	if onView != nil {
+		onView(nv)
+	}
+}
+
+// resurrectWrite is an acknowledged-but-superseded local write whose winner
+// died unpublished; it is re-driven through the normal write path.
+type resurrectWrite struct {
+	n     *Node
+	key   uint64
+	value []byte
+}
+
+// PeerUp returns a previously excised peer to the live view — the rejoin
+// path, driven by the prober when a down peer answers a ping again (a
+// restarted process, or a false suspicion healing). Credit budgets are
+// re-armed and the consistency layer's live set grows; in-flight Lin writes
+// are unaffected (a joining peer received no invalidation, so it is never
+// added to their requirements). Idempotent.
+func (c *Cluster) PeerUp(peer uint8) {
+	if int(peer) >= c.cfg.Nodes {
+		return
+	}
+	c.viewMu.Lock()
+	v := c.view.Load()
+	if v.Live(int(peer)) {
+		c.viewMu.Unlock()
+		return
+	}
+	nv := &View{Epoch: v.Epoch + 1, live: v.live.With(peer), n: v.n}
+	c.view.Store(nv)
+	// Side effects under viewMu, like applyDown: a rejoin racing an excision
+	// must not re-arm budgets before (or after) the wrong SetLive.
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		for _, wk := range n.workers {
+			wk.credits.SetBudget(fabric.Addr{Node: peer, Thread: c.cfg.cacheThread(wk.idx)}, c.cfg.CreditsPerPeer)
+			wk.credits.SetBudget(fabric.Addr{Node: peer, Thread: c.cfg.kvsThread(wk.idx)}, c.cfg.CreditsPerPeer)
+		}
+		if n.cache != nil {
+			n.cache.SetLive(nv.live)
+		}
+	}
+	onView := c.onView
+	c.viewMu.Unlock()
+	if onView != nil {
+		onView(nv)
+	}
+}
+
+// Kill models this member's process dying abruptly (chaos tests on
+// in-process transports, where no connection breaks when a member goes): the
+// member stops answering every fabric message — consistency traffic, KVS
+// requests, session requests, pings — so its peers' suspicion timers fire.
+// Local callers with operations in flight are treated like threads of a dead
+// process: pending RPCs fail, but a session blocked mid-protocol may never
+// return. Member form only; Close still tears the transport down afterwards.
+func (c *Cluster) Kill() {
+	if c.killed.Swap(true) {
+		return
+	}
+	c.stopProber()
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		for _, wk := range n.workers {
+			// Drop every credit budget FIRST: once killed, the handlers
+			// discard the responses and credit updates that would otherwise
+			// wake a sender blocked in Acquire — and pipe.close() below
+			// waits for exactly those senders, so skipping this deadlocks
+			// the kill.
+			for peer := 0; peer < c.cfg.Nodes; peer++ {
+				if peer == int(n.id) {
+					continue
+				}
+				wk.credits.Drop(fabric.Addr{Node: uint8(peer), Thread: c.cfg.cacheThread(wk.idx)})
+				wk.credits.Drop(fabric.Addr{Node: uint8(peer), Thread: c.cfg.kvsThread(wk.idx)})
+			}
+			wk.pipe.close()
+			wk.rpc.failAll(fmt.Errorf("cluster: member killed (%w)", ErrNodeDown))
+		}
+	}
+}
+
+// Killed reports whether Kill was called (test hook).
+func (c *Cluster) Killed() bool { return c.killed.Load() }
+
+// The view wire protocol, on the dedicated threadView endpoint:
+//
+//	ping:   op(1)=0          — answered with a pong (liveness probe)
+//	pong:   op(1)=1          — records the sender as alive
+//	change: op(1)=2 peer(1)  — one NEWLY-excised member (a delta, not the
+//	                           sender's absolute down-set: an absolute set
+//	                           would replay stale membership — a survivor
+//	                           that had not yet re-admitted a rejoined peer
+//	                           would re-excise it cluster-wide with every
+//	                           later gossip). Receivers whose view the delta
+//	                           moves forward it once; already-known deltas
+//	                           are dropped, so storms die after one round.
+const (
+	viewMsgPing   byte = 0
+	viewMsgPong   byte = 1
+	viewMsgChange byte = 2
+)
+
+// handleView serves the membership endpoint. A killed member drops
+// everything — that silence is exactly what its peers' suspicion detects.
+func (c *Cluster) handleView(p fabric.Packet) {
+	if c.killed.Load() || len(p.Data) < 1 {
+		return
+	}
+	switch p.Data[0] {
+	case viewMsgPing:
+		_ = c.transport.Send(fabric.Packet{
+			Src:   fabric.Addr{Node: c.localID(), Thread: threadView},
+			Dst:   fabric.Addr{Node: p.Src.Node, Thread: threadView},
+			Class: metrics.ClassFlowControl,
+			Data:  []byte{viewMsgPong},
+		})
+	case viewMsgPong:
+		peer := int(p.Src.Node)
+		if peer < len(c.lastPong) {
+			c.lastPong[peer].Store(time.Now().UnixNano())
+			if !c.view.Load().Live(peer) {
+				c.PeerUp(p.Src.Node)
+			}
+		}
+	case viewMsgChange:
+		if len(p.Data) < 2 {
+			return
+		}
+		// Forwarding (gossip=true) propagates asymmetric detection;
+		// receivers that already knew apply nothing and forward nothing, so
+		// the storm dies after one round.
+		c.applyDown(p.Data[1], errGossipDown, true)
+	}
+}
+
+// broadcastView tells every live peer that `downed` just left the view.
+func (c *Cluster) broadcastView(downed uint8) {
+	v := c.view.Load()
+	data := []byte{viewMsgChange, downed}
+	self := c.localID()
+	for peer := 0; peer < c.cfg.Nodes; peer++ {
+		if peer == int(self) || !v.Live(peer) {
+			continue
+		}
+		_ = c.transport.Send(fabric.Packet{
+			Src:   fabric.Addr{Node: self, Thread: threadView},
+			Dst:   fabric.Addr{Node: uint8(peer), Thread: threadView},
+			Class: metrics.ClassFlowControl,
+			Data:  data,
+		})
+	}
+}
+
+// localID returns the fabric node id view traffic originates from.
+func (c *Cluster) localID() uint8 {
+	if c.member {
+		return uint8(c.self)
+	}
+	return 0
+}
+
+// startProber launches the ping-based failure detector (member form, when
+// Config.PingInterval > 0): every interval it pings each peer — including
+// down ones, which is what detects rejoin — and excises any live peer whose
+// last pong is older than Config.PingTimeout.
+func (c *Cluster) startProber() {
+	if !c.member || c.cfg.PingInterval <= 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	for i := range c.lastPong {
+		c.lastPong[i].Store(now) // grace period: nobody is suspect at start
+	}
+	c.probeStop = make(chan struct{})
+	c.probeWG.Add(1)
+	go func() {
+		defer c.probeWG.Done()
+		tick := time.NewTicker(c.cfg.PingInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.probeStop:
+				return
+			case <-tick.C:
+			}
+			if c.killed.Load() {
+				continue
+			}
+			self := c.localID()
+			deadline := time.Now().Add(-c.cfg.PingTimeout).UnixNano()
+			for peer := 0; peer < c.cfg.Nodes; peer++ {
+				if peer == int(self) {
+					continue
+				}
+				_ = c.transport.Send(fabric.Packet{
+					Src:   fabric.Addr{Node: self, Thread: threadView},
+					Dst:   fabric.Addr{Node: uint8(peer), Thread: threadView},
+					Class: metrics.ClassFlowControl,
+					Data:  []byte{viewMsgPing},
+				})
+				if c.view.Load().Live(peer) && c.lastPong[peer].Load() < deadline {
+					c.PeerDown(uint8(peer), fmt.Errorf("no pong for %v (ping suspicion)", c.cfg.PingTimeout))
+				}
+			}
+		}
+	}()
+}
+
+// stopProber halts the failure detector; safe to call twice.
+func (c *Cluster) stopProber() {
+	c.probeMu.Lock()
+	if c.probeStop != nil && !c.probeStopped {
+		c.probeStopped = true
+		close(c.probeStop)
+	}
+	c.probeMu.Unlock()
+	c.probeWG.Wait()
+}

@@ -87,12 +87,28 @@ type entry struct {
 	// post-demotion writes.
 	installing bool
 
-	// Lin per-writer bookkeeping for this node's outstanding write.
+	// Lin per-writer bookkeeping for this node's outstanding write. The ack
+	// accounting is set-based, not a counter: pendWait records which peers
+	// were counted when the write started (the live view minus this node),
+	// ackFrom records which peers have acknowledged. The write completes when
+	// ackFrom covers pendWait intersected with the *current* live view — so a
+	// counted peer that dies mid-write stops being required (SetLive wakes the
+	// writer), a peer that joins mid-write is never required (it got no
+	// invalidation), and a duplicated ack cannot double-count.
 	pendActive bool
 	pendTS     timestamp.TS
 	pendVlen   int
 	pendVal    []byte
-	acks       int
+	pendWait   NodeSet
+	ackFrom    NodeSet
+	// pendSuperseded marks a write that completed conflict-lost: its client
+	// was told success, but a concurrent higher-timestamped write won and
+	// the staged value was never published — the winner's update carries the
+	// final value. Cleared when that update lands or a newer local write
+	// starts. If the winner dies unpublished, the healed entry's staged
+	// value must be re-published (DiscardOrphanedInvalidations), or an
+	// acknowledged write would vanish from every replica.
+	pendSuperseded bool
 }
 
 // table is an immutable key set with mutable entries. A new table is
@@ -124,7 +140,11 @@ type Cache struct {
 	nodeID   uint8
 	numNodes int
 	table    atomic.Pointer[table]
-	stats    Stats
+	// live is the membership view the protocols count against: Lin writes
+	// require acks only from live peers, and SetLive re-examines outstanding
+	// writes when the view shrinks. Initially all numNodes nodes are live.
+	live  atomic.Pointer[NodeSet]
+	stats Stats
 	// reconfMu serializes table swaps (Install/Add/Remove). Reads and the
 	// protocol paths never take it.
 	reconfMu sync.Mutex
@@ -137,6 +157,8 @@ func NewCache(nodeID uint8, numNodes int) *Cache {
 	}
 	c := &Cache{nodeID: nodeID, numNodes: numNodes}
 	c.table.Store(&table{m: map[uint64]*entry{}})
+	full := FullNodeSet(numNodes)
+	c.live.Store(&full)
 	return c
 }
 

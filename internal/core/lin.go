@@ -58,7 +58,11 @@ func (c *Cache) WriteLinStart(key uint64, value []byte) (Invalidation, error) {
 	copy(e.pendVal[:len(value)], value)
 	e.pendVlen = len(value)
 	e.pendActive = true
-	e.acks = 0
+	e.pendSuperseded = false // the new write supersedes any lost predecessor
+	// Count only the peers live right now: the invalidation broadcast that
+	// follows reaches exactly those, so they are exactly the acks to wait for.
+	e.pendWait = c.live.Load().Without(c.nodeID)
+	e.ackFrom = NodeSet{}
 	if e.state == StateValid {
 		e.state = StateWrite
 	}
@@ -85,7 +89,18 @@ func (c *Cache) ApplyInvalidation(inv Invalidation) (Ack, bool) {
 	}
 	invalidated := false
 	e.lock.Lock()
-	if inv.TS.After(e.ts) {
+	// The dead-writer check runs under e.lock, AFTER the lock is acquired:
+	// a writer outside our membership view can never publish its update
+	// (broadcasts exclude it both ways), so invalidating would wedge local
+	// readers on a state only that update could clear — an in-flight
+	// invalidation racing the writer's excision must not re-open the window
+	// DiscardOrphanedInvalidations closed. The excision scan takes this same
+	// entry lock after storing the shrunken live set, so whichever side runs
+	// second sees the other's effect: the scan heals an already-applied
+	// invalidation, and a post-scan invalidation sees the writer dead and
+	// skips. Still acked either way, in case the suspicion was false and the
+	// writer is counting.
+	if c.live.Load().Has(inv.From) && inv.TS.After(e.ts) {
 		e.ts = inv.TS
 		e.state = StateInvalid
 		invalidated = true
@@ -95,11 +110,11 @@ func (c *Cache) ApplyInvalidation(inv Invalidation) (Ack, bool) {
 }
 
 // ApplyAck records an acknowledgement for this node's outstanding write.
-// When the last of the N-1 acks arrives, the write completes: the staged
-// value is applied locally if its timestamp is still the highest observed
-// (otherwise a concurrent writer won the race and its update will carry the
-// final value), the entry returns to Valid when appropriate, and the Update
-// to broadcast is returned with done=true.
+// When acks cover every counted peer still in the live view, the write
+// completes: the staged value is applied locally if its timestamp is still
+// the highest observed (otherwise a concurrent writer won the race and its
+// update will carry the final value), the entry returns to Valid when
+// appropriate, and the Update to broadcast is returned with done=true.
 func (c *Cache) ApplyAck(a Ack) (Update, bool) {
 	e, ok := c.table.Load().m[a.Key]
 	if !ok {
@@ -111,32 +126,168 @@ func (c *Cache) ApplyAck(a Ack) (Update, bool) {
 	done := false
 	e.lock.Lock()
 	if e.pendActive && a.TS == e.pendTS {
-		e.acks++
-		if e.acks >= c.numNodes-1 {
+		e.ackFrom = e.ackFrom.With(a.From)
+		if c.pendingSatisfiedLocked(e) {
 			done = true
-			e.pendActive = false
-			if e.ts == e.pendTS {
-				// Our write is still the latest this replica has seen:
-				// perform it locally and publish.
-				e.setValueLocked(e.pendVal[:e.pendVlen])
-				e.dirty = true
-				e.state = StateValid
-			} else {
-				// A concurrent write with a higher timestamp invalidated
-				// us; our value is superseded before ever becoming
-				// visible. The entry stays Invalid awaiting the winner's
-				// update.
-				c.stats.WriteConflictsLost.Add(1)
-			}
-			out = Update{
-				Key:   a.Key,
-				TS:    a.TS,
-				Value: append([]byte(nil), e.pendVal[:e.pendVlen]...),
-			}
+			out = c.finishPendingLocked(e, a.Key)
 		}
 	}
 	e.lock.Unlock()
 	return out, done
+}
+
+// pendingSatisfiedLocked reports whether e's outstanding write has gathered
+// acks from every still-required peer. The requirement prunes *permanently*:
+// a counted peer found outside the live view at any evaluation is removed
+// from pendWait and never re-required — even if it later rejoins, it
+// received no invalidation, so re-requiring its ack would deadlock the
+// writer across an excise/rejoin flap. (SetLive evaluates every outstanding
+// write when the view shrinks, so the prune always happens while the peer is
+// out.) Called with e.lock held.
+func (c *Cache) pendingSatisfiedLocked(e *entry) bool {
+	e.pendWait = e.pendWait.Intersect(*c.live.Load())
+	return e.ackFrom.Contains(e.pendWait)
+}
+
+// finishPendingLocked completes e's outstanding write and returns the Update
+// to broadcast. Called with e.lock held and pendActive true.
+func (c *Cache) finishPendingLocked(e *entry, key uint64) Update {
+	e.pendActive = false
+	if e.ts == e.pendTS {
+		// Our write is still the latest this replica has seen: perform it
+		// locally and publish.
+		e.setValueLocked(e.pendVal[:e.pendVlen])
+		e.dirty = true
+		e.state = StateValid
+	} else {
+		// A concurrent write with a higher timestamp invalidated us; our
+		// value is superseded before ever becoming visible. The entry stays
+		// Invalid awaiting the winner's update — but the client is told
+		// success, so the staged value must survive until that update lands
+		// (pendSuperseded: if the winner dies unpublished, it re-publishes).
+		e.pendSuperseded = true
+		c.stats.WriteConflictsLost.Add(1)
+	}
+	return Update{
+		Key:   key,
+		TS:    e.pendTS,
+		Value: append([]byte(nil), e.pendVal[:e.pendVlen]...),
+	}
+}
+
+// RecheckPending re-runs the completion check for key's outstanding write
+// against the current live view, as if a (virtual) ack had arrived. Writers
+// call it after broadcasting their invalidations: if the live view shrank
+// between the write's start and its broadcast — or the writer is the only
+// live member — no further ack may ever arrive, and this is what completes
+// the write instead.
+func (c *Cache) RecheckPending(key uint64) (Update, bool) {
+	e, ok := c.table.Load().m[key]
+	if !ok {
+		return Update{}, false
+	}
+	var out Update
+	done := false
+	e.lock.Lock()
+	if e.pendActive && c.pendingSatisfiedLocked(e) {
+		done = true
+		out = c.finishPendingLocked(e, key)
+	}
+	e.lock.Unlock()
+	return out, done
+}
+
+// SetLive installs a new membership view and re-examines every outstanding
+// Lin write against it: a write that was waiting on a peer no longer in the
+// view completes the moment its remaining required acks are all in. The
+// completed updates are returned so the caller can wake the blocked writers
+// and broadcast — exactly what ApplyAck's done=true hands it on the normal
+// path. Growing the view never completes anything (a joining peer was not
+// counted by in-flight writes and is not added to their requirements).
+func (c *Cache) SetLive(live NodeSet) []Update {
+	c.live.Store(&live)
+	var completed []Update
+	for key, e := range c.table.Load().m {
+		e.lock.Lock()
+		if e.pendActive && c.pendingSatisfiedLocked(e) {
+			completed = append(completed, c.finishPendingLocked(e, key))
+		}
+		e.lock.Unlock()
+	}
+	return completed
+}
+
+// Live returns the membership view the protocols currently count against.
+func (c *Cache) Live() NodeSet { return *c.live.Load() }
+
+// TakeOrphanedLoserWrite returns the staged value of a completed
+// conflict-lost write whose superseding winner has left the live view: the
+// winner can never publish the update that was supposed to carry the final
+// value, so the caller must re-drive this acknowledged value through a
+// fresh write. Completion paths call it after every conflict-capable
+// completion — DiscardOrphanedInvalidations only covers writes that were
+// already conflict-lost when the view flipped; a write whose final ack
+// lands after the flip reaches this instead. The flag clears so the value
+// is taken exactly once; a live winner (flag kept) means the update is
+// still coming and nothing is taken.
+func (c *Cache) TakeOrphanedLoserWrite(key uint64) (Update, bool) {
+	e, ok := c.table.Load().m[key]
+	if !ok {
+		return Update{}, false
+	}
+	e.lock.Lock()
+	defer e.lock.Unlock()
+	if e.pendActive || !e.pendSuperseded || c.live.Load().Has(e.ts.Writer) {
+		return Update{}, false
+	}
+	e.pendSuperseded = false
+	// The dead winner's invalidation can no longer be cleared by its
+	// update; re-validate so the re-publish (and readers) are not wedged.
+	if e.state == StateInvalid {
+		e.state = StateValid
+	}
+	return Update{
+		Key:   key,
+		TS:    e.pendTS,
+		Value: append([]byte(nil), e.pendVal[:e.pendVlen]...),
+	}, true
+}
+
+// DiscardOrphanedInvalidations re-validates every entry left Invalid by an
+// in-flight write of the given (newly excised) writer: the matching update
+// can never arrive — the writer is gone and broadcasts exclude it — so
+// without this, readers of those hot keys would spin on ErrInvalid until
+// some client happened to rewrite the key. The pre-invalidation value
+// becomes readable again: the orphaned write was never acknowledged to the
+// dead writer's client, so discarding it is within the Lin contract.
+//
+// Healed entries holding a conflict-lost local write (pendSuperseded: this
+// node's client WAS told success, and the dead winner was supposed to carry
+// the final value) are returned in resurrect — the caller must re-drive each
+// through the full write protocol so the acknowledged value reaches every
+// replica with a fresh dominating timestamp. If the orphan's update reached
+// a subset of replicas before the death, replicas diverge on that key until
+// the next write (whose strictly higher timestamp re-converges every copy)
+// — an accepted recovery window; see ROADMAP for the full per-key recovery
+// round.
+func (c *Cache) DiscardOrphanedInvalidations(writer uint8) (healed int, resurrect []Update) {
+	for key, e := range c.table.Load().m {
+		e.lock.Lock()
+		if e.state == StateInvalid && e.ts.Writer == writer {
+			e.state = StateValid
+			healed++
+			if e.pendSuperseded {
+				e.pendSuperseded = false
+				resurrect = append(resurrect, Update{
+					Key:   key,
+					TS:    e.pendTS,
+					Value: append([]byte(nil), e.pendVal[:e.pendVlen]...),
+				})
+			}
+		}
+		e.lock.Unlock()
+	}
+	return healed, resurrect
 }
 
 // ApplyUpdateLin applies a received Lin update: the value is installed only
@@ -156,6 +307,9 @@ func (c *Cache) ApplyUpdateLin(u Update) bool {
 		e.setValueLocked(u.Value)
 		e.dirty = true
 		e.state = StateValid
+		// The winner published: a conflict-lost local write is now correctly
+		// "applied then overwritten" — nothing left to resurrect.
+		e.pendSuperseded = false
 		applied = true
 	}
 	e.lock.Unlock()

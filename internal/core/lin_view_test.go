@@ -1,0 +1,297 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/timestamp"
+)
+
+// A Lin write counting a peer that is excised from the live view must
+// complete the moment its remaining required acks are in — the consistency
+// layer's half of surviving a node failure.
+func TestLinViewShrinkCompletesPendingWrite(t *testing.T) {
+	caches := newReplicaGroup(t, 3, 1)
+	inv, err := caches[0].WriteLinStart(1, []byte("survivor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 acks; node 2 dies before acking.
+	ack1, _ := caches[1].ApplyInvalidation(inv)
+	if _, done := caches[0].ApplyAck(ack1); done {
+		t.Fatal("write completed before the view changed (node 2 never acked)")
+	}
+	upds := caches[0].SetLive(FullNodeSet(3).Without(2))
+	if len(upds) != 1 || upds[0].Key != 1 || string(upds[0].Value) != "survivor" {
+		t.Fatalf("view shrink completed %v, want the pending write for key 1", upds)
+	}
+	v, _, err := caches[0].Read(1, nil)
+	if err != nil || string(v) != "survivor" {
+		t.Fatalf("writer replica after completion: %q %v", v, err)
+	}
+	// A late ack from the excised node (it was in flight when the peer was
+	// declared dead, or the suspicion was false) must be a no-op.
+	if _, done := caches[0].ApplyAck(Ack{Key: 1, TS: inv.TS, From: 2}); done {
+		t.Fatal("late ack from an excised peer re-completed the write")
+	}
+}
+
+// Shrinking the view before the missing ack is in must NOT complete the
+// write: a live counted peer is still required.
+func TestLinViewShrinkStillRequiresLivePeers(t *testing.T) {
+	caches := newReplicaGroup(t, 3, 1)
+	inv, err := caches[0].WriteLinStart(1, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upds := caches[0].SetLive(FullNodeSet(3).Without(2)); len(upds) != 0 {
+		t.Fatalf("view shrink completed %v with node 1's ack missing", upds)
+	}
+	ack1, _ := caches[1].ApplyInvalidation(inv)
+	if _, done := caches[0].ApplyAck(ack1); !done {
+		t.Fatal("write must complete once the last live peer acked")
+	}
+}
+
+// A write started when the writer is the only live member completes on the
+// post-broadcast recheck — no ack will ever arrive.
+func TestLinRecheckCompletesSoloWriter(t *testing.T) {
+	caches := newReplicaGroup(t, 3, 1)
+	caches[0].SetLive(FullNodeSet(3).Without(1).Without(2))
+	if _, err := caches[0].WriteLinStart(1, []byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	upd, done := caches[0].RecheckPending(1)
+	if !done || string(upd.Value) != "solo" {
+		t.Fatalf("solo write: done=%v upd=%v", done, upd)
+	}
+	// Re-running the check must not double-complete.
+	if _, again := caches[0].RecheckPending(1); again {
+		t.Fatal("recheck completed the same write twice")
+	}
+	v, _, err := caches[0].Read(1, nil)
+	if err != nil || string(v) != "solo" {
+		t.Fatalf("read after solo write: %q %v", v, err)
+	}
+}
+
+// A peer that joins mid-write is never required: it received no invalidation,
+// so adding it to the requirement would deadlock the writer.
+func TestLinViewGrowDoesNotExtendInFlightWrites(t *testing.T) {
+	caches := newReplicaGroup(t, 3, 1)
+	caches[0].SetLive(FullNodeSet(3).Without(2)) // node 2 down at write start
+	inv, err := caches[0].WriteLinStart(1, []byte("grow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caches[0].SetLive(FullNodeSet(3)) // node 2 rejoins mid-write
+	ack1, _ := caches[1].ApplyInvalidation(inv)
+	if _, done := caches[0].ApplyAck(ack1); !done {
+		t.Fatal("write must complete with the acks of the peers counted at start")
+	}
+}
+
+// An excise/rejoin flap must not re-require the flapped peer's ack: it was
+// pruned from the requirement while out of the view (it never received the
+// invalidation), so the write completes on the remaining peers' acks even
+// after the peer returns.
+func TestLinExciseRejoinFlapDoesNotReRequireAck(t *testing.T) {
+	caches := newReplicaGroup(t, 3, 1)
+	inv, err := caches[0].WriteLinStart(1, []byte("flap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 flaps: out (the scan prunes it from the requirement), then back.
+	if upds := caches[0].SetLive(FullNodeSet(3).Without(2)); len(upds) != 0 {
+		t.Fatalf("flap down completed %v with node 1's ack missing", upds)
+	}
+	caches[0].SetLive(FullNodeSet(3))
+	// Node 1's ack alone must now complete the write; without the permanent
+	// prune the rejoin would re-require node 2's ack and the writer would
+	// hang forever.
+	ack1, _ := caches[1].ApplyInvalidation(inv)
+	if _, done := caches[0].ApplyAck(ack1); !done {
+		t.Fatal("write stalled across an excise/rejoin flap")
+	}
+}
+
+// An entry left Invalid by an excised writer's in-flight write must be
+// re-validated when the writer leaves the view — the matching update can
+// never arrive, and readers must not spin on it. A straggler invalidation
+// from the excised writer must not re-open the window (still acked, though).
+func TestLinOrphanedInvalidationHealedOnExcision(t *testing.T) {
+	caches := newReplicaGroup(t, 3, 7)
+	inv, err := caches[2].WriteLinStart(7, []byte("orphan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caches[0].ApplyInvalidation(inv)
+	if _, _, err := caches[0].Read(7, nil); err != ErrInvalid {
+		t.Fatalf("pre-heal read: %v, want ErrInvalid", err)
+	}
+	// Writer 2 dies: excise it and heal its orphans.
+	caches[0].SetLive(FullNodeSet(3).Without(2))
+	healed, resurrect := caches[0].DiscardOrphanedInvalidations(2)
+	if healed != 1 || len(resurrect) != 0 {
+		t.Fatalf("healed %d entries (resurrect %v), want 1 with nothing to resurrect", healed, resurrect)
+	}
+	v, _, err := caches[0].Read(7, nil)
+	if err != nil || !bytes.Equal(v, []byte{7}) {
+		t.Fatalf("post-heal read: %q %v, want the pre-invalidation value", v, err)
+	}
+	// A straggler invalidation from the dead writer (it was in flight at the
+	// kill) is acked but NOT applied — it must not re-wedge the entry.
+	ack, invalidated := caches[0].ApplyInvalidation(inv)
+	if invalidated {
+		t.Fatal("straggler invalidation from an excised writer re-applied")
+	}
+	if ack.From != 0 || ack.TS != inv.TS {
+		t.Fatalf("straggler must still be acked, got %+v", ack)
+	}
+	if _, _, err := caches[0].Read(7, nil); err != nil {
+		t.Fatalf("read after straggler: %v", err)
+	}
+}
+
+// A conflict-lost write was acknowledged to its client; if the winning
+// writer dies before publishing, healing must hand the loser's staged value
+// back for re-publication — silently reverting to the pre-write value would
+// lose an acknowledged write on every replica.
+func TestLinOrphanHealResurrectsAcknowledgedLoserWrite(t *testing.T) {
+	caches := newReplicaGroup(t, 3, 1)
+	invA, err := caches[0].WriteLinStart(1, []byte("loser"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	invC, err := caches[2].WriteLinStart(1, []byte("winner")) // ties break by writer id: C wins
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !invC.TS.After(invA.TS) {
+		t.Fatalf("expected C's write to win: %v vs %v", invC.TS, invA.TS)
+	}
+	// A observes C's winning invalidation, then gathers its own acks: its
+	// write completes conflict-lost, but its client is told success.
+	caches[0].ApplyInvalidation(invC)
+	ack1, _ := caches[1].ApplyInvalidation(invA)
+	ack2, _ := caches[2].ApplyInvalidation(invA)
+	caches[0].ApplyAck(ack1)
+	if _, done := caches[0].ApplyAck(ack2); !done {
+		t.Fatal("A's write never completed")
+	}
+	if caches[0].Stats().WriteConflictsLost.Load() != 1 {
+		t.Fatal("A should have recorded the lost conflict")
+	}
+	// C dies before publishing its update. The heal at A must surface A's
+	// acknowledged value for re-publication.
+	caches[0].SetLive(FullNodeSet(3).Without(2))
+	healed, resurrect := caches[0].DiscardOrphanedInvalidations(2)
+	if healed != 1 || len(resurrect) != 1 {
+		t.Fatalf("healed=%d resurrect=%v, want 1 entry with A's write to resurrect", healed, resurrect)
+	}
+	if resurrect[0].Key != 1 || string(resurrect[0].Value) != "loser" {
+		t.Fatalf("resurrect = %+v, want A's acknowledged value", resurrect[0])
+	}
+	// Had the winner's update landed first, nothing would need resurrection.
+	if _, r := caches[0].DiscardOrphanedInvalidations(2); len(r) != 0 {
+		t.Fatal("second heal resurrected the same write twice")
+	}
+}
+
+// The mirror race: the conflict-lost write completes only AFTER the winner
+// was excised (its final ack was still in flight at the view flip), so the
+// flip-time heal saw pendSuperseded unset. The post-completion check must
+// surface the acknowledged value instead.
+func TestLinLoserCompletingAfterWinnerExcisionIsResurrected(t *testing.T) {
+	caches := newReplicaGroup(t, 3, 1)
+	invA, err := caches[0].WriteLinStart(1, []byte("late-loser"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	invC, _ := caches[2].WriteLinStart(1, []byte("winner"))
+	caches[0].ApplyInvalidation(invC) // A goes Invalid at C's winning TS
+	ack1, _ := caches[1].ApplyInvalidation(invA)
+
+	// C dies BEFORE A's write completes (node 1's ack still in flight): the
+	// flip-time heal finds nothing to resurrect — the write is still
+	// pending, so pendSuperseded is not yet set.
+	caches[0].SetLive(FullNodeSet(3).Without(2))
+	if _, r := caches[0].DiscardOrphanedInvalidations(2); len(r) != 0 {
+		t.Fatalf("flip-time heal resurrected a still-pending write: %v", r)
+	}
+	// Nothing to take yet either — the write has not completed.
+	if _, ok := caches[0].TakeOrphanedLoserWrite(1); ok {
+		t.Fatal("took a loser write before its completion")
+	}
+
+	// Node 1's ack (sent before the flip) now lands: the requirement is down
+	// to {1}, so the write completes — conflict-lost against a winner that
+	// can never publish.
+	if _, done := caches[0].ApplyAck(ack1); !done {
+		t.Fatal("A's write never completed")
+	}
+	u, ok := caches[0].TakeOrphanedLoserWrite(1)
+	if !ok || string(u.Value) != "late-loser" {
+		t.Fatalf("post-completion orphan check: ok=%v u=%+v, want A's acknowledged value", ok, u)
+	}
+	// Taken exactly once; the entry is readable again.
+	if _, again := caches[0].TakeOrphanedLoserWrite(1); again {
+		t.Fatal("orphaned loser write taken twice")
+	}
+	if _, _, err := caches[0].Read(1, nil); err != nil {
+		t.Fatalf("read after orphan take: %v", err)
+	}
+}
+
+// Duplicate acks from the same peer must not fake coverage of another peer.
+func TestLinDuplicateAckDoesNotDoubleCount(t *testing.T) {
+	caches := newReplicaGroup(t, 3, 1)
+	inv, err := caches[0].WriteLinStart(1, []byte("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack1, _ := caches[1].ApplyInvalidation(inv)
+	if _, done := caches[0].ApplyAck(ack1); done {
+		t.Fatal("one ack completed a 3-node write")
+	}
+	if _, done := caches[0].ApplyAck(ack1); done {
+		t.Fatal("replayed ack completed a 3-node write")
+	}
+	ack2, _ := caches[2].ApplyInvalidation(inv)
+	if _, done := caches[0].ApplyAck(ack2); !done {
+		t.Fatal("write never completed")
+	}
+}
+
+func TestNodeSetBasics(t *testing.T) {
+	s := FullNodeSet(5)
+	if s.Count() != 5 || !s.Has(4) || s.Has(5) {
+		t.Fatalf("FullNodeSet(5) = %v", s)
+	}
+	s = s.Without(2)
+	if s.Has(2) || s.Count() != 4 {
+		t.Fatalf("Without: %v", s)
+	}
+	s = s.With(2)
+	if !s.Has(2) || s.Count() != 5 {
+		t.Fatalf("With: %v", s)
+	}
+	a, b := FullNodeSet(3), FullNodeSet(5)
+	if !b.Contains(a) || a.Contains(b) {
+		t.Fatal("Contains asymmetry broken")
+	}
+	if got := b.Intersect(a); got != a {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if !(NodeSet{}).Empty() || a.Empty() {
+		t.Fatal("Empty broken")
+	}
+	// Ids above 63 exercise the multi-word path.
+	hi := (NodeSet{}).With(200)
+	if !hi.Has(200) || hi.Count() != 1 || hi.Has(72) {
+		t.Fatalf("high-id set: %v", hi)
+	}
+	if ts := (timestamp.TS{}); ts != timestamp.Zero {
+		t.Fatal("sanity")
+	}
+}

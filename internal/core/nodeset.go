@@ -1,0 +1,70 @@
+package core
+
+import "math/bits"
+
+// NodeSet is a fixed-size bitset over node ids — the representation of "who
+// is in the membership view" shared by the consistency layer and the cluster.
+// It is a plain value (copyable, comparable); the zero value is the empty set.
+// Capacity covers the full node-id space of the deployment configs (ids are
+// uint8).
+type NodeSet struct {
+	bits [4]uint64
+}
+
+// FullNodeSet returns the set {0, 1, ..., n-1}.
+func FullNodeSet(n int) NodeSet {
+	var s NodeSet
+	for i := 0; i < n; i++ {
+		s.bits[i>>6] |= 1 << (uint(i) & 63)
+	}
+	return s
+}
+
+// Has reports whether node i is in the set.
+func (s NodeSet) Has(i uint8) bool {
+	return s.bits[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// With returns the set plus node i.
+func (s NodeSet) With(i uint8) NodeSet {
+	s.bits[i>>6] |= 1 << (uint(i) & 63)
+	return s
+}
+
+// Without returns the set minus node i.
+func (s NodeSet) Without(i uint8) NodeSet {
+	s.bits[i>>6] &^= 1 << (uint(i) & 63)
+	return s
+}
+
+// Intersect returns the set intersection.
+func (s NodeSet) Intersect(o NodeSet) NodeSet {
+	for i := range s.bits {
+		s.bits[i] &= o.bits[i]
+	}
+	return s
+}
+
+// Contains reports whether s is a superset of o.
+func (s NodeSet) Contains(o NodeSet) bool {
+	for i := range s.bits {
+		if o.bits[i]&^s.bits[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the set's cardinality.
+func (s NodeSet) Count() int {
+	n := 0
+	for _, w := range s.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no members.
+func (s NodeSet) Empty() bool {
+	return s.bits == [4]uint64{}
+}

@@ -44,15 +44,24 @@ func (c *Credits) Available(peer Addr) int {
 	return c.avail[peer]
 }
 
-// Acquire consumes one credit for peer, blocking until one is available.
-func (c *Credits) Acquire(peer Addr) {
+// Acquire consumes one credit for peer, blocking until one is available. It
+// returns false — without consuming anything — when peer has no budget: the
+// peer was dropped from the membership view (Drop) while the caller waited,
+// or was never granted one. Senders treat false as "destination gone" and
+// fail the message instead of sending it.
+func (c *Credits) Acquire(peer Addr) bool {
 	c.mu.Lock()
 	for c.avail[peer] <= 0 {
+		if _, budgeted := c.max[peer]; !budgeted {
+			c.mu.Unlock()
+			return false
+		}
 		c.Waits++
 		c.cond.Wait()
 	}
 	c.avail[peer]--
 	c.mu.Unlock()
+	return true
 }
 
 // TryAcquire consumes a credit if one is available, without blocking.
@@ -68,15 +77,40 @@ func (c *Credits) TryAcquire(peer Addr) bool {
 
 // Grant returns n credits to peer (a response arrived, or an explicit
 // credit-update message was received). The budget never exceeds the
-// configured maximum.
+// configured maximum. Grants for a peer without a budget are discarded: a
+// straggler response from a peer dropped by a view change must not
+// resurrect (or leak into) a budget the flip already accounted away.
 func (c *Credits) Grant(peer Addr, n int) {
 	c.mu.Lock()
+	m, ok := c.max[peer]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
 	c.avail[peer] += n
-	if m, ok := c.max[peer]; ok && c.avail[peer] > m {
+	if c.avail[peer] > m {
 		c.avail[peer] = m
 	}
 	c.mu.Unlock()
 	c.cond.Broadcast()
+}
+
+// Drop removes peer's budget entirely — the peer left the membership view.
+// Credits in flight toward it (consumed but never restored) are destroyed
+// with the budget rather than leaked into any other peer's; blocked
+// acquirers wake and see Acquire return false. It returns how many credits
+// were outstanding toward the peer at the drop. SetBudget re-arms the peer
+// on rejoin.
+func (c *Credits) Drop(peer Addr) (outstanding int) {
+	c.mu.Lock()
+	if m, ok := c.max[peer]; ok {
+		outstanding = m - c.avail[peer]
+	}
+	delete(c.avail, peer)
+	delete(c.max, peer)
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	return outstanding
 }
 
 // CreditBatcher implements the credit-update batching optimization of §6.4:

@@ -1,0 +1,120 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+)
+
+// sumAvail totals the available credits across peers.
+func sumAvail(c *Credits, peers ...Addr) int {
+	n := 0
+	for _, p := range peers {
+		n += c.Available(p)
+	}
+	return n
+}
+
+// Removing a peer mid-flight must conserve the surviving budgets exactly:
+// credits outstanding toward the dropped peer are destroyed with its budget,
+// never credited to another peer, and the dropped budget cannot be
+// resurrected by straggler grants.
+func TestCreditsDropConservesBudgets(t *testing.T) {
+	c := NewCredits()
+	a := Addr{Node: 1, Thread: 2}
+	b := Addr{Node: 2, Thread: 2}
+	c.SetBudget(a, 4)
+	c.SetBudget(b, 4)
+
+	// Two packets in flight toward a, one toward b.
+	for i := 0; i < 2; i++ {
+		if !c.Acquire(a) {
+			t.Fatal("acquire on a live budget failed")
+		}
+	}
+	if !c.Acquire(b) {
+		t.Fatal("acquire on a live budget failed")
+	}
+	if got := sumAvail(c, a, b); got != 5 {
+		t.Fatalf("pre-flip avail sum = %d, want 5", got)
+	}
+
+	// View flip: a's node dies with 2 credits outstanding.
+	if out := c.Drop(a); out != 2 {
+		t.Fatalf("Drop reported %d outstanding, want 2", out)
+	}
+	// b's budget is untouched — nothing leaked out of a's accounting into it.
+	if got := c.Available(b); got != 3 {
+		t.Fatalf("survivor budget = %d, want 3", got)
+	}
+	if got := c.Available(a); got != 0 {
+		t.Fatalf("dropped budget = %d, want 0", got)
+	}
+
+	// A straggler response (implicit credit update) for the dropped peer is
+	// discarded, not leaked.
+	c.Grant(a, 2)
+	if got := c.Available(a); got != 0 {
+		t.Fatalf("grant resurrected a dropped budget: %d", got)
+	}
+	// The survivor's response restores its credit, capped at its own max.
+	c.Grant(b, 1)
+	c.Grant(b, 100)
+	if got := c.Available(b); got != 4 {
+		t.Fatalf("survivor budget after grants = %d, want 4 (capped)", got)
+	}
+
+	// Rejoin re-arms the peer with a fresh budget.
+	c.SetBudget(a, 4)
+	if !c.Acquire(a) || c.Available(a) != 3 {
+		t.Fatalf("rejoined budget unusable (avail %d)", c.Available(a))
+	}
+	if got := sumAvail(c, a, b); got != 7 {
+		t.Fatalf("post-rejoin avail sum = %d, want 7", got)
+	}
+}
+
+// A sender blocked on an exhausted budget must wake — with Acquire
+// reporting failure — when the peer is dropped, instead of waiting forever
+// for a credit update a dead peer can never send.
+func TestCreditsDropReleasesBlockedAcquirer(t *testing.T) {
+	c := NewCredits()
+	peer := Addr{Node: 3, Thread: 5}
+	c.SetBudget(peer, 1)
+	if !c.Acquire(peer) {
+		t.Fatal("drain failed")
+	}
+	got := make(chan bool, 1)
+	go func() { got <- c.Acquire(peer) }()
+	select {
+	case ok := <-got:
+		t.Fatalf("Acquire returned %v before the drop", ok)
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Drop(peer)
+	select {
+	case ok := <-got:
+		if ok {
+			t.Fatal("Acquire succeeded against a dropped budget")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked acquirer never released by Drop")
+	}
+	// Subsequent acquires fail fast.
+	if c.Acquire(peer) {
+		t.Fatal("Acquire succeeded on a dropped peer")
+	}
+}
+
+// TryAcquire must also refuse dropped peers without blocking.
+func TestCreditsTryAcquireAfterDrop(t *testing.T) {
+	c := NewCredits()
+	peer := Addr{Node: 9, Thread: 1}
+	c.SetBudget(peer, 2)
+	if !c.TryAcquire(peer) {
+		t.Fatal("TryAcquire on live budget failed")
+	}
+	c.Drop(peer)
+	if c.TryAcquire(peer) {
+		t.Fatal("TryAcquire succeeded on dropped peer")
+	}
+}

@@ -5,6 +5,13 @@
 # consistency check — once per protocol (SC and Lin). Any lost write, stale
 # read, refresh failure or missing cache traffic fails the script.
 #
+# A chaos deployment follows per protocol: node 2 is SIGKILLed mid-run
+# (cckvs-load kills the pid once 40% of the ops executed), the survivors must
+# excise it from the membership view and keep serving — dead-homed cold keys
+# fail fast with the home-down status, hot keys keep serving from the
+# symmetric caches — and the checker verifies no lost or stale reads among
+# the survivors.
+#
 # Usage: scripts/multiprocess_smoke.sh [base_port]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -56,6 +63,45 @@ run_deployment() {
     echo "=== $proto: OK ==="
 }
 
+run_chaos_deployment() {
+    local proto="$1" port0="$2"
+    local p0="127.0.0.1:$port0" p1="127.0.0.1:$((port0 + 1))" p2="127.0.0.1:$((port0 + 2))"
+    local peers="$p0,$p1,$p2"
+    local pids=()
+
+    echo "=== $proto chaos: 3-node deployment on $peers, node 2 dies mid-run ==="
+    for id in 0 1 2; do
+        "$BIN/cckvs-node" -id "$id" -peers "$peers" -protocol "$proto" \
+            -keys "$KEYS" -cache "$CACHE" -workers "$WORKERS" \
+            -ping-interval 100ms -ping-timeout 1s &
+        pids+=($!)
+    done
+    # shellcheck disable=SC2064
+    trap "kill -9 ${pids[*]} 2>/dev/null || true" RETURN
+
+    # cckvs-load SIGKILLs node 2's pid at 40% of the ops, reroutes around it,
+    # and runs the checker against the survivors. No mid-run refresh here —
+    # the view change is the concurrency under test.
+    "$BIN/cckvs-load" -nodes "$peers" -keys "$KEYS" -hotset "$CACHE" \
+        -alpha 0.99 -writes 0.05 -ops "$OPS" -clients "$CLIENTS" \
+        -chaos-down 2 -chaos-kill-pid "${pids[2]}" -chaos-at 0.4 \
+        -verify -verify-keys 12 -verify-rounds 25 -wait 30s
+
+    # Survivors shut down cleanly; node 2 was killed by design (ignore it).
+    kill -INT "${pids[0]}" "${pids[1]}" 2>/dev/null || true
+    local code=0
+    wait "${pids[0]}" || code=$?
+    wait "${pids[1]}" || code=$?
+    wait "${pids[2]}" 2>/dev/null || true
+    if [ "$code" -ne 0 ]; then
+        echo "$proto chaos: a survivor exited non-zero ($code)" >&2
+        return 1
+    fi
+    echo "=== $proto chaos: OK ==="
+}
+
 run_deployment sc "$BASE_PORT"
 run_deployment lin "$((BASE_PORT + 10))"
+run_chaos_deployment sc "$((BASE_PORT + 20))"
+run_chaos_deployment lin "$((BASE_PORT + 30))"
 echo "multiprocess smoke: all deployments passed"
