@@ -44,8 +44,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		churn   = fs.Bool("churn", false, "run the hot-set reconfiguration (full reinstall vs incremental) ablation under a moving hotspot")
 		workers = fs.Bool("workers", false, "run the per-node worker-scaling ablation (WorkersPerNode in {1,2,4,8}) on the live cluster")
 		reqScal = fs.Bool("require-scaling", false, "with -workers: exit non-zero unless 4-worker remote throughput beats 1-worker (skipped on a single hardware thread)")
-		ops     = fs.Int("ops", 2000, "operations per client for -local/-fig4/-coalesce/-churn/-workers")
+		edge    = fs.Bool("clientedge", false, "run the client-edge session framing ablation (single-op vs pipelined vs batched frames) on the live cluster")
+		reqEdge = fs.Bool("require-edge", false, "with -clientedge: exit non-zero unless batch-32 throughput reaches 1.5x single-op")
+		ops     = fs.Int("ops", 2000, "operations per client for -local/-fig4/-coalesce/-churn/-workers/-clientedge")
 		jsonOut = fs.String("json", "", "additionally write the produced tables as JSON to this file (CI benchmark artifacts)")
+		compare = fs.String("compare", "", "compare a fresh run's JSON (-json output) against this committed baseline JSON and exit non-zero on regression")
+		against = fs.String("against", "", "with -compare: the fresh run JSON to check (defaults to the file written by -json)")
+		tol     = fs.Float64("tolerance", 0.25, "with -compare: allowed relative drop of each row's within-table throughput ratio")
+		report  = fs.String("report", "", "with -compare: also write the comparison report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -111,6 +117,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "worker scaling ablation: %v\n", err)
 			exit = 1
 		}
+	case *edge:
+		tab, err := experiments.LocalClientEdgeAblation(*ops, *reqEdge)
+		if len(tab.Rows) > 0 {
+			emit(tab)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "client-edge ablation: %v\n", err)
+			exit = 1
+		}
+	case *compare != "":
+		code, err := compareRuns(*compare, *against, *jsonOut, *report, *tol, stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return code
 	case *all:
 		for _, id := range ids {
 			emit(registry[id]())
@@ -136,6 +158,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "wrote %d table(s) to %s\n", len(tables), *jsonOut)
 	}
 	return exit
+}
+
+// compareRuns loads a committed baseline and a fresh run (both -json
+// artifacts) and gates on experiments.CompareRuns: exit 1 when any row's
+// within-table throughput ratio regressed beyond the tolerance.
+func compareRuns(basePath, freshPath, jsonOut, reportPath string, tolerance float64, stdout io.Writer) (int, error) {
+	if freshPath == "" {
+		freshPath = jsonOut
+	}
+	if freshPath == "" {
+		return 2, errors.New("-compare needs -against (or -json) naming the fresh run")
+	}
+	base, err := readJSON(basePath)
+	if err != nil {
+		return 1, err
+	}
+	fresh, err := readJSON(freshPath)
+	if err != nil {
+		return 1, err
+	}
+	text, regs := experiments.CompareRuns(base, fresh, tolerance)
+	fmt.Fprint(stdout, text)
+	if reportPath != "" {
+		if err := os.WriteFile(reportPath, []byte(text), 0o644); err != nil {
+			return 1, err
+		}
+	}
+	if len(regs) > 0 {
+		return 1, fmt.Errorf("%d benchmark regression(s) against %s", len(regs), basePath)
+	}
+	return 0, nil
+}
+
+// readJSON loads a -json artifact's tables.
+func readJSON(path string) ([]experiments.Table, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Tables []experiments.Table `json:"tables"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc.Tables, nil
 }
 
 // writeJSON archives the run's tables for the benchmark-trajectory artifact.

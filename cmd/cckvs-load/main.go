@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		writes     = fs.Float64("writes", 0.05, "write ratio")
 		ops        = fs.Int("ops", 5000, "operations per client")
 		clients    = fs.Int("clients", 4, "concurrent clients")
+		batch      = fs.Int("batch", 1, "operations per session frame (>1 drives the batched v2 wire format)")
 		valSize    = fs.Int("value", 40, "value size in bytes")
 		hotset     = fs.Int("hotset", 0, "install ranks [0,hotset) as the hot set before the run (0 = skip)")
 		refreshAt  = fs.Float64("refresh-at", 0, "apply an online hot-set refresh after this fraction of ops (0 = never)")
@@ -101,7 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	shifted, code := runWorkload(cl, workloadOpts{
 		nodes: nodes, keys: *keys, alpha: *alpha, writes: *writes,
-		ops: *ops, clients: *clients, valSize: *valSize,
+		ops: *ops, clients: *clients, batch: *batch, valSize: *valSize,
 		hotset: *hotset, refreshAt: *refreshAt, refShift: *refShift,
 		chaosDown: *chaosDown, chaosPid: *chaosPid, chaosAt: *chaosAt,
 	}, stdout, stderr)
@@ -149,6 +150,7 @@ type workloadOpts struct {
 	writes    float64
 	ops       int
 	clients   int
+	batch     int // ops per session frame; > 1 uses the batched wire format
 	valSize   int
 	hotset    int
 	refreshAt float64
@@ -255,6 +257,52 @@ func runWorkload(cl *cluster.Client, o workloadOpts, stdout, stderr io.Writer) (
 		}
 	}
 
+	// progress advances the shared op counter by a whole frame and fires the
+	// crossing-triggered events. The crossing tests (n >= t && n-m < t) fire
+	// exactly once however many ops a frame carries; the checks stay
+	// independent — folding them into if/else would silently skip the kill
+	// whenever the two thresholds land in the same frame.
+	progress := func(m uint64) {
+		n := done.Add(m)
+		if threshold > 0 && n >= threshold && n-m < threshold {
+			select {
+			case refreshTrigger <- struct{}{}:
+			default:
+			}
+		}
+		if chaosThreshold > 0 && n >= chaosThreshold && n-m < chaosThreshold {
+			killOnce.Do(func() { chaos.kill(o.chaosPid, stdout) })
+		}
+	}
+	// retry decides what to do with a failed op or frame routed to node:
+	// reroute-and-retry in chaos mode (marking an observed victim death,
+	// tolerating survivor hiccups inside the grace window), give up
+	// otherwise.
+	retry := func(node, attempt int) bool {
+		if chaos == nil {
+			return false
+		}
+		// An op routed to the victim: note the death (external kills are
+		// learned here — the grace window slides to the observed failure),
+		// reroute, retry.
+		if node == o.chaosDown {
+			chaos.down[node].Store(true)
+			chaos.killedAt.Store(time.Now().UnixNano())
+			chaos.retried.Add(1)
+			return true
+		}
+		// Collateral failure on a survivor (a server-side RPC caught
+		// mid-flip, a Lin write racing the excision): tolerated within the
+		// grace window — the deployment must converge to clean service
+		// inside it.
+		if chaos.withinGrace() && attempt < 1000 {
+			chaos.retried.Add(1)
+			time.Sleep(10 * time.Millisecond)
+			return true
+		}
+		return false
+	}
+
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < o.clients; c++ {
@@ -262,6 +310,10 @@ func runWorkload(cl *cluster.Client, o workloadOpts, stdout, stderr io.Writer) (
 		go func(id int) {
 			defer wg.Done()
 			g := gen.Clone(uint64(id))
+			if o.batch > 1 {
+				runBatchedClient(cl, g, o, id, lat, chaos, progress, retry, fail)
+				return
+			}
 			for i := 0; i < o.ops; i++ {
 				op := g.Next()
 				for attempt := 0; ; attempt++ {
@@ -284,48 +336,19 @@ func runWorkload(cl *cluster.Client, o workloadOpts, stdout, stderr io.Writer) (
 					if err == nil {
 						break
 					}
-					if chaos != nil {
+					if chaos != nil && errors.Is(err, cluster.ErrHomeDown) {
 						// A dead-homed key answering home-down IS the correct
 						// post-kill behavior: count it and move on.
-						if errors.Is(err, cluster.ErrHomeDown) {
-							chaos.homeDown.Add(1)
-							break
-						}
-						// An op routed to the victim: note the death (external
-						// kills are learned here — the grace window slides to
-						// the observed failure), reroute, retry.
-						if node == o.chaosDown {
-							chaos.down[node].Store(true)
-							chaos.killedAt.Store(time.Now().UnixNano())
-							chaos.retried.Add(1)
-							continue
-						}
-						// Collateral failure on a survivor (a server-side RPC
-						// caught mid-flip, a Lin write racing the excision):
-						// tolerated within the grace window — the deployment
-						// must converge to clean service inside it.
-						if chaos.withinGrace() && attempt < 1000 {
-							chaos.retried.Add(1)
-							time.Sleep(10 * time.Millisecond)
-							continue
-						}
+						chaos.homeDown.Add(1)
+						break
+					}
+					if retry(node, attempt) {
+						continue
 					}
 					fail(id, err)
 					return
 				}
-				// Independent checks: each counter value passes exactly once,
-				// so folding these into if/else would silently skip the kill
-				// whenever the two thresholds coincide.
-				n := done.Add(1)
-				if threshold > 0 && n == threshold {
-					select {
-					case refreshTrigger <- struct{}{}:
-					default:
-					}
-				}
-				if chaosThreshold > 0 && n == chaosThreshold {
-					killOnce.Do(func() { chaos.kill(o.chaosPid, stdout) })
-				}
+				progress(1)
 			}
 		}(c)
 	}
@@ -399,6 +422,77 @@ func runWorkload(cl *cluster.Client, o workloadOpts, stdout, stderr io.Writer) (
 			chaos.homeDown.Load(), chaos.retried.Load())
 	}
 	return didRefresh.Load(), 0
+}
+
+// runBatchedClient is one client goroutine's loop in batched mode: every
+// frame packs up to o.batch consecutive operations of this client's stream
+// into one v2 session frame. A failed frame is retried whole after
+// rerouting — re-running it is safe (puts are last-write-wins re-executions
+// of the same values, gets are read-only).
+func runBatchedClient(cl *cluster.Client, g *workload.Generator, o workloadOpts, id int,
+	lat *metrics.Histogram, chaos *chaosState,
+	progress func(uint64), retry func(int, int) bool, fail func(int, error)) {
+	buf := make([]cluster.BatchOp, 0, o.batch)
+	for i := 0; i < o.ops; {
+		m := min(o.batch, o.ops-i)
+		buf = buf[:0]
+		for j := 0; j < m; j++ {
+			op := g.Next()
+			b := cluster.BatchOp{Key: op.Key}
+			if op.Type == workload.Put {
+				b.Put = true
+				// The generator reuses its value buffer across Next calls;
+				// the frame holds all m values at once.
+				b.Value = append([]byte(nil), op.Value...)
+			}
+			buf = append(buf, b)
+		}
+		for attempt := 0; ; attempt++ {
+			node := (id + i + attempt) % o.nodes
+			if chaos != nil {
+				node = chaos.route(node, o.nodes)
+			}
+			t0 := time.Now()
+			rs, err := cl.Batch(node, buf)
+			lat.Record(uint64(time.Since(t0).Nanoseconds()))
+			if err == nil {
+				err = batchOutcome(buf, rs, chaos)
+			}
+			if err == nil {
+				break
+			}
+			if retry(node, attempt) {
+				continue
+			}
+			fail(id, err)
+			return
+		}
+		progress(uint64(m))
+		i += m
+	}
+}
+
+// batchOutcome scans a settled frame's per-op results: absent keys on the
+// read path are tolerated (keyspace mismatch on cold reads, like the
+// single-op loop), home-down fast-fails are counted and tolerated in chaos
+// mode (they ARE the correct post-kill behavior), anything else is the
+// frame's failure.
+func batchOutcome(ops []cluster.BatchOp, rs []cluster.BatchResult, chaos *chaosState) error {
+	for i := range rs {
+		err := rs[i].Err
+		if err == nil {
+			continue
+		}
+		if !ops[i].Put && errors.Is(err, store.ErrNotFound) {
+			continue
+		}
+		if chaos != nil && errors.Is(err, cluster.ErrHomeDown) {
+			chaos.homeDown.Add(1)
+			continue
+		}
+		return err
+	}
+	return nil
 }
 
 type verifyOpts struct {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fabric"
@@ -18,16 +19,33 @@ import (
 // safe for concurrent use by many goroutines; each in-flight request is
 // matched to its caller by request id, so a single TCP connection per server
 // carries the whole process's traffic.
+//
+// The connection is pipelined: up to SetPipelineWindow in-flight requests per
+// server ride the wire concurrently (callers block for a window slot beyond
+// that). Batch/MultiGet/MultiPut pack many operations into one v2 frame, and
+// SetAutoBatch transparently coalesces concurrent Get/Put callers into such
+// frames — the client edge's version of the fabric's request coalescing.
 type Client struct {
 	id      uint8
 	tr      fabric.Transport
 	owns    bool
 	nodes   int
 	timeout time.Duration
+	// trCopies mirrors Cluster.trCopies: the transport serializes packet
+	// data during Send, so encode buffers can be pooled and reused.
+	trCopies bool
+
+	// winCh[node] is the pipelining window: one slot per in-flight request
+	// toward that server. A slot is acquired before a request registers and
+	// released exactly once, when its pending entry is removed.
+	winCh []chan struct{}
+
+	nextID atomic.Uint64
+	// ab, when non-nil, routes Get/Put through per-node auto-batchers.
+	ab atomic.Pointer[autoBatchState]
 
 	mu     sync.Mutex
 	closed bool
-	nextID uint64
 	pend   map[uint64]sessPending
 }
 
@@ -41,6 +59,26 @@ type sessResult struct {
 	payload []byte
 	err     error
 }
+
+// defaultPipelineWindow bounds in-flight requests per server connection.
+const defaultPipelineWindow = 256
+
+// sessChPool recycles completion channels across calls (buffered so a
+// completer never blocks on an abandoned call).
+var sessChPool = sync.Pool{New: func() any { return make(chan sessResult, 1) }}
+
+// abChPool recycles the auto-batcher's per-op completion channels.
+var abChPool = sync.Pool{New: func() any { return make(chan BatchResult, 1) }}
+
+// timerPool recycles timeout timers across calls; pooled timers are always
+// stopped and drained.
+var timerPool = sync.Pool{New: func() any {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return t
+}}
 
 // ErrClientClosed fails calls issued against (or pending on) a closed Client.
 var ErrClientClosed = errors.New("cluster: client closed")
@@ -65,6 +103,13 @@ func NewClient(id uint8, nodes int, tr fabric.Transport) *Client {
 		nodes:   nodes,
 		timeout: 10 * time.Second,
 		pend:    map[uint64]sessPending{},
+	}
+	if ct, ok := tr.(interface{ SendCopiesData() bool }); ok {
+		cl.trCopies = ct.SendCopiesData()
+	}
+	cl.winCh = make([]chan struct{}, nodes)
+	for i := range cl.winCh {
+		cl.winCh[i] = make(chan struct{}, defaultPipelineWindow)
 	}
 	tr.Register(fabric.Addr{Node: id, Thread: threadSession}, cl.onResponse)
 	return cl
@@ -93,11 +138,53 @@ func DialTCP(id uint8, peers []string) (*Client, error) {
 // SetTimeout bounds each call (default 10s).
 func (cl *Client) SetTimeout(d time.Duration) { cl.timeout = d }
 
+// SetPipelineWindow bounds the in-flight requests per server connection
+// (default 256): callers beyond the window block until a slot frees. Call it
+// before issuing traffic — resizing does not migrate slots held by in-flight
+// requests.
+func (cl *Client) SetPipelineWindow(w int) {
+	if w < 1 {
+		w = 1
+	}
+	for i := range cl.winCh {
+		cl.winCh[i] = make(chan struct{}, w)
+	}
+}
+
+// SetAutoBatch routes subsequent Get/Put calls through per-node
+// auto-batchers: concurrent operations are coalesced into one batch frame,
+// flushed when maxOps accumulate or maxDelay passes since the batch opened
+// (default 200µs), whichever comes first. maxOps <= 1 disables auto-batching
+// (any buffered operations are flushed). Callers still observe per-op
+// results and errors — batching only changes the framing.
+func (cl *Client) SetAutoBatch(maxOps int, maxDelay time.Duration) {
+	var next *autoBatchState
+	if maxOps > 1 {
+		if maxDelay <= 0 {
+			maxDelay = 200 * time.Microsecond
+		}
+		if maxOps > sessBatchMaxOps {
+			maxOps = sessBatchMaxOps
+		}
+		next = &autoBatchState{per: make([]*autoBatch, cl.nodes)}
+		for i := range next.per {
+			a := &autoBatch{cl: cl, node: uint8(i), maxOps: maxOps, delay: maxDelay}
+			a.timer = time.AfterFunc(time.Hour, a.flushTimed)
+			a.timer.Stop()
+			next.per[i] = a
+		}
+	}
+	if old := cl.ab.Swap(next); old != nil {
+		old.flush()
+	}
+}
+
 // NumNodes returns the deployment size the client was built for.
 func (cl *Client) NumNodes() int { return cl.nodes }
 
 // Close fails every pending call and, if the client owns its transport,
-// closes it.
+// closes it. Operations buffered in an auto-batcher complete with
+// ErrClientClosed.
 func (cl *Client) Close() error {
 	cl.mu.Lock()
 	if cl.closed {
@@ -110,6 +197,12 @@ func (cl *Client) Close() error {
 	cl.mu.Unlock()
 	for _, p := range pend {
 		p.ch <- sessResult{err: ErrClientClosed}
+		cl.releaseSlot(p.node)
+	}
+	// Flush after the closed flag is visible: the flush's batch calls fail
+	// fast with ErrClientClosed, completing every buffered operation.
+	if st := cl.ab.Load(); st != nil {
+		st.flush()
 	}
 	if cl.owns {
 		return cl.tr.Close()
@@ -123,14 +216,18 @@ func (cl *Client) onResponse(p fabric.Packet) {
 		return
 	}
 	id := binary.LittleEndian.Uint64(p.Data[:8])
-	res := sessResult{status: p.Data[8], payload: append([]byte(nil), p.Data[9:]...)}
 	cl.mu.Lock()
 	pd, ok := cl.pend[id]
-	delete(cl.pend, id)
-	cl.mu.Unlock()
 	if ok {
-		pd.ch <- res
+		delete(cl.pend, id)
 	}
+	cl.mu.Unlock()
+	if !ok {
+		return // abandoned (timed out) or duplicate; nothing waits
+	}
+	// Copy: the transport reuses the packet buffer after this handler.
+	pd.ch <- sessResult{status: p.Data[8], payload: append([]byte(nil), p.Data[9:]...)}
+	cl.releaseSlot(pd.node)
 }
 
 // failNode fails every pending call addressed to node (peer-down handling).
@@ -146,7 +243,123 @@ func (cl *Client) failNode(node uint8, err error) {
 	cl.mu.Unlock()
 	for _, ch := range chs {
 		ch <- sessResult{err: err}
+		cl.releaseSlot(node)
 	}
+}
+
+// acquireSlot blocks until the node's pipelining window has room.
+func (cl *Client) acquireSlot(node uint8) {
+	if int(node) < len(cl.winCh) {
+		cl.winCh[node] <- struct{}{}
+	}
+}
+
+// releaseSlot returns a window slot; called exactly once per removed pending
+// entry (completion, node failure, timeout, close).
+func (cl *Client) releaseSlot(node uint8) {
+	if int(node) < len(cl.winCh) {
+		<-cl.winCh[node]
+	}
+}
+
+// take removes a pending call (send failure or timeout), reporting whether
+// this caller won the race against a concurrent completer. The winner owns
+// the completion channel.
+func (cl *Client) take(id uint64) bool {
+	cl.mu.Lock()
+	p, ok := cl.pend[id]
+	if ok {
+		delete(cl.pend, id)
+	}
+	cl.mu.Unlock()
+	if ok {
+		cl.releaseSlot(p.node)
+	}
+	return ok
+}
+
+// newFrame returns an encode buffer for one request frame: pooled when the
+// transport copies on send, fresh otherwise (a by-reference transport keeps
+// the buffer alive past Send).
+func (cl *Client) newFrame(capHint int) ([]byte, *srvBuf) {
+	if cl.trCopies {
+		p := respBufPool.Get().(*srvBuf)
+		return p.b[:0], p
+	}
+	return make([]byte, 0, capHint), nil
+}
+
+// exchange sends one encoded request frame to node and waits for its
+// response or the timeout. It owns the frame: pooled buffers are recycled
+// once the transport is done with them.
+func (cl *Client) exchange(node uint8, id uint64, frame []byte, pooled *srvBuf, timeout time.Duration) (sessResult, error) {
+	cl.acquireSlot(node)
+	ch := sessChPool.Get().(chan sessResult)
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		cl.releaseSlot(node)
+		sessChPool.Put(ch)
+		if pooled != nil {
+			pooled.b = frame
+			respBufPool.Put(pooled)
+		}
+		return sessResult{}, ErrClientClosed
+	}
+	cl.pend[id] = sessPending{ch: ch, node: node}
+	cl.mu.Unlock()
+
+	err := cl.tr.Send(fabric.Packet{
+		Src:   fabric.Addr{Node: cl.id, Thread: threadSession},
+		Dst:   fabric.Addr{Node: node, Thread: threadSession},
+		Class: metrics.ClassCacheMiss,
+		Data:  frame,
+	})
+	if pooled != nil {
+		pooled.b = frame
+		respBufPool.Put(pooled)
+	}
+	if err != nil {
+		if cl.take(id) {
+			sessChPool.Put(ch)
+		}
+		return sessResult{}, fmt.Errorf("%w: node %d: %v", ErrNodeUnreachable, node, err)
+	}
+	t := timerPool.Get().(*time.Timer)
+	t.Reset(timeout)
+	select {
+	case res := <-ch:
+		if !t.Stop() {
+			<-t.C
+		}
+		timerPool.Put(t)
+		sessChPool.Put(ch)
+		if res.err != nil {
+			return sessResult{}, res.err
+		}
+		return res, nil
+	case <-t.C:
+		timerPool.Put(t)
+		if cl.take(id) {
+			sessChPool.Put(ch)
+		}
+		// Losing the take race means a completer owns ch; it is buffered, so
+		// the completer never blocks — the channel is simply abandoned.
+		return sessResult{}, fmt.Errorf("%w (node %d)", ErrSessionTimeout, node)
+	}
+}
+
+// mapStatus converts a frame-level response status into its typed error.
+func (cl *Client) mapStatus(node uint8, res sessResult) error {
+	switch res.status {
+	case sessStatusErr:
+		return fmt.Errorf("cluster: node %d: %s", node, sessErrorText(res.payload))
+	case sessStatusBad:
+		return fmt.Errorf("cluster: node %d rejected session request (bad request)", node)
+	case sessStatusHomeDown:
+		return fmt.Errorf("node %d reports %w", node, ErrHomeDown)
+	}
+	return nil
 }
 
 // call sends one framed session request to node and waits for its response
@@ -158,57 +371,19 @@ func (cl *Client) call(node uint8, op byte, body []byte) (sessResult, error) {
 // callT is call with an explicit per-request timeout (ready probes poll
 // fast; epoch changes get extra room).
 func (cl *Client) callT(node uint8, op byte, body []byte, timeout time.Duration) (sessResult, error) {
-	ch := make(chan sessResult, 1)
-	cl.mu.Lock()
-	if cl.closed {
-		cl.mu.Unlock()
-		return sessResult{}, ErrClientClosed
-	}
-	cl.nextID++
-	id := cl.nextID
-	cl.pend[id] = sessPending{ch: ch, node: node}
-	cl.mu.Unlock()
-
-	req := make([]byte, 0, sessHeader+len(body))
-	req = append(req, op)
-	req = binary.LittleEndian.AppendUint64(req, id)
-	req = append(req, body...)
-	err := cl.tr.Send(fabric.Packet{
-		Src:   fabric.Addr{Node: cl.id, Thread: threadSession},
-		Dst:   fabric.Addr{Node: node, Thread: threadSession},
-		Class: metrics.ClassCacheMiss,
-		Data:  req,
-	})
+	id := cl.nextID.Add(1)
+	frame, pooled := cl.newFrame(sessHeader + len(body))
+	frame = append(frame, op)
+	frame = binary.LittleEndian.AppendUint64(frame, id)
+	frame = append(frame, body...)
+	res, err := cl.exchange(node, id, frame, pooled, timeout)
 	if err != nil {
-		cl.drop(id)
-		return sessResult{}, fmt.Errorf("%w: node %d: %v", ErrNodeUnreachable, node, err)
+		return sessResult{}, err
 	}
-	select {
-	case res := <-ch:
-		if res.err != nil {
-			return sessResult{}, res.err
-		}
-		if res.status == sessStatusErr {
-			return sessResult{}, fmt.Errorf("cluster: node %d: %s", node, sessErrorText(res.payload))
-		}
-		if res.status == sessStatusBad {
-			return sessResult{}, fmt.Errorf("cluster: node %d rejected session request (bad request)", node)
-		}
-		if res.status == sessStatusHomeDown {
-			return sessResult{}, fmt.Errorf("node %d reports %w", node, ErrHomeDown)
-		}
-		return res, nil
-	case <-time.After(timeout):
-		cl.drop(id)
-		return sessResult{}, fmt.Errorf("%w (node %d, op %d)", ErrSessionTimeout, node, op)
+	if err := cl.mapStatus(node, res); err != nil {
+		return sessResult{}, err
 	}
-}
-
-// drop forgets a pending call whose send failed or timed out.
-func (cl *Client) drop(id uint64) {
-	cl.mu.Lock()
-	delete(cl.pend, id)
-	cl.mu.Unlock()
+	return res, nil
 }
 
 // sessErrorText decodes the message of a sessStatusErr payload.
@@ -250,34 +425,321 @@ func (cl *Client) WaitReady(timeout time.Duration) error {
 }
 
 // Get reads key through node's session layer (any node serves any key).
-// Absent keys return store.ErrNotFound.
+// Absent keys return store.ErrNotFound. With auto-batching enabled the
+// operation rides a shared batch frame.
 func (cl *Client) Get(node int, key uint64) ([]byte, error) {
-	body := binary.LittleEndian.AppendUint64(make([]byte, 0, 8), key)
-	res, err := cl.call(uint8(node), sessOpGet, body)
+	if st := cl.ab.Load(); st != nil && node >= 0 && node < len(st.per) {
+		r := st.per[node].do(BatchOp{Key: key})
+		return r.Value, r.Err
+	}
+	id := cl.nextID.Add(1)
+	frame, pooled := cl.newFrame(sessHeader + 8)
+	frame = append(frame, sessOpGet)
+	frame = binary.LittleEndian.AppendUint64(frame, id)
+	frame = binary.LittleEndian.AppendUint64(frame, key)
+	res, err := cl.exchange(uint8(node), id, frame, pooled, cl.timeout)
 	if err != nil {
 		return nil, err
 	}
 	if res.status == sessStatusNotFound {
 		return nil, store.ErrNotFound
 	}
-	if len(res.payload) < 4 {
-		return nil, fmt.Errorf("cluster: malformed get response from node %d", node)
+	if err := cl.mapStatus(uint8(node), res); err != nil {
+		return nil, err
 	}
-	vlen := int(binary.LittleEndian.Uint32(res.payload[:4]))
-	if vlen < 0 || len(res.payload) < 4+vlen {
-		return nil, fmt.Errorf("cluster: truncated get response from node %d", node)
-	}
-	return res.payload[4 : 4+vlen], nil
+	return decodeGetValue(node, res.payload)
 }
 
-// Put writes key through node's session layer.
+// decodeGetValue unwraps a served get's vlen-framed payload.
+func decodeGetValue(node int, payload []byte) ([]byte, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("cluster: malformed get response from node %d", node)
+	}
+	vlen := int(binary.LittleEndian.Uint32(payload[:4]))
+	if vlen < 0 || len(payload) < 4+vlen {
+		return nil, fmt.Errorf("cluster: truncated get response from node %d", node)
+	}
+	return payload[4 : 4+vlen], nil
+}
+
+// Put writes key through node's session layer. With auto-batching enabled
+// the operation rides a shared batch frame.
 func (cl *Client) Put(node int, key uint64, value []byte) error {
-	body := make([]byte, 0, 12+len(value))
-	body = binary.LittleEndian.AppendUint64(body, key)
-	body = binary.LittleEndian.AppendUint32(body, uint32(len(value)))
-	body = append(body, value...)
-	_, err := cl.call(uint8(node), sessOpPut, body)
+	if st := cl.ab.Load(); st != nil && node >= 0 && node < len(st.per) {
+		return st.per[node].do(BatchOp{Put: true, Key: key, Value: value}).Err
+	}
+	id := cl.nextID.Add(1)
+	frame, pooled := cl.newFrame(sessHeader + 12 + len(value))
+	frame = append(frame, sessOpPut)
+	frame = binary.LittleEndian.AppendUint64(frame, id)
+	frame = binary.LittleEndian.AppendUint64(frame, key)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(value)))
+	frame = append(frame, value...)
+	res, err := cl.exchange(uint8(node), id, frame, pooled, cl.timeout)
+	if err != nil {
+		return err
+	}
+	return cl.mapStatus(uint8(node), res)
+}
+
+// BatchOp is one operation of a batched session frame: a get (Put false) or
+// a put of Value under Key.
+type BatchOp struct {
+	Put   bool
+	Key   uint64
+	Value []byte
+}
+
+// BatchResult is one operation's outcome: the read value for a served get,
+// or the per-op error (store.ErrNotFound for absent keys, a wrapped
+// ErrHomeDown when the key's home left the view, ErrNodeUnreachable /
+// ErrSessionTimeout / ErrClientClosed when the op's frame failed).
+type BatchResult struct {
+	Value []byte
+	Err   error
+}
+
+// Batch executes ops against node in one round trip (chunked transparently
+// when a frame would exceed the server's batch limits). The result slice
+// always has len(ops), in request order, with per-op outcomes; the error
+// return reports the first frame-level failure (unreachable node, timeout) —
+// per-op statuses such as an absent key never raise it.
+func (cl *Client) Batch(node int, ops []BatchOp) ([]BatchResult, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	rs := make([]BatchResult, len(ops))
+	var firstErr error
+	start := 0
+	bytes := 4
+	for i := 0; i <= len(ops); i++ {
+		need := 0
+		if i < len(ops) {
+			need = 9
+			if ops[i].Put {
+				need = 13 + len(ops[i].Value)
+			}
+		}
+		full := i-start >= sessBatchMaxOps || (i > start && bytes+need > sessBatchMaxBytes)
+		if i == len(ops) || full {
+			if err := cl.batchChunk(node, ops[start:i], rs[start:i]); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			start = i
+			bytes = 4
+		}
+		bytes += need
+	}
+	return rs, firstErr
+}
+
+// batchChunk sends one batch frame and decodes its results in place. A
+// frame-level failure is both returned and fanned out to every op of the
+// chunk, so callers that only look at per-op results still observe it.
+func (cl *Client) batchChunk(node int, ops []BatchOp, rs []BatchResult) error {
+	id := cl.nextID.Add(1)
+	size := sessHeader + 4
+	for i := range ops {
+		if ops[i].Put {
+			size += 13 + len(ops[i].Value)
+		} else {
+			size += 9
+		}
+	}
+	frame, pooled := cl.newFrame(size)
+	frame = append(frame, sessOpBatch)
+	frame = binary.LittleEndian.AppendUint64(frame, id)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(ops)))
+	for i := range ops {
+		if ops[i].Put {
+			frame = append(frame, sessOpPut)
+			frame = binary.LittleEndian.AppendUint64(frame, ops[i].Key)
+			frame = binary.LittleEndian.AppendUint32(frame, uint32(len(ops[i].Value)))
+			frame = append(frame, ops[i].Value...)
+		} else {
+			frame = append(frame, sessOpGet)
+			frame = binary.LittleEndian.AppendUint64(frame, ops[i].Key)
+		}
+	}
+	res, err := cl.exchange(uint8(node), id, frame, pooled, cl.timeout)
+	if err == nil {
+		err = cl.mapStatus(uint8(node), res)
+	}
+	if err == nil {
+		err = cl.decodeBatch(node, ops, rs, res.payload)
+		if err == nil {
+			return nil
+		}
+	}
+	for i := range rs {
+		rs[i] = BatchResult{Err: err}
+	}
 	return err
+}
+
+// decodeBatch unpacks a batch response's per-op entries into rs. The request
+// ops disambiguate bare-OK puts from value-framed gets.
+func (cl *Client) decodeBatch(node int, ops []BatchOp, rs []BatchResult, payload []byte) error {
+	malformed := fmt.Errorf("cluster: malformed batch response from node %d", node)
+	if len(payload) < 4 || int(binary.LittleEndian.Uint32(payload[:4])) != len(ops) {
+		return malformed
+	}
+	buf := payload[4:]
+	for i := range ops {
+		if len(buf) < 1 {
+			return malformed
+		}
+		status := buf[0]
+		buf = buf[1:]
+		switch status {
+		case sessStatusOK:
+			if ops[i].Put {
+				break
+			}
+			if len(buf) < 4 {
+				return malformed
+			}
+			vlen := int(binary.LittleEndian.Uint32(buf[:4]))
+			if vlen < 0 || len(buf) < 4+vlen {
+				return malformed
+			}
+			rs[i].Value = buf[4 : 4+vlen]
+			buf = buf[4+vlen:]
+		case sessStatusNotFound:
+			rs[i].Err = store.ErrNotFound
+		case sessStatusHomeDown:
+			rs[i].Err = fmt.Errorf("node %d reports %w", node, ErrHomeDown)
+		case sessStatusErr:
+			if len(buf) < 4 {
+				return malformed
+			}
+			mlen := int(binary.LittleEndian.Uint32(buf[:4]))
+			if mlen < 0 || len(buf) < 4+mlen {
+				return malformed
+			}
+			rs[i].Err = fmt.Errorf("cluster: node %d: %s", node, string(buf[4:4+mlen]))
+			buf = buf[4+mlen:]
+		default:
+			rs[i].Err = fmt.Errorf("cluster: node %d: unexpected batch op status %d", node, status)
+		}
+	}
+	return nil
+}
+
+// MultiGet reads keys through node in one batched round trip. values[i] is
+// nil when keys[i] is absent; the first hard failure is returned after the
+// whole batch settled — same contract as Node.MultiGet.
+func (cl *Client) MultiGet(node int, keys []uint64) ([][]byte, error) {
+	ops := make([]BatchOp, len(keys))
+	for i, k := range keys {
+		ops[i].Key = k
+	}
+	rs, firstErr := cl.Batch(node, ops)
+	out := make([][]byte, len(keys))
+	for i := range rs {
+		switch {
+		case rs[i].Err == nil:
+			out[i] = rs[i].Value
+		case errors.Is(rs[i].Err, store.ErrNotFound):
+			// absent: out[i] stays nil
+		default:
+			if firstErr == nil {
+				firstErr = rs[i].Err
+			}
+		}
+	}
+	return out, firstErr
+}
+
+// MultiPut writes keys[i]=values[i] through node in one batched round trip,
+// returning the first failure after the whole batch settled.
+func (cl *Client) MultiPut(node int, keys []uint64, values [][]byte) error {
+	ops := make([]BatchOp, len(keys))
+	for i, k := range keys {
+		ops[i] = BatchOp{Put: true, Key: k, Value: values[i]}
+	}
+	rs, firstErr := cl.Batch(node, ops)
+	for i := range rs {
+		if rs[i].Err != nil && firstErr == nil {
+			firstErr = rs[i].Err
+		}
+	}
+	return firstErr
+}
+
+// autoBatchState is one SetAutoBatch configuration: a batcher per server.
+type autoBatchState struct {
+	per []*autoBatch
+}
+
+// flush forces out whatever every batcher buffered.
+func (st *autoBatchState) flush() {
+	for _, a := range st.per {
+		a.flushTimed()
+	}
+}
+
+// autoBatch coalesces concurrent Get/Put callers toward one server into
+// batch frames: the first op of a batch arms the flush timer, the maxOps-th
+// flushes inline on its caller.
+type autoBatch struct {
+	cl     *Client
+	node   uint8
+	maxOps int
+	delay  time.Duration
+
+	mu    sync.Mutex
+	ops   []BatchOp
+	chs   []chan BatchResult
+	timer *time.Timer
+}
+
+// do enqueues one operation and blocks for its result.
+func (a *autoBatch) do(op BatchOp) BatchResult {
+	ch := abChPool.Get().(chan BatchResult)
+	a.mu.Lock()
+	a.ops = append(a.ops, op)
+	a.chs = append(a.chs, ch)
+	if len(a.ops) >= a.maxOps {
+		ops, chs := a.takeLocked()
+		a.mu.Unlock()
+		a.run(ops, chs)
+	} else {
+		if len(a.ops) == 1 {
+			a.timer.Reset(a.delay)
+		}
+		a.mu.Unlock()
+	}
+	r := <-ch
+	abChPool.Put(ch)
+	return r
+}
+
+// takeLocked claims the buffered batch; the caller holds a.mu.
+func (a *autoBatch) takeLocked() ([]BatchOp, []chan BatchResult) {
+	ops, chs := a.ops, a.chs
+	a.ops, a.chs = nil, nil
+	a.timer.Stop()
+	return ops, chs
+}
+
+// flushTimed flushes on the timer (or on reconfiguration/close).
+func (a *autoBatch) flushTimed() {
+	a.mu.Lock()
+	ops, chs := a.takeLocked()
+	a.mu.Unlock()
+	a.run(ops, chs)
+}
+
+// run executes one claimed batch and distributes the per-op results.
+func (a *autoBatch) run(ops []BatchOp, chs []chan BatchResult) {
+	if len(ops) == 0 {
+		return
+	}
+	rs, _ := a.cl.Batch(int(a.node), ops)
+	for i, ch := range chs {
+		ch <- rs[i]
+	}
 }
 
 // Refresh asks node to reconfigure the deployment's hot set to exactly

@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/store"
+)
+
+// The client edge: batched session frames (wire format v2), the pipelined
+// client, auto-batching, and their failure semantics. The harness is the
+// member form over a shared ChanTransport — the client attaches to the same
+// transport with a node id outside the server range, exactly how a load
+// generator attaches over TCP.
+
+// newChanClient builds a member-form deployment plus a Client on the shared
+// transport.
+func newChanClient(t *testing.T, cfg Config) ([]*Cluster, *Client) {
+	t.Helper()
+	stats := fabric.NewStats()
+	tr := fabric.NewChanTransport(cfg.QueueDepth, stats)
+	members := make([]*Cluster, cfg.Nodes)
+	for i := range members {
+		m, err := NewMember(cfg, i, tr, stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Populate()
+		members[i] = m
+	}
+	cl := NewClient(200, cfg.Nodes, tr)
+	t.Cleanup(func() {
+		cl.Close()
+		for _, m := range members {
+			m.Close() // the shared transport closes with the first member
+		}
+	})
+	return members, cl
+}
+
+func TestClientBatchRoundTrip(t *testing.T) {
+	cfg := Config{Nodes: 3, System: Base, NumKeys: 1024}
+	_, cl := newChanClient(t, cfg)
+
+	keys := []uint64{1, 2, 3, 500, 900}
+	vals := make([][]byte, len(keys))
+	for i := range keys {
+		vals[i] = []byte(fmt.Sprintf("batched-%d", keys[i]))
+	}
+	if err := cl.MultiPut(1, keys, vals); err != nil {
+		t.Fatalf("MultiPut: %v", err)
+	}
+
+	// Read the batch back through a different node, plus one absent key.
+	probe := append(append([]uint64(nil), keys...), cfg.NumKeys+7)
+	out, err := cl.MultiGet(2, probe)
+	if err != nil {
+		t.Fatalf("MultiGet: %v", err)
+	}
+	for i := range keys {
+		if string(out[i]) != string(vals[i]) {
+			t.Fatalf("key %d: got %q want %q", keys[i], out[i], vals[i])
+		}
+	}
+	if out[len(keys)] != nil {
+		t.Fatalf("absent key returned %q, want nil", out[len(keys)])
+	}
+}
+
+func TestClientBatchSplitsOversizeBatches(t *testing.T) {
+	cfg := Config{Nodes: 2, System: Base, NumKeys: 2048}
+	_, cl := newChanClient(t, cfg)
+
+	// More ops than one frame may carry: Batch must chunk transparently.
+	n := sessBatchMaxOps + 5
+	ops := make([]BatchOp, n)
+	for i := range ops {
+		ops[i].Key = uint64(i % int(cfg.NumKeys))
+	}
+	rs, err := cl.Batch(0, ops)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if len(rs) != n {
+		t.Fatalf("got %d results, want %d", len(rs), n)
+	}
+	for i, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("op %d: %v", i, r.Err)
+		}
+		if len(r.Value) == 0 {
+			t.Fatalf("op %d: empty value", i)
+		}
+	}
+}
+
+func TestClientEmptyBatch(t *testing.T) {
+	cfg := Config{Nodes: 2, System: Base, NumKeys: 256}
+	_, cl := newChanClient(t, cfg)
+
+	// Client-side: a zero-op Batch performs no wire traffic.
+	rs, err := cl.Batch(0, nil)
+	if err != nil || rs != nil {
+		t.Fatalf("empty Batch: got (%v, %v), want (nil, nil)", rs, err)
+	}
+
+	// Wire-level: a hand-built count=0 frame answers OK with zero entries.
+	res, err := cl.call(0, sessOpBatch, []byte{0, 0, 0, 0})
+	if err != nil {
+		t.Fatalf("count=0 frame: %v", err)
+	}
+	if res.status != sessStatusOK || len(res.payload) != 4 {
+		t.Fatalf("count=0 frame: status %d payload %d bytes, want OK with bare count", res.status, len(res.payload))
+	}
+}
+
+func TestClientOversizeBatchFrameRejected(t *testing.T) {
+	cfg := Config{Nodes: 2, System: Base, NumKeys: 256}
+	_, cl := newChanClient(t, cfg)
+
+	// A frame claiming more ops than the server's limit is refused whole
+	// with the bad-request status, not served partially.
+	body := binary.LittleEndian.AppendUint32(nil, sessBatchMaxOps+1)
+	_, err := cl.call(0, sessOpBatch, body)
+	if err == nil || !strings.Contains(err.Error(), "bad request") {
+		t.Fatalf("oversize frame: got %v, want bad-request rejection", err)
+	}
+}
+
+func TestClientBatchMixedStatusesWithHomeDown(t *testing.T) {
+	cfg := Config{Nodes: 3, System: Base, NumKeys: 1024, QueueDepth: 256}
+	members, cl := newChanClient(t, cfg)
+
+	// Excise node 2 from the view: its cold-homed keys must fail fast with
+	// the home-down status — inside the batch, without failing its siblings.
+	members[0].PeerDown(2, errors.New("test: node 2 excised"))
+
+	liveKey := coldKeyHomedOn(t, members[0], 0, cfg.NumKeys)
+	deadKey := coldKeyHomedOn(t, members[0], 2, cfg.NumKeys)
+	var absentKey uint64
+	for k := cfg.NumKeys; ; k++ {
+		if HomeOf(k, cfg.Nodes) != 2 {
+			absentKey = k
+			break
+		}
+	}
+
+	ops := []BatchOp{
+		{Key: liveKey},
+		{Key: deadKey},
+		{Put: true, Key: liveKey, Value: []byte("still-served")},
+		{Key: absentKey},
+	}
+	rs, err := cl.Batch(0, ops)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if rs[0].Err != nil || len(rs[0].Value) == 0 {
+		t.Fatalf("live get: (%q, %v), want a value", rs[0].Value, rs[0].Err)
+	}
+	if !errors.Is(rs[1].Err, ErrHomeDown) {
+		t.Fatalf("dead-homed get: %v, want ErrHomeDown", rs[1].Err)
+	}
+	if rs[2].Err != nil {
+		t.Fatalf("live put: %v", rs[2].Err)
+	}
+	if !errors.Is(rs[3].Err, store.ErrNotFound) {
+		t.Fatalf("absent get: %v, want store.ErrNotFound", rs[3].Err)
+	}
+
+	// The batch's put landed despite the dead-homed sibling.
+	v, err := cl.Get(1, liveKey)
+	if err != nil || string(v) != "still-served" {
+		t.Fatalf("after batch: (%q, %v), want still-served", v, err)
+	}
+}
+
+func TestClientAutoBatchFlushBySize(t *testing.T) {
+	cfg := Config{Nodes: 2, System: Base, NumKeys: 512}
+	_, cl := newChanClient(t, cfg)
+
+	// With a far-future timer, only the size trigger can flush: two
+	// concurrent gets fill a maxOps=2 batch and both complete.
+	cl.SetAutoBatch(2, time.Minute)
+	done := make(chan error, 2)
+	for g := 0; g < 2; g++ {
+		key := uint64(g + 1)
+		go func() {
+			v, err := cl.Get(0, key)
+			if err == nil && len(v) == 0 {
+				err = errors.New("empty value")
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("auto-batched get: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("size-triggered flush never fired")
+		}
+	}
+}
+
+func TestClientAutoBatchFlushByTimer(t *testing.T) {
+	cfg := Config{Nodes: 2, System: Base, NumKeys: 512}
+	_, cl := newChanClient(t, cfg)
+
+	// A lone op can only flush on the timer.
+	cl.SetAutoBatch(64, 20*time.Millisecond)
+	start := time.Now()
+	v, err := cl.Get(0, 3)
+	if err != nil || len(v) == 0 {
+		t.Fatalf("timer-flushed get: (%q, %v)", v, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timer flush took %v", elapsed)
+	}
+}
+
+func TestClientAutoBatchHalfFlushedOnPeerDeath(t *testing.T) {
+	cfg := Config{Nodes: 2, System: Base, NumKeys: 512, QueueDepth: 64}
+	members, addrs := newTCPMembers(t, cfg)
+	cl, err := DialTCP(201, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetTimeout(2 * time.Second)
+	if err := cl.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill node 1 and wait until the client has positively observed it.
+	members[1].Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := cl.Ping(1); errors.Is(err, ErrNodeUnreachable) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never observed the dead server")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Two ops fill half of a maxOps=4 batch toward the dead node; the timer
+	// flush must fail them per-op with the typed unreachable error instead
+	// of stranding the batch.
+	cl.SetAutoBatch(4, 50*time.Millisecond)
+	done := make(chan error, 2)
+	go func() { _, err := cl.Get(1, 1); done <- err }()
+	go func() { done <- cl.Put(1, 2, []byte("lost")) }()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrNodeUnreachable) && !errors.Is(err, ErrSessionTimeout) {
+				t.Fatalf("half-flushed op: %v, want ErrNodeUnreachable", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("half-flushed batch never completed")
+		}
+	}
+}
+
+// The client edge's allocation diet: a single-op get through the session
+// layer reuses its completion channel, timeout timer and (on copying
+// transports) its encode buffer, leaving only the response copy and the
+// frame itself. Batched ops amortize even those across the whole frame.
+func TestClientGetAllocsPerOp(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	cfg := Config{Nodes: 2, System: Base, NumKeys: 1024}
+	_, cl := newChanClient(t, cfg)
+	key := uint64(0)
+	for k := uint64(0); k < cfg.NumKeys; k++ {
+		if HomeOf(k, cfg.Nodes) == 0 {
+			key = k
+			break
+		}
+	}
+	allocs := testing.AllocsPerRun(2000, func() {
+		if _, err := cl.Get(0, key); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("client get: %.1f allocs/op (seed: 7.0)", allocs)
+	if allocs > 4.5 {
+		t.Fatalf("client get costs %.1f allocs/op, want <= 4.5 (seed was 7.0)", allocs)
+	}
+}
+
+func TestClientBatchAllocsPerOp(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	cfg := Config{Nodes: 2, System: Base, NumKeys: 1024}
+	_, cl := newChanClient(t, cfg)
+	const batch = 64
+	keys := make([]uint64, 0, batch)
+	for k := uint64(0); len(keys) < batch; k++ {
+		if HomeOf(k, cfg.Nodes) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		out, err := cl.MultiGet(0, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != batch {
+			t.Fatal("short batch")
+		}
+	}) / batch
+	t.Logf("batched client get: %.2f allocs/op at batch=%d", allocs, batch)
+	if allocs > 1.5 {
+		t.Fatalf("batched client get costs %.2f allocs/op, want <= 1.5", allocs)
+	}
+}

@@ -293,6 +293,11 @@ type Cluster struct {
 	// killed marks a chaos-killed member: every fabric handler drops its
 	// traffic so peers' suspicion timers fire (Kill).
 	killed atomic.Bool
+	// sessMu guards sessClosed against the worker session lanes' queues:
+	// enqueues take the read side, Close flips sessClosed and closes the
+	// queues under the write side, so no send can race the close.
+	sessMu     sync.RWMutex
+	sessClosed bool
 	// Ping-based failure detector state (startProber).
 	lastPong     []atomic.Int64
 	probeStop    chan struct{}
@@ -368,6 +373,10 @@ type worker struct {
 	// single outstanding Lin write per key, see core.ErrWritePending).
 	waitMu  sync.Mutex
 	waiters map[uint64]chan core.Update
+
+	// sessQ feeds this worker's session lane (session.go): client-edge
+	// requests steered here by key hash, served in overlapped bursts.
+	sessQ chan sessJob
 }
 
 // workerFor returns the worker owning key's stripe.
@@ -462,6 +471,7 @@ func build(cfg Config, tr fabric.Transport, stats *fabric.Stats, self int) (*Clu
 			}
 			wk.rpc = newRPCClient(wk)
 			wk.pipe = newPipeline(wk, cfg.Nodes, cfg.QueueDepth, cfg.BatchMaxMsgs, cfg.BatchMaxBytes)
+			wk.sessQ = make(chan sessJob, cfg.QueueDepth)
 			n.workers[w] = wk
 		}
 		c.nodes[i] = n
@@ -552,6 +562,20 @@ func (c *Cluster) Close() error {
 			wk.rpc.failAll(ErrPipelineClosed)
 		}
 	}
+	// Stop the session lanes last: in-flight lane work has already been
+	// failed by the pipeline/RPC teardown above, and the write lock pairs
+	// with sessEnqueue's read lock so no enqueue races the close.
+	c.sessMu.Lock()
+	c.sessClosed = true
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		for _, wk := range n.workers {
+			close(wk.sessQ)
+		}
+	}
+	c.sessMu.Unlock()
 	return err
 }
 
@@ -658,6 +682,9 @@ func (n *Node) start() {
 	}
 	tr.Register(fabric.Addr{Node: n.id, Thread: threadFlow}, n.handleFlowControl)
 	tr.Register(fabric.Addr{Node: n.id, Thread: threadSession}, n.handleSession)
+	for _, wk := range n.workers {
+		go n.sessionLane(wk.sessQ)
+	}
 }
 
 // handleFlowControl restores credits granted by a peer's credit update to

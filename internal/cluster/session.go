@@ -3,6 +3,7 @@ package cluster
 import (
 	"encoding/binary"
 	"errors"
+	"sync/atomic"
 
 	"repro/internal/fabric"
 	"repro/internal/metrics"
@@ -18,13 +19,11 @@ import (
 // black-box load-balancer abstraction of §3: a client may send any request
 // to any node.
 //
-// Wire formats (little endian). Unlike the inter-node KVS RPC, session
-// packets carry exactly one request and receive exactly one response —
-// clients provide concurrency by keeping many requests outstanding, and the
-// per-connection TCP framing already amortizes syscall costs. Session
-// requests may block (a Lin write waits for acks; a cache miss crosses the
-// fabric), so each one is served on its own goroutine rather than on the
-// transport's dispatcher.
+// Wire formats (little endian). The v1 single-op format carries exactly one
+// request per packet; the v2 batch op (sessOpBatch) packs many get/put
+// entries into one frame, amortizing per-packet costs on the client edge the
+// same way the inter-node coalescing pipeline does on the fabric (§6.3/§8.5).
+// Both formats are served side by side — the op byte versions the frame.
 //
 //	request:  op(1) reqID(8) rest
 //	  get:     key(8)
@@ -32,19 +31,38 @@ import (
 //	  ping:    -
 //	  refresh: count(4) key(8)*count     — ApplyHotSet(target) at this node
 //	  stats:   -
+//	  batch:   count(4) entry*count      — entry: kind(1) key(8) [vlen(4) value]
+//	                                       kind: sessOpGet or sessOpPut
 //	response: reqID(8) status(1) payload
 //	  ok get:     vlen(4) value
 //	  ok refresh: promoted(4) demoted(4) writebacks(4)
 //	  ok stats:   hits(8) misses(8) local(8) remote(8) hot(8) frozenRetries(8)
+//	  ok batch:   count(4) result*count  — result: status(1) [payload], one per
+//	                                       entry in request order; get results
+//	                                       carry vlen(4) value, errors carry
+//	                                       vlen(4) message, everything else is
+//	                                       the bare status
 //	  error:      vlen(4) message
 //	  home-down:  -                 — the key's home node left the membership
 //	                                  view; fail fast, retry after rejoin
+//
+// Dispatch: session ops are steered by key hash to the owning worker's
+// session lane (Config.workerOf — the same EREW steering the inter-node
+// fabric uses), replacing the old goroutine-per-request model. Each lane
+// drains a burst of queued jobs and overlaps their remote fetches on the
+// coalescing pipeline before encoding the responses, so concurrent clients
+// keep many remote accesses in flight without per-request goroutines.
+// Ping/stats are answered inline on the dispatcher (non-blocking); refresh
+// keeps its own goroutine (a long-blocking control op that fans out its own
+// RPCs).
 const (
 	sessOpGet     byte = 0
 	sessOpPut     byte = 1
 	sessOpPing    byte = 2
 	sessOpRefresh byte = 3
 	sessOpStats   byte = 4
+	// sessOpBatch is the v2 many-ops-per-frame format (see above).
+	sessOpBatch byte = 5
 
 	sessStatusOK       byte = 0
 	sessStatusNotFound byte = 1
@@ -59,9 +77,75 @@ const (
 
 const sessHeader = 1 + 8
 
-// handleSession dispatches one client request. The handler goroutine per
-// request is what lets a single client connection keep many blocking
-// operations in flight.
+// sessBatchMaxOps bounds the entries of one batch frame; the server refuses
+// oversize frames with sessStatusBad (the client chunks transparently).
+const sessBatchMaxOps = 1024
+
+// sessBatchMaxBytes bounds the payload of one batch request frame.
+const sessBatchMaxBytes = 1 << 20
+
+// sessLaneBurst bounds how many queued session jobs a lane drains into one
+// overlapped serving pass.
+const sessLaneBurst = 64
+
+// sessOp is one parsed client operation (a single-op request or one entry of
+// a batch). value is a private copy for puts — never an alias of the packet
+// buffer, which the TCP transport reuses the moment the handler returns.
+type sessOp struct {
+	idx   int // position in the batch (response entries are emitted in request order)
+	put   bool
+	key   uint64
+	value []byte
+}
+
+// sessJob is one unit of lane work: either a single-op request (batch == nil)
+// or one worker's group of a batch.
+type sessJob struct {
+	batch *sessBatch
+	gidx  int32
+	// Single-op fields (batch == nil):
+	src   fabric.Addr
+	reqID uint64
+	op    sessOp
+	// resOff is lane-local bookkeeping: the job's first result index within
+	// the lane's burst scratch.
+	resOff int
+}
+
+// sessBatch is one in-flight batch frame, split into per-worker groups. Each
+// group is served on its owning worker's lane; the last lane to finish
+// (remaining hits zero — the atomic ordering makes every group's results
+// visible to it) assembles the response frame in request order and sends it.
+type sessBatch struct {
+	src       fabric.Addr
+	reqID     uint64
+	remaining atomic.Int32
+	groups    []sessGroup
+	// spans locates each op's encoded result entry: spans[i] names the group
+	// buffer slice holding entry i. Disjoint slots are written by the lanes
+	// serving their groups.
+	spans []sessSpan
+}
+
+// sessGroup is the subset of a batch owned by one worker.
+type sessGroup struct {
+	worker int
+	ops    []sessOp
+	// buf holds the group's encoded result entries (pooled; recycled by the
+	// assembling lane after the response frame is built).
+	buf    []byte
+	pooled *srvBuf
+}
+
+// sessSpan is one op's encoded result entry within its group buffer.
+type sessSpan struct {
+	group    int32
+	off, end int32
+}
+
+// handleSession dispatches one client request frame: singles and batch
+// groups are steered to their workers' session lanes; ping/stats answer
+// inline; refresh runs on its own goroutine.
 func (n *Node) handleSession(p fabric.Packet) {
 	if n.cluster.killed.Load() {
 		return // a dead process answers nothing; the client's timeout cleans up
@@ -69,87 +153,39 @@ func (n *Node) handleSession(p fabric.Packet) {
 	if len(p.Data) < sessHeader {
 		return // not even a request id to answer; drop (datagram semantics)
 	}
-	// The goroutine outlives this handler, and the TCP transport reuses its
-	// receive buffer the moment the handler returns — the request must be
-	// copied out of the packet before it escapes.
-	p.Data = append([]byte(nil), p.Data...)
-	go n.serveSession(p)
-}
-
-func (n *Node) serveSession(p fabric.Packet) {
 	op := p.Data[0]
 	reqID := binary.LittleEndian.Uint64(p.Data[1:9])
 	body := p.Data[sessHeader:]
 
-	resp := binary.LittleEndian.AppendUint64(make([]byte, 0, 64), reqID)
 	switch op {
 	case sessOpGet:
 		if len(body) < 8 {
-			resp = append(resp, sessStatusBad)
-			break
+			n.sessReplyStatus(p.Src, reqID, sessStatusBad)
+			return
 		}
 		key := binary.LittleEndian.Uint64(body[:8])
-		v, err := n.Get(key)
-		switch {
-		case err == nil:
-			resp = append(resp, sessStatusOK)
-			resp = binary.LittleEndian.AppendUint32(resp, uint32(len(v)))
-			resp = append(resp, v...)
-		case errors.Is(err, store.ErrNotFound):
-			resp = append(resp, sessStatusNotFound)
-		case errors.Is(err, ErrHomeDown):
-			resp = append(resp, sessStatusHomeDown)
-		default:
-			resp = appendSessError(resp, err)
-		}
+		n.sessEnqueue(n.workerFor(key), sessJob{src: p.Src, reqID: reqID, op: sessOp{key: key}})
 	case sessOpPut:
 		if len(body) < 12 {
-			resp = append(resp, sessStatusBad)
-			break
+			n.sessReplyStatus(p.Src, reqID, sessStatusBad)
+			return
 		}
 		key := binary.LittleEndian.Uint64(body[:8])
 		vlen := int(binary.LittleEndian.Uint32(body[8:12]))
 		if vlen < 0 || len(body) < 12+vlen {
-			resp = append(resp, sessStatusBad)
-			break
+			n.sessReplyStatus(p.Src, reqID, sessStatusBad)
+			return
 		}
 		// The value aliases the packet buffer; copy before it escapes into
 		// the store or the consistency broadcast.
 		val := append([]byte(nil), body[12:12+vlen]...)
-		switch err := n.Put(key, val); {
-		case err == nil:
-			resp = append(resp, sessStatusOK)
-		case errors.Is(err, ErrHomeDown):
-			resp = append(resp, sessStatusHomeDown)
-		default:
-			resp = appendSessError(resp, err)
-		}
+		n.sessEnqueue(n.workerFor(key), sessJob{src: p.Src, reqID: reqID, op: sessOp{put: true, key: key, value: val}})
+	case sessOpBatch:
+		n.dispatchSessionBatch(p.Src, reqID, body)
 	case sessOpPing:
-		resp = append(resp, sessStatusOK)
-	case sessOpRefresh:
-		if len(body) < 4 {
-			resp = append(resp, sessStatusBad)
-			break
-		}
-		count := int(binary.LittleEndian.Uint32(body[:4]))
-		if count < 0 || len(body) < 4+8*count {
-			resp = append(resp, sessStatusBad)
-			break
-		}
-		target := make([]uint64, count)
-		for i := range target {
-			target[i] = binary.LittleEndian.Uint64(body[4+8*i:])
-		}
-		st, err := n.cluster.ApplyHotSet(int(n.id), target)
-		if err != nil {
-			resp = appendSessError(resp, err)
-			break
-		}
-		resp = append(resp, sessStatusOK)
-		resp = binary.LittleEndian.AppendUint32(resp, uint32(st.Promoted))
-		resp = binary.LittleEndian.AppendUint32(resp, uint32(st.Demoted))
-		resp = binary.LittleEndian.AppendUint32(resp, uint32(st.WriteBacks))
+		n.sessReplyStatus(p.Src, reqID, sessStatusOK)
 	case sessOpStats:
+		resp := binary.LittleEndian.AppendUint64(make([]byte, 0, 64), reqID)
 		resp = append(resp, sessStatusOK)
 		resp = binary.LittleEndian.AppendUint64(resp, n.CacheHits.Load())
 		resp = binary.LittleEndian.AppendUint64(resp, n.CacheMisses.Load())
@@ -161,20 +197,469 @@ func (n *Node) serveSession(p fabric.Packet) {
 		}
 		resp = binary.LittleEndian.AppendUint64(resp, hot)
 		resp = binary.LittleEndian.AppendUint64(resp, n.FrozenRetries.Load())
+		n.sessSend(p.Src, resp, nil)
+	case sessOpRefresh:
+		if len(body) < 4 {
+			n.sessReplyStatus(p.Src, reqID, sessStatusBad)
+			return
+		}
+		count := int(binary.LittleEndian.Uint32(body[:4]))
+		if count < 0 || len(body) < 4+8*count {
+			n.sessReplyStatus(p.Src, reqID, sessStatusBad)
+			return
+		}
+		// Parse before the handler returns (the packet buffer is reused);
+		// the epoch change itself blocks on cluster-wide RPCs, so it runs on
+		// its own goroutine, never on a lane.
+		target := make([]uint64, count)
+		for i := range target {
+			target[i] = binary.LittleEndian.Uint64(body[4+8*i:])
+		}
+		go n.serveRefresh(p.Src, reqID, target)
 	default:
-		resp = append(resp, sessStatusBad)
+		n.sessReplyStatus(p.Src, reqID, sessStatusBad)
+	}
+}
+
+// dispatchSessionBatch parses a v2 batch frame, splits its entries into
+// per-worker groups (same key steering as the inter-node fabric) and
+// enqueues one job per group.
+func (n *Node) dispatchSessionBatch(src fabric.Addr, reqID uint64, body []byte) {
+	if len(body) < 4 || len(body) > sessBatchMaxBytes {
+		n.sessReplyStatus(src, reqID, sessStatusBad)
+		return
+	}
+	count := int(int32(binary.LittleEndian.Uint32(body[:4])))
+	if count < 0 || count > sessBatchMaxOps {
+		n.sessReplyStatus(src, reqID, sessStatusBad)
+		return
+	}
+	if count == 0 {
+		resp := binary.LittleEndian.AppendUint64(make([]byte, 0, 16), reqID)
+		resp = append(resp, sessStatusOK)
+		resp = binary.LittleEndian.AppendUint32(resp, 0)
+		n.sessSend(src, resp, nil)
+		return
 	}
 
-	// Reply to wherever the request came from; the TCP transport learned the
-	// return route from the inbound connection, so ephemeral clients outside
-	// the peer table still get their answer. A failed send means the client
-	// is gone (its timeout or peer-down handler cleans up).
+	// Pass 1: validate the framing and size the shared value backing, so the
+	// copies in pass 2 never reallocate it (the sub-slices must stay stable).
+	buf := body[4:]
+	totalVal := 0
+	for i := 0; i < count; i++ {
+		if len(buf) < 9 {
+			n.sessReplyStatus(src, reqID, sessStatusBad)
+			return
+		}
+		switch buf[0] {
+		case sessOpGet:
+			buf = buf[9:]
+		case sessOpPut:
+			if len(buf) < 13 {
+				n.sessReplyStatus(src, reqID, sessStatusBad)
+				return
+			}
+			vlen := int(binary.LittleEndian.Uint32(buf[9:13]))
+			if vlen < 0 || len(buf) < 13+vlen {
+				n.sessReplyStatus(src, reqID, sessStatusBad)
+				return
+			}
+			totalVal += vlen
+			buf = buf[13+vlen:]
+		default:
+			n.sessReplyStatus(src, reqID, sessStatusBad)
+			return
+		}
+	}
+
+	// Pass 2: build the batch. Put values are copied into one shared backing
+	// buffer (one allocation per frame, not per put); the backing is never
+	// pooled, so a value that outlives the batch (a staged Lin write) stays
+	// valid.
+	b := &sessBatch{src: src, reqID: reqID, spans: make([]sessSpan, count)}
+	vals := make([]byte, 0, totalVal)
+	var groupOf [MaxWorkersPerNode]int32
+	for i := range n.workers {
+		groupOf[i] = -1
+	}
+	buf = body[4:]
+	for i := 0; i < count; i++ {
+		op := sessOp{idx: i, key: binary.LittleEndian.Uint64(buf[1:9])}
+		if buf[0] == sessOpPut {
+			op.put = true
+			vlen := int(binary.LittleEndian.Uint32(buf[9:13]))
+			off := len(vals)
+			vals = append(vals, buf[13:13+vlen]...)
+			op.value = vals[off:len(vals):len(vals)]
+			buf = buf[13+vlen:]
+		} else {
+			buf = buf[9:]
+		}
+		w := n.cluster.cfg.workerOf(op.key)
+		gi := groupOf[w]
+		if gi < 0 {
+			gi = int32(len(b.groups))
+			groupOf[w] = gi
+			b.groups = append(b.groups, sessGroup{worker: w})
+		}
+		b.groups[gi].ops = append(b.groups[gi].ops, op)
+	}
+	b.remaining.Store(int32(len(b.groups)))
+	for gi := range b.groups {
+		n.sessEnqueue(n.workers[b.groups[gi].worker], sessJob{batch: b, gidx: int32(gi)})
+	}
+}
+
+// sessEnqueue hands a job to a worker's session lane unless the cluster is
+// closing. The read lock pairs with Close's write lock: a blocked sender
+// keeps draining (the lanes only stop after the closed flag flips), so a
+// send on a closed channel is impossible.
+func (n *Node) sessEnqueue(wk *worker, job sessJob) {
+	c := n.cluster
+	c.sessMu.RLock()
+	if !c.sessClosed {
+		wk.sessQ <- job
+	}
+	c.sessMu.RUnlock()
+}
+
+// serveRefresh runs an online epoch change and answers its session request.
+func (n *Node) serveRefresh(src fabric.Addr, reqID uint64, target []uint64) {
+	resp := binary.LittleEndian.AppendUint64(make([]byte, 0, 32), reqID)
+	st, err := n.cluster.ApplyHotSet(int(n.id), target)
+	if err != nil {
+		resp = appendSessError(resp, err)
+	} else {
+		resp = append(resp, sessStatusOK)
+		resp = binary.LittleEndian.AppendUint32(resp, uint32(st.Promoted))
+		resp = binary.LittleEndian.AppendUint32(resp, uint32(st.Demoted))
+		resp = binary.LittleEndian.AppendUint32(resp, uint32(st.WriteBacks))
+	}
+	n.sessSend(src, resp, nil)
+}
+
+// sessReplyStatus answers a request with a bare status, inline on the caller.
+func (n *Node) sessReplyStatus(dst fabric.Addr, reqID uint64, status byte) {
+	resp := binary.LittleEndian.AppendUint64(make([]byte, 0, 16), reqID)
+	resp = append(resp, status)
+	n.sessSend(dst, resp, nil)
+}
+
+// sessSend replies to wherever the request came from; the TCP transport
+// learned the return route from the inbound connection, so ephemeral clients
+// outside the peer table still get their answer. A failed send means the
+// client is gone (its timeout or peer-down handler cleans up). pooled, when
+// non-nil, is recycled after the send — only legal when the transport copies
+// on send (Cluster.trCopies).
+func (n *Node) sessSend(dst fabric.Addr, resp []byte, pooled *srvBuf) {
 	_ = n.cluster.transport.Send(fabric.Packet{
 		Src:   fabric.Addr{Node: n.id, Thread: threadSession},
-		Dst:   p.Src,
+		Dst:   dst,
 		Class: metrics.ClassCacheMiss,
 		Data:  resp,
 	})
+	if pooled != nil {
+		pooled.b = resp
+		respBufPool.Put(pooled)
+	}
+}
+
+// sessOpRes is one op's outcome, staged before encoding (remote completions
+// arrive out of order; response entries are emitted in request order).
+type sessOpRes struct {
+	status byte
+	hasVal bool   // get served OK: val travels (even when empty)
+	val    []byte // get payload
+	msg    string // error text (sessStatusErr)
+}
+
+// sessLanePend is one started remote RPC of a burst.
+type sessLanePend struct {
+	res   int // index into the lane's result scratch
+	put   bool
+	key   uint64
+	value []byte
+	ch    chan rpcResult
+}
+
+// sessLane is one worker's session serving loop state. The scratch slices
+// are reused across bursts, so a steady-state lane allocates only what the
+// ops themselves require.
+type sessLane struct {
+	n     *Node
+	burst []sessJob
+	res   []sessOpRes
+	pend  []sessLanePend
+}
+
+// sessionLane serves one worker's session jobs until the lane closes. Each
+// iteration drains a burst of queued jobs and serves them with their remote
+// accesses overlapped — the client-edge mirror of Node.MultiGet/MultiPut.
+func (n *Node) sessionLane(q chan sessJob) {
+	l := &sessLane{n: n}
+	for job := range q {
+		l.burst = l.burst[:0]
+		l.burst = append(l.burst, job)
+		draining := true
+		for draining && len(l.burst) < sessLaneBurst {
+			select {
+			case j, ok := <-q:
+				if !ok {
+					draining = false
+					break
+				}
+				l.burst = append(l.burst, j)
+			default:
+				draining = false
+			}
+		}
+		l.serveBurst()
+	}
+}
+
+// serveBurst runs the three lane phases: scan every op (starting remote
+// fetches without waiting), collect the remote completions, then encode and
+// emit each job's response.
+func (l *sessLane) serveBurst() {
+	l.res = l.res[:0]
+	l.pend = l.pend[:0]
+	for ji := range l.burst {
+		job := &l.burst[ji]
+		job.resOff = len(l.res)
+		if job.batch == nil {
+			l.res = append(l.res, sessOpRes{})
+			l.scanOp(len(l.res)-1, job.op)
+			continue
+		}
+		g := &job.batch.groups[job.gidx]
+		for _, op := range g.ops {
+			l.res = append(l.res, sessOpRes{})
+			l.scanOp(len(l.res)-1, op)
+		}
+	}
+	l.collect()
+	l.emit()
+}
+
+// scanOp serves one op as far as it can without waiting: cache probes, local
+// shard accesses and blocking cache-protocol writes complete here; remote
+// accesses are started on the coalescing pipeline and recorded for collect.
+func (l *sessLane) scanOp(ri int, op sessOp) {
+	n := l.n
+	r := &l.res[ri]
+	if op.put {
+		done, err := n.putCached(op.key, op.value)
+		if err != nil {
+			setSessErr(r, err)
+			return
+		}
+		if done {
+			r.status = sessStatusOK
+			return
+		}
+		home := n.cluster.HomeNode(op.key)
+		if home == int(n.id) {
+			if n.localHomePut(op.key, op.value) {
+				// Stale probe: the key (re)entered the hot set; re-execute
+				// through the full write path.
+				n.FrozenRetries.Add(1)
+				setSessPutRes(r, n.Put(op.key, op.value))
+				return
+			}
+			r.status = sessStatusOK
+			return
+		}
+		if !n.cluster.view.Load().Live(home) {
+			r.status = sessStatusHomeDown
+			return
+		}
+		n.RemoteOps.Add(1)
+		ch := n.workerFor(op.key).rpc.start(uint8(home), wireReq{op: rpcOpPut, key: op.key, value: op.value})
+		l.pend = append(l.pend, sessLanePend{res: ri, put: true, key: op.key, value: op.value, ch: ch})
+		return
+	}
+	if n.cache != nil {
+		v, hit, err := n.cacheRead(op.key)
+		if err != nil {
+			setSessErr(r, err)
+			return
+		}
+		if hit {
+			n.CacheHits.Add(1)
+			r.status = sessStatusOK
+			r.hasVal = true
+			r.val = v
+			return
+		}
+		n.CacheMisses.Add(1)
+	}
+	home := n.cluster.HomeNode(op.key)
+	if home == int(n.id) {
+		n.LocalOps.Add(1)
+		v, _, err := n.kvs.Get(op.key, nil)
+		if err != nil {
+			r.status = sessStatusNotFound
+			return
+		}
+		r.status = sessStatusOK
+		r.hasVal = true
+		r.val = v
+		return
+	}
+	if !n.cluster.view.Load().Live(home) {
+		r.status = sessStatusHomeDown
+		return
+	}
+	n.RemoteOps.Add(1)
+	ch := n.workerFor(op.key).rpc.start(uint8(home), wireReq{op: rpcOpGet, key: op.key})
+	l.pend = append(l.pend, sessLanePend{res: ri, ch: ch})
+}
+
+// collect settles the burst's started remote accesses.
+func (l *sessLane) collect() {
+	n := l.n
+	for i := range l.pend {
+		p := &l.pend[i]
+		r := &l.res[p.res]
+		res, err := awaitRPC(p.ch)
+		if err != nil {
+			setSessErr(r, err)
+			continue
+		}
+		if p.put {
+			switch res.status {
+			case rpcStatusOK:
+				r.status = sessStatusOK
+			case rpcStatusRetry:
+				// Bounced by the home: the key went hot mid-flight; re-probe
+				// and re-execute through the cache protocol.
+				n.FrozenRetries.Add(1)
+				setSessPutRes(r, n.Put(p.key, p.value))
+			default:
+				setSessErr(r, errRemotePutFailed)
+			}
+			continue
+		}
+		if res.status == rpcStatusOK {
+			r.status = sessStatusOK
+			r.hasVal = true
+			r.val = res.value
+		} else {
+			r.status = sessStatusNotFound
+		}
+	}
+}
+
+var errRemotePutFailed = errors.New("cluster: remote put failed")
+
+// emit encodes and sends each job's response. Single-op jobs reply directly;
+// batch groups encode their entries into a pooled group buffer, and the last
+// group to finish assembles the frame in request order.
+func (l *sessLane) emit() {
+	n := l.n
+	for ji := range l.burst {
+		job := &l.burst[ji]
+		if job.batch == nil {
+			var pooled *srvBuf
+			var resp []byte
+			if n.cluster.trCopies {
+				pooled = respBufPool.Get().(*srvBuf)
+				resp = pooled.b[:0]
+			} else {
+				resp = make([]byte, 0, 64)
+			}
+			resp = binary.LittleEndian.AppendUint64(resp, job.reqID)
+			resp = appendSessOpRes(resp, &l.res[job.resOff])
+			n.sessSend(job.src, resp, pooled)
+			continue
+		}
+		b := job.batch
+		g := &b.groups[job.gidx]
+		// Group buffers are intermediate (the assembly below copies out of
+		// them), so they are pooled on every transport.
+		pooled := respBufPool.Get().(*srvBuf)
+		buf := pooled.b[:0]
+		for k := range g.ops {
+			off := len(buf)
+			buf = appendSessOpRes(buf, &l.res[job.resOff+k])
+			b.spans[g.ops[k].idx] = sessSpan{group: job.gidx, off: int32(off), end: int32(len(buf))}
+		}
+		g.buf = buf
+		g.pooled = pooled
+		if b.remaining.Add(-1) == 0 {
+			n.finishSessionBatch(b)
+		}
+	}
+}
+
+// finishSessionBatch assembles a settled batch's response frame in request
+// order and sends it; the atomic decrement that elected this lane ordered
+// every other group's writes before its reads.
+func (n *Node) finishSessionBatch(b *sessBatch) {
+	total := 13
+	for gi := range b.groups {
+		total += len(b.groups[gi].buf)
+	}
+	var pooled *srvBuf
+	var resp []byte
+	if n.cluster.trCopies {
+		pooled = respBufPool.Get().(*srvBuf)
+		resp = pooled.b[:0]
+	} else {
+		resp = make([]byte, 0, total)
+	}
+	resp = binary.LittleEndian.AppendUint64(resp, b.reqID)
+	resp = append(resp, sessStatusOK)
+	resp = binary.LittleEndian.AppendUint32(resp, uint32(len(b.spans)))
+	for i := range b.spans {
+		sp := b.spans[i]
+		resp = append(resp, b.groups[sp.group].buf[sp.off:sp.end]...)
+	}
+	for gi := range b.groups {
+		g := &b.groups[gi]
+		g.pooled.b = g.buf
+		respBufPool.Put(g.pooled)
+		g.pooled, g.buf = nil, nil
+	}
+	n.sessSend(b.src, resp, pooled)
+}
+
+// appendSessOpRes encodes one op result: the status byte plus the payload the
+// status implies (value for a served get, message for an error, nothing
+// otherwise) — the same layout as a single-op response after its request id.
+func appendSessOpRes(buf []byte, r *sessOpRes) []byte {
+	buf = append(buf, r.status)
+	switch {
+	case r.status == sessStatusOK && r.hasVal:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.val)))
+		buf = append(buf, r.val...)
+	case r.status == sessStatusErr:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.msg)))
+		buf = append(buf, r.msg...)
+	}
+	return buf
+}
+
+// setSessErr maps an operation error onto its wire status.
+func setSessErr(r *sessOpRes, err error) {
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		r.status = sessStatusNotFound
+	case errors.Is(err, ErrHomeDown):
+		r.status = sessStatusHomeDown
+	default:
+		r.status = sessStatusErr
+		r.msg = err.Error()
+	}
+}
+
+// setSessPutRes records a completed put.
+func setSessPutRes(r *sessOpRes, err error) {
+	if err == nil {
+		r.status = sessStatusOK
+		return
+	}
+	setSessErr(r, err)
 }
 
 // appendSessError encodes a failed operation: the error text travels to the

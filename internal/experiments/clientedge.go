@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// LocalClientEdgeAblation measures the client-facing session layer on the
+// real in-process cluster: the same total operation count driven through
+// single-op frames (the pre-batching client), through a wide pipelining
+// window, and through v2 batch frames of growing size — plus the opt-in
+// auto-batcher that coalesces concurrent single-op callers transparently.
+// Batching amortizes the per-frame costs (request-id matching, dispatcher
+// handoffs, response assembly) across many operations, the client-edge
+// mirror of the fabric's request coalescing (§6.3/§8.5); unlike worker
+// scaling it does not need parallel hardware, so the CI gate (batch-32 must
+// reach 1.5x the single-op row) holds on a single hardware thread too.
+func LocalClientEdgeAblation(opsPerClient int, requireEdge bool) (Table, error) {
+	if opsPerClient <= 0 {
+		opsPerClient = 3000
+	}
+	t := Table{
+		ID:      "client-edge",
+		Title:   "Client-edge session framing on the live cluster [3 nodes, Base, alpha=0.99, 5% writes]",
+		Columns: []string{"mode", "clients", "throughput ops/s", "speedup", "p95 frame us"},
+	}
+	const (
+		nodes       = 3
+		numKeys     = 16384
+		baseClients = 8
+	)
+	totalOps := baseClients * opsPerClient
+	wl := workload.Config{NumKeys: numKeys, Alpha: 0.99, WriteRatio: 0.05, ValueSize: 40, Seed: 42}
+
+	modes := []struct {
+		label   string
+		clients int
+		batch   int // ops per frame; 0 = single-op frames
+		auto    bool
+	}{
+		{"single-op", baseClients, 0, false},
+		{"pipelined", 64, 0, false},
+		{"batched 8", baseClients, 8, false},
+		{"batched 32", baseClients, 32, false},
+		{"batched 64", baseClients, 64, false},
+		{"auto-batch 32", 64, 32, true},
+	}
+
+	tput := map[string]float64{}
+	var baseline float64
+	for _, m := range modes {
+		ops, lat, dur, err := runEdgeMode(nodes, numKeys, totalOps, m.clients, m.batch, m.auto, wl)
+		if err != nil {
+			return Table{}, fmt.Errorf("%s: %w", m.label, err)
+		}
+		rate := float64(ops) / dur.Seconds()
+		tput[m.label] = rate
+		if baseline == 0 {
+			baseline = rate
+		}
+		t.AddRow(m.label, m.clients, rate,
+			fmt.Sprintf("%.2fx", rate/baseline), float64(lat.Percentile(0.95))/1000)
+	}
+	t.Notes = append(t.Notes,
+		"row 1 is the pre-batching client: one wire frame and one request-id round trip per op",
+		"frame latency covers a whole frame — a batched row's p95 spans every op the frame carries")
+
+	if requireEdge {
+		if tput["batched 32"] < 1.5*tput["single-op"] {
+			return t, fmt.Errorf("client-edge regression: batch-32 throughput %.0f ops/s is below 1.5x the single-op %.0f ops/s",
+				tput["batched 32"], tput["single-op"])
+		}
+	}
+	return t, nil
+}
+
+// runEdgeMode drives totalOps through a fresh deployment in one framing mode
+// and reports the ops completed, the per-frame latency histogram and the
+// wall time.
+func runEdgeMode(nodes, numKeys, totalOps, clients, batch int, auto bool, wl workload.Config) (int, *metrics.Histogram, time.Duration, error) {
+	stats := fabric.NewStats()
+	tr := fabric.NewChanTransport(512, stats)
+	c, err := cluster.NewWithTransport(cluster.Config{
+		Nodes: nodes, System: cluster.Base, NumKeys: uint64(numKeys), QueueDepth: 512,
+	}, tr, stats)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	defer c.Close()
+	c.Populate()
+	cl := cluster.NewClient(200, nodes, tr)
+	defer cl.Close()
+	if auto {
+		cl.SetAutoBatch(batch, 200*time.Microsecond)
+	}
+
+	gen, err := workload.New(wl)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	lat := metrics.NewHistogram()
+	perClient := totalOps / clients
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errCh <- edgeClient(cl, gen.Clone(uint64(id)), id, nodes, perClient, batch, auto, lat)
+		}(id)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return 0, nil, 0, err
+		}
+	}
+	return perClient * clients, lat, dur, nil
+}
+
+// edgeClient issues one client goroutine's share of the workload. Batched
+// modes pack consecutive operations into Batch frames; single-op and
+// auto-batch modes call Get/Put per op (the auto-batcher coalesces across
+// goroutines underneath).
+func edgeClient(cl *cluster.Client, g *workload.Generator, id, nodes, ops, batch int, auto bool, lat *metrics.Histogram) error {
+	tolerate := func(err error) error {
+		if err == nil || errors.Is(err, store.ErrNotFound) {
+			return nil
+		}
+		return err
+	}
+	if batch <= 0 || auto {
+		for i := 0; i < ops; i++ {
+			op := g.Next()
+			node := (id + i) % nodes
+			t0 := time.Now()
+			var err error
+			if op.Type == workload.Put {
+				// The generator reuses its value buffer; the auto-batcher
+				// may hold the op past this call, so hand it a copy.
+				err = cl.Put(node, op.Key, append([]byte(nil), op.Value...))
+			} else {
+				_, err = cl.Get(node, op.Key)
+			}
+			lat.Record(uint64(time.Since(t0).Nanoseconds()))
+			if err := tolerate(err); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	buf := make([]cluster.BatchOp, 0, batch)
+	for done := 0; done < ops; {
+		buf = buf[:0]
+		for len(buf) < batch && done+len(buf) < ops {
+			op := g.Next()
+			b := cluster.BatchOp{Key: op.Key}
+			if op.Type == workload.Put {
+				b.Put = true
+				b.Value = append([]byte(nil), op.Value...)
+			}
+			buf = append(buf, b)
+		}
+		node := (id + done) % nodes
+		t0 := time.Now()
+		rs, err := cl.Batch(node, buf)
+		lat.Record(uint64(time.Since(t0).Nanoseconds()))
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			if err := tolerate(r.Err); err != nil {
+				return err
+			}
+		}
+		done += len(buf)
+	}
+	return nil
+}

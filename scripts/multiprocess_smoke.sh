@@ -24,6 +24,10 @@ CLIENTS=4
 # Every node runs a bank of worker threads (cache/KVS/resp); the value must
 # be identical on all nodes — it fixes the fabric thread layout.
 WORKERS="${WORKERS:-4}"
+# Workload ops per session frame: > 1 drives the batched v2 client wire
+# format end to end (the verify phase stays single-op — its checker needs
+# per-op write ordering).
+BATCH="${BATCH:-8}"
 
 BIN=$(mktemp -d)
 trap 'rm -rf "$BIN"' EXIT
@@ -46,7 +50,7 @@ run_deployment() {
     trap "kill ${pids[*]} 2>/dev/null || true" RETURN
 
     "$BIN/cckvs-load" -nodes "$peers" -keys "$KEYS" -hotset "$CACHE" \
-        -alpha 0.99 -writes 0.05 -ops "$OPS" -clients "$CLIENTS" \
+        -alpha 0.99 -writes 0.05 -ops "$OPS" -clients "$CLIENTS" -batch "$BATCH" \
         -refresh-at 0.5 -refresh-shift 16 \
         -verify -verify-keys 12 -verify-rounds 25 \
         -min-hit-rate 0.15 -wait 30s
@@ -83,7 +87,7 @@ run_chaos_deployment() {
     # and runs the checker against the survivors. No mid-run refresh here —
     # the view change is the concurrency under test.
     "$BIN/cckvs-load" -nodes "$peers" -keys "$KEYS" -hotset "$CACHE" \
-        -alpha 0.99 -writes 0.05 -ops "$OPS" -clients "$CLIENTS" \
+        -alpha 0.99 -writes 0.05 -ops "$OPS" -clients "$CLIENTS" -batch "$BATCH" \
         -chaos-down 2 -chaos-kill-pid "${pids[2]}" -chaos-at 0.4 \
         -verify -verify-keys 12 -verify-rounds 25 -wait 30s
 
