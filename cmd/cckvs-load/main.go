@@ -60,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		chaosDown  = fs.Int("chaos-down", -1, "chaos mode: node id that dies mid-run; the workload reroutes around it, tolerates its failure window, and the checker verifies the survivors (-1 = off)")
 		chaosPid   = fs.Int("chaos-kill-pid", 0, "chaos mode: OS pid to SIGKILL once chaos-at of the ops executed (0 = the node was/will be killed externally; tolerance starts at workload start)")
 		chaosAt    = fs.Float64("chaos-at", 0.5, "chaos mode: fraction of total ops after which chaos-kill-pid is killed")
+		replicas   = fs.Int("replicas", 1, "shard replicas per key (must match the nodes' -replicas); with >1 a single node death must never answer home-down — the promoted backup serves")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -105,6 +106,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ops: *ops, clients: *clients, batch: *batch, valSize: *valSize,
 		hotset: *hotset, refreshAt: *refreshAt, refShift: *refShift,
 		chaosDown: *chaosDown, chaosPid: *chaosPid, chaosAt: *chaosAt,
+		replicas: *replicas,
 	}, stdout, stderr)
 	if code != 0 {
 		return code
@@ -124,7 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := runVerify(cl, verifyOpts{
 			nodes: nodes, keys: *keys, verifyKeys: *verKeys, rounds: *verRounds,
 			hotset: *hotset, shift: shift, workloadShifted: shifted,
-			chaosDown: *chaosDown,
+			chaosDown: *chaosDown, replicas: *replicas,
 		}, stdout); err != nil {
 			fmt.Fprintf(stderr, "consistency check FAILED: %v\n", err)
 			return 1
@@ -161,19 +163,26 @@ type workloadOpts struct {
 	chaosDown int
 	chaosPid  int
 	chaosAt   float64
+	// replicas mirrors the deployment's -replicas; it flips the chaos
+	// checker's failure model (see chaosState.replicated).
+	replicas int
 }
 
-// chaosState tracks the kill: clients reroute around the downed node,
-// tolerate ErrHomeDown outright (fail-fast on dead-homed keys IS the correct
-// post-kill behavior), and retry any other failure within a bounded grace
-// window after the kill — the deployment must converge to clean
-// survivor-side service within it.
+// chaosState tracks the kill: clients reroute around the downed node and
+// retry failures within a bounded grace window after it — the deployment
+// must converge to clean survivor-side service within it. The unreplicated
+// failure model additionally tolerates ErrHomeDown outright (fail-fast on
+// dead-homed keys IS the correct post-kill behavior); with shard replication
+// a single node death must never answer home-down — ops on keys homed at
+// the victim must succeed via the promoted backup, so ErrHomeDown falls
+// through to the grace-window retry and fails the run if it persists.
 type chaosState struct {
-	node     int
-	killedAt atomic.Int64 // unixnano; 0 = not yet killed
-	down     []atomic.Bool
-	homeDown atomic.Uint64 // ops answered with the home-down status
-	retried  atomic.Uint64 // ops retried within the grace window
+	node       int
+	replicated bool         // shard replication on: home-down is a failure, not a fact of life
+	killedAt   atomic.Int64 // unixnano; 0 = not yet killed
+	down       []atomic.Bool
+	homeDown   atomic.Uint64 // ops answered with the home-down status
+	retried    atomic.Uint64 // ops retried within the grace window
 }
 
 const chaosGrace = 10 * time.Second
@@ -242,7 +251,7 @@ func runWorkload(cl *cluster.Client, o workloadOpts, stdout, stderr io.Writer) (
 	var chaosThreshold uint64
 	var killOnce sync.Once
 	if o.chaosDown >= 0 {
-		chaos = &chaosState{node: o.chaosDown, down: make([]atomic.Bool, o.nodes)}
+		chaos = &chaosState{node: o.chaosDown, replicated: o.replicas > 1, down: make([]atomic.Bool, o.nodes)}
 		if o.chaosPid > 0 {
 			chaosThreshold = uint64(float64(total) * o.chaosAt)
 			if chaosThreshold == 0 {
@@ -336,9 +345,11 @@ func runWorkload(cl *cluster.Client, o workloadOpts, stdout, stderr io.Writer) (
 					if err == nil {
 						break
 					}
-					if chaos != nil && errors.Is(err, cluster.ErrHomeDown) {
+					if chaos != nil && !chaos.replicated && errors.Is(err, cluster.ErrHomeDown) {
 						// A dead-homed key answering home-down IS the correct
-						// post-kill behavior: count it and move on.
+						// post-kill behavior when unreplicated: count it and
+						// move on. (Replicated: fall through to the grace
+						// retry — the promoted backup must serve.)
 						chaos.homeDown.Add(1)
 						break
 					}
@@ -486,7 +497,7 @@ func batchOutcome(ops []cluster.BatchOp, rs []cluster.BatchResult, chaos *chaosS
 		if !ops[i].Put && errors.Is(err, store.ErrNotFound) {
 			continue
 		}
-		if chaos != nil && errors.Is(err, cluster.ErrHomeDown) {
+		if chaos != nil && !chaos.replicated && errors.Is(err, cluster.ErrHomeDown) {
 			chaos.homeDown.Add(1)
 			continue
 		}
@@ -507,11 +518,24 @@ type verifyOpts struct {
 	// targets the *other* window so its epoch change always has a delta.
 	workloadShifted bool
 	// chaosDown, when >= 0, restricts the check to the survivors: writers
-	// and readers use only live nodes, cold checked keys must be homed on
-	// survivors (dead-homed HOT keys stay in the set on purpose — they must
-	// keep serving from the symmetric cache), and convergence is asserted on
-	// the survivors only.
+	// and readers use only live nodes, cold checked keys must keep a live
+	// shard replica (dead-homed HOT keys stay in the set on purpose — they
+	// must keep serving from the symmetric cache), and convergence is
+	// asserted on the survivors only. With replicas > 1 a single death
+	// leaves every key a live replica, so dead-homed COLD keys stay in the
+	// set too — the promoted backup must serve them.
 	chaosDown int
+	replicas  int
+}
+
+// hasLiveReplica reports whether key keeps a shard replica after down died.
+func hasLiveReplica(key uint64, nodes, replicas, down int) bool {
+	for _, r := range cluster.ReplicasOf(key, nodes, replicas) {
+		if r != down {
+			return true
+		}
+	}
+	return false
 }
 
 // liveNodes lists the check's usable nodes.
@@ -547,7 +571,7 @@ func runVerify(cl *cluster.Client, o verifyOpts, stdout io.Writer) error {
 		keys = append(keys, uint64(i))
 	}
 	for k := o.keys / 2; len(keys) < o.verifyKeys && k < o.keys; k++ {
-		if o.chaosDown >= 0 && cluster.HomeOf(k, o.nodes) == o.chaosDown {
+		if o.chaosDown >= 0 && !hasLiveReplica(k, o.nodes, max(o.replicas, 1), o.chaosDown) {
 			continue
 		}
 		keys = append(keys, k)

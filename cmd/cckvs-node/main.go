@@ -55,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, onReady
 		workers  = fs.Int("workers", 4, "worker threads per node (cache/KVS/resp banks); MUST be identical on every node — it fixes the fabric thread layout")
 		pingIvl  = fs.Duration("ping-interval", 250*time.Millisecond, "membership ping interval (0 disables ping suspicion; broken TCP connections still trigger view changes)")
 		pingTo   = fs.Duration("ping-timeout", 0, "silence after which a peer is excised from the membership view (default 6x ping-interval)")
+		replicas = fs.Int("replicas", 1, "shard replicas per key (home + ring successors); MUST be identical on every node; 1 = unreplicated")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -81,13 +82,20 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, onReady
 		return 2
 	}
 
+	if *replicas < 1 || *replicas > len(peers) {
+		fmt.Fprintf(stderr, "-replicas %d out of range [1,%d]; every node must pass the same value\n",
+			*replicas, len(peers))
+		return 2
+	}
+
 	cfg := cluster.Config{
-		Nodes:          len(peers),
-		NumKeys:        *keys,
-		ValueSize:      *value,
-		WorkersPerNode: *workers,
-		PingInterval:   *pingIvl,
-		PingTimeout:    *pingTo,
+		Nodes:            len(peers),
+		NumKeys:          *keys,
+		ValueSize:        *value,
+		WorkersPerNode:   *workers,
+		PingInterval:     *pingIvl,
+		PingTimeout:      *pingTo,
+		ReplicasPerShard: *replicas,
 	}
 	switch *system {
 	case "cckvs":

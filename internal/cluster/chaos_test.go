@@ -464,3 +464,223 @@ func TestTCPChaosKillNode(t *testing.T) {
 		})
 	}
 }
+
+// TestChaosReplicatedKillPrimary is the replicated acceptance criterion:
+// with ReplicasPerShard=2 the kill of a node must close the ErrHomeDown
+// window entirely — writes and reads on keys homed at the victim keep
+// succeeding through its ring-successor backup once the view flips, no
+// acked write is lost across the promotion (writes commit at every live
+// replica before acking, the backup strictly runs ahead of the primary),
+// and Lin writes in flight at the kill unblock through the view change.
+func TestChaosReplicatedKillPrimary(t *testing.T) {
+	for _, proto := range []core.Protocol{core.SC, core.Lin} {
+		t.Run(proto.String(), func(t *testing.T) {
+			const doomed = 2
+			cfg := Config{
+				Nodes: 3, System: CCKVS, Protocol: proto,
+				NumKeys: 2048, CacheItems: 32, ValueSize: 16, WorkersPerNode: 2,
+				ReplicasPerShard: 2,
+				PingInterval:     5 * time.Millisecond, PingTimeout: 60 * time.Millisecond,
+			}
+			members := newChanMembers(t, cfg)
+			hot := DefaultHotSet(cfg.CacheItems)
+			if _, err := members[0].ApplyHotSet(0, hot); err != nil {
+				t.Fatal(err)
+			}
+			// The checked set deliberately includes a cold key homed on the
+			// doomed node: unreplicated it would fail fast with ErrHomeDown
+			// after the kill; replicated it must keep serving via the backup.
+			keys := chaosKeys(t, cfg, hot, doomed)
+			deadCold := coldKeyHomedOnCfg(t, cfg, doomed)
+			deadColdIdx := len(keys)
+			keys = append(keys, deadCold)
+			survivors := []*Cluster{members[0], members[1]}
+
+			var (
+				stop     = make(chan struct{})
+				wg       sync.WaitGroup
+				finalSeq = make([]atomic.Uint64, len(keys))
+				errMu    sync.Mutex
+				firstErr error
+			)
+			fail := func(err error) {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+			for ki, k := range keys {
+				wg.Add(1)
+				go func(ki int, key uint64) {
+					defer wg.Done()
+					n := survivors[ki%len(survivors)].LocalNode()
+					for seq := uint64(1); ; seq++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						// Any error fails the run — with a live replica per
+						// key there is no tolerated ErrHomeDown anymore.
+						if err := n.Put(key, encodeChaosSeq(seq)); err != nil {
+							fail(fmt.Errorf("writer key %d seq %d: %w", key, seq, err))
+							return
+						}
+						finalSeq[ki].Store(seq)
+					}
+				}(ki, k)
+			}
+			for _, m := range survivors {
+				wg.Add(1)
+				go func(m *Cluster) {
+					defer wg.Done()
+					last := make(map[uint64]uint64, len(keys))
+					n := m.LocalNode()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						for _, k := range keys {
+							v, err := n.Get(k)
+							if err != nil {
+								fail(fmt.Errorf("reader member %d key %d: %w", m.self, k, err))
+								return
+							}
+							seq, ok := decodeChaosSeq(v)
+							if !ok {
+								continue
+							}
+							if seq < last[k] {
+								fail(fmt.Errorf("STALE READ member %d key %d: %d after %d", m.self, k, seq, last[k]))
+								return
+							}
+							last[k] = seq
+						}
+					}
+				}(m)
+			}
+
+			time.Sleep(50 * time.Millisecond)
+			members[doomed].Kill()
+			waitViewDown(t, survivors, doomed, 5*time.Second)
+			time.Sleep(100 * time.Millisecond) // checked traffic through the new view
+			close(stop)
+			wg.Wait()
+			if firstErr != nil {
+				t.Fatal(firstErr)
+			}
+
+			// No acked write lost across the promotion: the backup now acting
+			// as the dead home's primary serves at least the last acked
+			// sequence (it held every acked write before the primary did).
+			if want := finalSeq[deadColdIdx].Load(); want > 0 {
+				v, err := survivors[0].LocalNode().Get(deadCold)
+				if err != nil {
+					t.Fatalf("get dead-homed key via promoted backup: %v", err)
+				}
+				if seq, ok := decodeChaosSeq(v); !ok || seq < want {
+					t.Fatalf("LOST WRITE key %d: promoted backup serves %d, acked %d", deadCold, seq, want)
+				}
+			}
+
+			// The ErrHomeDown window is closed: dead-homed ops succeed on
+			// every survivor via the promoted backup.
+			for _, m := range survivors {
+				if _, err := m.LocalNode().Get(deadCold); err != nil {
+					t.Fatalf("member %d get dead-homed key: %v, want success via backup", m.self, err)
+				}
+			}
+			for ki, k := range keys {
+				seq := finalSeq[ki].Load() + 1
+				if err := survivors[ki%2].LocalNode().Put(k, encodeChaosSeq(seq)); err != nil {
+					t.Fatalf("post-kill write key %d: %v", k, err)
+				}
+				finalSeq[ki].Store(seq)
+			}
+			for ki, k := range keys {
+				want := finalSeq[ki].Load()
+				for _, m := range survivors {
+					m := m
+					waitForValue(t, fmt.Sprintf("member %d key %d", m.self, k), encodeChaosSeq(want), func() ([]byte, error) {
+						return m.LocalNode().Get(k)
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestReplicatedRejoinReseed: false suspicion of a perfectly live member in
+// a replicated deployment. The survivors excise it and serve its keys via
+// the promoted backup; when the prober's next pong reveals it was alive all
+// along, they must re-seed it with everything written in the window BEFORE
+// re-admitting it — a rejoiner serving its pre-suspicion shard state would
+// be an observable lost write.
+func TestReplicatedRejoinReseed(t *testing.T) {
+	const suspect = 2
+	cfg := Config{
+		Nodes: 3, System: CCKVS, Protocol: core.SC,
+		NumKeys: 2048, CacheItems: 32, ValueSize: 16, WorkersPerNode: 2,
+		ReplicasPerShard: 2,
+		// The prober heals the false suspicion (pong -> re-seed -> PeerUp);
+		// the timeout is far above any scheduling noise so no REAL suspicion
+		// fires during the test.
+		PingInterval: 25 * time.Millisecond, PingTimeout: 10 * time.Second,
+	}
+	members := newChanMembers(t, cfg)
+	survivors := []*Cluster{members[0], members[1]}
+	key := coldKeyHomedOnCfg(t, cfg, suspect)
+
+	// False suspicion: both survivors excise the live member. (Gossip would
+	// spread one member's suspicion anyway; seeding both makes the window
+	// deterministic.)
+	members[0].PeerDown(suspect, errors.New("false suspicion"))
+	members[1].PeerDown(suspect, errors.New("false suspicion"))
+
+	// Window writes: acked by the promoted backup while the home is out of
+	// the survivors' views. The suspected member knows nothing of any of
+	// this — its own view never flipped.
+	const rounds = 32
+	for seq := uint64(1); seq <= rounds; seq++ {
+		if err := members[0].LocalNode().Put(key, encodeChaosSeq(seq)); err != nil {
+			t.Fatalf("window write seq %d: %v", seq, err)
+		}
+	}
+
+	// The prober heals the suspicion on its own: pong -> seed-begin ->
+	// PeerUp -> seed push -> seed-done.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, m := range survivors {
+		for !m.View().Live(suspect) {
+			if time.Now().After(deadline) {
+				t.Fatalf("member %d never re-admitted the falsely suspected node", m.self)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// The rejoined member is the key's home — and hence its acting primary
+	// again. It must serve the window's final write (its re-sync gate holds
+	// local reads until the seeds land; poll through it).
+	waitForValue(t, "rejoined member", encodeChaosSeq(rounds), func() ([]byte, error) {
+		return members[suspect].LocalNode().Get(key)
+	})
+
+	// Fresh writes through the healed view commit at all replicas again:
+	// written via a survivor, readable at the rejoined home.
+	if err := members[1].LocalNode().Put(key, encodeChaosSeq(rounds+1)); err != nil {
+		t.Fatalf("post-heal write: %v", err)
+	}
+	waitForValue(t, "rejoined member post-heal", encodeChaosSeq(rounds+1), func() ([]byte, error) {
+		return members[suspect].LocalNode().Get(key)
+	})
+	for _, m := range survivors {
+		m := m
+		waitForValue(t, fmt.Sprintf("member %d post-heal", m.self), encodeChaosSeq(rounds+1), func() ([]byte, error) {
+			return m.LocalNode().Get(key)
+		})
+	}
+}

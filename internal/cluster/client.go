@@ -510,6 +510,7 @@ func (cl *Client) Batch(node int, ops []BatchOp) ([]BatchResult, error) {
 	}
 	rs := make([]BatchResult, len(ops))
 	var firstErr error
+	dead := false
 	start := 0
 	bytes := 4
 	for i := 0; i <= len(ops); i++ {
@@ -522,8 +523,21 @@ func (cl *Client) Batch(node int, ops []BatchOp) ([]BatchResult, error) {
 		}
 		full := i-start >= sessBatchMaxOps || (i > start && bytes+need > sessBatchMaxBytes)
 		if i == len(ops) || full {
-			if err := cl.batchChunk(node, ops[start:i], rs[start:i]); err != nil && firstErr == nil {
-				firstErr = err
+			if dead {
+				// An earlier chunk of this call already proved the node
+				// unreachable (or timed out waiting on it): fail the rest
+				// immediately instead of burning one full timeout per
+				// remaining chunk against the same dead connection.
+				for j := start; j < i; j++ {
+					rs[j] = BatchResult{Err: firstErr}
+				}
+			} else if err := cl.batchChunk(node, ops[start:i], rs[start:i]); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				if errors.Is(err, ErrNodeUnreachable) || errors.Is(err, ErrSessionTimeout) {
+					dead = true
+				}
 			}
 			start = i
 			bytes = 4
@@ -688,6 +702,12 @@ type autoBatch struct {
 	maxOps int
 	delay  time.Duration
 
+	// inflight counts callers currently inside do() toward this node. A lone
+	// caller (inflight == 1) flushes inline instead of arming the delay: with
+	// nobody else around to join the batch, the timer bought no coalescing —
+	// it just taxed every sequential op with the full flush delay.
+	inflight atomic.Int32
+
 	mu    sync.Mutex
 	ops   []BatchOp
 	chs   []chan BatchResult
@@ -697,10 +717,11 @@ type autoBatch struct {
 // do enqueues one operation and blocks for its result.
 func (a *autoBatch) do(op BatchOp) BatchResult {
 	ch := abChPool.Get().(chan BatchResult)
+	alone := a.inflight.Add(1) == 1
 	a.mu.Lock()
 	a.ops = append(a.ops, op)
 	a.chs = append(a.chs, ch)
-	if len(a.ops) >= a.maxOps {
+	if len(a.ops) >= a.maxOps || (alone && len(a.ops) == 1) {
 		ops, chs := a.takeLocked()
 		a.mu.Unlock()
 		a.run(ops, chs)
@@ -711,8 +732,28 @@ func (a *autoBatch) do(op BatchOp) BatchResult {
 		a.mu.Unlock()
 	}
 	r := <-ch
+	if a.inflight.Add(-1) > 0 {
+		a.flushIfStranded()
+	}
 	abChPool.Put(ch)
 	return r
+}
+
+// flushIfStranded flushes the buffered batch when every remaining in-flight
+// caller is already parked in it: nobody is left to grow the batch toward
+// maxOps, so whatever delay is armed buys no coalescing — it is pure added
+// latency. Called by each caller as it finishes; callers still between
+// their inflight increment and their enqueue make the count exceed the
+// buffer and correctly defer the decision to their own flush checks.
+func (a *autoBatch) flushIfStranded() {
+	a.mu.Lock()
+	if len(a.ops) == 0 || int(a.inflight.Load()) > len(a.ops) {
+		a.mu.Unlock()
+		return
+	}
+	ops, chs := a.takeLocked()
+	a.mu.Unlock()
+	a.run(ops, chs)
 }
 
 // takeLocked claims the buffered batch; the caller holds a.mu.
@@ -742,17 +783,29 @@ func (a *autoBatch) run(ops []BatchOp, chs []chan BatchResult) {
 	}
 }
 
+// refreshPerKeyT is the per-key deadline slack of a Refresh call: each key
+// of the target may be individually frozen, collected, fetched and filled
+// across every node of the deployment.
+const refreshPerKeyT = 5 * time.Millisecond
+
 // Refresh asks node to reconfigure the deployment's hot set to exactly
 // target (an online epoch change driven over the RPC fabric) and reports
-// how many keys were promoted and demoted.
+// how many keys were promoted and demoted. The deadline scales with the
+// size of the requested set: a point-op timeout is far too tight for a
+// large epoch change, and a flat multiple of it makes a tiny change wait
+// multiples of the base timeout just to report an unreachable node. Use
+// RefreshT to bound a call explicitly.
 func (cl *Client) Refresh(node int, target []uint64) (promoted, demoted int, err error) {
+	return cl.RefreshT(node, target, cl.timeout+time.Duration(len(target))*refreshPerKeyT)
+}
+
+// RefreshT is Refresh with an explicit per-call deadline.
+func (cl *Client) RefreshT(node int, target []uint64, timeout time.Duration) (promoted, demoted int, err error) {
 	body := binary.LittleEndian.AppendUint32(make([]byte, 0, 4+8*len(target)), uint32(len(target)))
 	for _, k := range target {
 		body = binary.LittleEndian.AppendUint64(body, k)
 	}
-	// An epoch change freezes/copies per key across every node; give it more
-	// room than a point op.
-	res, err := cl.callT(uint8(node), sessOpRefresh, body, cl.timeout*3)
+	res, err := cl.callT(uint8(node), sessOpRefresh, body, timeout)
 	if err != nil {
 		return 0, 0, err
 	}

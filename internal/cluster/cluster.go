@@ -151,6 +151,16 @@ type Config struct {
 	// NumKeys is the dataset size; keys are 0..NumKeys-1 ranked by
 	// popularity (rank 0 hottest).
 	NumKeys uint64
+	// ReplicasPerShard is how many nodes hold each key's shard data: the
+	// home (HomeOf) plus ReplicasPerShard-1 successor backups. 1 (the
+	// default) is the unreplicated layout — a dead home fails cold keys
+	// with ErrHomeDown. With more replicas, miss-path puts and
+	// reconfiguration write-backs commit to every live replica before
+	// acking, reads route to the first live replica (the acting primary),
+	// and a view flip promotes the next backup instead of erroring;
+	// ErrHomeDown then only occurs when ALL replicas of a shard are down.
+	// Every member of a deployment must use the same value.
+	ReplicasPerShard int
 	// PingInterval, when positive, arms the ping-based failure detector in
 	// member form: the member pings every peer at this interval and excises
 	// any live peer silent for PingTimeout from the membership view
@@ -207,6 +217,12 @@ func (c Config) withDefaults() Config {
 	if c.ValueSize == 0 {
 		c.ValueSize = 40
 	}
+	if c.ReplicasPerShard == 0 {
+		c.ReplicasPerShard = 1
+	}
+	if c.ReplicasPerShard > c.Nodes {
+		c.ReplicasPerShard = c.Nodes
+	}
 	if c.KVSPartitions == 0 {
 		c.KVSPartitions = 8
 	}
@@ -257,6 +273,9 @@ func (c Config) Validate() error {
 			return errors.New("cluster: primary/sequencer serialization is implemented for ccKVS-SC only")
 		}
 	}
+	if c.ReplicasPerShard < 0 {
+		return fmt.Errorf("cluster: ReplicasPerShard %d must be >= 0 (0 selects the unreplicated default)", c.ReplicasPerShard)
+	}
 	return nil
 }
 
@@ -304,6 +323,19 @@ type Cluster struct {
 	probeStopped bool
 	probeMu      sync.Mutex
 	probeWG      sync.WaitGroup
+
+	// Rejoin re-seed state (view.go). syncSources holds the peers currently
+	// streaming shard seeds at this member (seed-begin received, seed-done
+	// pending); while non-empty the member answers acting-primary traffic
+	// with retries so no reader observes its pre-crash state. syncing
+	// mirrors len(syncSources) > 0 for lock-free hot-path checks. reseeding
+	// guards one concurrent outbound reseed per rejoining peer.
+	syncMu      sync.Mutex
+	syncSources map[uint8]struct{}
+	syncing     atomic.Bool
+	reseedMu    sync.Mutex
+	reseeding   map[uint8]bool
+	reseedWG    sync.WaitGroup
 }
 
 // Node is one server: a KVS shard plus (for ccKVS) a symmetric cache,
@@ -443,6 +475,8 @@ func build(cfg Config, tr fabric.Transport, stats *fabric.Stats, self int) (*Clu
 	}
 	c.view.Store(&View{live: core.FullNodeSet(cfg.Nodes), n: cfg.Nodes})
 	c.lastPong = make([]atomic.Int64, cfg.Nodes)
+	c.syncSources = map[uint8]struct{}{}
+	c.reseeding = map[uint8]bool{}
 	c.nodes = make([]*Node, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		if c.member && i != self {
@@ -529,6 +563,57 @@ func HomeOf(key uint64, nodes int) int {
 	return int(zipf.Mix64(key^0x7f4a7c15) % uint64(nodes))
 }
 
+// ReplicasOf returns the nodes holding key's shard, in priority order: the
+// home (HomeOf) followed by its replicas-1 ring successors. The first LIVE
+// entry of this list is the key's acting primary — promotion on a view flip
+// is implicit in that rule, with no per-key state. Exported for external
+// orchestrators that must reason about replica placement under chaos.
+func ReplicasOf(key uint64, nodes, replicas int) []int {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > nodes {
+		replicas = nodes
+	}
+	home := HomeOf(key, nodes)
+	rs := make([]int, replicas)
+	for i := range rs {
+		rs[i] = (home + i) % nodes
+	}
+	return rs
+}
+
+// isReplica reports whether node holds a replica of key's shard, without
+// allocating the replica list.
+func (c *Cluster) isReplica(key uint64, node int) bool {
+	d := node - c.HomeNode(key)
+	if d < 0 {
+		d += c.cfg.Nodes
+	}
+	return d < c.cfg.ReplicasPerShard
+}
+
+// primaryFor returns key's acting primary under view v — the first live
+// replica in home order — or -1 when every replica is down (the only case
+// that still surfaces ErrHomeDown). With ReplicasPerShard=1 this is exactly
+// the old home-or-dead rule.
+func (c *Cluster) primaryFor(key uint64, v *View) int {
+	home := c.HomeNode(key)
+	for i := 0; i < c.cfg.ReplicasPerShard; i++ {
+		node := home + i
+		if node >= c.cfg.Nodes {
+			node -= c.cfg.Nodes
+		}
+		if v.Live(node) {
+			return node
+		}
+	}
+	return -1
+}
+
+// replicated reports whether the deployment runs with shard replication.
+func (c *Cluster) replicated() bool { return c.cfg.ReplicasPerShard > 1 }
+
 // Close shuts the cluster down.
 func (c *Cluster) Close() error {
 	c.mu.Lock()
@@ -562,6 +647,9 @@ func (c *Cluster) Close() error {
 			wk.rpc.failAll(ErrPipelineClosed)
 		}
 	}
+	// In-flight re-seed pushes fail fast now that the pipelines are gone;
+	// wait them out so no reseed goroutine outlives the cluster.
+	c.reseedWG.Wait()
 	// Stop the session lanes last: in-flight lane work has already been
 	// failed by the pipeline/RPC teardown above, and the write lock pairs
 	// with sessEnqueue's read lock so no enqueue races the close.
@@ -579,21 +667,29 @@ func (c *Cluster) Close() error {
 	return err
 }
 
-// Populate loads the dataset: every key 0..NumKeys-1 is written to its home
-// shard with the given value size and a zero timestamp. In member form only
-// locally-homed keys are written — each process populates its own shard, and
-// the shards together hold the full dataset.
+// Populate loads the dataset: every key 0..NumKeys-1 is written to each of
+// its replica shards (just the home when unreplicated) with the given value
+// size and a zero timestamp. In member form only the local shard is written
+// — each process populates its own replicas, and the shards together hold
+// the full (replicated) dataset.
 func (c *Cluster) Populate() {
 	val := make([]byte, c.cfg.ValueSize)
 	for k := uint64(0); k < c.cfg.NumKeys; k++ {
-		home := c.nodes[c.HomeNode(k)]
-		if home == nil {
-			continue
+		home := c.HomeNode(k)
+		written := false
+		for i := 0; i < c.cfg.ReplicasPerShard; i++ {
+			n := c.nodes[(home+i)%c.cfg.Nodes]
+			if n == nil {
+				continue
+			}
+			if !written {
+				for j := range val {
+					val[j] = byte(k) ^ byte(j)
+				}
+				written = true
+			}
+			n.kvs.Put(k, val, timestamp.TS{})
 		}
-		for i := range val {
-			val[i] = byte(k) ^ byte(i)
-		}
-		home.kvs.Put(k, val, timestamp.TS{})
 	}
 }
 

@@ -80,6 +80,9 @@ func (n *Node) Get(key uint64) ([]byte, error) {
 		}
 		n.CacheMisses.Add(1)
 	}
+	if n.cluster.replicated() {
+		return n.getReplicated(key)
+	}
 	home := n.cluster.HomeNode(key)
 	if home == int(n.id) {
 		n.LocalOps.Add(1)
@@ -126,6 +129,29 @@ func (n *Node) MultiGet(keys []uint64) ([][]byte, error) {
 			n.CacheMisses.Add(1)
 		}
 		home := n.cluster.HomeNode(key)
+		if n.cluster.replicated() {
+			primary := n.cluster.primaryFor(key, n.cluster.view.Load())
+			if primary < 0 {
+				if firstErr == nil {
+					firstErr = homeDownErr(home, key)
+				}
+				continue
+			}
+			if primary == int(n.id) {
+				// Local acting-primary read (waits out a rejoin re-sync).
+				v, err := n.getReplicated(key)
+				if err == nil {
+					out[i] = v
+				} else if err != store.ErrNotFound && firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			n.RemoteOps.Add(1)
+			ch := n.workerFor(key).rpc.start(uint8(primary), wireReq{op: rpcOpGet, key: key})
+			pend = append(pend, pendingOp{idx: i, ch: ch})
+			continue
+		}
 		if home == int(n.id) {
 			n.LocalOps.Add(1)
 			v, _, err := n.kvs.Get(key, nil)
@@ -151,6 +177,17 @@ func (n *Node) MultiGet(keys []uint64) ([][]byte, error) {
 	}
 	for _, p := range pend {
 		res, err := awaitRPC(p.ch)
+		if (err != nil || res.status == rpcStatusRetry) && n.cluster.replicated() {
+			// The primary died or is re-syncing mid-batch; the single-op
+			// path owns the promotion-chasing retry.
+			v, gerr := n.getReplicated(keys[p.idx])
+			if gerr == nil {
+				out[p.idx] = v
+			} else if gerr != store.ErrNotFound && firstErr == nil {
+				firstErr = gerr
+			}
+			continue
+		}
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -178,6 +215,20 @@ func (n *Node) Put(key uint64, value []byte) error {
 		done, err := n.putCached(key, value)
 		if err != nil || done {
 			return err
+		}
+		if n.cluster.replicated() {
+			bounced, err := n.replicatedPut(key, value)
+			if err != nil {
+				return err
+			}
+			if !bounced {
+				return nil
+			}
+			// The key went hot mid-flight at some replica; re-probe the
+			// cache and re-execute through the cache protocol.
+			n.FrozenRetries.Add(1)
+			yield()
+			continue
 		}
 		home := n.cluster.HomeNode(key)
 		if home == int(n.id) {
@@ -233,6 +284,15 @@ func (n *Node) MultiPut(keys []uint64, values [][]byte) error {
 			return err
 		}
 		if done {
+			continue
+		}
+		if n.cluster.replicated() {
+			// A replicated put is a multi-phase exchange of its own; run the
+			// single-op path (which owns the bounce/promotion retries)
+			// instead of the one-shot pipelined forward.
+			if err := n.Put(key, values[i]); err != nil && firstErr == nil {
+				firstErr = err
+			}
 			continue
 		}
 		home := n.cluster.HomeNode(key)

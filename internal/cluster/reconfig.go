@@ -155,11 +155,13 @@ func (c *Cluster) applyDelta(via int, promote, demote []uint64) (DeltaStats, err
 	return st, nil
 }
 
-// liveHomedKeys filters keys down to those whose home node is in the view.
+// liveHomedKeys filters keys down to those with a live shard replica — the
+// home node itself when unreplicated, any replica otherwise (a demotion can
+// flush to, and a promotion can fetch from, the key's acting primary).
 func (c *Cluster) liveHomedKeys(view *View, keys []uint64) []uint64 {
 	kept := make([]uint64, 0, len(keys))
 	for _, k := range keys {
-		if view.Live(c.HomeNode(k)) {
+		if c.primaryFor(k, view) >= 0 {
 			kept = append(kept, k)
 		}
 	}
@@ -332,23 +334,33 @@ func (n *Node) demoteKeys(keys []uint64, st *DeltaStats) (err error) {
 		pending = retry
 	}
 
-	// Phase 3: flush the winning dirty values to their home shards before
-	// any cache drops the keys — a post-demotion miss must find a home
-	// copy at least as new as anything the caches ever committed.
+	// Phase 3: flush the winning dirty values to every live shard replica
+	// before any cache drops the keys — a post-demotion miss routes to the
+	// key's acting primary, which must hold a copy at least as new as
+	// anything the caches ever committed (with replication, so must the
+	// backups, or the next promotion would resurrect the pre-cache value).
 	wbCalls := make([]controlCall, 0, len(best))
+	view := n.cluster.view.Load()
 	for _, wb := range best {
-		home := uint8(n.cluster.HomeNode(wb.Key))
-		if home == n.id {
-			// ErrStale means a peer's flush or client write was newer.
-			_ = n.kvs.PutIfNewer(wb.Key, wb.Value, wb.TS)
-			continue
+		for _, node := range ReplicasOf(wb.Key, n.cluster.cfg.Nodes, n.cluster.cfg.ReplicasPerShard) {
+			if node == int(n.id) {
+				// ErrStale means a peer's flush or client write was newer.
+				_ = n.kvs.PutIfNewer(wb.Key, wb.Value, wb.TS)
+				continue
+			}
+			if !view.Live(node) {
+				continue // a dead replica is re-seeded on rejoin
+			}
+			ch := n.workerFor(wb.Key).rpc.start(uint8(node), wireReq{op: rpcOpWriteback, key: wb.Key, ts: wb.TS, value: wb.Value})
+			wbCalls = append(wbCalls, controlCall{peer: uint8(node), key: wb.Key, ch: ch})
 		}
-		ch := n.workerFor(wb.Key).rpc.start(home, wireReq{op: rpcOpWriteback, key: wb.Key, ts: wb.TS, value: wb.Value})
-		wbCalls = append(wbCalls, controlCall{peer: home, key: wb.Key, ch: ch})
 	}
 	var wbErr error
 	for _, c := range wbCalls {
 		res, cerr := awaitRPC(c.ch)
+		if cerr != nil && !n.cluster.view.Load().Live(int(c.peer)) {
+			continue // the replica died mid-flush; excised, re-seeded on rejoin
+		}
 		if cerr == nil && res.status != rpcStatusOK {
 			cerr = fmt.Errorf("cluster: writeback refused by node %d (status %d)", c.peer, res.status)
 		}
@@ -427,24 +439,28 @@ func (n *Node) promoteKeys(keys []uint64, st *DeltaStats) (err error) {
 		return err
 	}
 
-	// Phase 2: fetch value+version from the home shards.
+	// Phase 2: fetch value+version from each key's acting primary (the home
+	// shard itself when unreplicated).
 	type fetched struct {
 		val []byte
 		ts  timestamp.TS
 	}
 	vals := make(map[uint64]fetched, len(keys))
-	fetchCalls := make([]controlCall, 0, len(keys))
+	view := n.cluster.view.Load()
+	pending := make([]controlCall, 0, len(keys))
 	var local []uint64
 	for _, k := range keys {
-		home := uint8(n.cluster.HomeNode(k))
-		if home == n.id {
+		primary := n.cluster.primaryFor(k, view)
+		if primary < 0 {
+			continue // lost its last replica mid-delta; the placeholder rolls back
+		}
+		if primary == int(n.id) {
 			local = append(local, k)
 			continue
 		}
 		st.HomeFetches++
 		st.RemoteFetches++
-		ch := n.workerFor(k).rpc.start(home, wireReq{op: rpcOpPromoteFetch, key: k})
-		fetchCalls = append(fetchCalls, controlCall{peer: home, key: k, ch: ch})
+		pending = append(pending, controlCall{peer: uint8(primary), key: k})
 	}
 	// The key's worker homeMu orders each local fetch against local
 	// miss-path puts whose cache probe predates the placeholders (see
@@ -455,29 +471,57 @@ func (n *Node) promoteKeys(keys []uint64, st *DeltaStats) (err error) {
 		wk := n.workerFor(k)
 		wk.homeMu.Lock()
 		v, ts, gerr := n.kvs.Get(k, nil)
+		if gerr == nil && n.cluster.replicated() {
+			// Lift the fetched version above every stamp handed out for the
+			// key, mirroring the rpcOpPromoteFetch handler: orphaned backup
+			// commits from a bounced stamped put must lose to this entry's
+			// demotion write-backs.
+			wk.seqMu.Lock()
+			if clk := wk.seqClocks[k]; clk > ts.Clock {
+				ts = timestamp.TS{Clock: clk, Writer: n.id}
+			}
+			wk.seqMu.Unlock()
+		}
 		wk.homeMu.Unlock()
 		if gerr == nil {
 			vals[k] = fetched{val: v, ts: ts}
 		}
 	}
+	// Remote fetches run in overlapped rounds: a Retry answer means the
+	// primary is still re-syncing after a rejoin (its seed streams settle,
+	// then its gate clears — or it dies and the view moves on).
 	var fetchErr error
-	for _, c := range fetchCalls {
-		res, ferr := awaitRPC(c.ch)
-		if ferr != nil {
-			if fetchErr == nil {
-				fetchErr = ferr
+	for len(pending) > 0 {
+		for i := range pending {
+			pending[i].ch = n.workerFor(pending[i].key).rpc.start(
+				pending[i].peer, wireReq{op: rpcOpPromoteFetch, key: pending[i].key})
+		}
+		retry := pending[:0]
+		for _, c := range pending {
+			res, ferr := awaitRPC(c.ch)
+			if ferr != nil {
+				if fetchErr == nil {
+					fetchErr = ferr
+				}
+				continue
 			}
-			continue
+			switch res.status {
+			case rpcStatusOK:
+				vals[c.key] = fetched{val: res.value, ts: res.ts}
+			case rpcStatusRetry:
+				retry = append(retry, c)
+			}
+			// NotFound: the key does not exist at its home; its placeholder is
+			// rolled back — an uncached nonexistent key behaves identically
+			// either way.
 		}
-		if res.status == rpcStatusOK {
-			vals[c.key] = fetched{val: res.value, ts: res.ts}
+		if fetchErr != nil {
+			return fmt.Errorf("promotion fetch: %w", fetchErr)
 		}
-		// NotFound: the key does not exist at its home; its placeholder is
-		// rolled back — an uncached nonexistent key behaves identically
-		// either way.
-	}
-	if fetchErr != nil {
-		return fmt.Errorf("promotion fetch: %w", fetchErr)
+		if len(retry) > 0 {
+			yield()
+		}
+		pending = retry
 	}
 
 	// Phase 3: fill the placeholders everywhere — reads start hitting the

@@ -94,6 +94,20 @@ const (
 	// key — otherwise a write landing at the home shard after the home's
 	// own removal would be invisible to readers of the remaining copies.
 	rpcOpDemoteRetire byte = 12
+	// rpcOpPutStamp reserves a replicated put's write timestamp at the
+	// key's acting primary (phase 1 of the replicated miss-path put,
+	// ops.go): strictly above both the shard's stored version and every
+	// previously stamped write, so the commits that follow can use
+	// PutIfNewer everywhere without an acked write ever losing to the
+	// stored value. Answers Retry when the key is cached (stale probe, as
+	// for rpcOpPut) or while the node is re-syncing after a rejoin.
+	rpcOpPutStamp byte = 13
+	// rpcOpPutCommit applies a stamped replicated put at one replica
+	// (phases 2-3): the carried version travels with the value and the
+	// shard applies it with PutIfNewer semantics. Bounces with Retry when
+	// the key is cached — the origin re-probes and re-executes through the
+	// cache protocol.
+	rpcOpPutCommit byte = 14
 
 	rpcStatusOK         byte = 0
 	rpcStatusNotFound   byte = 1
@@ -213,7 +227,7 @@ func (q wireReq) encodedSize() int {
 	switch q.op {
 	case rpcOpPut, rpcOpPrimaryWrite:
 		return 21 + len(q.value)
-	case rpcOpPromote, rpcOpWriteback:
+	case rpcOpPromote, rpcOpWriteback, rpcOpPutCommit:
 		return 26 + len(q.value)
 	default:
 		return 17
@@ -225,7 +239,7 @@ func (q wireReq) appendTo(buf []byte) []byte {
 	switch q.op {
 	case rpcOpPut, rpcOpPrimaryWrite:
 		return appendPutReq(buf, q.op, q.id, q.key, q.value)
-	case rpcOpPromote, rpcOpWriteback:
+	case rpcOpPromote, rpcOpWriteback, rpcOpPutCommit:
 		return appendVersionedReq(buf, q.op, q.id, q.key, q.ts, q.value)
 	default:
 		return appendGetReq(buf, q.op, q.id, q.key)
@@ -357,16 +371,46 @@ func appendVersionedReq(buf []byte, op byte, id, key uint64, ts timestamp.TS, va
 	return append(buf, value...)
 }
 
-// RemoteGet fetches key from its home node over the fabric.
+// RemoteGet fetches key from its home node over the fabric. A Retry answer
+// (the server is re-syncing its shard after a rejoin) re-issues the call,
+// bounded like every other protocol spin.
 func (n *Node) RemoteGet(home uint8, key uint64) ([]byte, timestamp.TS, error) {
-	res, err := n.workerFor(key).rpc.call(home, wireReq{op: rpcOpGet, key: key})
+	for attempt := 0; ; attempt++ {
+		res, err := n.workerFor(key).rpc.call(home, wireReq{op: rpcOpGet, key: key})
+		if err != nil {
+			return nil, timestamp.TS{}, err
+		}
+		switch res.status {
+		case rpcStatusOK:
+			return res.value, res.ts, nil
+		case rpcStatusRetry:
+			if attempt > frozenRetryLimit {
+				return nil, timestamp.TS{}, ErrFrozenRetriesExhausted
+			}
+			yield()
+		default:
+			return nil, timestamp.TS{}, store.ErrNotFound
+		}
+	}
+}
+
+// remoteStamp reserves a replicated put's write timestamp at the key's
+// acting primary (phase 1, ops.go replicatedPut). errPutBounced reports the
+// primary caches the key or is re-syncing; the origin re-probes and
+// re-executes.
+func (n *Node) remoteStamp(primary uint8, key uint64) (timestamp.TS, error) {
+	res, err := n.workerFor(key).rpc.call(primary, wireReq{op: rpcOpPutStamp, key: key})
 	if err != nil {
-		return nil, timestamp.TS{}, err
+		return timestamp.TS{}, err
 	}
-	if res.status != rpcStatusOK {
-		return nil, timestamp.TS{}, store.ErrNotFound
+	switch res.status {
+	case rpcStatusOK:
+		return res.ts, nil
+	case rpcStatusRetry:
+		return timestamp.TS{}, errPutBounced
+	default:
+		return timestamp.TS{}, fmt.Errorf("cluster: put stamp failed (status %d)", res.status)
 	}
-	return res.value, res.ts, nil
 }
 
 // remoteMultiGet fetches a batch of keys homed on one node with a single
@@ -534,13 +578,13 @@ func parseRequest(buf []byte) (req rpcRequest, consumed int, err error) {
 		}
 		req.value = buf[21 : 21+vlen]
 		return req, 21 + vlen, nil
-	case rpcOpDemoteFreeze, rpcOpDemoteCollect, rpcOpDemoteCommit, rpcOpPromotePrepare, rpcOpPromoteFetch, rpcOpUnfreeze, rpcOpDemoteRetire:
+	case rpcOpDemoteFreeze, rpcOpDemoteCollect, rpcOpDemoteCommit, rpcOpPromotePrepare, rpcOpPromoteFetch, rpcOpUnfreeze, rpcOpDemoteRetire, rpcOpPutStamp:
 		if len(buf) < 17 {
 			return req, 0, errBadRequest
 		}
 		req.key = binary.LittleEndian.Uint64(buf[9:17])
 		return req, 17, nil
-	case rpcOpPromote, rpcOpWriteback:
+	case rpcOpPromote, rpcOpWriteback, rpcOpPutCommit:
 		if len(buf) < 26 {
 			return req, 0, errBadRequest
 		}
@@ -647,6 +691,11 @@ func (n *Node) handleKVSRequest(p fabric.Packet) {
 func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte, scratch *srvBuf) []byte {
 	switch req.op {
 	case rpcOpGet:
+		if n.cluster.syncing.Load() {
+			// Re-syncing after a rejoin: the shard may still hold pre-crash
+			// state; readers wait for the seed stream (RemoteGet re-issues).
+			return appendStatusOnly(resp, req.reqID, rpcStatusRetry)
+		}
 		v, ts, err := n.kvs.Get(req.key, scratch.b[:0])
 		if err != nil {
 			return appendStatusOnly(resp, req.reqID, rpcStatusNotFound)
@@ -654,6 +703,9 @@ func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte, scratch *srv
 		scratch.b = v
 		return appendOKResponse(resp, req.reqID, ts, v)
 	case rpcOpPut:
+		if n.cluster.syncing.Load() {
+			return appendStatusOnly(resp, req.reqID, rpcStatusRetry)
+		}
 		// Puts that miss the cache go to the home shard; they carry no
 		// protocol timestamp, so advance the stored clock to serialize
 		// (home-node writes are trivially serialized per key).
@@ -715,9 +767,24 @@ func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte, scratch *srv
 		n.cache.AddPending([]uint64{req.key})
 		return appendOKResponse(resp, req.reqID, timestamp.TS{}, nil)
 	case rpcOpPromoteFetch:
+		if n.cluster.syncing.Load() {
+			return appendStatusOnly(resp, req.reqID, rpcStatusRetry)
+		}
 		wk := n.workerFor(req.key)
 		wk.homeMu.Lock()
 		v, ts, err := n.kvs.Get(req.key, scratch.b[:0])
+		if err == nil && n.cluster.replicated() {
+			// Lift the fetched version above every stamp handed out for the
+			// key (rpcOpPutStamp): a stamped put that bounces off the fresh
+			// cache entry re-executes through the cache protocol, and its
+			// orphaned backup commits must lose to the cache's subsequent
+			// demotion write-backs, not outlive them.
+			wk.seqMu.Lock()
+			if c := wk.seqClocks[req.key]; c > ts.Clock {
+				ts = timestamp.TS{Clock: c, Writer: n.id}
+			}
+			wk.seqMu.Unlock()
+		}
 		wk.homeMu.Unlock()
 		if err != nil {
 			return appendStatusOnly(resp, req.reqID, rpcStatusNotFound)
@@ -778,6 +845,45 @@ func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte, scratch *srv
 		// a post-demotion client put) loses quietly — exactly the
 		// PutIfNewer contract the epoch change relies on.
 		_ = n.kvs.PutIfNewer(req.key, req.value, req.ts)
+		return appendOKResponse(resp, req.reqID, timestamp.TS{}, nil)
+	case rpcOpPutStamp:
+		if n.cluster.syncing.Load() {
+			return appendStatusOnly(resp, req.reqID, rpcStatusRetry)
+		}
+		wk := n.workerFor(req.key)
+		wk.homeMu.Lock()
+		if n.cache != nil && n.cache.Contains(req.key) {
+			wk.homeMu.Unlock()
+			return appendStatusOnly(resp, req.reqID, rpcStatusRetry)
+		}
+		_, ts, err := n.kvs.Get(req.key, scratch.b[:0])
+		if err != nil {
+			ts = timestamp.TS{}
+		}
+		wk.seqMu.Lock()
+		clock := wk.seqClocks[req.key]
+		if ts.Clock > clock {
+			clock = ts.Clock
+		}
+		clock++
+		wk.seqClocks[req.key] = clock
+		wk.seqMu.Unlock()
+		wk.homeMu.Unlock()
+		return appendOKResponse(resp, req.reqID, timestamp.TS{Clock: clock, Writer: n.id}, nil)
+	case rpcOpPutCommit:
+		// Applying a stamped put at a replica: the bounce check mirrors
+		// rpcOpPut (the key went hot between the stamp and this commit; the
+		// origin re-executes through the cache protocol), the write itself
+		// is PutIfNewer — a commit racing a newer stamp's commit loses
+		// quietly, exactly the order the stamps define.
+		wk := n.workerFor(req.key)
+		wk.homeMu.Lock()
+		if n.cache != nil && n.cache.Contains(req.key) {
+			wk.homeMu.Unlock()
+			return appendStatusOnly(resp, req.reqID, rpcStatusRetry)
+		}
+		_ = n.kvs.PutIfNewer(req.key, req.value, req.ts)
+		wk.homeMu.Unlock()
 		return appendOKResponse(resp, req.reqID, timestamp.TS{}, nil)
 	default:
 		// Unreachable today — parseRequest rejects unknown ops — but kept so

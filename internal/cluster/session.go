@@ -373,7 +373,10 @@ type sessOpRes struct {
 	msg    string // error text (sessStatusErr)
 }
 
-// sessLanePend is one started remote RPC of a burst.
+// sessLanePend is one started remote RPC of a burst — or, with ch == nil, a
+// blocking multi-phase operation (a replicated put, a read against a
+// re-syncing primary) deferred to collect so the rest of the burst's remote
+// accesses start first.
 type sessLanePend struct {
 	res   int // index into the lane's result scratch
 	put   bool
@@ -457,6 +460,13 @@ func (l *sessLane) scanOp(ri int, op sessOp) {
 			r.status = sessStatusOK
 			return
 		}
+		if n.cluster.replicated() {
+			// A replicated put is a blocking multi-phase exchange of its
+			// own; defer it to collect so the rest of the burst's remote
+			// accesses start first.
+			l.pend = append(l.pend, sessLanePend{res: ri, put: true, key: op.key, value: op.value})
+			return
+		}
 		home := n.cluster.HomeNode(op.key)
 		if home == int(n.id) {
 			if n.localHomePut(op.key, op.value) {
@@ -494,6 +504,35 @@ func (l *sessLane) scanOp(ri int, op sessOp) {
 		n.CacheMisses.Add(1)
 	}
 	home := n.cluster.HomeNode(op.key)
+	if n.cluster.replicated() {
+		primary := n.cluster.primaryFor(op.key, n.cluster.view.Load())
+		if primary < 0 {
+			r.status = sessStatusHomeDown
+			return
+		}
+		if primary == int(n.id) {
+			if n.cluster.syncing.Load() {
+				// Re-syncing after a rejoin: defer to collect, where the
+				// single-op path waits out the seed stream.
+				l.pend = append(l.pend, sessLanePend{res: ri, key: op.key})
+				return
+			}
+			n.LocalOps.Add(1)
+			v, _, err := n.kvs.Get(op.key, nil)
+			if err != nil {
+				r.status = sessStatusNotFound
+				return
+			}
+			r.status = sessStatusOK
+			r.hasVal = true
+			r.val = v
+			return
+		}
+		n.RemoteOps.Add(1)
+		ch := n.workerFor(op.key).rpc.start(uint8(primary), wireReq{op: rpcOpGet, key: op.key})
+		l.pend = append(l.pend, sessLanePend{res: ri, key: op.key, ch: ch})
+		return
+	}
 	if home == int(n.id) {
 		n.LocalOps.Add(1)
 		v, _, err := n.kvs.Get(op.key, nil)
@@ -521,8 +560,28 @@ func (l *sessLane) collect() {
 	for i := range l.pend {
 		p := &l.pend[i]
 		r := &l.res[p.res]
+		if p.ch == nil {
+			// Deferred blocking op (replicated deployments): run it through
+			// the single-op path, which owns the multi-phase protocol and
+			// its promotion/bounce retries.
+			if p.put {
+				setSessPutRes(r, n.Put(p.key, p.value))
+			} else {
+				l.sessReplicatedGet(r, p.key)
+			}
+			continue
+		}
 		res, err := awaitRPC(p.ch)
 		if err != nil {
+			if n.cluster.replicated() {
+				// The acting primary died mid-op; chase the promotion.
+				if p.put {
+					setSessPutRes(r, n.Put(p.key, p.value))
+				} else {
+					l.sessReplicatedGet(r, p.key)
+				}
+				continue
+			}
 			setSessErr(r, err)
 			continue
 		}
@@ -540,6 +599,11 @@ func (l *sessLane) collect() {
 			}
 			continue
 		}
+		if res.status == rpcStatusRetry && n.cluster.replicated() {
+			// The primary is re-syncing; the single-op path waits it out.
+			l.sessReplicatedGet(r, p.key)
+			continue
+		}
 		if res.status == rpcStatusOK {
 			r.status = sessStatusOK
 			r.hasVal = true
@@ -548,6 +612,19 @@ func (l *sessLane) collect() {
 			r.status = sessStatusNotFound
 		}
 	}
+}
+
+// sessReplicatedGet settles a replicated read through the promotion-chasing
+// single-op path.
+func (l *sessLane) sessReplicatedGet(r *sessOpRes, key uint64) {
+	v, err := l.n.getReplicated(key)
+	if err != nil {
+		setSessErr(r, err)
+		return
+	}
+	r.status = sessStatusOK
+	r.hasVal = true
+	r.val = v
 }
 
 var errRemotePutFailed = errors.New("cluster: remote put failed")

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/metrics"
+	"repro/internal/timestamp"
 )
 
 // Membership views: the cluster-wide answer to "who is alive", threaded
@@ -190,6 +191,9 @@ func (c *Cluster) applyDown(peer uint8, cause error, gossip bool) {
 		r := r
 		go func() { _ = r.n.Put(r.key, r.value) }()
 	}
+	// A dead peer can no longer finish a seed stream it started toward this
+	// member; release its share of the re-sync gate.
+	c.removeSyncSource(peer)
 	if gossip {
 		c.broadcastView(peer)
 	}
@@ -295,10 +299,21 @@ func (c *Cluster) Killed() bool { return c.killed.Load() }
 //	                           later gossip). Receivers whose view the delta
 //	                           moves forward it once; already-known deltas
 //	                           are dropped, so storms die after one round.
+//
+// Two further messages drive the replicated rejoin re-seed (reseed below):
+//
+//	seed-begin: op(1)=3 — the sender is about to stream shard seeds at the
+//	                      receiver; the receiver gates its acting-primary
+//	                      serving (stamps, reads, fetches answer Retry)
+//	                      until the matching seed-done, so no client
+//	                      observes its pre-rejoin state.
+//	seed-done:  op(1)=4 — the sender's seed stream has fully settled.
 const (
-	viewMsgPing   byte = 0
-	viewMsgPong   byte = 1
-	viewMsgChange byte = 2
+	viewMsgPing      byte = 0
+	viewMsgPong      byte = 1
+	viewMsgChange    byte = 2
+	viewMsgSeedBegin byte = 3
+	viewMsgSeedDone  byte = 4
 )
 
 // handleView serves the membership endpoint. A killed member drops
@@ -320,7 +335,13 @@ func (c *Cluster) handleView(p fabric.Packet) {
 		if peer < len(c.lastPong) {
 			c.lastPong[peer].Store(time.Now().UnixNano())
 			if !c.view.Load().Live(peer) {
-				c.PeerUp(p.Src.Node)
+				if c.replicated() {
+					// Re-seed the rejoiner from this member's shard before
+					// re-admitting it (blocking work; own goroutine).
+					c.reseedThenAdmit(p.Src.Node)
+				} else {
+					c.PeerUp(p.Src.Node)
+				}
 			}
 		}
 	case viewMsgChange:
@@ -331,7 +352,148 @@ func (c *Cluster) handleView(p fabric.Packet) {
 		// receivers that already knew apply nothing and forward nothing, so
 		// the storm dies after one round.
 		c.applyDown(p.Data[1], errGossipDown, true)
+	case viewMsgSeedBegin:
+		c.addSyncSource(p.Src.Node)
+	case viewMsgSeedDone:
+		c.removeSyncSource(p.Src.Node)
 	}
+}
+
+// addSyncSource arms the rejoin re-sync gate: a survivor announced a seed
+// stream toward this member. While any source is active, the member answers
+// acting-primary traffic (reads, put stamps, promotion fetches) with Retry
+// and local operations wait — its shard may still hold pre-crash state.
+func (c *Cluster) addSyncSource(peer uint8) {
+	if !c.replicated() || int(peer) >= c.cfg.Nodes {
+		return
+	}
+	c.syncMu.Lock()
+	c.syncSources[peer] = struct{}{}
+	c.syncing.Store(true)
+	c.syncMu.Unlock()
+}
+
+// removeSyncSource clears one seeder — its seed-done arrived, or it died
+// (applyDown calls this so a dead seeder cannot wedge the gate forever).
+func (c *Cluster) removeSyncSource(peer uint8) {
+	c.syncMu.Lock()
+	if _, ok := c.syncSources[peer]; ok {
+		delete(c.syncSources, peer)
+		if len(c.syncSources) == 0 {
+			c.syncing.Store(false)
+		}
+	}
+	c.syncMu.Unlock()
+}
+
+// reseedThenAdmit re-seeds a rejoining replica from this member's shard and
+// then re-admits it to the view, at most once concurrently per peer. The
+// push happens on its own goroutine — it blocks on per-key RPCs, and this
+// is called from the view dispatcher.
+func (c *Cluster) reseedThenAdmit(peer uint8) {
+	c.reseedMu.Lock()
+	if c.reseeding[peer] {
+		c.reseedMu.Unlock()
+		return
+	}
+	c.reseeding[peer] = true
+	c.reseedMu.Unlock()
+	c.reseedWG.Add(1)
+	go func() {
+		defer c.reseedWG.Done()
+		defer func() {
+			c.reseedMu.Lock()
+			delete(c.reseeding, peer)
+			c.reseedMu.Unlock()
+		}()
+		c.reseed(peer)
+	}()
+}
+
+// seedRecord is one shard entry staged for a re-seed push.
+type seedRecord struct {
+	key   uint64
+	ts    timestamp.TS
+	value []byte
+}
+
+// reseed pushes every key this member served as acting primary while peer
+// was down (and for which peer holds a replica) back at peer, then declares
+// the stream settled. The order is what makes it safe:
+//
+//  1. seed-begin — arms the rejoiner's re-sync gate, so it answers Retry to
+//     every acting-primary op (critically including put stamps: a stamp
+//     taken against its pre-crash clock could fall below timestamps this
+//     member handed out while acting as its stand-in, silently losing the
+//     acked write carrying it).
+//  2. PeerUp — re-admits the peer locally FIRST, so the credit budgets and
+//     pipeline toward it exist for the push itself; the gate, not the view,
+//     is what keeps its stale state unobservable. The push set is selected
+//     against the pre-rejoin view (this member pushes exactly the shards it
+//     was acting primary FOR while the peer was away), but the values are
+//     read after the flip, so writes racing the rejoin are included.
+//  3. the push — ordinary write-backs (PutIfNewer): a seed never regresses
+//     a value the rejoiner obtained more recently through a replicated
+//     commit of new traffic.
+//  4. seed-done — the gate disarms (this seeder's share of it).
+//
+// Residual window, documented rather than solved: a peer that flips its own
+// view before every OTHER survivor's seed stream lands can route a stamp to
+// the rejoiner while a second seeder is still pushing; the gate is per-
+// rejoiner (any active source holds it), so this requires the stamp to
+// overtake that seeder's seed-begin in flight — possible only on transports
+// without cross-thread ordering, and bounded by one queue drain.
+func (c *Cluster) reseed(peer uint8) {
+	oldView := c.view.Load()
+	if oldView.Live(int(peer)) {
+		return // raced another admission; nothing was missed
+	}
+	n := c.LocalNode()
+	self := int(c.localID())
+	c.sendSeedMark(peer, viewMsgSeedBegin)
+	c.PeerUp(peer)
+	defer c.sendSeedMark(peer, viewMsgSeedDone)
+
+	var seeds []seedRecord
+	for pi := 0; pi < n.kvs.NumPartitions(); pi++ {
+		n.kvs.Partition(pi).Range(func(key uint64, value []byte, ts timestamp.TS) bool {
+			if c.primaryFor(key, oldView) != self || !c.isReplica(key, int(peer)) {
+				return true
+			}
+			seeds = append(seeds, seedRecord{key: key, ts: ts, value: append([]byte(nil), value...)})
+			return true
+		})
+	}
+	// Push through the ordinary coalescing pipeline, a bounded window of
+	// calls in flight. Push errors are not retried here: the peer either
+	// died again (its own PeerDown clears the rejoiner gate) or the
+	// deployment is closing.
+	const seedWindow = 128
+	chs := make([]chan rpcResult, 0, seedWindow)
+	flush := func() {
+		for _, ch := range chs {
+			_, _ = awaitRPC(ch)
+		}
+		chs = chs[:0]
+	}
+	for _, s := range seeds {
+		wk := n.workerFor(s.key)
+		chs = append(chs, wk.rpc.start(peer, wireReq{op: rpcOpWriteback, key: s.key, ts: s.ts, value: s.value}))
+		if len(chs) >= seedWindow {
+			flush()
+		}
+	}
+	flush()
+}
+
+// sendSeedMark sends one seed-begin/seed-done marker to peer's view thread.
+func (c *Cluster) sendSeedMark(peer uint8, msg byte) {
+	_ = c.transport.Send(fabric.Packet{
+		Src:   fabric.Addr{Node: c.localID(), Thread: threadView},
+		Dst:   fabric.Addr{Node: peer, Thread: threadView},
+		Class: metrics.ClassFlowControl,
+		Data:  []byte{msg},
+	})
 }
 
 // broadcastView tells every live peer that `downed` just left the view.

@@ -24,8 +24,21 @@ REPORT="${1:-bench_regress_report.txt}"
 TOL="${TOL:-0.25}"
 OPS="${OPS:-1500}"
 
+# Allocation gate, before the single-thread self-skip: the allocs/op
+# thresholds asserted by the TestClient*AllocsPerOp / TestRemoteGetAllocsPerOp
+# tests ARE the committed allocation trajectory, and testing.AllocsPerRun is
+# deterministic — unlike the throughput ratios this gate is exact,
+# machine-independent, and needs no parallel cores.
+: > "$REPORT"
+echo "=== allocs/op: go test -run 'AllocsPerOp' ===" | tee -a "$REPORT"
+if ! go test ./internal/cluster -run 'AllocsPerOp' -count=1 >> "$REPORT" 2>&1; then
+    cat "$REPORT"
+    echo "bench regression gate: FAILED (allocs/op regressed; see $REPORT)" >&2
+    exit 1
+fi
+
 if [ "$(getconf _NPROCESSORS_ONLN)" -le 1 ]; then
-    echo "bench regression gate: skipped (single hardware thread; scaling ratios not reproducible)" | tee "$REPORT"
+    echo "bench regression gate: allocs/op OK; throughput tables skipped (single hardware thread; scaling ratios not reproducible)" | tee -a "$REPORT"
     exit 0
 fi
 
@@ -33,7 +46,6 @@ BIN=$(mktemp -d)
 trap 'rm -rf "$BIN"' EXIT
 go build -o "$BIN/cckvs-bench" ./cmd/cckvs-bench
 
-: > "$REPORT"
 fail=0
 for mode in coalesce workers clientedge; do
     base="bench/BENCH_baseline_${mode}.json"
@@ -56,4 +68,4 @@ if [ "$fail" -ne 0 ]; then
     echo "bench regression gate: FAILED (see $REPORT)" >&2
     exit 1
 fi
-echo "bench regression gate: all tables within tolerance"
+echo "bench regression gate: all tables within tolerance (throughput shape + allocs/op)"

@@ -12,6 +12,12 @@
 # symmetric caches — and the checker verifies no lost or stale reads among
 # the survivors.
 #
+# A replicated chaos deployment closes the loop on -replicas 2: the same
+# SIGKILL, but every shard has a backup, so the checker demands that
+# dead-homed keys KEEP serving through the promoted backup (any home-down
+# answer fails the run) and that no acked write is lost across the
+# promotion.
+#
 # Usage: scripts/multiprocess_smoke.sh [base_port]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -104,8 +110,48 @@ run_chaos_deployment() {
     echo "=== $proto chaos: OK ==="
 }
 
+run_replicated_chaos_deployment() {
+    local proto="$1" port0="$2"
+    local p0="127.0.0.1:$port0" p1="127.0.0.1:$((port0 + 1))" p2="127.0.0.1:$((port0 + 2))"
+    local peers="$p0,$p1,$p2"
+    local pids=()
+
+    echo "=== $proto replicated chaos: 3-node deployment on $peers (-replicas 2), node 2 dies mid-run ==="
+    for id in 0 1 2; do
+        "$BIN/cckvs-node" -id "$id" -peers "$peers" -protocol "$proto" \
+            -keys "$KEYS" -cache "$CACHE" -workers "$WORKERS" -replicas 2 \
+            -ping-interval 100ms -ping-timeout 1s &
+        pids+=($!)
+    done
+    # shellcheck disable=SC2064
+    trap "kill -9 ${pids[*]} 2>/dev/null || true" RETURN
+
+    # With a backup per shard the failure model flips: -replicas 2 tells the
+    # checker that home-down answers are failures (the promoted backup must
+    # serve the dead node's keys), dead-homed COLD keys stay in the checked
+    # set, and convergence covers them via the backup.
+    "$BIN/cckvs-load" -nodes "$peers" -keys "$KEYS" -hotset "$CACHE" -replicas 2 \
+        -alpha 0.99 -writes 0.05 -ops "$OPS" -clients "$CLIENTS" -batch "$BATCH" \
+        -chaos-down 2 -chaos-kill-pid "${pids[2]}" -chaos-at 0.4 \
+        -verify -verify-keys 12 -verify-rounds 25 -wait 30s
+
+    # Survivors shut down cleanly; node 2 was killed by design (ignore it).
+    kill -INT "${pids[0]}" "${pids[1]}" 2>/dev/null || true
+    local code=0
+    wait "${pids[0]}" || code=$?
+    wait "${pids[1]}" || code=$?
+    wait "${pids[2]}" 2>/dev/null || true
+    if [ "$code" -ne 0 ]; then
+        echo "$proto replicated chaos: a survivor exited non-zero ($code)" >&2
+        return 1
+    fi
+    echo "=== $proto replicated chaos: OK ==="
+}
+
 run_deployment sc "$BASE_PORT"
 run_deployment lin "$((BASE_PORT + 10))"
 run_chaos_deployment sc "$((BASE_PORT + 20))"
 run_chaos_deployment lin "$((BASE_PORT + 30))"
+run_replicated_chaos_deployment sc "$((BASE_PORT + 40))"
+run_replicated_chaos_deployment lin "$((BASE_PORT + 50))"
 echo "multiprocess smoke: all deployments passed"
