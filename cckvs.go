@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/store"
 	"repro/internal/topk"
 )
 
@@ -153,52 +154,205 @@ func (kv *KV) Put(key uint64, value []byte) error {
 	return kv.c.Node(kv.pick()).Put(key, value)
 }
 
+// CompareAndSwap atomically replaces key's value with newVal iff the stored
+// value equals expect (nil/empty expect matches a missing key). The op
+// executes exactly once at the key's serialization point under the
+// configured consistency model; witness is the value the comparison
+// observed, so a failed CAS needs no extra read before retrying.
+func (kv *KV) CompareAndSwap(key uint64, expect, newVal []byte) (witness []byte, swapped bool, err error) {
+	kv.coord.Observe(key)
+	return kv.c.Node(kv.pick()).CompareAndSwap(key, expect, newVal)
+}
+
+// FetchAndAdd atomically adds delta to the 8-byte big-endian counter stored
+// under key (a missing key counts from 0 — see cluster.EncodeCounter) and
+// returns the pre-add value. The addition runs server-side at the key's
+// serialization point, so a hot contended counter never turns into a
+// client-visible CAS retry loop.
+func (kv *KV) FetchAndAdd(key uint64, delta uint64) (old uint64, err error) {
+	kv.coord.Observe(key)
+	return kv.c.Node(kv.pick()).FetchAndAdd(key, delta)
+}
+
 // Pair is one key/value of a MultiPut batch.
 type Pair struct {
 	Key   uint64
 	Value []byte
 }
 
+// The facade re-exports the op model: internal/cluster is compiler-private
+// outside this module, so these aliases are the only way an external
+// importer can construct a Batch. They are aliases, not copies — a cckvs.Op
+// IS a cluster.Op, and the error variables errors.Is-match values returned
+// from every layer.
+type (
+	// Op is one operation of a Batch: its Kind, Key, and the kind's
+	// payload (Value for puts and CAS, Expect for CAS, Delta for FAA).
+	Op = cluster.Op
+	// Result is one op's outcome — its value and ITS error; a missing key
+	// or a lost CAS fails its own slot, never its batch-mates.
+	Result = cluster.Result
+	// OpKind selects what an Op does.
+	OpKind = cluster.OpKind
+)
+
+// Op kinds accepted by Batch.
+const (
+	OpGet = cluster.OpGet
+	OpPut = cluster.OpPut
+	OpCAS = cluster.OpCAS
+	OpFAA = cluster.OpFAA
+)
+
+// Typed errors surfaced through the facade, for errors.Is.
+var (
+	// ErrNotFound reports a get of an absent key.
+	ErrNotFound = store.ErrNotFound
+	// ErrCASMismatch reports a CAS whose expectation lost; the witnessed
+	// value rides alongside it (Result.Value, or CompareAndSwap's witness).
+	ErrCASMismatch = cluster.ErrCASMismatch
+	// ErrRMWUnknown reports an RMW whose fate a failure hid. It is never
+	// retried internally — re-running it could apply it twice; read the
+	// key to resolve, or abandon the attempt.
+	ErrRMWUnknown = cluster.ErrRMWUnknown
+)
+
+// EncodeCounter renders v in the 8-byte big-endian format FetchAndAdd
+// operates on — use it to seed or CAS counter values.
+func EncodeCounter(v uint64) []byte { return cluster.EncodeCounter(v) }
+
+// DecodeCounter is EncodeCounter's inverse; nil/empty decodes as 0.
+func DecodeCounter(b []byte) (uint64, error) { return cluster.DecodeCounter(b) }
+
+// Batch executes a mixed batch of operations (get, put, CAS, FAA) against
+// the deployment, fanned out round-robin across the server nodes, and
+// reports every op's outcome individually — results[i] is ops[i]'s value
+// and error (ErrNotFound for an absent get, ErrCASMismatch plus the
+// witness for a failed CAS). Gets and puts of a stripe travel coalesced
+// (§6.3) and fall back to per-op execution only when the coalesced call
+// fails, so one bad key no longer hides its stripe-mates' outcomes. Every
+// access feeds the top-k popularity observer.
+func (kv *KV) Batch(ops []Op) ([]Result, error) {
+	rs := make([]Result, len(ops))
+	err := kv.fanOut(len(ops), func(i int) { kv.coord.Observe(ops[i].Key) },
+		func(node int, idxs []int) error {
+			kv.batchStripe(node, ops, rs, idxs)
+			return nil
+		})
+	return rs, err
+}
+
+// batchStripe serves one node's share of a Batch: gets and puts ride the
+// coalesced multi-op paths, RMWs execute per op (each is a blocking
+// multi-phase protocol of its own).
+func (kv *KV) batchStripe(node int, ops []cluster.Op, rs []cluster.Result, idxs []int) {
+	n := kv.c.Node(node)
+	var gets, puts []int
+	for _, i := range idxs {
+		switch ops[i].EffectiveKind() {
+		case cluster.OpPut:
+			puts = append(puts, i)
+		case cluster.OpCAS:
+			w, swapped, err := n.CompareAndSwap(ops[i].Key, ops[i].Expect, ops[i].Value)
+			rs[i] = cluster.Result{Value: w, Err: err}
+			if err == nil && !swapped {
+				rs[i].Err = cluster.ErrCASMismatch
+			}
+		case cluster.OpFAA:
+			old, err := n.FetchAndAdd(ops[i].Key, ops[i].Delta)
+			if err != nil {
+				rs[i] = cluster.Result{Err: err}
+			} else {
+				rs[i] = cluster.Result{Value: cluster.EncodeCounter(old)}
+			}
+		default:
+			gets = append(gets, i)
+		}
+	}
+	if len(gets) > 0 {
+		sub := make([]uint64, len(gets))
+		for j, i := range gets {
+			sub[j] = ops[i].Key
+		}
+		values, err := n.MultiGet(sub)
+		if err == nil {
+			for j, i := range gets {
+				rs[i].Value = values[j]
+				if values[j] == nil {
+					rs[i].Err = store.ErrNotFound
+				}
+			}
+		} else {
+			// The coalesced call cannot name the failing key; re-resolve per
+			// op so its stripe-mates still report their own outcomes.
+			for _, i := range gets {
+				rs[i].Value, rs[i].Err = n.Get(ops[i].Key)
+			}
+		}
+	}
+	if len(puts) > 0 {
+		ks := make([]uint64, len(puts))
+		vs := make([][]byte, len(puts))
+		for j, i := range puts {
+			ks[j] = ops[i].Key
+			vs[j] = ops[i].Value
+		}
+		if err := n.MultiPut(ks, vs); err != nil {
+			for _, i := range puts {
+				rs[i].Err = n.Put(ops[i].Key, ops[i].Value)
+			}
+		}
+	}
+}
+
 // MultiGet reads a batch of keys in one operation. The batch is fanned out
 // round-robin across the server nodes; each node probes its cache and issues
 // one coalesced remote access per home shard for the misses (§6.3), so a
 // large uniform batch costs a small number of network packets instead of one
-// round-trip per key. values[i] is nil when keys[i] does not exist. Every
-// access feeds the top-k popularity observer like Get does.
+// round-trip per key. values[i] is nil when keys[i] does not exist. The
+// returned error is the first per-op failure after the whole batch settled —
+// keys that served successfully keep their values regardless (use Batch for
+// full per-op outcomes). Every access feeds the top-k popularity observer
+// like Get does.
 func (kv *KV) MultiGet(keys []uint64) ([][]byte, error) {
+	ops := make([]cluster.Op, len(keys))
+	for i, k := range keys {
+		ops[i].Key = k
+	}
+	rs, firstErr := kv.Batch(ops)
 	out := make([][]byte, len(keys))
-	err := kv.fanOut(len(keys), func(i int) { kv.coord.Observe(keys[i]) },
-		func(node int, idxs []int) error {
-			sub := make([]uint64, len(idxs))
-			for j, i := range idxs {
-				sub[j] = keys[i]
+	for i := range rs {
+		switch {
+		case rs[i].Err == nil:
+			out[i] = rs[i].Value
+		case errors.Is(rs[i].Err, store.ErrNotFound):
+			// absent: out[i] stays nil
+		default:
+			if firstErr == nil {
+				firstErr = rs[i].Err
 			}
-			values, err := kv.c.Node(node).MultiGet(sub)
-			if err != nil {
-				return err
-			}
-			for j, i := range idxs {
-				out[i] = values[j]
-			}
-			return nil
-		})
-	return out, err
+		}
+	}
+	return out, firstErr
 }
 
 // MultiPut writes a batch of pairs in one operation, fanned out round-robin
 // across the server nodes; cache-hot keys run the configured consistency
-// protocol, misses travel to their home shards in coalesced packets.
+// protocol, misses travel to their home shards in coalesced packets. The
+// returned error is the first per-op failure after the whole batch settled
+// (use Batch for full per-op outcomes).
 func (kv *KV) MultiPut(pairs []Pair) error {
-	return kv.fanOut(len(pairs), func(i int) { kv.coord.Observe(pairs[i].Key) },
-		func(node int, idxs []int) error {
-			ks := make([]uint64, len(idxs))
-			vs := make([][]byte, len(idxs))
-			for j, i := range idxs {
-				ks[j] = pairs[i].Key
-				vs[j] = pairs[i].Value
-			}
-			return kv.c.Node(node).MultiPut(ks, vs)
-		})
+	ops := make([]cluster.Op, len(pairs))
+	for i, p := range pairs {
+		ops[i] = cluster.Op{Kind: cluster.OpPut, Key: p.Key, Value: p.Value}
+	}
+	rs, firstErr := kv.Batch(ops)
+	for i := range rs {
+		if rs[i].Err != nil && firstErr == nil {
+			firstErr = rs[i].Err
+		}
+	}
+	return firstErr
 }
 
 // fanOut observes every batch index, stripes the indices round-robin across

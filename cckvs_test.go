@@ -2,7 +2,11 @@ package cckvs
 
 import (
 	"bytes"
+	"errors"
 	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/store"
 )
 
 func TestOpenDefaults(t *testing.T) {
@@ -189,5 +193,85 @@ func TestMultiEmptyBatch(t *testing.T) {
 	}
 	if err := kv.MultiPut(nil); err != nil {
 		t.Fatalf("MultiPut(nil) = %v", err)
+	}
+}
+
+// The redesigned op surface through the facade: one Batch call carrying
+// gets, puts, CAS and FAA, with every op's outcome reported per-op — a
+// missing key or a lost CAS surfaces on ITS result without failing its
+// batch-mates (the partial-failure contract MultiGet/MultiPut used to
+// collapse into one error).
+func TestFacadeBatchPerOpOutcomes(t *testing.T) {
+	kv, err := Open(Options{Nodes: 3, NumKeys: 1000, CacheItems: 16, ValueSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+
+	// Cold keys only (>= CacheItems): outcomes are home-direct and
+	// deterministic; ops within one Batch are not ordered across stripes.
+	a, err := kv.Get(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := kv.Get(22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := kv.Get(23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := cluster.DecodeCounter(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ops := []cluster.Op{
+		{Kind: cluster.OpGet, Key: 1500},                                           // absent: per-op ErrNotFound
+		{Kind: cluster.OpCAS, Key: 21, Expect: []byte("nope"), Value: []byte("x")}, // loses
+		{Kind: cluster.OpCAS, Key: 22, Expect: b, Value: []byte("swapped!")},       // wins
+		{Kind: cluster.OpFAA, Key: 23, Delta: 2},
+		{Kind: cluster.OpPut, Key: 24, Value: []byte("fresh")},
+		{Kind: cluster.OpGet, Key: 25}, // unaffected sibling
+	}
+	rs, err := kv.Batch(ops)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if !errors.Is(rs[0].Err, store.ErrNotFound) {
+		t.Fatalf("absent get: %v, want per-op ErrNotFound", rs[0].Err)
+	}
+	if !errors.Is(rs[1].Err, cluster.ErrCASMismatch) || !bytes.Equal(rs[1].Value, a) {
+		t.Fatalf("losing CAS: (%q, %v), want witness %q with ErrCASMismatch", rs[1].Value, rs[1].Err, a)
+	}
+	if rs[2].Err != nil || !bytes.Equal(rs[2].Value, b) {
+		t.Fatalf("winning CAS: (%q, %v), want witness %q", rs[2].Value, rs[2].Err, b)
+	}
+	if rs[3].Err != nil || !bytes.Equal(rs[3].Value, cluster.EncodeCounter(cv)) {
+		t.Fatalf("FAA: (%x, %v), want old value %d", rs[3].Value, rs[3].Err, cv)
+	}
+	if rs[4].Err != nil || rs[5].Err != nil {
+		t.Fatalf("siblings of the failed ops: put %v, get %v", rs[4].Err, rs[5].Err)
+	}
+
+	// The mutations landed.
+	if v, err := kv.Get(22); err != nil || string(v) != "swapped!" {
+		t.Fatalf("key 22 after CAS: %q %v", v, err)
+	}
+	if v, err := kv.Get(24); err != nil || string(v) != "fresh" {
+		t.Fatalf("key 24 after put: %q %v", v, err)
+	}
+	if got, err := kv.Get(23); err != nil || !bytes.Equal(got, cluster.EncodeCounter(cv+2)) {
+		t.Fatalf("key 23 after FAA: %x %v, want %d", got, err, cv+2)
+	}
+
+	// The direct RMW facade calls share the same semantics.
+	w, swapped, err := kv.CompareAndSwap(23, cluster.EncodeCounter(cv+2), cluster.EncodeCounter(100))
+	if err != nil || !swapped {
+		t.Fatalf("facade CAS: (%x, %v, %v)", w, swapped, err)
+	}
+	if old, err := kv.FetchAndAdd(23, 5); err != nil || old != 100 {
+		t.Fatalf("facade FAA: (%d, %v), want (100, nil)", old, err)
 	}
 }

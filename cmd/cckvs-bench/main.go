@@ -46,7 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reqScal = fs.Bool("require-scaling", false, "with -workers: exit non-zero unless 4-worker remote throughput beats 1-worker (skipped on a single hardware thread)")
 		edge    = fs.Bool("clientedge", false, "run the client-edge session framing ablation (single-op vs pipelined vs batched frames) on the live cluster")
 		reqEdge = fs.Bool("require-edge", false, "with -clientedge: exit non-zero unless batch-32 throughput reaches 1.5x single-op")
-		ops     = fs.Int("ops", 2000, "operations per client for -local/-fig4/-coalesce/-churn/-workers/-clientedge")
+		rmw     = fs.Bool("rmw", false, "run the contended-counter atomic RMW ablation (client-side CAS loop vs server-side fetch-and-add, SC and Lin) on the live cluster")
+		ops     = fs.Int("ops", 2000, "operations per client for -local/-fig4/-coalesce/-churn/-workers/-clientedge/-rmw")
 		jsonOut = fs.String("json", "", "additionally write the produced tables as JSON to this file (CI benchmark artifacts)")
 		compare = fs.String("compare", "", "compare a fresh run's JSON (-json output) against this committed baseline JSON and exit non-zero on regression")
 		against = fs.String("against", "", "with -compare: the fresh run JSON to check (defaults to the file written by -json)")
@@ -125,6 +126,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			fmt.Fprintf(stderr, "client-edge ablation: %v\n", err)
 			exit = 1
+		}
+	case *rmw:
+		// The ablation's exact-count check IS its gate: a lost or doubled
+		// RMW errors out rather than skewing a throughput row.
+		if code := liveRun("rmw ablation", experiments.LocalRMWAblation); code != 0 {
+			return code
 		}
 	case *compare != "":
 		code, err := compareRuns(*compare, *against, *jsonOut, *report, *tol, stdout)

@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		keys       = fs.Uint64("keys", 16384, "keyspace size (must match the nodes' -keys)")
 		alpha      = fs.Float64("alpha", 0.99, "zipfian exponent (0 = uniform)")
 		writes     = fs.Float64("writes", 0.05, "write ratio")
+		rmwFrac    = fs.Float64("rmw-frac", 0, "fraction of ops issued as atomic fetch-and-adds (start the nodes with -value 8 so populated values decode as counters; forces -value 8 here)")
 		ops        = fs.Int("ops", 5000, "operations per client")
 		clients    = fs.Int("clients", 4, "concurrent clients")
 		batch      = fs.Int("batch", 1, "operations per session frame (>1 drives the batched v2 wire format)")
@@ -67,6 +68,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 0
 		}
 		return 2
+	}
+
+	if *rmwFrac > 0 {
+		if *chaosDown >= 0 {
+			// Chaos retries re-run failed ops/frames whole, which is safe for
+			// last-write-wins puts but would double-apply a fetch-and-add.
+			fmt.Fprintln(stderr, "-rmw-frac cannot be combined with -chaos-down (retrying an RMW could apply it twice)")
+			return 2
+		}
+		if *valSize != 8 {
+			fmt.Fprintf(stdout, "rmw-frac > 0: forcing -value 8 (the counter encoding)\n")
+			*valSize = 8
+		}
 	}
 
 	addrs := strings.Split(*nodeList, ",")
@@ -102,7 +116,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	shifted, code := runWorkload(cl, workloadOpts{
-		nodes: nodes, keys: *keys, alpha: *alpha, writes: *writes,
+		nodes: nodes, keys: *keys, alpha: *alpha, writes: *writes, rmwFrac: *rmwFrac,
 		ops: *ops, clients: *clients, batch: *batch, valSize: *valSize,
 		hotset: *hotset, refreshAt: *refreshAt, refShift: *refShift,
 		chaosDown: *chaosDown, chaosPid: *chaosPid, chaosAt: *chaosAt,
@@ -150,6 +164,7 @@ type workloadOpts struct {
 	keys      uint64
 	alpha     float64
 	writes    float64
+	rmwFrac   float64 // fraction of ops issued as atomic fetch-and-adds
 	ops       int
 	clients   int
 	batch     int // ops per session frame; > 1 uses the batched wire format
@@ -224,7 +239,8 @@ func (c *chaosState) route(start, nodes int) int {
 // the epoch change always has a real delta).
 func runWorkload(cl *cluster.Client, o workloadOpts, stdout, stderr io.Writer) (shifted bool, code int) {
 	gen, err := workload.New(workload.Config{
-		NumKeys: o.keys, Alpha: o.alpha, WriteRatio: o.writes, ValueSize: o.valSize, Seed: 42,
+		NumKeys: o.keys, Alpha: o.alpha, WriteRatio: o.writes, RMWFrac: o.rmwFrac,
+		ValueSize: o.valSize, Seed: 42,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -333,9 +349,14 @@ func runWorkload(cl *cluster.Client, o workloadOpts, stdout, stderr io.Writer) (
 					}
 					t0 := time.Now()
 					var err error
-					if op.Type == workload.Put {
+					switch op.Type {
+					case workload.Put:
 						err = cl.Put(node, op.Key, op.Value)
-					} else {
+					case workload.FAA:
+						// A missing key reads as counter 0, so no NotFound
+						// tolerance is needed on the RMW path.
+						_, err = cl.FetchAndAdd(node, op.Key, op.Delta)
+					default:
 						_, err = cl.Get(node, op.Key)
 						if errors.Is(err, store.ErrNotFound) {
 							err = nil // keyspace mismatch tolerance on cold reads
@@ -439,22 +460,27 @@ func runWorkload(cl *cluster.Client, o workloadOpts, stdout, stderr io.Writer) (
 // frame packs up to o.batch consecutive operations of this client's stream
 // into one v2 session frame. A failed frame is retried whole after
 // rerouting — re-running it is safe (puts are last-write-wins re-executions
-// of the same values, gets are read-only).
+// of the same values, gets are read-only; frames never carry RMWs in chaos
+// mode, the only mode that retries, because -rmw-frac rejects -chaos-down).
 func runBatchedClient(cl *cluster.Client, g *workload.Generator, o workloadOpts, id int,
 	lat *metrics.Histogram, chaos *chaosState,
 	progress func(uint64), retry func(int, int) bool, fail func(int, error)) {
-	buf := make([]cluster.BatchOp, 0, o.batch)
+	buf := make([]cluster.Op, 0, o.batch)
 	for i := 0; i < o.ops; {
 		m := min(o.batch, o.ops-i)
 		buf = buf[:0]
 		for j := 0; j < m; j++ {
 			op := g.Next()
-			b := cluster.BatchOp{Key: op.Key}
-			if op.Type == workload.Put {
-				b.Put = true
+			b := cluster.Op{Key: op.Key}
+			switch op.Type {
+			case workload.Put:
+				b.Kind = cluster.OpPut
 				// The generator reuses its value buffer across Next calls;
 				// the frame holds all m values at once.
 				b.Value = append([]byte(nil), op.Value...)
+			case workload.FAA:
+				b.Kind = cluster.OpFAA
+				b.Delta = op.Delta
 			}
 			buf = append(buf, b)
 		}
@@ -488,13 +514,13 @@ func runBatchedClient(cl *cluster.Client, g *workload.Generator, o workloadOpts,
 // single-op loop), home-down fast-fails are counted and tolerated in chaos
 // mode (they ARE the correct post-kill behavior), anything else is the
 // frame's failure.
-func batchOutcome(ops []cluster.BatchOp, rs []cluster.BatchResult, chaos *chaosState) error {
+func batchOutcome(ops []cluster.Op, rs []cluster.Result, chaos *chaosState) error {
 	for i := range rs {
 		err := rs[i].Err
 		if err == nil {
 			continue
 		}
-		if !ops[i].Put && errors.Is(err, store.ErrNotFound) {
+		if ops[i].EffectiveKind() == cluster.OpGet && errors.Is(err, store.ErrNotFound) {
 			continue
 		}
 		if chaos != nil && !chaos.replicated && errors.Is(err, cluster.ErrHomeDown) {

@@ -80,23 +80,34 @@ var timerPool = sync.Pool{New: func() any {
 	return t
 }}
 
-// ErrClientClosed fails calls issued against (or pending on) a closed Client.
-var ErrClientClosed = errors.New("cluster: client closed")
+// ClientOption configures a Client at construction (NewClient, DialTCP).
+type ClientOption func(*Client)
 
-// ErrSessionTimeout is returned when a response does not arrive in time.
-var ErrSessionTimeout = errors.New("cluster: session request timed out")
+// WithPipelineWindow bounds the in-flight requests per server connection
+// (default 256): callers beyond the window block until a slot frees.
+func WithPipelineWindow(w int) ClientOption {
+	return func(cl *Client) { cl.setPipelineWindow(w) }
+}
 
-// ErrNodeUnreachable is returned when the transport cannot carry the request
-// to the server or the server's connection dropped mid-call: the dial
-// failed, or the established connection closed before the response arrived.
-// Unlike ErrSessionTimeout (which may hide a merely slow server) it is a
-// positive signal that the node is gone.
-var ErrNodeUnreachable = errors.New("cluster: node unreachable")
+// WithAutoBatch routes the client's Get/Put calls through per-node
+// auto-batchers: concurrent operations are coalesced into one batch frame,
+// flushed when maxOps accumulate or maxDelay passes since the batch opened
+// (default 200µs), whichever comes first — the client edge's version of the
+// fabric's request coalescing. Callers still observe per-op results and
+// errors; batching only changes the framing.
+func WithAutoBatch(maxOps int, maxDelay time.Duration) ClientOption {
+	return func(cl *Client) { cl.setAutoBatch(maxOps, maxDelay) }
+}
+
+// WithTimeout bounds each call (default 10s).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(cl *Client) { cl.timeout = d }
+}
 
 // NewClient attaches a client with fabric id to an existing transport —
 // typically the ChanTransport of an in-process cluster (tests) — serving a
 // deployment of nodes servers. id must not collide with any server node id.
-func NewClient(id uint8, nodes int, tr fabric.Transport) *Client {
+func NewClient(id uint8, nodes int, tr fabric.Transport, opts ...ClientOption) *Client {
 	cl := &Client{
 		id:      id,
 		tr:      tr,
@@ -111,6 +122,9 @@ func NewClient(id uint8, nodes int, tr fabric.Transport) *Client {
 	for i := range cl.winCh {
 		cl.winCh[i] = make(chan struct{}, defaultPipelineWindow)
 	}
+	for _, opt := range opts {
+		opt(cl)
+	}
 	tr.Register(fabric.Addr{Node: id, Thread: threadSession}, cl.onResponse)
 	return cl
 }
@@ -119,12 +133,12 @@ func NewClient(id uint8, nodes int, tr fabric.Transport) *Client {
 // server listen addresses indexed by node id. The client owns its transport
 // (an ephemeral loopback listener for the return route) and fails pending
 // calls to a server the moment its connection drops.
-func DialTCP(id uint8, peers []string) (*Client, error) {
+func DialTCP(id uint8, peers []string, opts ...ClientOption) (*Client, error) {
 	tr, err := fabric.NewTCPTransport(id, "127.0.0.1:0", fabric.NewStats())
 	if err != nil {
 		return nil, err
 	}
-	cl := NewClient(id, len(peers), tr)
+	cl := NewClient(id, len(peers), tr, opts...)
 	cl.owns = true
 	for i, addr := range peers {
 		tr.AddPeer(uint8(i), addr)
@@ -138,11 +152,13 @@ func DialTCP(id uint8, peers []string) (*Client, error) {
 // SetTimeout bounds each call (default 10s).
 func (cl *Client) SetTimeout(d time.Duration) { cl.timeout = d }
 
-// SetPipelineWindow bounds the in-flight requests per server connection
-// (default 256): callers beyond the window block until a slot frees. Call it
-// before issuing traffic — resizing does not migrate slots held by in-flight
-// requests.
-func (cl *Client) SetPipelineWindow(w int) {
+// SetPipelineWindow resizes the pipelining window after construction.
+//
+// Deprecated: pass WithPipelineWindow to NewClient/DialTCP — resizing a live
+// client does not migrate slots held by in-flight requests.
+func (cl *Client) SetPipelineWindow(w int) { cl.setPipelineWindow(w) }
+
+func (cl *Client) setPipelineWindow(w int) {
 	if w < 1 {
 		w = 1
 	}
@@ -151,13 +167,16 @@ func (cl *Client) SetPipelineWindow(w int) {
 	}
 }
 
-// SetAutoBatch routes subsequent Get/Put calls through per-node
-// auto-batchers: concurrent operations are coalesced into one batch frame,
-// flushed when maxOps accumulate or maxDelay passes since the batch opened
-// (default 200µs), whichever comes first. maxOps <= 1 disables auto-batching
-// (any buffered operations are flushed). Callers still observe per-op
-// results and errors — batching only changes the framing.
+// SetAutoBatch reconfigures auto-batching after construction. maxOps <= 1
+// disables it (any buffered operations are flushed).
+//
+// Deprecated: pass WithAutoBatch to NewClient/DialTCP; keep SetAutoBatch for
+// the disable case or mid-life reconfiguration.
 func (cl *Client) SetAutoBatch(maxOps int, maxDelay time.Duration) {
+	cl.setAutoBatch(maxOps, maxDelay)
+}
+
+func (cl *Client) setAutoBatch(maxOps int, maxDelay time.Duration) {
 	var next *autoBatchState
 	if maxOps > 1 {
 		if maxDelay <= 0 {
@@ -482,21 +501,180 @@ func (cl *Client) Put(node int, key uint64, value []byte) error {
 	return cl.mapStatus(uint8(node), res)
 }
 
-// BatchOp is one operation of a batched session frame: a get (Put false) or
-// a put of Value under Key.
-type BatchOp struct {
-	Put   bool
-	Key   uint64
-	Value []byte
+// CompareAndSwap atomically replaces key's value with newVal iff the stored
+// value equals expect (nil/empty expect matches a missing key). It executes
+// exactly once at the key's serialization point in the cluster; witness is
+// the value the comparison observed, so a failed CAS needs no extra read
+// before retrying. A transport failure mid-op server-side surfaces as an
+// error naming the unknown outcome (ErrRMWUnknown at the node API) — the op
+// may or may not have applied, and neither the server nor this client will
+// guess by re-running it.
+func (cl *Client) CompareAndSwap(node int, key uint64, expect, newVal []byte) (witness []byte, swapped bool, err error) {
+	if st := cl.ab.Load(); st != nil && node >= 0 && node < len(st.per) {
+		r := st.per[node].do(Op{Kind: OpCAS, Key: key, Expect: expect, Value: newVal})
+		if errors.Is(r.Err, ErrCASMismatch) {
+			return r.Value, false, nil
+		}
+		return r.Value, r.Err == nil, r.Err
+	}
+	id := cl.nextID.Add(1)
+	frame, pooled := cl.newFrame(sessHeader + 16 + len(expect) + len(newVal))
+	frame = append(frame, sessOpCAS)
+	frame = binary.LittleEndian.AppendUint64(frame, id)
+	frame = binary.LittleEndian.AppendUint64(frame, key)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(expect)))
+	frame = append(frame, expect...)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(newVal)))
+	frame = append(frame, newVal...)
+	res, err := cl.exchange(uint8(node), id, frame, pooled, cl.timeout)
+	if err != nil {
+		return nil, false, err
+	}
+	if res.status == sessStatusCASFail {
+		w, derr := decodeGetValue(node, res.payload)
+		return w, false, derr
+	}
+	if err := cl.mapStatus(uint8(node), res); err != nil {
+		return nil, false, err
+	}
+	w, derr := decodeGetValue(node, res.payload)
+	return w, derr == nil, derr
 }
 
-// BatchResult is one operation's outcome: the read value for a served get,
-// or the per-op error (store.ErrNotFound for absent keys, a wrapped
-// ErrHomeDown when the key's home left the view, ErrNodeUnreachable /
-// ErrSessionTimeout / ErrClientClosed when the op's frame failed).
-type BatchResult struct {
+// FetchAndAdd atomically adds delta to the 8-byte big-endian counter stored
+// under key (a missing key counts from 0 — see EncodeCounter) and returns
+// the pre-add value. The addition happens server-side at the key's
+// serialization point: a hot contended counter costs one exchange per op
+// instead of a CAS retry loop over the wire.
+func (cl *Client) FetchAndAdd(node int, key uint64, delta uint64) (old uint64, err error) {
+	if st := cl.ab.Load(); st != nil && node >= 0 && node < len(st.per) {
+		r := st.per[node].do(Op{Kind: OpFAA, Key: key, Delta: delta})
+		if r.Err != nil {
+			return 0, r.Err
+		}
+		return DecodeCounter(r.Value)
+	}
+	id := cl.nextID.Add(1)
+	frame, pooled := cl.newFrame(sessHeader + 16)
+	frame = append(frame, sessOpFAA)
+	frame = binary.LittleEndian.AppendUint64(frame, id)
+	frame = binary.LittleEndian.AppendUint64(frame, key)
+	frame = binary.LittleEndian.AppendUint64(frame, delta)
+	res, err := cl.exchange(uint8(node), id, frame, pooled, cl.timeout)
+	if err != nil {
+		return 0, err
+	}
+	if err := cl.mapStatus(uint8(node), res); err != nil {
+		return 0, err
+	}
+	v, derr := decodeGetValue(node, res.payload)
+	if derr != nil {
+		return 0, derr
+	}
+	return DecodeCounter(v)
+}
+
+// OpKind names one of the session layer's operations.
+type OpKind uint8
+
+const (
+	OpGet OpKind = iota
+	OpPut
+	// OpCAS compares the stored value to Expect and, on a match, atomically
+	// replaces it with Value. nil/empty Expect matches a missing key.
+	OpCAS
+	// OpFAA atomically adds Delta to the 8-byte big-endian counter stored
+	// under Key (a missing key counts from 0) — see EncodeCounter.
+	OpFAA
+)
+
+// Op is one operation of the unified client surface: Batch, MultiGet,
+// MultiPut, the RMW calls and the auto-batcher all speak it. Zero value is a
+// get of Key. The legacy Put flag (from the original get/put-only BatchOp)
+// is honored when Kind is OpGet — existing callers keep compiling and
+// working unchanged.
+type Op struct {
+	Kind OpKind
+	// Put is the deprecated pre-Kind way to mark a put.
+	//
+	// Deprecated: set Kind to OpPut instead.
+	Put    bool
+	Key    uint64
+	Value  []byte // put/cas: the (replacement) value
+	Expect []byte // cas only: the expected current value
+	Delta  uint64 // faa only
+}
+
+// EffectiveKind returns the op's kind with the legacy Put flag honored —
+// what the op will execute as.
+func (o *Op) EffectiveKind() OpKind {
+	if o.Kind == OpGet && o.Put {
+		return OpPut
+	}
+	return o.Kind
+}
+
+func (o *Op) kind() OpKind { return o.EffectiveKind() }
+
+// Result is one operation's outcome. Value carries the read value (get), the
+// witnessed value (cas — on both success and ErrCASMismatch), or the 8-byte
+// pre-add counter (faa). Err is the per-op error: store.ErrNotFound for
+// absent keys, ErrCASMismatch for a failed comparison, a wrapped ErrHomeDown
+// when the key's home left the view, ErrNodeUnreachable / ErrSessionTimeout /
+// ErrClientClosed when the op's frame failed.
+type Result struct {
 	Value []byte
 	Err   error
+}
+
+// BatchOp is the unified Op type's original name.
+//
+// Deprecated: use Op. The alias keeps existing callers compiling (and costs
+// nothing — it is the identical type).
+type BatchOp = Op
+
+// BatchResult is the unified Result type's original name.
+//
+// Deprecated: use Result.
+type BatchResult = Result
+
+// opWireSize returns an op's encoded size as a batch entry.
+func opWireSize(o *Op) int {
+	switch o.kind() {
+	case OpPut:
+		return 13 + len(o.Value)
+	case OpCAS:
+		return 17 + len(o.Expect) + len(o.Value)
+	case OpFAA:
+		return 17
+	default:
+		return 9
+	}
+}
+
+// appendBatchEntry encodes one op as a batch entry.
+func appendBatchEntry(frame []byte, o *Op) []byte {
+	switch o.kind() {
+	case OpPut:
+		frame = append(frame, sessOpPut)
+		frame = binary.LittleEndian.AppendUint64(frame, o.Key)
+		frame = binary.LittleEndian.AppendUint32(frame, uint32(len(o.Value)))
+		return append(frame, o.Value...)
+	case OpCAS:
+		frame = append(frame, sessOpCAS)
+		frame = binary.LittleEndian.AppendUint64(frame, o.Key)
+		frame = binary.LittleEndian.AppendUint32(frame, uint32(len(o.Expect)))
+		frame = append(frame, o.Expect...)
+		frame = binary.LittleEndian.AppendUint32(frame, uint32(len(o.Value)))
+		return append(frame, o.Value...)
+	case OpFAA:
+		frame = append(frame, sessOpFAA)
+		frame = binary.LittleEndian.AppendUint64(frame, o.Key)
+		return binary.LittleEndian.AppendUint64(frame, o.Delta)
+	default:
+		frame = append(frame, sessOpGet)
+		return binary.LittleEndian.AppendUint64(frame, o.Key)
+	}
 }
 
 // Batch executes ops against node in one round trip (chunked transparently
@@ -516,10 +694,7 @@ func (cl *Client) Batch(node int, ops []BatchOp) ([]BatchResult, error) {
 	for i := 0; i <= len(ops); i++ {
 		need := 0
 		if i < len(ops) {
-			need = 9
-			if ops[i].Put {
-				need = 13 + len(ops[i].Value)
-			}
+			need = opWireSize(&ops[i])
 		}
 		full := i-start >= sessBatchMaxOps || (i > start && bytes+need > sessBatchMaxBytes)
 		if i == len(ops) || full {
@@ -554,26 +729,14 @@ func (cl *Client) batchChunk(node int, ops []BatchOp, rs []BatchResult) error {
 	id := cl.nextID.Add(1)
 	size := sessHeader + 4
 	for i := range ops {
-		if ops[i].Put {
-			size += 13 + len(ops[i].Value)
-		} else {
-			size += 9
-		}
+		size += opWireSize(&ops[i])
 	}
 	frame, pooled := cl.newFrame(size)
 	frame = append(frame, sessOpBatch)
 	frame = binary.LittleEndian.AppendUint64(frame, id)
 	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(ops)))
 	for i := range ops {
-		if ops[i].Put {
-			frame = append(frame, sessOpPut)
-			frame = binary.LittleEndian.AppendUint64(frame, ops[i].Key)
-			frame = binary.LittleEndian.AppendUint32(frame, uint32(len(ops[i].Value)))
-			frame = append(frame, ops[i].Value...)
-		} else {
-			frame = append(frame, sessOpGet)
-			frame = binary.LittleEndian.AppendUint64(frame, ops[i].Key)
-		}
+		frame = appendBatchEntry(frame, &ops[i])
 	}
 	res, err := cl.exchange(uint8(node), id, frame, pooled, cl.timeout)
 	if err == nil {
@@ -592,8 +755,8 @@ func (cl *Client) batchChunk(node int, ops []BatchOp, rs []BatchResult) error {
 }
 
 // decodeBatch unpacks a batch response's per-op entries into rs. The request
-// ops disambiguate bare-OK puts from value-framed gets.
-func (cl *Client) decodeBatch(node int, ops []BatchOp, rs []BatchResult, payload []byte) error {
+// ops disambiguate bare-OK puts from value-framed gets/RMWs.
+func (cl *Client) decodeBatch(node int, ops []Op, rs []Result, payload []byte) error {
 	malformed := fmt.Errorf("cluster: malformed batch response from node %d", node)
 	if len(payload) < 4 || int(binary.LittleEndian.Uint32(payload[:4])) != len(ops) {
 		return malformed
@@ -606,9 +769,9 @@ func (cl *Client) decodeBatch(node int, ops []BatchOp, rs []BatchResult, payload
 		status := buf[0]
 		buf = buf[1:]
 		switch status {
-		case sessStatusOK:
-			if ops[i].Put {
-				break
+		case sessStatusOK, sessStatusCASFail:
+			if ops[i].kind() == OpPut {
+				break // bare status, no payload
 			}
 			if len(buf) < 4 {
 				return malformed
@@ -619,6 +782,9 @@ func (cl *Client) decodeBatch(node int, ops []BatchOp, rs []BatchResult, payload
 			}
 			rs[i].Value = buf[4 : 4+vlen]
 			buf = buf[4+vlen:]
+			if status == sessStatusCASFail {
+				rs[i].Err = ErrCASMismatch
+			}
 		case sessStatusNotFound:
 			rs[i].Err = store.ErrNotFound
 		case sessStatusHomeDown:

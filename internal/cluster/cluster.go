@@ -406,6 +406,14 @@ type worker struct {
 	waitMu  sync.Mutex
 	waiters map[uint64]chan core.Update
 
+	// rmwPins serializes cold replicated RMWs per key (rmw.go): the acting
+	// primary records the origin and stamp of an RMW it has stamped but whose
+	// replicated commit the origin is still driving, and answers Retry to
+	// competing RMWs on the same key until the commit (or an explicit clear,
+	// or the origin's death) releases the pin. Guarded by homeMu — the pin is
+	// only ever consulted where the shard state it protects is consulted.
+	rmwPins map[uint64]rmwPin
+
 	// sessQ feeds this worker's session lane (session.go): client-edge
 	// requests steered here by key hash, served in overlapped bursts.
 	sessQ chan sessJob
@@ -502,6 +510,7 @@ func build(cfg Config, tr fabric.Transport, stats *fabric.Stats, self int) (*Clu
 				credits:   fabric.NewCredits(),
 				seqClocks: map[uint64]uint32{},
 				waiters:   map[uint64]chan core.Update{},
+				rmwPins:   map[uint64]rmwPin{},
 			}
 			wk.rpc = newRPCClient(wk)
 			wk.pipe = newPipeline(wk, cfg.Nodes, cfg.QueueDepth, cfg.BatchMaxMsgs, cfg.BatchMaxBytes)

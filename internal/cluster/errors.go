@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed errors of the cluster package's public surface, gathered in one
+// place so callers can build an errors.Is ladder without hunting through the
+// files that produce them. Each comment states when the error fires under a
+// replicated deployment (ReplicasPerShard > 1), where the answer differs
+// most from the single-copy reading.
+
+// ErrNodeDown reports that an operation's target node is outside the current
+// membership view (or was excised while the operation was in flight).
+var ErrNodeDown = errors.New("cluster: node outside the membership view")
+
+// ErrHomeDown reports that a key cannot be served by any node: its home is
+// outside the membership view and — under replication — so is every backup
+// in its replica set (one live replica suffices to mask the home's death;
+// the error fires only when the whole set is down). It wraps ErrNodeDown.
+// The session layer gives it a dedicated wire status so cluster.Client
+// surfaces it typed.
+var ErrHomeDown = fmt.Errorf("key's home %w", ErrNodeDown)
+
+// ErrClientClosed fails calls issued against (or pending on) a closed Client.
+var ErrClientClosed = errors.New("cluster: client closed")
+
+// ErrSessionTimeout is returned when a response does not arrive in time.
+// Under replication a view change mid-op is absorbed server-side (the op
+// chases the promoted backup), so a timeout usually means a slow or wedged
+// server rather than a failed one.
+var ErrSessionTimeout = errors.New("cluster: session request timed out")
+
+// ErrNodeUnreachable is returned when the transport cannot carry the request
+// to the server or the server's connection dropped mid-call: the dial
+// failed, or the established connection closed before the response arrived.
+// Unlike ErrSessionTimeout (which may hide a merely slow server) it is a
+// positive signal that the node is gone. Under replication the client can
+// re-issue the op against any other node — every server routes to the key's
+// acting primary.
+var ErrNodeUnreachable = errors.New("cluster: node unreachable")
+
+// ErrCASMismatch reports a failed compare-and-swap: the stored value did not
+// equal the expectation. The Result carrying it holds the witnessed value,
+// so a retry loop needs no extra read. Purely semantic — the op executed
+// exactly once at the key's serialization point.
+var ErrCASMismatch = errors.New("cluster: compare-and-swap expectation mismatch")
+
+// ErrRMWUnknown reports an RMW whose outcome is unknowable: the transport
+// failed after the op may have reached its serialization point. It is the
+// one error this package refuses to hide behind a retry — re-running a CAS
+// or FAA that already applied would apply it twice. Callers that must
+// resolve the ambiguity can read the key (e.g. CAS with a unique value and
+// check for it). Fires mostly when the acting primary or RMW coordinator
+// dies mid-op; an explicit Retry bounce (which proves the op did not run) is
+// always re-issued internally and never surfaces this way.
+var ErrRMWUnknown = errors.New("cluster: rmw outcome unknown (transport failed mid-operation)")

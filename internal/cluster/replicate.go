@@ -192,6 +192,11 @@ func (n *Node) commitLocal(key uint64, value []byte, ts timestamp.TS) (bounced b
 		return true
 	}
 	_ = n.kvs.PutIfNewer(key, value, ts)
+	// A commit carrying an RMW pin's stamp is that RMW landing (rmw.go);
+	// release the pin so the next RMW on the key can be stamped.
+	if pin, ok := wk.rmwPins[key]; ok && pin.ts == ts {
+		delete(wk.rmwPins, key)
+	}
 	return false
 }
 

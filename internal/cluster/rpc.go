@@ -108,12 +108,56 @@ const (
 	// the key is cached — the origin re-probes and re-executes through the
 	// cache protocol.
 	rpcOpPutCommit byte = 14
+	// rpcOpCAS / rpcOpFAA execute an atomic read-modify-write at the key's
+	// serialization point (rmw.go): the acting primary for a cold replicated
+	// key, the home for a cold unreplicated one, or the RMW coordinator's
+	// cache for a hot key. CAS carries expect+new, FAA carries a delta; both
+	// answer with the witnessed value. A hot Lin RMW answers
+	// rpcStatusRMWStarted (the coordinator's write protocol is still
+	// collecting acks; the origin polls rpcOpRMWWait), a cold replicated one
+	// answers rpcStatusRMWStamped (the origin drives the replicated commit of
+	// the computed value), and a failed CAS answers rpcStatusCASFail with the
+	// witness. Anything that must serialize elsewhere answers Retry.
+	rpcOpCAS byte = 15
+	rpcOpFAA byte = 16
+	// rpcOpRMWClear releases an RMW pin the origin can no longer commit
+	// (bounced or abandoned replicated commit); best-effort — a dead origin's
+	// pins are cleared by the view change instead.
+	rpcOpRMWClear byte = 17
+	// rpcOpRMWWait polls a hot Lin RMW for completion: Retry while the
+	// stamped write is still pending, OK once it committed (or was excised by
+	// a view change). The poll keeps the request/response credit symmetry —
+	// the server never holds a response back.
+	rpcOpRMWWait byte = 18
 
 	rpcStatusOK         byte = 0
 	rpcStatusNotFound   byte = 1
 	rpcStatusBadRequest byte = 2
 	rpcStatusRetry      byte = 3
+	// rpcStatusCASFail answers a CAS whose expectation did not match: the
+	// payload (OK-shaped: ts + value) carries the witnessed value, so the
+	// caller learns the current value without another round trip.
+	rpcStatusCASFail byte = 4
+	// rpcStatusRMWStamped answers a cold replicated RMW: the server applied
+	// nothing yet — it stamped the op, pinned the key, and the payload
+	// carries the stamp + witness; the origin computes the new value and
+	// drives the replicated commit (stamp → backups → primary last).
+	rpcStatusRMWStamped byte = 5
+	// rpcStatusRMWStarted answers a hot Lin RMW: the coordinator staged the
+	// write and broadcast its invalidation; the payload carries the pending
+	// stamp + witness and the origin polls rpcOpRMWWait until it commits.
+	rpcStatusRMWStarted byte = 6
 )
+
+// rpcStatusHasPayload reports whether a response status carries the OK-shaped
+// payload (clock+writer+vlen+value) behind it.
+func rpcStatusHasPayload(status byte) bool {
+	switch status {
+	case rpcStatusOK, rpcStatusCASFail, rpcStatusRMWStamped, rpcStatusRMWStarted:
+		return true
+	}
+	return false
+}
 
 // rpcClient matches responses to outstanding requests for one worker. Every
 // worker has its own completion table (and its own id space — ids only need
@@ -215,11 +259,13 @@ func (r *rpcClient) failPeer(peer uint8, err error) {
 // writeback) aliases caller memory and must stay stable until the call
 // completes — trivially true, the caller blocks on the response.
 type wireReq struct {
-	op    byte
-	id    uint64
-	key   uint64
-	ts    timestamp.TS // promote/writeback only: the value's version
-	value []byte
+	op     byte
+	id     uint64
+	key    uint64
+	ts     timestamp.TS // promote/writeback/rmw-wait/rmw-clear: the version
+	value  []byte
+	expect []byte // cas only: the expected value
+	delta  uint64 // faa only: the addend
 }
 
 // encodedSize returns the entry's wire length.
@@ -229,6 +275,12 @@ func (q wireReq) encodedSize() int {
 		return 21 + len(q.value)
 	case rpcOpPromote, rpcOpWriteback, rpcOpPutCommit:
 		return 26 + len(q.value)
+	case rpcOpCAS:
+		return 25 + len(q.expect) + len(q.value)
+	case rpcOpFAA:
+		return 25
+	case rpcOpRMWWait, rpcOpRMWClear:
+		return 22
 	default:
 		return 17
 	}
@@ -241,6 +293,25 @@ func (q wireReq) appendTo(buf []byte) []byte {
 		return appendPutReq(buf, q.op, q.id, q.key, q.value)
 	case rpcOpPromote, rpcOpWriteback, rpcOpPutCommit:
 		return appendVersionedReq(buf, q.op, q.id, q.key, q.ts, q.value)
+	case rpcOpCAS:
+		buf = append(buf, q.op)
+		buf = binary.LittleEndian.AppendUint64(buf, q.id)
+		buf = binary.LittleEndian.AppendUint64(buf, q.key)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(q.expect)))
+		buf = append(buf, q.expect...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(q.value)))
+		return append(buf, q.value...)
+	case rpcOpFAA:
+		buf = append(buf, q.op)
+		buf = binary.LittleEndian.AppendUint64(buf, q.id)
+		buf = binary.LittleEndian.AppendUint64(buf, q.key)
+		return binary.LittleEndian.AppendUint64(buf, q.delta)
+	case rpcOpRMWWait, rpcOpRMWClear:
+		buf = append(buf, q.op)
+		buf = binary.LittleEndian.AppendUint64(buf, q.id)
+		buf = binary.LittleEndian.AppendUint64(buf, q.key)
+		buf = binary.LittleEndian.AppendUint32(buf, q.ts.Clock)
+		return append(buf, q.ts.Writer)
 	default:
 		return appendGetReq(buf, q.op, q.id, q.key)
 	}
@@ -310,7 +381,7 @@ func (r *rpcClient) handleResponse(p fabric.Packet) {
 		status := buf[8]
 		buf = buf[9:]
 		res := rpcResult{status: status}
-		if status == rpcStatusOK {
+		if rpcStatusHasPayload(status) {
 			if len(buf) < 9 {
 				n.RPCDecodeErrors.Add(1)
 				r.complete(reqID, rpcResult{err: fmt.Errorf("cluster: truncated response header for req %d", reqID)})
@@ -540,11 +611,13 @@ func (n *Node) SeqTS(sequencer uint8, key uint64) (timestamp.TS, error) {
 
 // rpcRequest is one decoded request entry.
 type rpcRequest struct {
-	op    byte
-	reqID uint64
-	key   uint64
-	ts    timestamp.TS // promote/writeback only: the value's version
-	value []byte       // nil for get/seq-ts/demote; aliases the packet buffer
+	op     byte
+	reqID  uint64
+	key    uint64
+	ts     timestamp.TS // promote/writeback/rmw-wait/rmw-clear: the version
+	value  []byte       // nil for get/seq-ts/demote; aliases the packet buffer
+	expect []byte       // cas only; aliases the packet buffer
+	delta  uint64       // faa only
 }
 
 // errBadRequest distinguishes identifiable-but-unservable requests (the
@@ -599,6 +672,39 @@ func parseRequest(buf []byte) (req rpcRequest, consumed int, err error) {
 		}
 		req.value = buf[26 : 26+vlen]
 		return req, 26 + vlen, nil
+	case rpcOpCAS:
+		if len(buf) < 21 {
+			return req, 0, errBadRequest
+		}
+		req.key = binary.LittleEndian.Uint64(buf[9:17])
+		elen := int(binary.LittleEndian.Uint32(buf[17:21]))
+		if elen < 0 || len(buf) < 25+elen {
+			return req, 0, errBadRequest
+		}
+		req.expect = buf[21 : 21+elen]
+		vlen := int(binary.LittleEndian.Uint32(buf[21+elen : 25+elen]))
+		if vlen < 0 || len(buf) < 25+elen+vlen {
+			return req, 0, errBadRequest
+		}
+		req.value = buf[25+elen : 25+elen+vlen]
+		return req, 25 + elen + vlen, nil
+	case rpcOpFAA:
+		if len(buf) < 25 {
+			return req, 0, errBadRequest
+		}
+		req.key = binary.LittleEndian.Uint64(buf[9:17])
+		req.delta = binary.LittleEndian.Uint64(buf[17:25])
+		return req, 25, nil
+	case rpcOpRMWWait, rpcOpRMWClear:
+		if len(buf) < 22 {
+			return req, 0, errBadRequest
+		}
+		req.key = binary.LittleEndian.Uint64(buf[9:17])
+		req.ts = timestamp.TS{
+			Clock:  binary.LittleEndian.Uint32(buf[17:21]),
+			Writer: buf[21],
+		}
+		return req, 22, nil
 	default:
 		return req, 0, errBadRequest
 	}
@@ -612,8 +718,14 @@ func appendStatusOnly(buf []byte, reqID uint64, status byte) []byte {
 
 // appendOKResponse encodes a response entry carrying a timestamp and value.
 func appendOKResponse(buf []byte, reqID uint64, ts timestamp.TS, value []byte) []byte {
+	return appendPayloadResponse(buf, reqID, rpcStatusOK, ts, value)
+}
+
+// appendPayloadResponse encodes a response entry with the OK-shaped payload
+// under an arbitrary payload-bearing status (rpcStatusHasPayload).
+func appendPayloadResponse(buf []byte, reqID uint64, status byte, ts timestamp.TS, value []byte) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, reqID)
-	buf = append(buf, rpcStatusOK)
+	buf = append(buf, status)
 	buf = binary.LittleEndian.AppendUint32(buf, ts.Clock)
 	buf = append(buf, ts.Writer)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(value)))
@@ -883,6 +995,23 @@ func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte, scratch *srv
 			return appendStatusOnly(resp, req.reqID, rpcStatusRetry)
 		}
 		_ = n.kvs.PutIfNewer(req.key, req.value, req.ts)
+		// A commit carrying an RMW pin's stamp IS that RMW landing at its
+		// serialization point; the pin has done its job.
+		if pin, ok := wk.rmwPins[req.key]; ok && pin.ts == req.ts {
+			delete(wk.rmwPins, req.key)
+		}
+		wk.homeMu.Unlock()
+		return appendOKResponse(resp, req.reqID, timestamp.TS{}, nil)
+	case rpcOpCAS, rpcOpFAA:
+		return n.serveRMW(src, req, resp)
+	case rpcOpRMWWait:
+		return n.serveRMWWait(req, resp)
+	case rpcOpRMWClear:
+		wk := n.workerFor(req.key)
+		wk.homeMu.Lock()
+		if pin, ok := wk.rmwPins[req.key]; ok && pin.origin == src && pin.ts == req.ts {
+			delete(wk.rmwPins, req.key)
+		}
 		wk.homeMu.Unlock()
 		return appendOKResponse(resp, req.reqID, timestamp.TS{}, nil)
 	default:

@@ -28,13 +28,19 @@ import (
 //	request:  op(1) reqID(8) rest
 //	  get:     key(8)
 //	  put:     key(8) vlen(4) value
+//	  cas:     key(8) elen(4) expect vlen(4) value — atomic compare-and-swap
+//	  faa:     key(8) delta(8)                     — atomic fetch-and-add
 //	  ping:    -
 //	  refresh: count(4) key(8)*count     — ApplyHotSet(target) at this node
 //	  stats:   -
-//	  batch:   count(4) entry*count      — entry: kind(1) key(8) [vlen(4) value]
-//	                                       kind: sessOpGet or sessOpPut
+//	  batch:   count(4) entry*count      — entry: kind(1) key(8) [rest]
+//	                                       kind: sessOpGet, sessOpPut,
+//	                                       sessOpCAS or sessOpFAA, each with
+//	                                       the single-op body shape after key
 //	response: reqID(8) status(1) payload
 //	  ok get:     vlen(4) value
+//	  ok cas:     vlen(4) witness   — swapped; witness is the replaced value
+//	  ok faa:     vlen(4) value     — the 8-byte pre-add counter value
 //	  ok refresh: promoted(4) demoted(4) writebacks(4)
 //	  ok stats:   hits(8) misses(8) local(8) remote(8) hot(8) frozenRetries(8)
 //	  ok batch:   count(4) result*count  — result: status(1) [payload], one per
@@ -42,6 +48,8 @@ import (
 //	                                       carry vlen(4) value, errors carry
 //	                                       vlen(4) message, everything else is
 //	                                       the bare status
+//	  cas-fail:   vlen(4) witness   — the comparison failed; witness is the
+//	                                  value it observed (no extra read needed)
 //	  error:      vlen(4) message
 //	  home-down:  -                 — the key's home node left the membership
 //	                                  view; fail fast, retry after rejoin
@@ -63,6 +71,10 @@ const (
 	sessOpStats   byte = 4
 	// sessOpBatch is the v2 many-ops-per-frame format (see above).
 	sessOpBatch byte = 5
+	// sessOpCAS and sessOpFAA are the atomic read-modify-writes, valid both
+	// as single-op frames and as batch entry kinds.
+	sessOpCAS byte = 6
+	sessOpFAA byte = 7
 
 	sessStatusOK       byte = 0
 	sessStatusNotFound byte = 1
@@ -73,6 +85,10 @@ const (
 	// typed ErrHomeDown (fail fast, retry after the node rejoins) instead of
 	// a generic error string.
 	sessStatusHomeDown byte = 4
+	// sessStatusCASFail answers a compare-and-swap whose expectation did not
+	// match; the payload is the witnessed value, which the client surfaces
+	// as ErrCASMismatch plus the witness.
+	sessStatusCASFail byte = 5
 )
 
 const sessHeader = 1 + 8
@@ -89,13 +105,16 @@ const sessBatchMaxBytes = 1 << 20
 const sessLaneBurst = 64
 
 // sessOp is one parsed client operation (a single-op request or one entry of
-// a batch). value is a private copy for puts — never an alias of the packet
-// buffer, which the TCP transport reuses the moment the handler returns.
+// a batch). kind is the op byte (sessOpGet/Put/CAS/FAA). value and expect
+// are private copies — never aliases of the packet buffer, which the TCP
+// transport reuses the moment the handler returns.
 type sessOp struct {
-	idx   int // position in the batch (response entries are emitted in request order)
-	put   bool
-	key   uint64
-	value []byte
+	idx    int // position in the batch (response entries are emitted in request order)
+	kind   byte
+	key    uint64
+	value  []byte // put: new value; cas: replacement value
+	expect []byte // cas only
+	delta  uint64 // faa only
 }
 
 // sessJob is one unit of lane work: either a single-op request (batch == nil)
@@ -164,7 +183,7 @@ func (n *Node) handleSession(p fabric.Packet) {
 			return
 		}
 		key := binary.LittleEndian.Uint64(body[:8])
-		n.sessEnqueue(n.workerFor(key), sessJob{src: p.Src, reqID: reqID, op: sessOp{key: key}})
+		n.sessEnqueue(n.workerFor(key), sessJob{src: p.Src, reqID: reqID, op: sessOp{kind: sessOpGet, key: key}})
 	case sessOpPut:
 		if len(body) < 12 {
 			n.sessReplyStatus(p.Src, reqID, sessStatusBad)
@@ -179,7 +198,34 @@ func (n *Node) handleSession(p fabric.Packet) {
 		// The value aliases the packet buffer; copy before it escapes into
 		// the store or the consistency broadcast.
 		val := append([]byte(nil), body[12:12+vlen]...)
-		n.sessEnqueue(n.workerFor(key), sessJob{src: p.Src, reqID: reqID, op: sessOp{put: true, key: key, value: val}})
+		n.sessEnqueue(n.workerFor(key), sessJob{src: p.Src, reqID: reqID, op: sessOp{kind: sessOpPut, key: key, value: val}})
+	case sessOpCAS:
+		if len(body) < 12 {
+			n.sessReplyStatus(p.Src, reqID, sessStatusBad)
+			return
+		}
+		key := binary.LittleEndian.Uint64(body[:8])
+		elen := int(binary.LittleEndian.Uint32(body[8:12]))
+		if elen < 0 || len(body) < 16+elen {
+			n.sessReplyStatus(p.Src, reqID, sessStatusBad)
+			return
+		}
+		vlen := int(binary.LittleEndian.Uint32(body[12+elen : 16+elen]))
+		if vlen < 0 || len(body) < 16+elen+vlen {
+			n.sessReplyStatus(p.Src, reqID, sessStatusBad)
+			return
+		}
+		expect := append([]byte(nil), body[12:12+elen]...)
+		val := append([]byte(nil), body[16+elen:16+elen+vlen]...)
+		n.sessEnqueue(n.workerFor(key), sessJob{src: p.Src, reqID: reqID, op: sessOp{kind: sessOpCAS, key: key, expect: expect, value: val}})
+	case sessOpFAA:
+		if len(body) < 16 {
+			n.sessReplyStatus(p.Src, reqID, sessStatusBad)
+			return
+		}
+		key := binary.LittleEndian.Uint64(body[:8])
+		delta := binary.LittleEndian.Uint64(body[8:16])
+		n.sessEnqueue(n.workerFor(key), sessJob{src: p.Src, reqID: reqID, op: sessOp{kind: sessOpFAA, key: key, delta: delta}})
 	case sessOpBatch:
 		n.dispatchSessionBatch(p.Src, reqID, body)
 	case sessOpPing:
@@ -266,6 +312,29 @@ func (n *Node) dispatchSessionBatch(src fabric.Addr, reqID uint64, body []byte) 
 			}
 			totalVal += vlen
 			buf = buf[13+vlen:]
+		case sessOpCAS:
+			if len(buf) < 13 {
+				n.sessReplyStatus(src, reqID, sessStatusBad)
+				return
+			}
+			elen := int(binary.LittleEndian.Uint32(buf[9:13]))
+			if elen < 0 || len(buf) < 17+elen {
+				n.sessReplyStatus(src, reqID, sessStatusBad)
+				return
+			}
+			vlen := int(binary.LittleEndian.Uint32(buf[13+elen : 17+elen]))
+			if vlen < 0 || len(buf) < 17+elen+vlen {
+				n.sessReplyStatus(src, reqID, sessStatusBad)
+				return
+			}
+			totalVal += elen + vlen
+			buf = buf[17+elen+vlen:]
+		case sessOpFAA:
+			if len(buf) < 17 {
+				n.sessReplyStatus(src, reqID, sessStatusBad)
+				return
+			}
+			buf = buf[17:]
 		default:
 			n.sessReplyStatus(src, reqID, sessStatusBad)
 			return
@@ -284,15 +353,28 @@ func (n *Node) dispatchSessionBatch(src fabric.Addr, reqID uint64, body []byte) 
 	}
 	buf = body[4:]
 	for i := 0; i < count; i++ {
-		op := sessOp{idx: i, key: binary.LittleEndian.Uint64(buf[1:9])}
-		if buf[0] == sessOpPut {
-			op.put = true
+		op := sessOp{idx: i, kind: buf[0], key: binary.LittleEndian.Uint64(buf[1:9])}
+		switch buf[0] {
+		case sessOpPut:
 			vlen := int(binary.LittleEndian.Uint32(buf[9:13]))
 			off := len(vals)
 			vals = append(vals, buf[13:13+vlen]...)
 			op.value = vals[off:len(vals):len(vals)]
 			buf = buf[13+vlen:]
-		} else {
+		case sessOpCAS:
+			elen := int(binary.LittleEndian.Uint32(buf[9:13]))
+			vlen := int(binary.LittleEndian.Uint32(buf[13+elen : 17+elen]))
+			off := len(vals)
+			vals = append(vals, buf[13:13+elen]...)
+			op.expect = vals[off:len(vals):len(vals)]
+			off = len(vals)
+			vals = append(vals, buf[17+elen:17+elen+vlen]...)
+			op.value = vals[off:len(vals):len(vals)]
+			buf = buf[17+elen+vlen:]
+		case sessOpFAA:
+			op.delta = binary.LittleEndian.Uint64(buf[9:17])
+			buf = buf[17:]
+		default:
 			buf = buf[9:]
 		}
 		w := n.cluster.cfg.workerOf(op.key)
@@ -374,15 +456,17 @@ type sessOpRes struct {
 }
 
 // sessLanePend is one started remote RPC of a burst — or, with ch == nil, a
-// blocking multi-phase operation (a replicated put, a read against a
+// blocking multi-phase operation (a replicated put, an RMW, a read against a
 // re-syncing primary) deferred to collect so the rest of the burst's remote
 // accesses start first.
 type sessLanePend struct {
-	res   int // index into the lane's result scratch
-	put   bool
-	key   uint64
-	value []byte
-	ch    chan rpcResult
+	res    int // index into the lane's result scratch
+	kind   byte
+	key    uint64
+	value  []byte
+	expect []byte
+	delta  uint64
+	ch     chan rpcResult
 }
 
 // sessLane is one worker's session serving loop state. The scratch slices
@@ -450,7 +534,14 @@ func (l *sessLane) serveBurst() {
 func (l *sessLane) scanOp(ri int, op sessOp) {
 	n := l.n
 	r := &l.res[ri]
-	if op.put {
+	if op.kind == sessOpCAS || op.kind == sessOpFAA {
+		// An RMW is a blocking multi-phase exchange wherever it routes;
+		// defer it to collect so the burst's plain remote accesses start
+		// first (same treatment as a replicated put).
+		l.pend = append(l.pend, sessLanePend{res: ri, kind: op.kind, key: op.key, value: op.value, expect: op.expect, delta: op.delta})
+		return
+	}
+	if op.kind == sessOpPut {
 		done, err := n.putCached(op.key, op.value)
 		if err != nil {
 			setSessErr(r, err)
@@ -464,7 +555,7 @@ func (l *sessLane) scanOp(ri int, op sessOp) {
 			// A replicated put is a blocking multi-phase exchange of its
 			// own; defer it to collect so the rest of the burst's remote
 			// accesses start first.
-			l.pend = append(l.pend, sessLanePend{res: ri, put: true, key: op.key, value: op.value})
+			l.pend = append(l.pend, sessLanePend{res: ri, kind: sessOpPut, key: op.key, value: op.value})
 			return
 		}
 		home := n.cluster.HomeNode(op.key)
@@ -485,7 +576,7 @@ func (l *sessLane) scanOp(ri int, op sessOp) {
 		}
 		n.RemoteOps.Add(1)
 		ch := n.workerFor(op.key).rpc.start(uint8(home), wireReq{op: rpcOpPut, key: op.key, value: op.value})
-		l.pend = append(l.pend, sessLanePend{res: ri, put: true, key: op.key, value: op.value, ch: ch})
+		l.pend = append(l.pend, sessLanePend{res: ri, kind: sessOpPut, key: op.key, value: op.value, ch: ch})
 		return
 	}
 	if n.cache != nil {
@@ -561,12 +652,34 @@ func (l *sessLane) collect() {
 		p := &l.pend[i]
 		r := &l.res[p.res]
 		if p.ch == nil {
-			// Deferred blocking op (replicated deployments): run it through
-			// the single-op path, which owns the multi-phase protocol and
-			// its promotion/bounce retries.
-			if p.put {
+			// Deferred blocking op: run it through the single-op path, which
+			// owns the multi-phase protocol and its promotion/bounce retries.
+			switch p.kind {
+			case sessOpPut:
 				setSessPutRes(r, n.Put(p.key, p.value))
-			} else {
+			case sessOpCAS:
+				w, swapped, err := n.CompareAndSwap(p.key, p.expect, p.value)
+				if err != nil {
+					setSessErr(r, err)
+					break
+				}
+				if swapped {
+					r.status = sessStatusOK
+				} else {
+					r.status = sessStatusCASFail
+				}
+				r.hasVal = true
+				r.val = w
+			case sessOpFAA:
+				old, err := n.FetchAndAdd(p.key, p.delta)
+				if err != nil {
+					setSessErr(r, err)
+					break
+				}
+				r.status = sessStatusOK
+				r.hasVal = true
+				r.val = EncodeCounter(old)
+			default:
 				l.sessReplicatedGet(r, p.key)
 			}
 			continue
@@ -575,7 +688,7 @@ func (l *sessLane) collect() {
 		if err != nil {
 			if n.cluster.replicated() {
 				// The acting primary died mid-op; chase the promotion.
-				if p.put {
+				if p.kind == sessOpPut {
 					setSessPutRes(r, n.Put(p.key, p.value))
 				} else {
 					l.sessReplicatedGet(r, p.key)
@@ -585,7 +698,7 @@ func (l *sessLane) collect() {
 			setSessErr(r, err)
 			continue
 		}
-		if p.put {
+		if p.kind == sessOpPut {
 			switch res.status {
 			case rpcStatusOK:
 				r.status = sessStatusOK
@@ -707,7 +820,7 @@ func (n *Node) finishSessionBatch(b *sessBatch) {
 func appendSessOpRes(buf []byte, r *sessOpRes) []byte {
 	buf = append(buf, r.status)
 	switch {
-	case r.status == sessStatusOK && r.hasVal:
+	case r.status == sessStatusOK && r.hasVal, r.status == sessStatusCASFail:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.val)))
 		buf = append(buf, r.val...)
 	case r.status == sessStatusErr:

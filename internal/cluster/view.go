@@ -90,16 +90,6 @@ func (c *Cluster) SetViewHandler(f func(*View)) {
 	c.viewMu.Unlock()
 }
 
-// ErrNodeDown reports that an operation's target node is outside the current
-// membership view (or was excised while the operation was in flight).
-var ErrNodeDown = errors.New("cluster: node outside the membership view")
-
-// ErrHomeDown reports that a key's home node is outside the current
-// membership view: the key cannot be served until the node rejoins. It wraps
-// ErrNodeDown. The session layer gives it a dedicated wire status so
-// cluster.Client surfaces it typed.
-var ErrHomeDown = fmt.Errorf("key's home %w", ErrNodeDown)
-
 // errGossipDown is the cause recorded for failures learned from a peer's
 // view-change message rather than local detection.
 var errGossipDown = errors.New("reported down by peer view change")
@@ -161,6 +151,17 @@ func (c *Cluster) applyDown(peer uint8, cause error, gossip bool) {
 			wk.credits.Drop(fabric.Addr{Node: peer, Thread: c.cfg.cacheThread(wk.idx)})
 			wk.credits.Drop(fabric.Addr{Node: peer, Thread: c.cfg.kvsThread(wk.idx)})
 			wk.rpc.failPeer(peer, err)
+			// RMW pins whose origin died can never be committed or cleared
+			// by it; release them so RMWs on those keys stop bouncing.
+			// homeMu is never held across a blocking call, so taking it
+			// under viewMu cannot deadlock.
+			wk.homeMu.Lock()
+			for key, pin := range wk.rmwPins {
+				if pin.origin == peer {
+					delete(wk.rmwPins, key)
+				}
+			}
+			wk.homeMu.Unlock()
 		}
 		if n.cache != nil {
 			// Lin ack waiters counting the dead peer: complete every write
@@ -371,6 +372,17 @@ func (c *Cluster) addSyncSource(peer uint8) {
 	c.syncSources[peer] = struct{}{}
 	c.syncing.Store(true)
 	c.syncMu.Unlock()
+	// A seed stream means this member was excised and is being re-admitted:
+	// every RMW pin predates the excision, and each pin's origin has either
+	// committed already or failed against the excised us — none will ever
+	// send the clear. Drop them so the re-admitted primary can stamp again.
+	if n := c.LocalNode(); n != nil {
+		for _, wk := range n.workers {
+			wk.homeMu.Lock()
+			clear(wk.rmwPins)
+			wk.homeMu.Unlock()
+		}
+	}
 }
 
 // removeSyncSource clears one seeder — its seed-done arrived, or it died

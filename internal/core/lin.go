@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/timestamp"
+
 // Lin protocol (per-key Linearizability, §5.2).
 //
 // Lin writes are synchronous: a put may return only after its value has
@@ -72,6 +74,73 @@ func (c *Cache) WriteLinStart(key uint64, value []byte) (Invalidation, error) {
 	c.stats.Hits.Add(1)
 	c.stats.WritesLin.Add(1)
 	return inv, nil
+}
+
+// RMWLinStart begins a Lin read-modify-write: under the entry lock it reads
+// the current value, hands a copy to compute, and — when compute elects to
+// write — stages the returned value exactly like WriteLinStart (fresh
+// dominating timestamp, Write state, Invalidation to broadcast). The lock
+// is what makes the read-to-publish window atomic against every other local
+// mutation of the entry; remote writers are ordered by the timestamp the RMW
+// claims before releasing it. witness is the value compute observed (always
+// a fresh copy), applied reports whether compute chose to write (a CAS whose
+// expectation failed returns applied=false with no protocol action — the
+// witness is the answer). Unlike a blind write, an RMW cannot proceed on an
+// Invalid entry: the current value is unreadable until the in-flight
+// update lands, so ErrInvalid is returned and the caller spins like a read.
+func (c *Cache) RMWLinStart(key uint64, compute func(cur []byte) ([]byte, bool)) (inv Invalidation, witness []byte, applied bool, err error) {
+	e, ok := c.table.Load().m[key]
+	if !ok {
+		c.stats.Misses.Add(1)
+		return Invalidation{}, nil, false, ErrMiss
+	}
+	e.lock.Lock()
+	if e.frozen {
+		e.lock.Unlock()
+		return Invalidation{}, nil, false, ErrFrozen
+	}
+	if e.installing {
+		// Promotion placeholder: no value to read; the home shard serves.
+		e.lock.Unlock()
+		c.stats.Misses.Add(1)
+		return Invalidation{}, nil, false, ErrMiss
+	}
+	if e.state == StateInvalid {
+		e.lock.Unlock()
+		c.stats.InvalidStalls.Add(1)
+		return Invalidation{}, nil, false, ErrInvalid
+	}
+	if e.pendActive {
+		e.lock.Unlock()
+		return Invalidation{}, nil, false, ErrWritePending
+	}
+	witness = append([]byte(nil), e.val[:e.vlen]...)
+	value, ok := compute(witness)
+	if !ok {
+		e.lock.Unlock()
+		c.stats.Hits.Add(1)
+		return Invalidation{}, witness, false, nil
+	}
+	e.pendTS = e.ts.Next(c.nodeID)
+	e.ts = e.pendTS
+	if len(e.pendVal) < len(value) {
+		e.pendVal = make([]byte, len(value))
+	}
+	copy(e.pendVal[:len(value)], value)
+	e.pendVlen = len(value)
+	e.pendActive = true
+	e.pendSuperseded = false
+	e.pendWait = c.live.Load().Without(c.nodeID)
+	e.ackFrom = NodeSet{}
+	if e.state == StateValid {
+		e.state = StateWrite
+	}
+	inv = Invalidation{Key: key, TS: e.pendTS, From: c.nodeID}
+	e.lock.Unlock()
+
+	c.stats.Hits.Add(1)
+	c.stats.WritesLin.Add(1)
+	return inv, witness, true, nil
 }
 
 // ApplyInvalidation processes a received invalidation and returns the Ack to
@@ -324,11 +393,22 @@ func (c *Cache) ApplyUpdateLin(u Update) bool {
 // PendingWrite reports whether this node has an outstanding Lin write for
 // key (test hook).
 func (c *Cache) PendingWrite(key uint64) bool {
+	_, p := c.PendingWriteTS(key)
+	return p
+}
+
+// PendingWriteTS returns the timestamp of key's outstanding Lin write, if
+// any. RMW completion polling matches it against the stamp the poller was
+// handed, so a later writer's pending write never reads as "still mine".
+func (c *Cache) PendingWriteTS(key uint64) (timestamp.TS, bool) {
 	e, ok := c.table.Load().m[key]
 	if !ok {
-		return false
+		return timestamp.TS{}, false
 	}
-	var p bool
-	e.lock.Read(func() { p = e.pendActive })
-	return p
+	var (
+		ts timestamp.TS
+		p  bool
+	)
+	e.lock.Read(func() { p = e.pendActive; ts = e.pendTS })
+	return ts, p
 }

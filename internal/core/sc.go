@@ -40,6 +40,49 @@ func (c *Cache) WriteSC(key uint64, value []byte) (Update, error) {
 	return out, nil
 }
 
+// RMWSC performs a local SC read-modify-write: under the entry lock it reads
+// the current value, hands a copy to compute, and — when compute elects to
+// write — applies the returned value immediately (SC writes are
+// non-blocking) and returns the Update to broadcast. witness is the value
+// compute observed (always a fresh copy); applied reports whether compute
+// chose to write. The entry lock makes the read-compute-write sequence
+// atomic against every other mutation of this replica; under SC this node is
+// the key's single RMW serialization point, so replica convergence by
+// timestamp order carries RMW atomicity cluster-wide.
+func (c *Cache) RMWSC(key uint64, compute func(cur []byte) ([]byte, bool)) (upd Update, witness []byte, applied bool, err error) {
+	e, ok := c.table.Load().m[key]
+	if !ok {
+		c.stats.Misses.Add(1)
+		return Update{}, nil, false, ErrMiss
+	}
+	e.lock.Lock()
+	if e.frozen {
+		e.lock.Unlock()
+		return Update{}, nil, false, ErrFrozen
+	}
+	if e.installing {
+		e.lock.Unlock()
+		c.stats.Misses.Add(1)
+		return Update{}, nil, false, ErrMiss
+	}
+	witness = append([]byte(nil), e.val[:e.vlen]...)
+	value, ok := compute(witness)
+	if !ok {
+		e.lock.Unlock()
+		c.stats.Hits.Add(1)
+		return Update{}, witness, false, nil
+	}
+	e.ts = e.ts.Next(c.nodeID)
+	e.setValueLocked(value)
+	e.dirty = true
+	upd = Update{Key: key, TS: e.ts, Value: append([]byte(nil), value...)}
+	e.lock.Unlock()
+
+	c.stats.Hits.Add(1)
+	c.stats.WritesSC.Add(1)
+	return upd, witness, true, nil
+}
+
 // WriteSCWithTS performs an SC write whose serialization timestamp was
 // assigned externally — by a sequencer node (the Figure 4b design the paper
 // contrasts with its fully-distributed protocol). The entry's clock is

@@ -23,6 +23,12 @@ const (
 	// thousand operations. A static hot set decays toward zero hit rate
 	// under it; an adaptive one keeps up.
 	ShiftingHotspot = "shifting-hotspot"
+	// ContendedCounter is the RMW stress mix: very high skew (alpha = 1.01,
+	// the paper's most skewed setting) with 30% atomic fetch-and-adds and a
+	// trickle of plain writes, so contention concentrates on a handful of
+	// hot counters — exactly the traffic the serialized RMW path absorbs.
+	// Values are 8 bytes (the counter encoding).
+	ContendedCounter = "contended-counter"
 )
 
 // Preset returns the named workload configuration over numKeys keys, or
@@ -50,6 +56,13 @@ func Preset(name string, numKeys uint64) (Config, bool) {
 		// stride default (numKeys/3+1) makes consecutive hot sets nearly
 		// disjoint.
 		base.ShiftEvery = 4096
+	case ContendedCounter:
+		base.Alpha = 1.01
+		base.RMWFrac = 0.3
+		base.WriteRatio = 0.01
+		// 8-byte values: every key stores a valid counter encoding, so any
+		// key the skew lands an FAA on is addable.
+		base.ValueSize = 8
 	default:
 		return Config{}, false
 	}
@@ -58,5 +71,5 @@ func Preset(name string, numKeys uint64) (Config, bool) {
 
 // Presets lists the known preset names.
 func Presets() []string {
-	return []string{YCSBA, YCSBB, YCSBC, Facebook, PaperDefault, ShiftingHotspot}
+	return []string{YCSBA, YCSBB, YCSBC, Facebook, PaperDefault, ShiftingHotspot, ContendedCounter}
 }

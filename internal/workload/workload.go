@@ -10,30 +10,38 @@ import (
 	"repro/internal/zipf"
 )
 
-// OpType distinguishes gets from puts.
+// OpType distinguishes the generated operation kinds.
 type OpType uint8
 
 // Operation kinds.
 const (
 	Get OpType = iota
 	Put
+	// FAA is an atomic fetch-and-add (delta 1) against the key's 8-byte
+	// counter encoding — the contended-counter op of the RMW workloads.
+	FAA
 )
 
 // String names the operation.
 func (o OpType) String() string {
-	if o == Put {
+	switch o {
+	case Put:
 		return "put"
+	case FAA:
+		return "faa"
 	}
 	return "get"
 }
 
 // Op is a single generated request. Key is a popularity rank mapped into the
 // keyspace (rank 0 = hottest key unless scrambling is enabled); Value is nil
-// for gets.
+// for gets and FAAs (an FAA adds Delta server-side instead of carrying a
+// payload).
 type Op struct {
 	Type  OpType
 	Key   uint64
 	Value []byte
+	Delta uint64
 }
 
 // Config parameterizes a workload.
@@ -45,6 +53,11 @@ type Config struct {
 	Alpha float64
 	// WriteRatio is the fraction of puts in [0, 1] (e.g. 0.01 for 1%).
 	WriteRatio float64
+	// RMWFrac is the fraction of atomic fetch-and-adds in [0, 1], drawn
+	// from its own coin stream so turning it up does not perturb the
+	// get/put sequence. An op is first tried as an RMW, then as a put —
+	// with RMWFrac 0.3 and WriteRatio 0.1 the stream is 30% FAA, 7% put.
+	RMWFrac float64
 	// ValueSize is the object payload size in bytes (default 40).
 	ValueSize int
 	// Scramble spreads hot ranks across the keyspace (YCSB scrambled
@@ -91,6 +104,9 @@ func (c Config) Validate() error {
 	if c.WriteRatio < 0 || c.WriteRatio > 1 {
 		return fmt.Errorf("workload: write ratio %v out of [0,1]", c.WriteRatio)
 	}
+	if c.RMWFrac < 0 || c.RMWFrac > 1 {
+		return fmt.Errorf("workload: rmw fraction %v out of [0,1]", c.RMWFrac)
+	}
 	if c.Alpha < 0 || c.Alpha == 1 {
 		return fmt.Errorf("workload: unsupported alpha %v", c.Alpha)
 	}
@@ -109,11 +125,12 @@ type keySource interface {
 // for concurrent use; create one per client goroutine (use Clone with a
 // distinct stream id).
 type Generator struct {
-	cfg   Config
-	keys  keySource
-	coin  *coinFlip
-	value []byte
-	seq   uint64
+	cfg     Config
+	keys    keySource
+	coin    *coinFlip
+	rmwCoin *coinFlip
+	value   []byte
+	seq     uint64
 }
 
 // New builds a generator for the given config.
@@ -139,10 +156,11 @@ func New(cfg Config) (*Generator, error) {
 		src = g
 	}
 	gen := &Generator{
-		cfg:   cfg,
-		keys:  src,
-		coin:  newCoinFlip(cfg.Seed ^ 0xc01), // independent write-coin stream
-		value: make([]byte, cfg.ValueSize),
+		cfg:     cfg,
+		keys:    src,
+		coin:    newCoinFlip(cfg.Seed ^ 0xc01),  // independent write-coin stream
+		rmwCoin: newCoinFlip(cfg.Seed ^ 0xfaa1), // independent rmw-coin stream
+		value:   make([]byte, cfg.ValueSize),
 	}
 	return gen, nil
 }
@@ -172,7 +190,14 @@ func (g *Generator) Next() Op {
 		shifts := g.seq / g.cfg.ShiftEvery
 		key = (key + shifts*g.cfg.ShiftStride) % g.cfg.NumKeys
 	}
-	if g.cfg.WriteRatio > 0 && g.coin.flip(g.cfg.WriteRatio) {
+	// Both coins advance every op, so dialing RMWFrac up or down never
+	// perturbs which ops the write coin selects.
+	isRMW := g.cfg.RMWFrac > 0 && g.rmwCoin.flip(g.cfg.RMWFrac)
+	isPut := g.cfg.WriteRatio > 0 && g.coin.flip(g.cfg.WriteRatio)
+	if isRMW {
+		return Op{Type: FAA, Key: key, Delta: 1}
+	}
+	if isPut {
 		// Deterministic, distinguishable payload: writer stamps sequence.
 		fill(g.value, g.seq)
 		return Op{Type: Put, Key: key, Value: g.value}

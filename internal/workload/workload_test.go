@@ -166,7 +166,12 @@ func TestPresets(t *testing.T) {
 		if !ok {
 			t.Fatalf("preset %q missing", name)
 		}
-		if cfg.NumKeys != 5000 || cfg.Alpha != DefaultAlpha {
+		if cfg.NumKeys != 5000 {
+			t.Fatalf("preset %q config: %+v", name, cfg)
+		}
+		// ContendedCounter dials the paper's most skewed setting on purpose;
+		// everyone else inherits the default.
+		if name != ContendedCounter && cfg.Alpha != DefaultAlpha {
 			t.Fatalf("preset %q config: %+v", name, cfg)
 		}
 		if _, err := New(cfg); err != nil {
@@ -180,5 +185,74 @@ func TestPresets(t *testing.T) {
 	}
 	if _, ok := Preset("nope", 100); ok {
 		t.Fatal("unknown preset accepted")
+	}
+}
+
+// RMWFrac draws from its own coin stream: the observed FAA fraction tracks
+// the config, and dialing it up must not change WHICH ops the write coin
+// turns into puts (only FAAs mask some of them).
+func TestRMWFracObservedAndNonPerturbing(t *testing.T) {
+	const n = 20000
+	g := MustNew(Config{NumKeys: 1 << 16, Alpha: 0, WriteRatio: 0.1, RMWFrac: 0.3, Seed: 9})
+	faa, put := 0, 0
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		switch op.Type {
+		case FAA:
+			faa++
+			if op.Delta != 1 || op.Value != nil {
+				t.Fatalf("FAA op carries delta %d value %v", op.Delta, op.Value)
+			}
+		case Put:
+			put++
+		}
+	}
+	if got := float64(faa) / n; got < 0.27 || got > 0.33 {
+		t.Fatalf("observed FAA fraction %.3f, want ~0.3", got)
+	}
+	// 10% writes, of which ~30% are masked by the RMW coin: ~7% puts.
+	if got := float64(put) / n; got < 0.05 || got > 0.09 {
+		t.Fatalf("observed put fraction %.3f, want ~0.07", got)
+	}
+
+	// Non-perturbation: with RMWFrac 0 vs 0.5, every op that is a put in the
+	// second stream is a put on the same index with the same key in the first.
+	a := MustNew(Config{NumKeys: 1 << 16, Alpha: 0, WriteRatio: 0.1, Seed: 42})
+	b := MustNew(Config{NumKeys: 1 << 16, Alpha: 0, WriteRatio: 0.1, RMWFrac: 0.5, Seed: 42})
+	for i := 0; i < n; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa.Key != ob.Key {
+			t.Fatalf("op %d: keys diverged (%d vs %d)", i, oa.Key, ob.Key)
+		}
+		if ob.Type == Put && oa.Type != Put {
+			t.Fatalf("op %d: put in the rmw stream but %v without", i, oa.Type)
+		}
+		if ob.Type == Get && oa.Type == Put {
+			t.Fatalf("op %d: rmw coin perturbed the write coin (put became get)", i)
+		}
+	}
+}
+
+// The contended-counter preset is tuned for the RMW path: extreme skew,
+// counter-sized values, a real RMW fraction.
+func TestContendedCounterPreset(t *testing.T) {
+	cfg, ok := Preset(ContendedCounter, 1024)
+	if !ok {
+		t.Fatal("preset missing")
+	}
+	if cfg.RMWFrac <= 0 || cfg.ValueSize != 8 || cfg.Alpha <= 1 {
+		t.Fatalf("unexpected preset shape: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range Presets() {
+		if name == ContendedCounter {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("preset not listed")
 	}
 }

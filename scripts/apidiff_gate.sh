@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# API compatibility gate: diff the module's importable surface against a
+# previous commit with apidiff (golang.org/x/exp/cmd/apidiff) and fail on
+# incompatible changes. The importable surface is the root package alone —
+# everything under internal/ is compiler-enforced private, so renames there
+# are refactors, not breakage.
+#
+# Deliberate API breaks do happen; when one is intended, point APIDIFF_BASE
+# at the commit that introduced it (or re-run after it merges). The gate's
+# job is making breaks *loud*, not impossible.
+#
+# The repo's go.mod is dependency-free on purpose, so apidiff is never a
+# module dependency: the script uses a tool already on PATH (or in
+# GOPATH/bin), falls back to `go install`, and self-skips cleanly when
+# neither works (offline sandboxes) or when the base commit is absent
+# (shallow clones need fetch-depth >= 2).
+#
+# Usage: scripts/apidiff_gate.sh
+# Env:   APIDIFF_BASE (commit to diff against, default HEAD~1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE="${APIDIFF_BASE:-HEAD~1}"
+
+APIDIFF="$(command -v apidiff || true)"
+if [ -z "$APIDIFF" ] && [ -x "$(go env GOPATH)/bin/apidiff" ]; then
+    APIDIFF="$(go env GOPATH)/bin/apidiff"
+fi
+if [ -z "$APIDIFF" ]; then
+    if ! go install golang.org/x/exp/cmd/apidiff@latest >/dev/null 2>&1; then
+        echo "apidiff gate: SKIPPED (apidiff not installed and go install failed; offline?)"
+        exit 0
+    fi
+    APIDIFF="$(go env GOPATH)/bin/apidiff"
+fi
+
+if ! git rev-parse --verify --quiet "${BASE}^{commit}" >/dev/null; then
+    echo "apidiff gate: SKIPPED (base commit $BASE unavailable; shallow clone needs fetch-depth >= 2)"
+    exit 0
+fi
+
+OLD=$(mktemp -d)
+cleanup() {
+    git worktree remove --force "$OLD" >/dev/null 2>&1 || true
+    rm -rf "$OLD"
+}
+trap cleanup EXIT
+git worktree add --detach "$OLD" "$BASE" >/dev/null 2>&1
+
+# Export data for the root package at both commits; "." resolves to the
+# module root package in each working tree.
+(cd "$OLD" && "$APIDIFF" -w "$OLD/api.export" .)
+NEW_EXPORT=$(mktemp)
+trap 'rm -f "$NEW_EXPORT"; cleanup' EXIT
+"$APIDIFF" -w "$NEW_EXPORT" .
+
+echo "=== apidiff vs $BASE (root package) ==="
+"$APIDIFF" "$OLD/api.export" "$NEW_EXPORT" || true
+
+incompatible=$("$APIDIFF" -incompatible "$OLD/api.export" "$NEW_EXPORT")
+if [ -n "$incompatible" ]; then
+    echo "apidiff gate: FAILED — incompatible API changes vs $BASE:" >&2
+    echo "$incompatible" >&2
+    exit 1
+fi
+echo "apidiff gate: OK (no incompatible changes vs $BASE)"
