@@ -314,6 +314,13 @@ func (kv *KV) batchStripe(node int, ops []cluster.Op, rs []cluster.Result, idxs 
 // keys that served successfully keep their values regardless (use Batch for
 // full per-op outcomes). Every access feeds the top-k popularity observer
 // like Get does.
+//
+// Ownership: the values are private to the caller, but several entries of
+// one call may share a single backing array — locally served keys are
+// pinned under store leases and copied once into a batch-shared buffer on
+// the way out (the zero-copy value path's facade end). The slices are
+// disjoint and capacity-clipped: reading and overwriting in place are safe,
+// appending to one is not. Copy an entry to detach it.
 func (kv *KV) MultiGet(keys []uint64) ([][]byte, error) {
 	ops := make([]cluster.Op, len(keys))
 	for i, k := range keys {

@@ -19,6 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -56,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, onReady
 		pingIvl  = fs.Duration("ping-interval", 250*time.Millisecond, "membership ping interval (0 disables ping suspicion; broken TCP connections still trigger view changes)")
 		pingTo   = fs.Duration("ping-timeout", 0, "silence after which a peer is excised from the membership view (default 6x ping-interval)")
 		replicas = fs.Int("replicas", 1, "shard replicas per key (home + ring successors); MUST be identical on every node; 1 = unreplicated")
+		pprofAt  = fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -86,6 +90,16 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, onReady
 		fmt.Fprintf(stderr, "-replicas %d out of range [1,%d]; every node must pass the same value\n",
 			*replicas, len(peers))
 		return 2
+	}
+
+	if *pprofAt != "" {
+		srv, addr, err := servePprof(*pprofAt)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "node %d: pprof on http://%s/debug/pprof/\n", *id, addr)
 	}
 
 	cfg := cluster.Config{
@@ -183,6 +197,32 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal, onReady
 		return 1
 	}
 	return 0
+}
+
+// servePprof starts the net/http/pprof endpoints on addr in a background
+// goroutine and returns the server (Close to stop) and the bound address.
+// Profiles expose heap contents and running code, so the listener is
+// restricted to loopback — a non-loopback bind is refused, not warned about.
+func servePprof(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("-pprof: %w", err)
+	}
+	if tcp, ok := ln.Addr().(*net.TCPAddr); !ok || !tcp.IP.IsLoopback() {
+		ln.Close()
+		return nil, "", fmt.Errorf("-pprof %s binds a non-loopback interface; profiles are loopback-only", addr)
+	}
+	// An explicit mux keeps the profile routes off http.DefaultServeMux —
+	// nothing else this process might register can leak onto this port.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
 }
 
 func systemLabel(cfg cluster.Config) string {

@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -50,6 +52,61 @@ func TestUnknownProtocolExitsTwo(t *testing.T) {
 func TestUnknownSystemExitsTwo(t *testing.T) {
 	if code, _, _ := exec(t, "-system", "dynamo"); code != 2 {
 		t.Fatal("unknown system accepted")
+	}
+}
+
+func TestPprofRefusesNonLoopback(t *testing.T) {
+	code, _, errb := exec(t, "-pprof", "0.0.0.0:0")
+	if code != 2 || !strings.Contains(errb, "loopback") {
+		t.Fatalf("code=%d stderr=%q; want refusal of a non-loopback pprof bind", code, errb)
+	}
+}
+
+// The -pprof endpoint serves a readable heap profile while the node runs.
+func TestPprofServesHeapProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback deployment")
+	}
+	addrs := reservePorts(t, 1)
+	out := &lockedBuffer{}
+	stop := make(chan os.Signal, 1)
+	code := make(chan int, 1)
+	ready := make(chan struct{})
+	go func() {
+		code <- run([]string{
+			"-id", "0", "-peers", addrs[0], "-keys", "2048", "-cache", "16",
+			"-pprof", "127.0.0.1:0",
+		}, out, out, stop, func(string) { close(ready) })
+	}()
+	<-ready
+
+	var pprofAddr string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if _, rest, ok := strings.Cut(line, "pprof on http://"); ok {
+			pprofAddr = strings.TrimSuffix(rest, "/debug/pprof/")
+		}
+	}
+	if pprofAddr == "" {
+		t.Fatalf("no pprof address announced; output:\n%s", out.String())
+	}
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("heap profile: status=%d len=%d err=%v", resp.StatusCode, len(body), err)
+	}
+
+	stop <- os.Interrupt
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("exit code %d; output:\n%s", c, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("node never exited")
 	}
 }
 

@@ -52,12 +52,52 @@ type Client struct {
 type sessPending struct {
 	ch   chan sessResult
 	node uint8
+	// lease marks a batch request: the response payload is staged in a
+	// pooled, refcounted buffer that the decoded Results can hand back via
+	// Release instead of leaving it to the garbage collector.
+	lease bool
 }
 
 type sessResult struct {
 	status  byte
 	payload []byte
+	lease   *respLease
 	err     error
+}
+
+// respLease refcounts one pooled response-payload buffer. Every Result
+// decoded out of the buffer holds one reference; the exchange that received
+// it holds one more until decoding finishes. When the last reference drops
+// the buffer returns to the pool for the next response — so a released
+// Result's Value must never be read again (enable poisonReleasedBufs to make
+// that bug deterministic instead of a silent corruption).
+type respLease struct {
+	refs atomic.Int32
+	buf  []byte
+}
+
+var respLeasePool = sync.Pool{New: func() any { return new(respLease) }}
+
+// poisonReleasedBufs scribbles 0xDD over a response buffer the moment its
+// last reference drops, turning any use-after-Release into a loud,
+// deterministic failure. On by default in -race builds (the debug
+// configuration); tests may force it on.
+var poisonReleasedBufs = raceBuild
+
+// release drops one reference; nil leases (by-reference transports, where
+// the payload needs no pooling) are a no-op.
+func (l *respLease) release() {
+	if l == nil {
+		return
+	}
+	if l.refs.Add(-1) == 0 {
+		if poisonReleasedBufs {
+			for i := range l.buf {
+				l.buf[i] = 0xDD
+			}
+		}
+		respLeasePool.Put(l)
+	}
 }
 
 // defaultPipelineWindow bounds in-flight requests per server connection.
@@ -91,10 +131,13 @@ func WithPipelineWindow(w int) ClientOption {
 
 // WithAutoBatch routes the client's Get/Put calls through per-node
 // auto-batchers: concurrent operations are coalesced into one batch frame,
-// flushed when maxOps accumulate or maxDelay passes since the batch opened
-// (default 200µs), whichever comes first — the client edge's version of the
-// fabric's request coalescing. Callers still observe per-op results and
-// errors; batching only changes the framing.
+// flushed when maxOps accumulate or the armed delay passes since the batch
+// opened, whichever comes first — the client edge's version of the fabric's
+// request coalescing. maxDelay (default 200µs) is a ceiling, not a fixed
+// delay: the armed delay adapts to load, collapsing toward maxDelay/16 when
+// recent batches ran near empty and widening back as they fill (a lone
+// caller skips the timer entirely). Callers still observe per-op results
+// and errors; batching only changes the framing.
 func WithAutoBatch(maxOps int, maxDelay time.Duration) ClientOption {
 	return func(cl *Client) { cl.setAutoBatch(maxOps, maxDelay) }
 }
@@ -185,9 +228,16 @@ func (cl *Client) setAutoBatch(maxOps int, maxDelay time.Duration) {
 		if maxOps > sessBatchMaxOps {
 			maxOps = sessBatchMaxOps
 		}
+		floor := maxDelay / 16
+		if floor < time.Microsecond {
+			floor = time.Microsecond
+		}
+		if floor > maxDelay {
+			floor = maxDelay
+		}
 		next = &autoBatchState{per: make([]*autoBatch, cl.nodes)}
 		for i := range next.per {
-			a := &autoBatch{cl: cl, node: uint8(i), maxOps: maxOps, delay: maxDelay}
+			a := &autoBatch{cl: cl, node: uint8(i), maxOps: maxOps, delay: maxDelay, floor: floor}
 			a.timer = time.AfterFunc(time.Hour, a.flushTimed)
 			a.timer.Stop()
 			next.per[i] = a
@@ -244,8 +294,29 @@ func (cl *Client) onResponse(p fabric.Packet) {
 	if !ok {
 		return // abandoned (timed out) or duplicate; nothing waits
 	}
-	// Copy: the transport reuses the packet buffer after this handler.
-	pd.ch <- sessResult{status: p.Data[8], payload: append([]byte(nil), p.Data[9:]...)}
+	res := sessResult{status: p.Data[8]}
+	switch {
+	case !cl.trCopies:
+		// By-reference transport: the server builds a fresh response buffer
+		// per reply (it only pools encode buffers on copying transports), so
+		// the payload is ours to alias — the zero-copy receive path.
+		res.payload = p.Data[9:]
+	case pd.lease:
+		// Copying transport, batch request: stage the payload in a pooled
+		// refcounted buffer. The decoded Results inherit references and the
+		// caller returns the buffer via Release.
+		l := respLeasePool.Get().(*respLease)
+		l.refs.Store(1)
+		l.buf = append(l.buf[:0], p.Data[9:]...)
+		res.payload = l.buf
+		res.lease = l
+	default:
+		// Copying transport, point op: the packet buffer is reused after
+		// this handler and the caller may hold the value forever, so copy
+		// into a buffer the garbage collector owns.
+		res.payload = append([]byte(nil), p.Data[9:]...)
+	}
+	pd.ch <- res
 	cl.releaseSlot(pd.node)
 }
 
@@ -310,8 +381,11 @@ func (cl *Client) newFrame(capHint int) ([]byte, *srvBuf) {
 
 // exchange sends one encoded request frame to node and waits for its
 // response or the timeout. It owns the frame: pooled buffers are recycled
-// once the transport is done with them.
-func (cl *Client) exchange(node uint8, id uint64, frame []byte, pooled *srvBuf, timeout time.Duration) (sessResult, error) {
+// once the transport is done with them. wantLease asks onResponse to stage
+// the payload in a pooled refcounted buffer (batch path); a timed-out
+// exchange abandons its channel, so a lease parked there falls to the
+// garbage collector rather than the pool — safe, just unrecycled.
+func (cl *Client) exchange(node uint8, id uint64, frame []byte, pooled *srvBuf, timeout time.Duration, wantLease bool) (sessResult, error) {
 	cl.acquireSlot(node)
 	ch := sessChPool.Get().(chan sessResult)
 	cl.mu.Lock()
@@ -325,7 +399,7 @@ func (cl *Client) exchange(node uint8, id uint64, frame []byte, pooled *srvBuf, 
 		}
 		return sessResult{}, ErrClientClosed
 	}
-	cl.pend[id] = sessPending{ch: ch, node: node}
+	cl.pend[id] = sessPending{ch: ch, node: node, lease: wantLease}
 	cl.mu.Unlock()
 
 	err := cl.tr.Send(fabric.Packet{
@@ -395,7 +469,7 @@ func (cl *Client) callT(node uint8, op byte, body []byte, timeout time.Duration)
 	frame = append(frame, op)
 	frame = binary.LittleEndian.AppendUint64(frame, id)
 	frame = append(frame, body...)
-	res, err := cl.exchange(node, id, frame, pooled, timeout)
+	res, err := cl.exchange(node, id, frame, pooled, timeout, false)
 	if err != nil {
 		return sessResult{}, err
 	}
@@ -456,7 +530,7 @@ func (cl *Client) Get(node int, key uint64) ([]byte, error) {
 	frame = append(frame, sessOpGet)
 	frame = binary.LittleEndian.AppendUint64(frame, id)
 	frame = binary.LittleEndian.AppendUint64(frame, key)
-	res, err := cl.exchange(uint8(node), id, frame, pooled, cl.timeout)
+	res, err := cl.exchange(uint8(node), id, frame, pooled, cl.timeout, false)
 	if err != nil {
 		return nil, err
 	}
@@ -494,7 +568,7 @@ func (cl *Client) Put(node int, key uint64, value []byte) error {
 	frame = binary.LittleEndian.AppendUint64(frame, key)
 	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(value)))
 	frame = append(frame, value...)
-	res, err := cl.exchange(uint8(node), id, frame, pooled, cl.timeout)
+	res, err := cl.exchange(uint8(node), id, frame, pooled, cl.timeout, false)
 	if err != nil {
 		return err
 	}
@@ -526,7 +600,7 @@ func (cl *Client) CompareAndSwap(node int, key uint64, expect, newVal []byte) (w
 	frame = append(frame, expect...)
 	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(newVal)))
 	frame = append(frame, newVal...)
-	res, err := cl.exchange(uint8(node), id, frame, pooled, cl.timeout)
+	res, err := cl.exchange(uint8(node), id, frame, pooled, cl.timeout, false)
 	if err != nil {
 		return nil, false, err
 	}
@@ -560,7 +634,7 @@ func (cl *Client) FetchAndAdd(node int, key uint64, delta uint64) (old uint64, e
 	frame = binary.LittleEndian.AppendUint64(frame, id)
 	frame = binary.LittleEndian.AppendUint64(frame, key)
 	frame = binary.LittleEndian.AppendUint64(frame, delta)
-	res, err := cl.exchange(uint8(node), id, frame, pooled, cl.timeout)
+	res, err := cl.exchange(uint8(node), id, frame, pooled, cl.timeout, false)
 	if err != nil {
 		return 0, err
 	}
@@ -622,9 +696,44 @@ func (o *Op) kind() OpKind { return o.EffectiveKind() }
 // absent keys, ErrCASMismatch for a failed comparison, a wrapped ErrHomeDown
 // when the key's home left the view, ErrNodeUnreachable / ErrSessionTimeout /
 // ErrClientClosed when the op's frame failed.
+//
+// Value ownership: on a copying transport (TCP), a batch Result's Value
+// aliases a pooled response buffer shared by the whole frame. Callers that
+// are done with Value should call Release so the buffer can be recycled;
+// callers that keep values past the batch must take ValueCopy first. Never
+// calling Release is always safe — the buffer just falls to the garbage
+// collector instead of the pool.
 type Result struct {
 	Value []byte
 	Err   error
+
+	lease    *respLease
+	released bool
+}
+
+// Release hands Value's backing buffer back to the client's response pool
+// (once every Result of the same batch released) and nils Value. Idempotent.
+// Reading a previously-taken alias of Value after Release is a
+// use-after-free against the pool; -race builds poison the buffer to make
+// that deterministic.
+func (r *Result) Release() {
+	if r.released {
+		return
+	}
+	r.released = true
+	l := r.lease
+	r.lease = nil
+	r.Value = nil
+	l.release()
+}
+
+// ValueCopy returns a copy of Value that survives Release — the safe default
+// for callers that hold values past the batch.
+func (r *Result) ValueCopy() []byte {
+	if r.Value == nil {
+		return nil
+	}
+	return append([]byte(nil), r.Value...)
 }
 
 // BatchOp is the unified Op type's original name.
@@ -738,15 +847,18 @@ func (cl *Client) batchChunk(node int, ops []BatchOp, rs []BatchResult) error {
 	for i := range ops {
 		frame = appendBatchEntry(frame, &ops[i])
 	}
-	res, err := cl.exchange(uint8(node), id, frame, pooled, cl.timeout)
+	res, err := cl.exchange(uint8(node), id, frame, pooled, cl.timeout, true)
 	if err == nil {
 		err = cl.mapStatus(uint8(node), res)
 	}
 	if err == nil {
-		err = cl.decodeBatch(node, ops, rs, res.payload)
+		err = cl.decodeBatch(node, ops, rs, res.payload, res.lease)
+		res.lease.release() // value-bearing Results hold their own refs now
 		if err == nil {
 			return nil
 		}
+	} else {
+		res.lease.release()
 	}
 	for i := range rs {
 		rs[i] = BatchResult{Err: err}
@@ -755,16 +867,29 @@ func (cl *Client) batchChunk(node int, ops []BatchOp, rs []BatchResult) error {
 }
 
 // decodeBatch unpacks a batch response's per-op entries into rs. The request
-// ops disambiguate bare-OK puts from value-framed gets/RMWs.
-func (cl *Client) decodeBatch(node int, ops []Op, rs []Result, payload []byte) error {
-	malformed := fmt.Errorf("cluster: malformed batch response from node %d", node)
+// ops disambiguate bare-OK puts from value-framed gets/RMWs. lease, when
+// non-nil, is the pooled buffer backing payload: every value-bearing Result
+// takes one reference on it (released by the caller via Result.Release).
+func (cl *Client) decodeBatch(node int, ops []Op, rs []Result, payload []byte, lease *respLease) error {
+	malformed := func() error {
+		// Unwind the references handed to already-decoded Results: the caller
+		// overwrites rs wholesale on a decode error.
+		for j := range rs {
+			if rs[j].lease != nil {
+				rs[j].lease.release()
+				rs[j].lease = nil
+				rs[j].Value = nil
+			}
+		}
+		return fmt.Errorf("cluster: malformed batch response from node %d", node)
+	}
 	if len(payload) < 4 || int(binary.LittleEndian.Uint32(payload[:4])) != len(ops) {
-		return malformed
+		return malformed()
 	}
 	buf := payload[4:]
 	for i := range ops {
 		if len(buf) < 1 {
-			return malformed
+			return malformed()
 		}
 		status := buf[0]
 		buf = buf[1:]
@@ -774,13 +899,17 @@ func (cl *Client) decodeBatch(node int, ops []Op, rs []Result, payload []byte) e
 				break // bare status, no payload
 			}
 			if len(buf) < 4 {
-				return malformed
+				return malformed()
 			}
 			vlen := int(binary.LittleEndian.Uint32(buf[:4]))
 			if vlen < 0 || len(buf) < 4+vlen {
-				return malformed
+				return malformed()
 			}
 			rs[i].Value = buf[4 : 4+vlen]
+			if lease != nil {
+				lease.refs.Add(1)
+				rs[i].lease = lease
+			}
 			buf = buf[4+vlen:]
 			if status == sessStatusCASFail {
 				rs[i].Err = ErrCASMismatch
@@ -791,11 +920,11 @@ func (cl *Client) decodeBatch(node int, ops []Op, rs []Result, payload []byte) e
 			rs[i].Err = fmt.Errorf("node %d reports %w", node, ErrHomeDown)
 		case sessStatusErr:
 			if len(buf) < 4 {
-				return malformed
+				return malformed()
 			}
 			mlen := int(binary.LittleEndian.Uint32(buf[:4]))
 			if mlen < 0 || len(buf) < 4+mlen {
-				return malformed
+				return malformed()
 			}
 			rs[i].Err = fmt.Errorf("cluster: node %d: %s", node, string(buf[4:4+mlen]))
 			buf = buf[4+mlen:]
@@ -862,11 +991,21 @@ func (st *autoBatchState) flush() {
 // autoBatch coalesces concurrent Get/Put callers toward one server into
 // batch frames: the first op of a batch arms the flush timer, the maxOps-th
 // flushes inline on its caller.
+//
+// The flush delay is load-adaptive. Arming the configured maximum delay
+// regardless of load taxes light traffic with latency it gets nothing for,
+// while a tiny fixed delay starves heavy traffic of coalescing. Instead the
+// batcher tracks an EWMA of how full recent flushes ran (fill, per-mille of
+// maxOps) and arms delay = floor + fill·(max−floor)/1000: near-empty flushes
+// collapse the delay to floor (≈max/16), well-fed flushes widen it back
+// toward the configured maximum. A lone caller still flushes inline —
+// no timer at all — so sequential workloads pay nothing.
 type autoBatch struct {
 	cl     *Client
 	node   uint8
 	maxOps int
-	delay  time.Duration
+	delay  time.Duration // configured ceiling (WithAutoBatch maxDelay)
+	floor  time.Duration // minimum armed delay (delay/16, at least 1µs)
 
 	// inflight counts callers currently inside do() toward this node. A lone
 	// caller (inflight == 1) flushes inline instead of arming the delay: with
@@ -874,10 +1013,43 @@ type autoBatch struct {
 	// it just taxed every sequential op with the full flush delay.
 	inflight atomic.Int32
 
+	// fill is the EWMA of flush fill ratio in per-mille of maxOps,
+	// fill ← 7/8·fill + 1/8·latest, updated at every flush.
+	fill atomic.Int32
+
 	mu    sync.Mutex
 	ops   []BatchOp
 	chs   []chan BatchResult
 	timer *time.Timer
+}
+
+// armDelay returns the load-adaptive flush delay to arm for a new batch:
+// the larger of the fill EWMA (how full recent batches ran) and the
+// instantaneous caller pressure (how many callers are in do() right now)
+// scales the delay between floor and ceiling. The pressure term matters on
+// the first batches of a burst, before the EWMA has learned anything —
+// without it a cold batcher arms the floor, fragments the burst into
+// partial flushes, and pays per-frame overhead exactly when coalescing
+// is worth the most.
+func (a *autoBatch) armDelay() time.Duration {
+	f := int32(int(a.inflight.Load()) * 1000 / a.maxOps)
+	if ew := a.fill.Load(); ew > f {
+		f = ew
+	}
+	if f > 1000 {
+		f = 1000
+	}
+	return a.floor + time.Duration(f)*(a.delay-a.floor)/1000
+}
+
+// noteFill folds one flush's fill ratio into the EWMA.
+func (a *autoBatch) noteFill(n int) {
+	fill := int32(n * 1000 / a.maxOps)
+	if fill > 1000 {
+		fill = 1000
+	}
+	f := a.fill.Load()
+	a.fill.Store(f - f/8 + fill/8)
 }
 
 // do enqueues one operation and blocks for its result.
@@ -893,7 +1065,7 @@ func (a *autoBatch) do(op BatchOp) BatchResult {
 		a.run(ops, chs)
 	} else {
 		if len(a.ops) == 1 {
-			a.timer.Reset(a.delay)
+			a.timer.Reset(a.armDelay())
 		}
 		a.mu.Unlock()
 	}
@@ -943,6 +1115,7 @@ func (a *autoBatch) run(ops []BatchOp, chs []chan BatchResult) {
 	if len(ops) == 0 {
 		return
 	}
+	a.noteFill(len(ops))
 	rs, _ := a.cl.Batch(int(a.node), ops)
 	for i, ch := range chs {
 		ch <- rs[i]

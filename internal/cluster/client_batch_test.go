@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -322,7 +325,276 @@ func TestClientBatchAllocsPerOp(t *testing.T) {
 		}
 	}) / batch
 	t.Logf("batched client get: %.2f allocs/op at batch=%d", allocs, batch)
+	if allocs > 1.0 {
+		t.Fatalf("batched client get costs %.2f allocs/op, want <= 1.0", allocs)
+	}
+}
+
+func TestClientBatchPutAllocsPerOp(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	cfg := Config{Nodes: 2, System: Base, NumKeys: 1024}
+	_, cl := newChanClient(t, cfg)
+	const batch = 64
+	keys := make([]uint64, 0, batch)
+	for k := uint64(0); len(keys) < batch; k++ {
+		if HomeOf(k, cfg.Nodes) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	vals := make([][]byte, batch)
+	for i := range vals {
+		vals[i] = []byte("batched-put-value")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := cl.MultiPut(0, keys, vals); err != nil {
+			t.Fatal(err)
+		}
+	}) / batch
+	t.Logf("batched client put: %.2f allocs/op at batch=%d", allocs, batch)
 	if allocs > 1.5 {
-		t.Fatalf("batched client get costs %.2f allocs/op, want <= 1.5", allocs)
+		t.Fatalf("batched client put costs %.2f allocs/op, want <= 1.5", allocs)
+	}
+}
+
+// Release/poison semantics on a copying transport: a batch Result's Value
+// aliases a pooled buffer, Release returns it, and — with poisoning on (the
+// -race default) — any alias kept past the last Release reads poison instead
+// of silently-recycled bytes. ValueCopy is the sanctioned way to keep data.
+func TestClientBatchResultReleasePoisons(t *testing.T) {
+	old := poisonReleasedBufs
+	poisonReleasedBufs = true
+	defer func() { poisonReleasedBufs = old }()
+
+	cfg := Config{Nodes: 2, System: Base, NumKeys: 512}
+	_, addrs := newTCPMembers(t, cfg)
+	cl, err := DialTCP(204, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []byte("lease-backed-value")
+	if err := cl.Put(0, 7, want); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := cl.Batch(0, []BatchOp{{Key: 7}, {Key: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Err != nil || !bytes.Equal(rs[0].Value, want) {
+		t.Fatalf("batch get: (%q, %v), want %q", rs[0].Value, rs[0].Err, want)
+	}
+	stale := rs[0].Value      // alias kept past Release — the bug under test
+	keep := rs[0].ValueCopy() // the sanctioned copy
+	rs[0].Release()
+	rs[0].Release() // idempotent
+	if rs[0].Value != nil {
+		t.Fatal("Release must nil Value")
+	}
+	rs[1].Release() // last reference: the shared buffer is poisoned + pooled
+	for i, b := range stale {
+		if b != 0xDD {
+			t.Fatalf("released buffer byte %d = %#x, want poison 0xDD", i, b)
+		}
+	}
+	if !bytes.Equal(keep, want) {
+		t.Fatalf("ValueCopy = %q after Release, want %q", keep, want)
+	}
+}
+
+// Leases must survive a mid-batch home-down: ops whose home left the view
+// fail per-op while their value-bearing siblings still carry correct,
+// releasable leases — over TCP, where the response buffer is pooled and
+// refcounted across exactly the value-bearing subset.
+func TestClientBatchLeasesSurviveHomeDown(t *testing.T) {
+	old := poisonReleasedBufs
+	poisonReleasedBufs = true
+	defer func() { poisonReleasedBufs = old }()
+
+	cfg := Config{Nodes: 3, System: Base, NumKeys: 1024, QueueDepth: 256}
+	members, addrs := newTCPMembers(t, cfg)
+	cl, err := DialTCP(205, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	members[0].PeerDown(2, errors.New("test: node 2 excised"))
+
+	liveA := coldKeyHomedOn(t, members[0], 0, cfg.NumKeys)
+	liveB := coldKeyHomedOn(t, members[0], 1, cfg.NumKeys)
+	deadKey := coldKeyHomedOn(t, members[0], 2, cfg.NumKeys)
+
+	rs, err := cl.Batch(0, []BatchOp{{Key: liveA}, {Key: deadKey}, {Key: liveB}})
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if rs[0].Err != nil || len(rs[0].Value) == 0 {
+		t.Fatalf("live get before home-down sibling: (%q, %v)", rs[0].Value, rs[0].Err)
+	}
+	if !errors.Is(rs[1].Err, ErrHomeDown) {
+		t.Fatalf("dead-homed get: %v, want ErrHomeDown", rs[1].Err)
+	}
+	if rs[2].Err != nil || len(rs[2].Value) == 0 {
+		t.Fatalf("live get after home-down sibling: (%q, %v)", rs[2].Value, rs[2].Err)
+	}
+	wantA, wantB := rs[0].ValueCopy(), rs[2].ValueCopy()
+	staleA := rs[0].Value
+	for i := range rs {
+		rs[i].Release() // releasing an error Result (no lease) must be safe
+	}
+	for i, b := range staleA {
+		if b != 0xDD {
+			t.Fatalf("released buffer byte %d = %#x, want poison 0xDD", i, b)
+		}
+	}
+	// The copies — and a fresh read — still see the stored values.
+	if v, err := cl.Get(1, liveA); err != nil || !bytes.Equal(v, wantA) {
+		t.Fatalf("re-read liveA: (%q, %v), want %q", v, err, wantA)
+	}
+	if v, err := cl.Get(1, liveB); err != nil || !bytes.Equal(v, wantB) {
+		t.Fatalf("re-read liveB: (%q, %v), want %q", v, err, wantB)
+	}
+}
+
+// On a by-reference transport the payload buffer is fresh per response, so
+// Results carry no lease: Release is a cheap no-op and aliases stay valid
+// forever — the documented safe default.
+func TestClientBatchReleaseNoopOnByRefTransport(t *testing.T) {
+	old := poisonReleasedBufs
+	poisonReleasedBufs = true
+	defer func() { poisonReleasedBufs = old }()
+
+	cfg := Config{Nodes: 2, System: Base, NumKeys: 512}
+	_, cl := newChanClient(t, cfg)
+	want := []byte("by-ref-value")
+	if err := cl.Put(0, 9, want); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := cl.Batch(0, []BatchOp{{Key: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := rs[0].Value
+	rs[0].Release()
+	if !bytes.Equal(stale, want) {
+		t.Fatalf("by-ref alias after Release = %q, want %q (no pool, no poison)", stale, want)
+	}
+}
+
+// The adaptive delay mechanics, deterministically: an idle batcher arms the
+// floor; a run of full flushes widens the delay toward the configured
+// ceiling; a run of near-empty flushes collapses it back.
+func TestAutoBatchAdaptiveDelayTracksFill(t *testing.T) {
+	a := &autoBatch{maxOps: 64, delay: 160 * time.Microsecond, floor: 10 * time.Microsecond}
+	if d := a.armDelay(); d != a.floor {
+		t.Fatalf("idle armDelay = %v, want floor %v", d, a.floor)
+	}
+	for i := 0; i < 64; i++ {
+		a.noteFill(64)
+	}
+	if d := a.armDelay(); d < a.delay*9/10 {
+		t.Fatalf("after full flushes armDelay = %v, want >= %v (ceiling %v)", d, a.delay*9/10, a.delay)
+	}
+	for i := 0; i < 64; i++ {
+		a.noteFill(1)
+	}
+	if d := a.armDelay(); d > a.floor+(a.delay-a.floor)/8 {
+		t.Fatalf("after near-empty flushes armDelay = %v, want <= %v (floor %v)", d, a.floor+(a.delay-a.floor)/8, a.floor)
+	}
+}
+
+// Under heavy concurrency the adaptive delay must not cost throughput
+// against the old fixed-at-ceiling behavior (emulated by pinning the floor
+// to the ceiling). Generous tolerance: this guards against gross regression,
+// not noise.
+func TestClientAutoBatchAdaptiveThroughput(t *testing.T) {
+	cfg := Config{Nodes: 2, System: Base, NumKeys: 1024}
+	_, cl := newChanClient(t, cfg)
+
+	const callers = 64
+	const opsPerCaller = 50
+	run := func() time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < callers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < opsPerCaller; i++ {
+					key := uint64((g*opsPerCaller + i) % int(cfg.NumKeys))
+					if _, err := cl.Get(0, key); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	// Scheduling noise swamps single samples; best-of-3 per configuration.
+	best := func() time.Duration {
+		d := run()
+		for i := 0; i < 2; i++ {
+			if r := run(); r < d {
+				d = r
+			}
+		}
+		return d
+	}
+
+	cl.SetAutoBatch(callers, 2*time.Millisecond)
+	// Pin the armed delay at the ceiling: the pre-adaptive fixed behavior.
+	for _, a := range cl.ab.Load().per {
+		a.floor = a.delay
+	}
+	fixed := best()
+
+	cl.SetAutoBatch(callers, 2*time.Millisecond) // fresh, adaptive batchers
+	adaptive := best()
+
+	t.Logf("64-caller throughput: adaptive %v, fixed-delay %v (best of 3)", adaptive, fixed)
+	if adaptive > fixed*2 {
+		t.Fatalf("adaptive batching is slower than fixed-delay under load: %v vs %v", adaptive, fixed)
+	}
+}
+
+// A lone caller must not pay for batching it cannot get: tail latency with
+// the auto-batcher on stays within a small multiple of immediate flush. A
+// broken lone-caller fast path parks every op on the armed delay
+// (>= 1.25ms here), far past this bound.
+func TestClientAutoBatchSoloLatency(t *testing.T) {
+	cfg := Config{Nodes: 2, System: Base, NumKeys: 512}
+	_, cl := newChanClient(t, cfg)
+
+	const ops = 1000
+	measure := func() time.Duration {
+		lat := make([]time.Duration, ops)
+		for i := 0; i < ops; i++ {
+			start := time.Now()
+			if _, err := cl.Get(0, uint64(i%int(cfg.NumKeys))); err != nil {
+				t.Fatal(err)
+			}
+			lat[i] = time.Since(start)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat[ops*99/100]
+	}
+
+	immediate := measure() // no auto-batching: every op flushes inline
+	cl.SetAutoBatch(64, 20*time.Millisecond)
+	solo := measure()
+	t.Logf("solo p99: immediate %v, auto-batched %v", immediate, solo)
+	if solo > immediate*3+100*time.Microsecond {
+		t.Fatalf("solo caller p99 %v with auto-batching, %v without — lone-caller fast path broken?", solo, immediate)
 	}
 }

@@ -111,10 +111,23 @@ type pendingOp struct {
 // the whole batch, few multi-request packets per home) without spawning any
 // goroutines. values[i] is nil when keys[i] is absent; the first hard
 // failure is returned after the whole batch settled.
+//
+// Ownership: the returned values are private to the caller, but locally
+// served entries of one batch may share a single backing array (each local
+// value is pinned under a store lease and copied once into a batch-shared
+// buffer instead of allocating per key). The slices are disjoint and
+// full-capacity-clipped, so reads and in-place writes are safe; appending
+// to one is not.
 func (n *Node) MultiGet(keys []uint64) ([][]byte, error) {
 	out := make([][]byte, len(keys))
 	var pend []pendingOp
 	var firstErr error
+	// Locally served values accumulate in one shared buffer; cuts records
+	// offsets (not slices — append may reallocate the buffer) to materialize
+	// after the scan.
+	type localCut struct{ idx, off, end int }
+	var vals []byte
+	var cuts []localCut
 	for i, key := range keys {
 		if n.cache != nil {
 			v, hit, err := n.cacheRead(key)
@@ -154,9 +167,12 @@ func (n *Node) MultiGet(keys []uint64) ([][]byte, error) {
 		}
 		if home == int(n.id) {
 			n.LocalOps.Add(1)
-			v, _, err := n.kvs.Get(key, nil)
+			lv, _, err := n.kvs.GetLease(key)
 			if err == nil {
-				out[i] = v
+				off := len(vals)
+				vals = append(vals, lv.Value()...)
+				lv.Release()
+				cuts = append(cuts, localCut{idx: i, off: off, end: len(vals)})
 			} else if err != store.ErrNotFound {
 				return nil, err
 			}
@@ -174,6 +190,10 @@ func (n *Node) MultiGet(keys []uint64) ([][]byte, error) {
 		n.RemoteOps.Add(1)
 		ch := n.workerFor(key).rpc.start(uint8(home), wireReq{op: rpcOpGet, key: key})
 		pend = append(pend, pendingOp{idx: i, ch: ch})
+	}
+	// The shared buffer is final now: materialize the local values.
+	for _, c := range cuts {
+		out[c.idx] = vals[c.off:c.end:c.end]
 	}
 	for _, p := range pend {
 		res, err := awaitRPC(p.ch)

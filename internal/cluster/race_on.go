@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// raceBuild reports whether this binary was built with the race detector —
+// the build where debug aids (released-buffer poisoning) default on.
+const raceBuild = true

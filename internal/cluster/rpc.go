@@ -724,12 +724,19 @@ func appendOKResponse(buf []byte, reqID uint64, ts timestamp.TS, value []byte) [
 // appendPayloadResponse encodes a response entry with the OK-shaped payload
 // under an arbitrary payload-bearing status (rpcStatusHasPayload).
 func appendPayloadResponse(buf []byte, reqID uint64, status byte, ts timestamp.TS, value []byte) []byte {
+	buf = appendPayloadHeader(buf, reqID, status, ts, len(value))
+	return append(buf, value...)
+}
+
+// appendPayloadHeader encodes everything of a payload-bearing response entry
+// except the value bytes themselves — the zero-copy path splices the value
+// in as its own wire segment right after this header.
+func appendPayloadHeader(buf []byte, reqID uint64, status byte, ts timestamp.TS, vlen int) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, reqID)
 	buf = append(buf, status)
 	buf = binary.LittleEndian.AppendUint32(buf, ts.Clock)
 	buf = append(buf, ts.Writer)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(value)))
-	return append(buf, value...)
+	return binary.LittleEndian.AppendUint32(buf, uint32(vlen))
 }
 
 // srvBuf is a pooled server-side scratch buffer (response packets, KVS read
@@ -740,6 +747,62 @@ var (
 	respBufPool = sync.Pool{New: func() any { return &srvBuf{b: make([]byte, 0, 256)} }}
 	scratchPool = sync.Pool{New: func() any { return new(srvBuf) }}
 )
+
+// respCut marks a zero-copy value spliced into a response packet: the value
+// of a store lease, inserted at metadata offset off. Offsets (not slices)
+// are recorded because the metadata buffer may reallocate as it grows.
+type respCut struct {
+	off   int
+	lease store.Lease
+}
+
+// respAssembly collects the zero-copy splices of one response packet and the
+// scratch used to materialize them into a vectored payload. Pooled; used
+// only on transports that consume segments during Send (trCopies).
+type respAssembly struct {
+	cuts []respCut
+	segs [][]byte
+}
+
+var respAsmPool = sync.Pool{New: func() any { return new(respAssembly) }}
+
+// splice records lease's value for zero-copy insertion at the current end of
+// meta and returns meta unchanged (the value travels as its own segment).
+func (ra *respAssembly) splice(meta []byte, lease store.Lease) {
+	ra.cuts = append(ra.cuts, respCut{off: len(meta), lease: lease})
+}
+
+// vector interleaves meta spans and spliced values, in order, into a
+// segment list backed by ra's pooled scratch.
+func (ra *respAssembly) vector(meta []byte) [][]byte {
+	segs := ra.segs[:0]
+	prev := 0
+	for _, c := range ra.cuts {
+		if c.off > prev {
+			segs = append(segs, meta[prev:c.off])
+		}
+		segs = append(segs, c.lease.Value())
+		prev = c.off
+	}
+	if prev < len(meta) {
+		segs = append(segs, meta[prev:])
+	}
+	ra.segs = segs
+	return segs
+}
+
+// release drops every spliced lease and clears retained slices so the pool
+// holds no value memory. Call after the transport consumed the segments.
+func (ra *respAssembly) release() {
+	for i := range ra.cuts {
+		ra.cuts[i].lease.Release()
+	}
+	ra.cuts = ra.cuts[:0]
+	for i := range ra.segs {
+		ra.segs[i] = nil
+	}
+	ra.segs = ra.segs[:0]
+}
 
 // handleKVSRequest serves every request of a (possibly multi-request) packet
 // against the local shard and answers with exactly one batched response
@@ -756,12 +819,16 @@ func (n *Node) handleKVSRequest(p fabric.Packet) {
 	buf := p.Data
 	scratch := scratchPool.Get().(*srvBuf)
 	var pooled *srvBuf
+	var ra *respAssembly
 	var resp []byte
 	if n.cluster.trCopies {
 		// The transport serializes the packet during Send, so the response
-		// buffer can be recycled the moment Send returns.
+		// buffer can be recycled — and store leases released — the moment
+		// Send returns. Gets answer zero-copy: their values ride as leased
+		// segments of a vectored payload instead of being copied into resp.
 		pooled = respBufPool.Get().(*srvBuf)
 		resp = pooled.b[:0]
+		ra = respAsmPool.Get().(*respAssembly)
 	} else {
 		resp = make([]byte, 0, 64)
 	}
@@ -778,18 +845,27 @@ func (n *Node) handleKVSRequest(p fabric.Packet) {
 			break
 		}
 		buf = buf[consumed:]
-		resp = n.serveRequest(p.Src.Node, req, resp, scratch)
+		resp = n.serveRequest(p.Src.Node, req, resp, scratch, ra)
 	}
 	// Always answer, even when nothing was decodable (resp may be empty):
 	// the sender charged one credit for this packet and only the response
 	// packet restores it — swallowing a malformed packet would leak the
 	// credit and eventually wedge all remote traffic from that peer.
-	n.cluster.transport.Send(fabric.Packet{
+	out := fabric.Packet{
 		Src:   fabric.Addr{Node: n.id, Thread: p.Dst.Thread},
 		Dst:   p.Src,
 		Class: metrics.ClassCacheMiss,
-		Data:  resp,
-	})
+	}
+	if ra != nil && len(ra.cuts) > 0 {
+		out.Segs = ra.vector(resp)
+	} else {
+		out.Data = resp
+	}
+	n.cluster.transport.Send(out)
+	if ra != nil {
+		ra.release() // the transport consumed the segments during Send
+		respAsmPool.Put(ra)
+	}
 	scratchPool.Put(scratch)
 	if pooled != nil {
 		pooled.b = resp
@@ -799,14 +875,25 @@ func (n *Node) handleKVSRequest(p fabric.Packet) {
 
 // serveRequest executes one decoded request and appends its response entry.
 // scratch stages KVS reads so a get copies once (shard into scratch, scratch
-// into resp) without allocating.
-func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte, scratch *srvBuf) []byte {
+// into resp) without allocating. When ra is non-nil (transports that consume
+// segments during Send), gets skip even that copy: the value is leased from
+// the store and spliced into the packet as its own wire segment.
+func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte, scratch *srvBuf, ra *respAssembly) []byte {
 	switch req.op {
 	case rpcOpGet:
 		if n.cluster.syncing.Load() {
 			// Re-syncing after a rejoin: the shard may still hold pre-crash
 			// state; readers wait for the seed stream (RemoteGet re-issues).
 			return appendStatusOnly(resp, req.reqID, rpcStatusRetry)
+		}
+		if ra != nil {
+			lease, ts, err := n.kvs.GetLease(req.key)
+			if err != nil {
+				return appendStatusOnly(resp, req.reqID, rpcStatusNotFound)
+			}
+			resp = appendPayloadHeader(resp, req.reqID, rpcStatusOK, ts, len(lease.Value()))
+			ra.splice(resp, lease)
+			return resp
 		}
 		v, ts, err := n.kvs.Get(req.key, scratch.b[:0])
 		if err != nil {

@@ -156,10 +156,15 @@ type sessGroup struct {
 	pooled *srvBuf
 }
 
-// sessSpan is one op's encoded result entry within its group buffer.
+// sessSpan is one op's encoded result entry within its group buffer. A
+// zero-copy get carries its value as a store lease instead of encoded bytes:
+// the group buffer holds only the entry's metadata (status + vlen) and the
+// lease — owned by the span once the serving lane emitted it — is spliced
+// into the response frame and released by the assembling lane.
 type sessSpan struct {
 	group    int32
 	off, end int32
+	lease    store.Lease
 }
 
 // handleSession dispatches one client request frame: singles and batch
@@ -446,13 +451,35 @@ func (n *Node) sessSend(dst fabric.Addr, resp []byte, pooled *srvBuf) {
 	}
 }
 
+// sessSendVec replies with a vectored frame: the wire payload is the
+// in-order concatenation of segs (metadata spans interleaved with leased
+// store values). Only legal on transports that consume segments during Send
+// (Cluster.trCopies) — the caller releases its leases right after. meta is
+// the metadata buffer backing the spans, recycled via pooled like sessSend.
+func (n *Node) sessSendVec(dst fabric.Addr, segs [][]byte, meta []byte, pooled *srvBuf) {
+	_ = n.cluster.transport.Send(fabric.Packet{
+		Src:   fabric.Addr{Node: n.id, Thread: threadSession},
+		Dst:   dst,
+		Class: metrics.ClassCacheMiss,
+		Segs:  segs,
+	})
+	if pooled != nil {
+		pooled.b = meta
+		respBufPool.Put(pooled)
+	}
+}
+
 // sessOpRes is one op's outcome, staged before encoding (remote completions
-// arrive out of order; response entries are emitted in request order).
+// arrive out of order; response entries are emitted in request order). A
+// local get pins its value with a store lease instead of copying it: val
+// then aliases store memory and lease must be released once the value has
+// been copied or handed to the transport (emit owns that).
 type sessOpRes struct {
 	status byte
 	hasVal bool   // get served OK: val travels (even when empty)
 	val    []byte // get payload
 	msg    string // error text (sessStatusErr)
+	lease  store.Lease
 }
 
 // sessLanePend is one started remote RPC of a burst — or, with ch == nil, a
@@ -477,6 +504,7 @@ type sessLane struct {
 	burst []sessJob
 	res   []sessOpRes
 	pend  []sessLanePend
+	segs  [][]byte // scratch for vectored single-op replies
 }
 
 // sessionLane serves one worker's session jobs until the lane closes. Each
@@ -609,14 +637,15 @@ func (l *sessLane) scanOp(ri int, op sessOp) {
 				return
 			}
 			n.LocalOps.Add(1)
-			v, _, err := n.kvs.Get(op.key, nil)
+			lv, _, err := n.kvs.GetLease(op.key)
 			if err != nil {
 				r.status = sessStatusNotFound
 				return
 			}
 			r.status = sessStatusOK
 			r.hasVal = true
-			r.val = v
+			r.val = lv.Value()
+			r.lease = lv
 			return
 		}
 		n.RemoteOps.Add(1)
@@ -626,14 +655,15 @@ func (l *sessLane) scanOp(ri int, op sessOp) {
 	}
 	if home == int(n.id) {
 		n.LocalOps.Add(1)
-		v, _, err := n.kvs.Get(op.key, nil)
+		lv, _, err := n.kvs.GetLease(op.key)
 		if err != nil {
 			r.status = sessStatusNotFound
 			return
 		}
 		r.status = sessStatusOK
 		r.hasVal = true
-		r.val = v
+		r.val = lv.Value()
+		r.lease = lv
 		return
 	}
 	if !n.cluster.view.Load().Live(home) {
@@ -750,17 +780,32 @@ func (l *sessLane) emit() {
 	for ji := range l.burst {
 		job := &l.burst[ji]
 		if job.batch == nil {
+			r := &l.res[job.resOff]
 			var pooled *srvBuf
 			var resp []byte
 			if n.cluster.trCopies {
 				pooled = respBufPool.Get().(*srvBuf)
 				resp = pooled.b[:0]
+				if r.lease.Held() {
+					// Zero-copy reply: metadata frame + the leased store
+					// value as its own wire segment; the transport consumes
+					// both during Send, after which the lease drops.
+					resp = binary.LittleEndian.AppendUint64(resp, job.reqID)
+					resp = append(resp, r.status)
+					resp = binary.LittleEndian.AppendUint32(resp, uint32(len(r.val)))
+					l.segs = append(l.segs[:0], resp, r.val)
+					n.sessSendVec(job.src, l.segs, resp, pooled)
+					l.segs[0], l.segs[1] = nil, nil
+					r.lease.Release()
+					continue
+				}
 			} else {
 				resp = make([]byte, 0, 64)
 			}
 			resp = binary.LittleEndian.AppendUint64(resp, job.reqID)
-			resp = appendSessOpRes(resp, &l.res[job.resOff])
+			resp = appendSessOpRes(resp, r)
 			n.sessSend(job.src, resp, pooled)
+			r.lease.Release() // flat path copied the value into resp
 			continue
 		}
 		b := job.batch
@@ -770,9 +815,22 @@ func (l *sessLane) emit() {
 		pooled := respBufPool.Get().(*srvBuf)
 		buf := pooled.b[:0]
 		for k := range g.ops {
+			r := &l.res[job.resOff+k]
 			off := len(buf)
-			buf = appendSessOpRes(buf, &l.res[job.resOff+k])
-			b.spans[g.ops[k].idx] = sessSpan{group: job.gidx, off: int32(off), end: int32(len(buf))}
+			sp := sessSpan{group: job.gidx}
+			if r.lease.Held() {
+				// Leased get: the group buffer holds only the metadata; the
+				// value travels as the span's lease, spliced in (and
+				// released) by the lane that assembles the frame.
+				buf = append(buf, r.status)
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.val)))
+				sp.lease = r.lease
+				r.lease = store.Lease{} // ownership moved to the span
+			} else {
+				buf = appendSessOpRes(buf, r)
+			}
+			sp.off, sp.end = int32(off), int32(len(buf))
+			b.spans[g.ops[k].idx] = sp
 		}
 		g.buf = buf
 		g.pooled = pooled
@@ -784,17 +842,25 @@ func (l *sessLane) emit() {
 
 // finishSessionBatch assembles a settled batch's response frame in request
 // order and sends it; the atomic decrement that elected this lane ordered
-// every other group's writes before its reads.
+// every other group's writes before its reads. Leased values (zero-copy
+// gets) are spliced between the metadata spans: as wire segments on
+// transports that consume them during Send, by one copy otherwise; either
+// way every lease is released here.
 func (n *Node) finishSessionBatch(b *sessBatch) {
 	total := 13
 	for gi := range b.groups {
 		total += len(b.groups[gi].buf)
 	}
+	for i := range b.spans {
+		total += len(b.spans[i].lease.Value())
+	}
 	var pooled *srvBuf
 	var resp []byte
+	var ra *respAssembly
 	if n.cluster.trCopies {
 		pooled = respBufPool.Get().(*srvBuf)
 		resp = pooled.b[:0]
+		ra = respAsmPool.Get().(*respAssembly)
 	} else {
 		resp = make([]byte, 0, total)
 	}
@@ -802,8 +868,18 @@ func (n *Node) finishSessionBatch(b *sessBatch) {
 	resp = append(resp, sessStatusOK)
 	resp = binary.LittleEndian.AppendUint32(resp, uint32(len(b.spans)))
 	for i := range b.spans {
-		sp := b.spans[i]
+		sp := &b.spans[i]
 		resp = append(resp, b.groups[sp.group].buf[sp.off:sp.end]...)
+		if !sp.lease.Held() {
+			continue
+		}
+		if ra != nil {
+			ra.splice(resp, sp.lease) // released by ra.release below
+		} else {
+			resp = append(resp, sp.lease.Value()...)
+			sp.lease.Release()
+		}
+		sp.lease = store.Lease{}
 	}
 	for gi := range b.groups {
 		g := &b.groups[gi]
@@ -811,7 +887,15 @@ func (n *Node) finishSessionBatch(b *sessBatch) {
 		respBufPool.Put(g.pooled)
 		g.pooled, g.buf = nil, nil
 	}
-	n.sessSend(b.src, resp, pooled)
+	if ra != nil && len(ra.cuts) > 0 {
+		n.sessSendVec(b.src, ra.vector(resp), resp, pooled)
+	} else {
+		n.sessSend(b.src, resp, pooled)
+	}
+	if ra != nil {
+		ra.release()
+		respAsmPool.Put(ra)
+	}
 }
 
 // appendSessOpRes encodes one op result: the status byte plus the payload the

@@ -20,11 +20,21 @@ import (
 // addresses (for session clients).
 func newTCPMembers(t *testing.T, cfg Config) ([]*Cluster, []string) {
 	t.Helper()
+	members, addrs, _ := newTCPMembersStats(t, cfg)
+	return members, addrs
+}
+
+// newTCPMembersStats is newTCPMembers exposing each node's transport stats
+// (the zero-copy assertions read the vectored/flattened counters).
+func newTCPMembersStats(t *testing.T, cfg Config) ([]*Cluster, []string, []*fabric.Stats) {
+	t.Helper()
 	n := cfg.Nodes
 	trs := make([]*fabric.TCPTransport, n)
 	addrs := make([]string, n)
+	allStats := make([]*fabric.Stats, n)
 	for i := 0; i < n; i++ {
 		stats := fabric.NewStats()
+		allStats[i] = stats
 		tr, err := fabric.NewTCPTransport(uint8(i), "127.0.0.1:0", stats)
 		if err != nil {
 			t.Fatal(err)
@@ -52,7 +62,57 @@ func newTCPMembers(t *testing.T, cfg Config) ([]*Cluster, []string) {
 			m.Close()
 		}
 	})
-	return members, addrs
+	return members, addrs, allStats
+}
+
+// The end-to-end zero-copy acceptance check: a session get served over TCP
+// must leave the server by scatter-gather write, with the value segment
+// aliasing store memory under a lease — zero flattening copies anywhere on
+// the node's send path. Both the single-op and the batched reply shapes are
+// exercised.
+func TestTCPSessionGetZeroCopyVectored(t *testing.T) {
+	cfg := Config{Nodes: 2, System: Base, NumKeys: 1024}
+	members, addrs, stats := newTCPMembersStats(t, cfg)
+	cl, err := DialTCP(203, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	key := coldKeyHomedOn(t, members[0], 0, cfg.NumKeys)
+	v, err := cl.Get(0, key)
+	if err != nil || len(v) == 0 {
+		t.Fatalf("get over TCP: (%q, %v)", v, err)
+	}
+	single := stats[0].VectoredBytes.Load()
+	if single == 0 {
+		t.Fatal("single-op get reply was not vectored: VectoredBytes = 0")
+	}
+
+	keys := make([]uint64, 0, 16)
+	for k := uint64(0); len(keys) < 16; k++ {
+		if HomeOf(k, cfg.Nodes) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	out, err := cl.MultiGet(0, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, val := range out {
+		if len(val) == 0 {
+			t.Fatalf("batched get %d: empty value", i)
+		}
+	}
+	if grew := stats[0].VectoredBytes.Load(); grew <= single {
+		t.Fatalf("batched get reply was not vectored: VectoredBytes %d -> %d", single, grew)
+	}
+	if f := stats[0].FlattenedBytes.Load(); f != 0 {
+		t.Fatalf("FlattenedBytes = %d, want 0 — some reply copied its value segments", f)
+	}
 }
 
 func TestTCPMemberFullProtocol(t *testing.T) {

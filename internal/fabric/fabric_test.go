@@ -41,6 +41,44 @@ func TestChanTransportDelivery(t *testing.T) {
 	}
 }
 
+// An in-process transport passes payloads by reference, so it must break a
+// vectored payload's aliases at Send time (the sender releases segment
+// memory the moment Send returns) — counted as FlattenedBytes, the copy the
+// TCP path proves it never makes.
+func TestChanTransportFlattensVectoredPayloads(t *testing.T) {
+	stats := NewStats()
+	tr := NewChanTransport(8, stats)
+	defer tr.Close()
+
+	got := make(chan Packet, 1)
+	dst := Addr{Node: 1, Thread: 0}
+	tr.Register(dst, func(p Packet) { got <- p })
+
+	segs := [][]byte{[]byte("abc"), []byte("def")}
+	if err := tr.Send(Packet{Src: Addr{Node: 0}, Dst: dst, Segs: segs}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		for i := range s {
+			s[i] = 0xEE
+		}
+	}
+	select {
+	case p := <-got:
+		if string(p.Data) != "abcdef" {
+			t.Fatalf("flattened payload = %q, want %q (aliases not broken?)", p.Data, "abcdef")
+		}
+		if p.Segs != nil {
+			t.Fatalf("delivered packet still carries Segs")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("vectored packet never delivered")
+	}
+	if f := stats.FlattenedBytes.Load(); f != 6 {
+		t.Fatalf("FlattenedBytes = %d, want 6", f)
+	}
+}
+
 func TestChanTransportUnknownDstDropped(t *testing.T) {
 	tr := NewChanTransport(8, NewStats())
 	defer tr.Close()

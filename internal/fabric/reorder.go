@@ -54,6 +54,10 @@ func (t *ReorderTransport) Register(addr Addr, h Handler) { t.inner.Register(add
 
 // Send buffers p; a random previously-held packet may be released instead.
 func (t *ReorderTransport) Send(p Packet) error {
+	// A held packet outlives this call, so a vectored payload must be
+	// materialized now — the Packet.Segs contract lets the caller release
+	// the segment memory the moment Send returns.
+	p = p.flatten()
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()

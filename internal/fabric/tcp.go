@@ -56,8 +56,18 @@ var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
 
 type frameBuf struct{ b []byte }
 
+// vecPool recycles the scatter lists used by vectored sends (Packet.Segs):
+// a pooled backing array for the net.Buffers of header + segments, so a
+// zero-copy send allocates nothing. Entries are nilled before pooling so the
+// pool never retains payload memory.
+var vecPool = sync.Pool{New: func() any { return new(vecBuf) }}
+
+type vecBuf struct{ v net.Buffers }
+
 // SendCopiesData reports that Send serializes the packet into a private
-// frame before returning: callers may reuse p.Data as soon as Send returns.
+// frame (or, for vectored payloads, hands every segment to the kernel)
+// before returning: callers may reuse p.Data and p.Segs memory — e.g.
+// release store leases — as soon as Send returns.
 // Handlers get the mirror guarantee's *absence* — inbound frame buffers are
 // reused by the read loop, so a Handler must copy anything it retains past
 // its return (every in-tree handler either copies or finishes synchronously).
@@ -209,7 +219,9 @@ func (t *TCPTransport) readLoop(c net.Conn, peer int) {
 }
 
 // Send frames p and writes it to the destination node's connection, dialing
-// on first use.
+// on first use. A vectored payload (p.Segs) goes to the socket by
+// scatter-gather write without being flattened; a flat payload is serialized
+// into one pooled frame.
 func (t *TCPTransport) Send(p Packet) error {
 	if t.closed.Load() {
 		return ErrClosed
@@ -219,6 +231,9 @@ func (t *TCPTransport) Send(p Packet) error {
 		return err
 	}
 	t.stats.account(p)
+	if p.Segs != nil {
+		return t.sendVectored(conn, p)
+	}
 
 	fb := framePool.Get().(*frameBuf)
 	if cap(fb.b) < tcpFrameHeader+len(p.Data) {
@@ -242,6 +257,53 @@ func (t *TCPTransport) Send(p Packet) error {
 		// Frames already written may never be answered; report the peer down
 		// so their pending calls fail (whichever of the read and write sides
 		// notices first wins; the other finds the route already gone).
+		t.notePeerDown(p.Dst.Node, conn.c, werr)
+		return fmt.Errorf("fabric: send to node %d: %w", p.Dst.Node, werr)
+	}
+	return nil
+}
+
+// sendVectored writes a segmented packet with one vectored write (writev):
+// the pooled 9-byte header frame and the payload segments go to the socket
+// as a scatter list, so value memory — store leases on the get path — is
+// handed to the kernel without ever being copied in user space. The
+// segments are fully consumed before return (net.Buffers.WriteTo drains the
+// list), honoring the Packet.Segs contract.
+func (t *TCPTransport) sendVectored(conn *tcpConn, p Packet) error {
+	n := 0
+	for _, s := range p.Segs {
+		n += len(s)
+	}
+	fb := framePool.Get().(*frameBuf)
+	if cap(fb.b) < tcpFrameHeader {
+		fb.b = make([]byte, tcpFrameHeader)
+	}
+	hdr := fb.b[:tcpFrameHeader]
+	hdr[0] = p.Dst.Node
+	hdr[1] = p.Dst.Thread
+	hdr[2] = t.self
+	hdr[3] = p.Src.Thread
+	hdr[4] = byte(p.Class)
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(n))
+
+	vb := vecPool.Get().(*vecBuf)
+	bufs := append(vb.v[:0], hdr)
+	bufs = append(bufs, p.Segs...)
+	v := bufs // WriteTo consumes v in place; bufs keeps the full backing array
+	conn.mu.Lock()
+	_, werr := v.WriteTo(conn.c)
+	conn.mu.Unlock()
+	if t.stats != nil {
+		t.stats.VectoredBytes.Add(uint64(n))
+	}
+	for i := range bufs {
+		bufs[i] = nil
+	}
+	vb.v = bufs[:0]
+	vecPool.Put(vb)
+	fb.b = hdr
+	framePool.Put(fb)
+	if werr != nil {
 		t.notePeerDown(p.Dst.Node, conn.c, werr)
 		return fmt.Errorf("fabric: send to node %d: %w", p.Dst.Node, werr)
 	}

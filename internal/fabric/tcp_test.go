@@ -192,6 +192,62 @@ func TestTCPSendAfterClose(t *testing.T) {
 	}
 }
 
+// A vectored payload (Packet.Segs) must reach the peer as the in-order
+// concatenation of its segments without ever being flattened into an
+// intermediate buffer: the zero-copy value path's wire contract. The
+// VectoredBytes/FlattenedBytes counters are the proof — a copy anywhere on
+// the TCP send path shows up as FlattenedBytes.
+func TestTCPVectoredSendZeroCopy(t *testing.T) {
+	sa := NewStats()
+	a, err := NewTCPTransport(0, "127.0.0.1:0", sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPTransport(1, "127.0.0.1:0", NewStats())
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	a.AddPeer(1, b.ListenAddr())
+	t.Cleanup(func() { a.Close(); b.Close() })
+
+	got := make(chan Packet, 1)
+	b.Register(Addr{Node: 1, Thread: 3}, func(p Packet) {
+		got <- Packet{Data: append([]byte(nil), p.Data...)}
+	})
+
+	segs := [][]byte{[]byte("meta|"), []byte("leased-value-bytes"), []byte("|tail")}
+	want := "meta|leased-value-bytes|tail"
+	if err := a.Send(Packet{
+		Src:  Addr{Node: 0, Thread: 2},
+		Dst:  Addr{Node: 1, Thread: 3},
+		Segs: segs,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The Segs contract: segment memory is consumed during Send, so the
+	// sender may scribble over it the moment Send returns.
+	for _, s := range segs {
+		for i := range s {
+			s[i] = 0xEE
+		}
+	}
+	select {
+	case p := <-got:
+		if string(p.Data) != want {
+			t.Fatalf("vectored payload = %q, want %q", p.Data, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("vectored packet never arrived")
+	}
+	if v := sa.VectoredBytes.Load(); v != uint64(len(want)) {
+		t.Fatalf("VectoredBytes = %d, want %d", v, len(want))
+	}
+	if f := sa.FlattenedBytes.Load(); f != 0 {
+		t.Fatalf("FlattenedBytes = %d, want 0 — the TCP path must never copy segment memory", f)
+	}
+}
+
 func TestTCPLargePayload(t *testing.T) {
 	a, b := newTCPPair(t)
 	got := make(chan Packet, 1)

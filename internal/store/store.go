@@ -24,6 +24,7 @@ package store
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/seqlock"
 	"repro/internal/timestamp"
@@ -39,14 +40,52 @@ var (
 	ErrStale = errors.New("store: stored version is newer")
 )
 
-// item is a stored object. The value buffer is allocated per item and only
-// mutated in place (never re-sliced) so optimistic readers can copy it and
-// rely on seqlock validation to reject torn snapshots.
+// valBuf is one value buffer plus its lease count. A buffer with live
+// leases is immutable: writers that find leases > 0 swap in a fresh buffer
+// (copy-on-write) instead of mutating in place, so lease holders keep
+// reading a stable snapshot without pinning any lock. The GC reclaims
+// swapped-out buffers once the last lease drops its reference.
+type valBuf struct {
+	leases atomic.Int32
+	b      []byte
+}
+
+// Lease is a pinned, read-only view of a stored value, handed out by
+// GetLease. Value() aliases store memory directly — zero copies — and stays
+// valid until Release. Release is idempotent and must be called exactly
+// once per lease on every control path; a leaked lease degrades the key's
+// writes to copy-on-write forever (correct, but allocates).
+type Lease struct {
+	buf *valBuf
+	val []byte
+}
+
+// Value returns the leased bytes. The slice aliases store memory: it is
+// read-only and must not be used after Release.
+func (l *Lease) Value() []byte { return l.val }
+
+// Held reports whether the lease currently pins a buffer (false for the
+// zero Lease and after Release).
+func (l *Lease) Held() bool { return l.buf != nil }
+
+// Release unpins the lease. Idempotent; the zero Lease is a no-op.
+func (l *Lease) Release() {
+	if l.buf != nil {
+		l.buf.leases.Add(-1)
+		l.buf = nil
+		l.val = nil
+	}
+}
+
+// item is a stored object. The value buffer is only mutated in place while
+// it has no leases (never re-sliced) so optimistic readers can copy it and
+// rely on seqlock validation to reject torn snapshots; leased buffers are
+// replaced copy-on-write instead.
 type item struct {
 	key  uint64
 	ts   timestamp.TS
 	vlen int
-	val  []byte
+	val  *valBuf
 }
 
 // bucket is one hash chain protected by a seqlock.
@@ -101,17 +140,18 @@ func (s *Store) Get(key uint64, dst []byte) ([]byte, timestamp.TS, error) {
 		}
 		vlen := found.vlen
 		ts := found.ts
+		vb := found.val
 		// A torn length can only be observed mid-write; the validation
 		// below rejects the snapshot. Guard the copy, and call ReadRetry
 		// exactly once per ReadBegin (the race-build seqlock depends on
 		// strict pairing).
-		sane := vlen >= 0 && vlen <= len(found.val)
+		sane := vb != nil && vlen >= 0 && vlen <= len(vb.b)
 		if sane {
 			if cap(dst) < vlen {
 				dst = make([]byte, vlen)
 			}
 			dst = dst[:vlen]
-			copy(dst, found.val[:vlen])
+			copy(dst, vb.b[:vlen])
 		}
 		if b.lock.ReadRetry(v) {
 			continue
@@ -120,6 +160,56 @@ func (s *Store) Get(key uint64, dst []byte) ([]byte, timestamp.TS, error) {
 			return nil, timestamp.TS{}, ErrNotFound
 		}
 		return dst, ts, nil
+	}
+}
+
+// GetLease returns a zero-copy lease on key's value: Lease.Value aliases the
+// store's own buffer, pinned against in-place mutation until Release. The
+// pin is optimistic — the lease count is bumped inside the seqlock read
+// window and the snapshot revalidated after, so a concurrent writer either
+// sees the lease (and swaps copy-on-write, leaving the leased buffer
+// intact) or invalidates the snapshot (and the reader unpins and retries).
+// The caller MUST Release the lease on every path, including after errors
+// it raises itself; see Lease.
+func (s *Store) GetLease(key uint64) (Lease, timestamp.TS, error) {
+	b := s.bucketFor(key)
+	for {
+		v := b.lock.ReadBegin()
+		var found *item
+		for _, it := range b.items {
+			if it.key == key {
+				found = it
+				break
+			}
+		}
+		if found == nil {
+			if !b.lock.ReadRetry(v) {
+				return Lease{}, timestamp.TS{}, ErrNotFound
+			}
+			continue
+		}
+		vlen := found.vlen
+		ts := found.ts
+		vb := found.val
+		sane := vb != nil && vlen >= 0 && vlen <= len(vb.b)
+		if sane {
+			// Pin BEFORE validating: both the pin and the writer's version
+			// bump are sequentially consistent atomics, so a writer that
+			// observes zero leases forces this reader's validation to
+			// observe the version bump and retry (and vice versa — if the
+			// validation passes, the writer must see the pin).
+			vb.leases.Add(1)
+		}
+		if b.lock.ReadRetry(v) {
+			if sane {
+				vb.leases.Add(-1)
+			}
+			continue
+		}
+		if !sane {
+			return Lease{}, timestamp.TS{}, ErrNotFound
+		}
+		return Lease{buf: vb, val: vb.b[:vlen:vlen]}, ts, nil
 	}
 }
 
@@ -148,14 +238,19 @@ func (s *Store) put(key uint64, value []byte, ts timestamp.TS, onlyNewer bool) b
 				b.lock.Unlock()
 				return false
 			}
-			if len(it.val) < len(value) {
+			// The seqlock's version bump (Lock, above) is ordered before
+			// this lease load; a racing GetLease either pinned before the
+			// bump (visible here → copy-on-write) or will fail validation
+			// and unpin. Leased or undersized buffers are replaced whole so
+			// lease holders keep an immutable snapshot.
+			if it.val.leases.Load() != 0 || len(it.val.b) < len(value) {
 				// Mark shrunk length first so readers never see a length
-				// beyond the old buffer, then swap buffers. it.val always
-				// has len == cap so readers can bound-check against len.
+				// beyond the old buffer, then swap buffers. The buffer
+				// always has len == cap so readers bound-check against len.
 				it.vlen = 0
-				it.val = make([]byte, len(value))
+				it.val = &valBuf{b: make([]byte, len(value))}
 			}
-			copy(it.val[:len(value)], value)
+			copy(it.val.b[:len(value)], value)
 			it.vlen = len(value)
 			it.ts = ts
 			b.lock.Unlock()
@@ -164,7 +259,7 @@ func (s *Store) put(key uint64, value []byte, ts timestamp.TS, onlyNewer bool) b
 	}
 	buf := make([]byte, len(value))
 	copy(buf, value)
-	ni := &item{key: key, ts: ts, vlen: len(value), val: buf}
+	ni := &item{key: key, ts: ts, vlen: len(value), val: &valBuf{b: buf}}
 	b.items = append(b.items, ni)
 	b.lock.Unlock()
 
@@ -215,7 +310,7 @@ func (s *Store) Range(fn func(key uint64, value []byte, ts timestamp.TS) bool) {
 		}
 		snap := make([]kv, 0, len(b.items))
 		for _, it := range b.items {
-			snap = append(snap, kv{it.key, append([]byte(nil), it.val[:it.vlen]...), it.ts})
+			snap = append(snap, kv{it.key, append([]byte(nil), it.val.b[:it.vlen]...), it.ts})
 		}
 		b.lock.Unlock()
 		for _, e := range snap {
@@ -260,6 +355,11 @@ func (p *Partitioned) Partition(i int) *Store { return p.parts[i] }
 // Get routes to the owning partition.
 func (p *Partitioned) Get(key uint64, dst []byte) ([]byte, timestamp.TS, error) {
 	return p.parts[p.PartitionOf(key)].Get(key, dst)
+}
+
+// GetLease routes to the owning partition.
+func (p *Partitioned) GetLease(key uint64) (Lease, timestamp.TS, error) {
+	return p.parts[p.PartitionOf(key)].GetLease(key)
 }
 
 // Put routes to the owning partition.

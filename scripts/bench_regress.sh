@@ -8,7 +8,11 @@
 # ablation exists to demonstrate — coalescing beats per-request framing,
 # batched session frames beat single-op frames — and they transfer across
 # hosts. The gate fails when any fresh ratio drops more than TOL below the
-# committed one.
+# committed one. Tables that carry an allocs/op column (client-edge) are
+# additionally gated on it absolutely — allocation counts are a property of
+# the code, not the host — so the zero-copy value path cannot silently
+# regress: a fresh row may not allocate more than the committed count grown
+# by TOL plus a small noise slack.
 #
 # Like the worker-scaling gate, the script self-skips on a single hardware
 # thread: the worker and client-concurrency rows are flat without parallel

@@ -18,6 +18,9 @@
 # answer fails the run) and that no acked write is lost across the
 # promotion.
 #
+# Every deployment also snapshots one heap profile from node 0's -pprof
+# endpoint (see grab_heap below); set PPROF_DIR to pick the artifact dir.
+#
 # Usage: scripts/multiprocess_smoke.sh [base_port]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,6 +43,25 @@ trap 'rm -rf "$BIN"' EXIT
 go build -o "$BIN/cckvs-node" ./cmd/cckvs-node
 go build -o "$BIN/cckvs-load" ./cmd/cckvs-load
 
+# One heap profile artifact per deployment: node 0 serves net/http/pprof on
+# loopback (-pprof) and the harness snapshots /debug/pprof/heap right after
+# the load finishes, while the process is still at working-set size. The
+# profiles outlive the script (inspect with `go tool pprof <file>`); set
+# PPROF_DIR to choose where they land.
+ART="${PPROF_DIR:-$(mktemp -d /tmp/cckvs-smoke-pprof.XXXXXX)}"
+mkdir -p "$ART"
+
+grab_heap() {
+    local tag="$1" port="$2"
+    local out="$ART/heap_${tag}.pb.gz"
+    if curl -fsS --max-time 10 -o "$out" "http://127.0.0.1:$port/debug/pprof/heap"; then
+        echo "heap profile: $out"
+    else
+        echo "$tag: heap profile fetch from port $port failed" >&2
+        return 1
+    fi
+}
+
 run_deployment() {
     local proto="$1" port0="$2"
     local p0="127.0.0.1:$port0" p1="127.0.0.1:$((port0 + 1))" p2="127.0.0.1:$((port0 + 2))"
@@ -49,7 +71,8 @@ run_deployment() {
     echo "=== $proto: 3-node deployment on $peers ==="
     for id in 0 1 2; do
         "$BIN/cckvs-node" -id "$id" -peers "$peers" -protocol "$proto" \
-            -keys "$KEYS" -cache "$CACHE" -workers "$WORKERS" &
+            -keys "$KEYS" -cache "$CACHE" -workers "$WORKERS" \
+            -pprof "127.0.0.1:$((port0 + 3 + id))" &
         pids+=($!)
     done
     # shellcheck disable=SC2064
@@ -60,6 +83,8 @@ run_deployment() {
         -refresh-at 0.5 -refresh-shift 16 \
         -verify -verify-keys 12 -verify-rounds 25 \
         -min-hit-rate 0.15 -wait 30s
+
+    grab_heap "$proto" "$((port0 + 3))"
 
     kill -INT "${pids[@]}" 2>/dev/null || true
     local code=0
@@ -83,7 +108,8 @@ run_chaos_deployment() {
     for id in 0 1 2; do
         "$BIN/cckvs-node" -id "$id" -peers "$peers" -protocol "$proto" \
             -keys "$KEYS" -cache "$CACHE" -workers "$WORKERS" \
-            -ping-interval 100ms -ping-timeout 1s &
+            -ping-interval 100ms -ping-timeout 1s \
+            -pprof "127.0.0.1:$((port0 + 3 + id))" &
         pids+=($!)
     done
     # shellcheck disable=SC2064
@@ -96,6 +122,8 @@ run_chaos_deployment() {
         -alpha 0.99 -writes 0.05 -ops "$OPS" -clients "$CLIENTS" -batch "$BATCH" \
         -chaos-down 2 -chaos-kill-pid "${pids[2]}" -chaos-at 0.4 \
         -verify -verify-keys 12 -verify-rounds 25 -wait 30s
+
+    grab_heap "${proto}_chaos" "$((port0 + 3))"
 
     # Survivors shut down cleanly; node 2 was killed by design (ignore it).
     kill -INT "${pids[0]}" "${pids[1]}" 2>/dev/null || true
@@ -120,7 +148,8 @@ run_replicated_chaos_deployment() {
     for id in 0 1 2; do
         "$BIN/cckvs-node" -id "$id" -peers "$peers" -protocol "$proto" \
             -keys "$KEYS" -cache "$CACHE" -workers "$WORKERS" -replicas 2 \
-            -ping-interval 100ms -ping-timeout 1s &
+            -ping-interval 100ms -ping-timeout 1s \
+            -pprof "127.0.0.1:$((port0 + 3 + id))" &
         pids+=($!)
     done
     # shellcheck disable=SC2064
@@ -134,6 +163,8 @@ run_replicated_chaos_deployment() {
         -alpha 0.99 -writes 0.05 -ops "$OPS" -clients "$CLIENTS" -batch "$BATCH" \
         -chaos-down 2 -chaos-kill-pid "${pids[2]}" -chaos-at 0.4 \
         -verify -verify-keys 12 -verify-rounds 25 -wait 30s
+
+    grab_heap "${proto}_replchaos" "$((port0 + 3))"
 
     # Survivors shut down cleanly; node 2 was killed by design (ignore it).
     kill -INT "${pids[0]}" "${pids[1]}" 2>/dev/null || true
@@ -154,4 +185,4 @@ run_chaos_deployment sc "$((BASE_PORT + 20))"
 run_chaos_deployment lin "$((BASE_PORT + 30))"
 run_replicated_chaos_deployment sc "$((BASE_PORT + 40))"
 run_replicated_chaos_deployment lin "$((BASE_PORT + 50))"
-echo "multiprocess smoke: all deployments passed"
+echo "multiprocess smoke: all deployments passed (heap profiles in $ART)"
