@@ -47,7 +47,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		edge    = fs.Bool("clientedge", false, "run the client-edge session framing ablation (single-op vs pipelined vs batched frames) on the live cluster")
 		reqEdge = fs.Bool("require-edge", false, "with -clientedge: exit non-zero unless batch-32 throughput reaches 1.5x single-op")
 		rmw     = fs.Bool("rmw", false, "run the contended-counter atomic RMW ablation (client-side CAS loop vs server-side fetch-and-add, SC and Lin) on the live cluster")
-		ops     = fs.Int("ops", 2000, "operations per client for -local/-fig4/-coalesce/-churn/-workers/-clientedge/-rmw")
+		fanout  = fs.Bool("writefanout", false, "run the consistency-plane coalescing ablation (uncoalesced vs batched write fan-out, SC and Lin) on the live cluster")
+		reqFan  = fs.Bool("require-fanout", false, "with -writefanout: exit non-zero unless Lin batch-32 reaches 1.4x its uncoalesced row with > 1.5 msgs/pkt")
+		ops     = fs.Int("ops", 2000, "operations per client for -local/-fig4/-coalesce/-churn/-workers/-clientedge/-rmw/-writefanout")
 		jsonOut = fs.String("json", "", "additionally write the produced tables as JSON to this file (CI benchmark artifacts)")
 		compare = fs.String("compare", "", "compare a fresh run's JSON (-json output) against this committed baseline JSON and exit non-zero on regression")
 		against = fs.String("against", "", "with -compare: the fresh run JSON to check (defaults to the file written by -json)")
@@ -132,6 +134,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// RMW errors out rather than skewing a throughput row.
 		if code := liveRun("rmw ablation", experiments.LocalRMWAblation); code != 0 {
 			return code
+		}
+	case *fanout:
+		tab, err := experiments.LocalWriteFanoutAblation(*ops, *reqFan)
+		if len(tab.Rows) > 0 {
+			emit(tab)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "write-fanout ablation: %v\n", err)
+			exit = 1
 		}
 	case *compare != "":
 		code, err := compareRuns(*compare, *against, *jsonOut, *report, *tol, stdout)

@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		keys       = fs.Uint64("keys", 16384, "keyspace size (must match the nodes' -keys)")
 		alpha      = fs.Float64("alpha", 0.99, "zipfian exponent (0 = uniform)")
 		writes     = fs.Float64("writes", 0.05, "write ratio")
+		putFrac    = fs.Float64("put-frac", -1, "put fraction of the workload (overrides -writes when >= 0; e.g. 0.5 drives the write-heavy consistency-plane mix)")
 		rmwFrac    = fs.Float64("rmw-frac", 0, "fraction of ops issued as atomic fetch-and-adds (start the nodes with -value 8 so populated values decode as counters; forces -value 8 here)")
 		ops        = fs.Int("ops", 5000, "operations per client")
 		clients    = fs.Int("clients", 4, "concurrent clients")
@@ -114,6 +115,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *chaosDown >= nodes {
 		fmt.Fprintf(stderr, "-chaos-down %d out of range for %d nodes\n", *chaosDown, nodes)
 		return 2
+	}
+	if *putFrac >= 0 {
+		*writes = *putFrac
 	}
 	shifted, code := runWorkload(cl, workloadOpts{
 		nodes: nodes, keys: *keys, alpha: *alpha, writes: *writes, rmwFrac: *rmwFrac,

@@ -1,6 +1,11 @@
 package cluster
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
 
 // The allocation diet of the multi-worker PR: a remote get on the in-process
 // transport costs a bounded, small number of heap allocations per op. The
@@ -39,6 +44,47 @@ func TestRemoteGetAllocsPerOp(t *testing.T) {
 		t.Logf("workers=%d: remote get %.1f allocs/op (seed: 7.0)", w, allocs)
 		if allocs > 4.5 {
 			t.Fatalf("workers=%d: remote get costs %.1f allocs/op, want <= 4.5 (seed was 7.0)", w, allocs)
+		}
+	}
+}
+
+// The consistency-plane counterpart: a hot Lin put fans out an invalidation
+// broadcast, gathers acks and broadcasts the update — before the coalescing
+// plane that was three Encode(nil) allocations per peer per write on top of
+// the protocol's own bookkeeping. Encode-at-flush writes every message
+// straight into the lane's packet buffer, so the steady-state cost is the
+// durable per-write state (the immutable value copy, the waiter channel,
+// per-packet buffers the reference-passing transport cannot recycle), not
+// per-message garbage. Measured 19 allocs/op at the time the gate was set;
+// the bound fails a reintroduction of per-message encode allocations (two
+// peers x three messages would add ~6).
+func TestLinPutAllocsPerOp(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	for _, w := range []int{1, 4} {
+		c, err := New(Config{
+			Nodes: 3, System: CCKVS, Protocol: core.Lin,
+			NumKeys: 1024, CacheItems: 16, WorkersPerNode: w,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Populate()
+		if err := c.InstallHotSet(DefaultHotSet(16)); err != nil {
+			t.Fatal(err)
+		}
+		n := c.Node(0)
+		val := bytes.Repeat([]byte{0xAB}, 40)
+		allocs := testing.AllocsPerRun(2000, func() {
+			if err := n.Put(0, val); err != nil {
+				t.Fatal(err)
+			}
+		})
+		c.Close()
+		t.Logf("workers=%d: lin put %.1f allocs/op (gate set at 19.0)", w, allocs)
+		if allocs > 20.5 {
+			t.Fatalf("workers=%d: lin put costs %.1f allocs/op, want <= 20.5 (was 19.0 when gated)", w, allocs)
 		}
 	}
 }

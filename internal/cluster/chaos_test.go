@@ -84,6 +84,19 @@ func decodeChaosSeq(v []byte) (uint64, bool) {
 	return binary.LittleEndian.Uint64(v), true
 }
 
+// chaosSuspicion widens a tight suspicion timeout under the race detector:
+// race instrumentation on a loaded (or single-hardware-thread) box can stall
+// the ping responder past a 50-60ms window, falsely excising a LIVE member —
+// which these tests then misread as lost updates or phantom ErrHomeDown.
+// The non-race build keeps the tight window, so suspicion latency itself
+// stays covered.
+func chaosSuspicion(d time.Duration) time.Duration {
+	if raceEnabled {
+		return 4 * d
+	}
+	return d
+}
+
 // waitViewDown polls until every given member's view excludes peer.
 func waitViewDown(t *testing.T, members []*Cluster, peer int, timeout time.Duration) {
 	t.Helper()
@@ -108,7 +121,7 @@ func TestChaosKillMemberInProcess(t *testing.T) {
 			cfg := Config{
 				Nodes: 3, System: CCKVS, Protocol: proto,
 				NumKeys: 2048, CacheItems: 32, ValueSize: 16, WorkersPerNode: 2,
-				PingInterval: 5 * time.Millisecond, PingTimeout: 60 * time.Millisecond,
+				PingInterval: 5 * time.Millisecond, PingTimeout: chaosSuspicion(60 * time.Millisecond),
 			}
 			members := newChanMembers(t, cfg)
 			hot := DefaultHotSet(cfg.CacheItems)
@@ -244,7 +257,7 @@ func TestChaosLinWriteUnblocksWithinBoundedWindow(t *testing.T) {
 	cfg := Config{
 		Nodes: 3, System: CCKVS, Protocol: core.Lin,
 		NumKeys: 1024, CacheItems: 16, ValueSize: 16, WorkersPerNode: 1,
-		PingInterval: 5 * time.Millisecond, PingTimeout: 50 * time.Millisecond,
+		PingInterval: 5 * time.Millisecond, PingTimeout: chaosSuspicion(50 * time.Millisecond),
 	}
 	members := newChanMembers(t, cfg)
 	hot := DefaultHotSet(cfg.CacheItems)
@@ -480,7 +493,7 @@ func TestChaosReplicatedKillPrimary(t *testing.T) {
 				Nodes: 3, System: CCKVS, Protocol: proto,
 				NumKeys: 2048, CacheItems: 32, ValueSize: 16, WorkersPerNode: 2,
 				ReplicasPerShard: 2,
-				PingInterval:     5 * time.Millisecond, PingTimeout: 60 * time.Millisecond,
+				PingInterval:     5 * time.Millisecond, PingTimeout: chaosSuspicion(60 * time.Millisecond),
 			}
 			members := newChanMembers(t, cfg)
 			hot := DefaultHotSet(cfg.CacheItems)

@@ -363,6 +363,10 @@ type Node struct {
 	// RemoteReqMsgs counts the requests they carried. Their ratio is the
 	// achieved coalescing factor (§8.5).
 	RemoteReqPackets, RemoteReqMsgs metrics.Counter
+	// ConPackets counts consistency packets the coalescing consistency plane
+	// sent; ConMsgs counts the updates/invalidations/acks they carried.
+	// Their ratio is the write fan-out coalescing factor (§6.3).
+	ConPackets, ConMsgs metrics.Counter
 	// RPCDecodeErrors counts malformed request/response entries that were
 	// refused or dropped instead of deadlocking their callers.
 	RPCDecodeErrors metrics.Counter
@@ -382,6 +386,7 @@ type worker struct {
 
 	rpc  *rpcClient
 	pipe *pipeline // per-destination request coalescing (pipeline.go)
+	con  *conPlane // per-destination consistency coalescing (consistency.go)
 
 	credits *fabric.Credits
 	cbatch  *fabric.CreditBatcher
@@ -514,6 +519,7 @@ func build(cfg Config, tr fabric.Transport, stats *fabric.Stats, self int) (*Clu
 			}
 			wk.rpc = newRPCClient(wk)
 			wk.pipe = newPipeline(wk, cfg.Nodes, cfg.QueueDepth, cfg.BatchMaxMsgs, cfg.BatchMaxBytes)
+			wk.con = newConPlane(wk, cfg.Nodes, cfg.QueueDepth, cfg.BatchMaxMsgs, cfg.BatchMaxBytes)
 			wk.sessQ = make(chan sessJob, cfg.QueueDepth)
 			n.workers[w] = wk
 		}
@@ -635,13 +641,16 @@ func (c *Cluster) Close() error {
 	// Drain the request pipelines while the transport is still up: queued
 	// requests flush and their responses complete the waiting callers;
 	// anything enqueued from here on fails with ErrPipelineClosed instead
-	// of waiting on a response that can no longer arrive.
+	// of waiting on a response that can no longer arrive. The consistency
+	// lanes drain the same way so queued updates/invalidations/acks still
+	// reach their peers before the transport goes down.
 	for _, n := range c.nodes {
 		if n == nil {
 			continue
 		}
 		for _, wk := range n.workers {
 			wk.pipe.close()
+			wk.con.close()
 		}
 	}
 	err := c.transport.Close()
@@ -845,10 +854,22 @@ func (wk *worker) handleConsistency(p fabric.Packet) {
 	}
 }
 
-// sendAck returns an ack to the writer node's cache thread for the key's
-// worker (the writer's completion table lives on that worker's stripe).
+// sendAck returns an ack to the writer node for the key's worker (the
+// writer's completion table lives on that worker's stripe). The ack rides
+// the worker's consistency lane toward the writer, so it piggybacks onto
+// any update/invalidation packet already headed there. This runs on the
+// receive dispatcher, which must never block on a full lane — a dispatcher
+// stalled here would stop noting received packets toward credit updates,
+// and two nodes doing that to each other would starve both senders for
+// good — so a full lane falls back to an immediate uncoalesced send (the
+// pre-coalescing behavior: unacquired, with the receiver's matching grant
+// absorbed by the budget cap).
 func (n *Node) sendAck(to uint8, ack core.Ack) {
-	th := n.cluster.cfg.cacheThread(n.cluster.cfg.workerOf(ack.Key))
+	wk := n.workerFor(ack.Key)
+	if wk.con.tryEnqueue(to, conMsg{kind: core.MsgAck, key: ack.Key, ts: ack.TS, from: ack.From}) {
+		return
+	}
+	th := n.cluster.cfg.cacheThread(wk.idx)
 	n.cluster.transport.Send(fabric.Packet{
 		Src:   fabric.Addr{Node: n.id, Thread: th},
 		Dst:   fabric.Addr{Node: to, Thread: th},
@@ -857,30 +878,35 @@ func (n *Node) sendAck(to uint8, ack core.Ack) {
 	})
 }
 
-// broadcastConsistency sends one encoded consistency message for key to
-// every *live* node's cache thread for the key's worker, consuming one
-// credit per destination from that worker's budget. Dead peers are skipped
-// — no send, no credit — and a peer excised while the sender was blocked on
-// its exhausted budget wakes the sender with Acquire=false (the budget was
-// dropped by the view change), which also skips it.
-func (n *Node) broadcastConsistency(key uint64, class metrics.MsgClass, data []byte) {
-	wk := n.workerFor(key)
-	th := n.cluster.cfg.cacheThread(wk.idx)
+// broadcastUpdate fans an update out to every live peer via the key's
+// worker's consistency lanes. The value slice is enqueued as-is on every
+// lane — core hands out freshly-copied, immutable values, so coalescing
+// never re-copies them; on zero-copy transports they go to the wire as
+// their own packet segments (conPlane.sender).
+func (n *Node) broadcastUpdate(upd core.Update) {
+	n.broadcastConsistency(conMsg{kind: core.MsgUpdate, key: upd.Key, ts: upd.TS, value: upd.Value})
+}
+
+// broadcastInvalidation fans a Lin invalidation out to every live peer via
+// the key's worker's consistency lanes.
+func (n *Node) broadcastInvalidation(inv core.Invalidation) {
+	n.broadcastConsistency(conMsg{kind: core.MsgInvalidation, key: inv.Key, ts: inv.TS, from: inv.From})
+}
+
+// broadcastConsistency enqueues one consistency message onto the key's
+// worker's lane toward every *live* node. Dead peers are skipped here — no
+// enqueue, no credit — and a peer excised after the enqueue is handled by
+// the lane sender: the view change dropped its budget, so the sender's
+// per-packet Acquire returns false and the queued batch toward it is
+// discarded (mirroring how pipeline senders fail queued requests).
+func (n *Node) broadcastConsistency(m conMsg) {
+	wk := n.workerFor(m.key)
 	view := n.cluster.view.Load()
 	for peer := 0; peer < n.cluster.cfg.Nodes; peer++ {
 		if peer == int(n.id) || !view.Live(peer) {
 			continue
 		}
-		dst := fabric.Addr{Node: uint8(peer), Thread: th}
-		if !wk.credits.Acquire(dst) {
-			continue // peer left the view mid-wait
-		}
-		n.cluster.transport.Send(fabric.Packet{
-			Src:   fabric.Addr{Node: n.id, Thread: th},
-			Dst:   dst,
-			Class: class,
-			Data:  data,
-		})
+		wk.con.enqueue(uint8(peer), m)
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/timestamp"
 )
@@ -465,7 +464,7 @@ func (n *Node) commitSC(upd core.Update, err error) (done, retry bool, _ error) 
 	switch err {
 	case nil:
 		n.CacheHits.Add(1)
-		n.broadcastConsistency(upd.Key, metrics.ClassUpdate, upd.Encode(nil))
+		n.broadcastUpdate(upd)
 		return true, false, nil
 	case core.ErrFrozen:
 		n.FrozenRetries.Add(1)
@@ -499,7 +498,7 @@ func (n *Node) putLin(key uint64, value []byte) (bool, error) {
 		switch err {
 		case nil:
 			n.CacheHits.Add(1)
-			n.broadcastConsistency(key, metrics.ClassInvalidate, inv.Encode(nil))
+			n.broadcastInvalidation(inv)
 			// A view flip may have excised a counted peer between the
 			// write's live-set snapshot and the broadcast — or this node may
 			// be the only live member — in which case no further ack will
@@ -516,7 +515,7 @@ func (n *Node) putLin(key uint64, value []byte) (bool, error) {
 			// Block until the last ack completes the write (§5.2: "writes
 			// are synchronous").
 			upd := <-ch
-			n.broadcastConsistency(key, metrics.ClassUpdate, upd.Encode(nil))
+			n.broadcastUpdate(upd)
 			return true, nil
 		case core.ErrWritePending:
 			// Another session on this node is writing the key; wait for

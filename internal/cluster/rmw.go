@@ -6,7 +6,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/metrics"
 	"repro/internal/timestamp"
 )
 
@@ -237,7 +236,7 @@ func (n *Node) rmwLocalHot(key uint64, compute func([]byte) ([]byte, bool)) (wit
 		case nil:
 			n.CacheHits.Add(1)
 			if applied {
-				n.broadcastConsistency(key, metrics.ClassUpdate, upd.Encode(nil))
+				n.broadcastUpdate(upd)
 			}
 			return w, applied, false, nil
 		case core.ErrFrozen:
@@ -266,14 +265,14 @@ func (n *Node) rmwLocalHot(key uint64, compute func([]byte) ([]byte, bool)) (wit
 			n.unregisterLinWaiter(key, ch)
 			return w, false, false, nil
 		}
-		n.broadcastConsistency(key, metrics.ClassInvalidate, inv.Encode(nil))
+		n.broadcastInvalidation(inv)
 		if v := n.cluster.view.Load(); v.LiveCount() < n.cluster.cfg.Nodes {
 			if upd, done := n.cache.RecheckPending(key); done {
 				n.completeLinWrite(key, upd)
 			}
 		}
 		upd := <-ch
-		n.broadcastConsistency(key, metrics.ClassUpdate, upd.Encode(nil))
+		n.broadcastUpdate(upd)
 		return w, true, false, nil
 	case core.ErrInvalid:
 		n.unregisterLinWaiter(key, ch)
@@ -525,7 +524,7 @@ func (n *Node) serveRMW(src uint8, req rpcRequest, resp []byte) []byte {
 		if !applied {
 			return appendPayloadResponse(resp, req.reqID, rpcStatusCASFail, timestamp.TS{}, w)
 		}
-		n.broadcastConsistency(req.key, metrics.ClassUpdate, upd.Encode(nil))
+		n.broadcastUpdate(upd)
 		return appendPayloadResponse(resp, req.reqID, rpcStatusOK, upd.TS, w)
 	}
 	if n.cluster.replicated() {
@@ -614,9 +613,9 @@ func (n *Node) serveRMWLin(req rpcRequest, resp []byte, compute func([]byte) ([]
 	}
 	go func() {
 		upd := <-ch
-		n.broadcastConsistency(req.key, metrics.ClassUpdate, upd.Encode(nil))
+		n.broadcastUpdate(upd)
 	}()
-	n.broadcastConsistency(req.key, metrics.ClassInvalidate, inv.Encode(nil))
+	n.broadcastInvalidation(inv)
 	if v := n.cluster.view.Load(); v.LiveCount() < n.cluster.cfg.Nodes {
 		if upd, done := n.cache.RecheckPending(req.key); done {
 			n.completeLinWrite(req.key, upd)

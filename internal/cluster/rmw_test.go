@@ -318,7 +318,7 @@ func TestChaosReplicatedKillPrimaryMidRMW(t *testing.T) {
 				Nodes: 3, System: CCKVS, Protocol: proto,
 				NumKeys: 2048, CacheItems: 32, ValueSize: 8, WorkersPerNode: 2,
 				ReplicasPerShard: 2,
-				PingInterval:     5 * time.Millisecond, PingTimeout: 60 * time.Millisecond,
+				PingInterval:     5 * time.Millisecond, PingTimeout: chaosSuspicion(60 * time.Millisecond),
 			}
 			members := newChanMembers(t, cfg)
 			key := coldKeyHomedOnCfg(t, cfg, doomed)

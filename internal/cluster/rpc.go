@@ -949,7 +949,7 @@ func (n *Node) serveRequest(src uint8, req rpcRequest, resp []byte, scratch *srv
 		if err != nil {
 			return appendStatusOnly(resp, req.reqID, rpcStatusNotFound)
 		}
-		n.broadcastConsistency(req.key, metrics.ClassUpdate, upd.Encode(nil))
+		n.broadcastUpdate(upd)
 		return appendOKResponse(resp, req.reqID, upd.TS, nil)
 	case rpcOpSeqTS:
 		wk := n.workerFor(req.key)

@@ -280,6 +280,7 @@ func (c *Cluster) Kill() {
 				wk.credits.Drop(fabric.Addr{Node: uint8(peer), Thread: c.cfg.kvsThread(wk.idx)})
 			}
 			wk.pipe.close()
+			wk.con.close()
 			wk.rpc.failAll(fmt.Errorf("cluster: member killed (%w)", ErrNodeDown))
 		}
 	}

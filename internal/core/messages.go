@@ -107,12 +107,20 @@ func (u Update) EncodedSize() int { return updateOverhead + len(u.Value) }
 
 // Encode appends the update's wire form to buf.
 func (u Update) Encode(buf []byte) []byte {
+	return append(u.EncodeHeader(buf), u.Value...)
+}
+
+// EncodeHeader appends everything of the update's wire form except the value
+// bytes: type, key, timestamp and the value-length prefix. The coalescing
+// consistency sender uses it on zero-copy transports to splice the value in
+// as its own packet segment instead of re-copying it; EncodeHeader followed
+// by the value bytes is exactly Encode.
+func (u Update) EncodeHeader(buf []byte) []byte {
 	buf = append(buf, byte(MsgUpdate))
 	buf = binary.LittleEndian.AppendUint64(buf, u.Key)
 	buf = binary.LittleEndian.AppendUint32(buf, u.TS.Clock)
 	buf = append(buf, u.TS.Writer)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(u.Value)))
-	return append(buf, u.Value...)
+	return binary.LittleEndian.AppendUint32(buf, uint32(len(u.Value)))
 }
 
 // EncodedSize returns the wire size of an invalidation.
@@ -143,6 +151,16 @@ func (a Ack) Encode(buf []byte) []byte {
 // Update, Invalidation, Ack), the number of bytes consumed, and an error on
 // malformed input. Decoded updates alias buf's storage; callers that retain
 // the value must copy it.
+//
+// Consistency packets may coalesce many messages back to back; receivers
+// decode and apply them in buffer order. That order is the per-key ordering
+// invariant the coalescing sender relies on: a worker's messages toward one
+// peer travel a single FIFO lane, so an update followed by a later
+// invalidation for the same key can never be observed transposed within or
+// across packets. Reordering *between* lanes (different workers, hence
+// different keys) is harmless, and cross-packet reordering by an adversarial
+// transport is tolerated by the timestamp checks in ApplyUpdate*/
+// ApplyInvalidation.
 func Decode(buf []byte) (any, int, error) {
 	if len(buf) < headerSize {
 		return nil, 0, fmt.Errorf("core: short message (%d bytes)", len(buf))

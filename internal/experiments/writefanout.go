@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// LocalWriteFanoutAblation measures the coalescing consistency plane
+// (§6.3 applied to the write fan-out) on the real in-process cluster in the
+// regime Figure 11 says it matters: a write-heavy stream of hot-key puts,
+// where every put broadcasts updates (SC) or invalidations+acks+updates
+// (Lin) to all peers and consistency messages dwarf the request traffic.
+// Each writer goroutine owns a distinct hot key, so writes never contend on
+// the per-key write order and the fan-out lanes — not key serialization —
+// carry the load; all keys steer through one worker per node
+// (WorkersPerNode=1), the single-hardware-thread configuration of the CI
+// gate. Per protocol the first row pins BatchMaxMsgs to 1 — one message per
+// packet, one credit acquire and one send apiece, the pre-coalescing wire
+// behavior — and the following rows let the consistency lanes pack the
+// concurrent fan-out into multi-message packets. Per-packet costs (credit
+// acquires, transport sends, dispatches) amortize across the batch, so
+// throughput must rise and the achieved messages-per-packet must climb well
+// above 1 while single-write latency stays at the doorbell-flush floor.
+//
+// With requireFanout set the run doubles as the CI regression gate: Lin at
+// batch 32 must reach 1.4x its own uncoalesced row, and its consistency
+// coalescing factor must exceed 1.5 msgs/pkt.
+func LocalWriteFanoutAblation(opsPerClient int, requireFanout bool) (Table, error) {
+	if opsPerClient <= 0 {
+		opsPerClient = 2000
+	}
+	t := Table{
+		ID:      "write-fanout",
+		Title:   "Consistency-plane coalescing on the live cluster [3 nodes, ccKVS, all-put distinct hot keys, 1 worker/node]",
+		Columns: []string{"protocol/batch", "throughput ops/s", "speedup", "con msgs/pkt", "p99 put us"},
+	}
+	type cell struct{ tput, factor float64 }
+	results := map[string]cell{}
+	for _, proto := range []core.Protocol{core.SC, core.Lin} {
+		var baseline float64
+		for _, batch := range []int{1, 8, 32} {
+			tput, factor, p99, err := runFanoutMode(proto, batch, opsPerClient)
+			if err != nil {
+				return Table{}, fmt.Errorf("%s batch %d: %w", proto, batch, err)
+			}
+			if batch == 1 {
+				baseline = tput
+			}
+			label := fmt.Sprintf("%s/%d", proto, batch)
+			results[label] = cell{tput, factor}
+			t.AddRow(label, tput, fmt.Sprintf("%.2fx", tput/baseline), factor, p99/1000)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"batch-1 rows are the pre-coalescing consistency plane: every update/invalidation/ack ships as its own packet with its own credit acquire",
+		"con msgs/pkt is the achieved consistency coalescing factor (sum ConMsgs / sum ConPackets over all nodes); doorbell batching means concurrency, not waiting, produces it",
+		"every writer owns its own hot key: per-key write serialization never throttles the run, the fan-out lanes do",
+	)
+
+	if requireFanout {
+		base, coal := results[fmt.Sprintf("%s/1", core.Lin)], results[fmt.Sprintf("%s/32", core.Lin)]
+		if coal.tput < 1.4*base.tput {
+			return t, fmt.Errorf("write-fanout regression: Lin batch-32 throughput %.0f ops/s is below 1.4x the uncoalesced %.0f ops/s",
+				coal.tput, base.tput)
+		}
+		if coal.factor < 1.5 {
+			return t, fmt.Errorf("write-fanout regression: Lin batch-32 coalescing factor %.2f msgs/pkt, want > 1.5",
+				coal.factor)
+		}
+	}
+	return t, nil
+}
+
+// runFanoutMode drives one ablation cell: `writers` goroutines, each putting
+// its own hot key opsPerWriter times through a node picked round-robin, on a
+// fresh cluster with the given consistency packet cap. Returns ops/s, the
+// achieved consistency msgs/pkt, and the p99 put latency in ns.
+func runFanoutMode(proto core.Protocol, batch, opsPerWriter int) (tput, factor, p99 float64, err error) {
+	const (
+		nodes    = 3
+		numKeys  = 16384
+		hotItems = 64
+		writers  = 64
+	)
+	cl, err := cluster.New(cluster.Config{
+		Nodes: nodes, System: cluster.CCKVS, Protocol: proto,
+		NumKeys: numKeys, CacheItems: hotItems, WorkersPerNode: 1,
+		BatchMaxMsgs: batch,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer cl.Close()
+	cl.Populate()
+	if err := cl.InstallHotSet(cluster.DefaultHotSet(hotItems)); err != nil {
+		return 0, 0, 0, err
+	}
+
+	lat := metrics.NewHistogram()
+	errCh := make(chan error, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			n := cl.Node(wi % nodes)
+			key := uint64(wi) // distinct hot keys: no per-key write contention
+			val := bytes.Repeat([]byte{byte(wi)}, 40)
+			for i := 0; i < opsPerWriter; i++ {
+				t0 := time.Now()
+				if err := n.Put(key, val); err != nil {
+					errCh <- fmt.Errorf("writer %d op %d: %w", wi, i, err)
+					return
+				}
+				lat.Record(uint64(time.Since(t0).Nanoseconds()))
+			}
+			errCh <- nil
+		}(wi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for e := range errCh {
+		if e != nil {
+			return 0, 0, 0, e
+		}
+	}
+	var msgs, pkts uint64
+	for i := 0; i < nodes; i++ {
+		msgs += cl.Node(i).ConMsgs.Load()
+		pkts += cl.Node(i).ConPackets.Load()
+	}
+	if pkts > 0 {
+		factor = float64(msgs) / float64(pkts)
+	}
+	tput = float64(writers*opsPerWriter) / elapsed.Seconds()
+	return tput, factor, float64(lat.Percentile(0.99)), nil
+}

@@ -50,12 +50,29 @@ func (a Addr) String() string { return fmt.Sprintf("n%d/t%d", a.Node, a.Thread) 
 // before Send returns — by vectored write (TCP) or by flattening into a
 // fresh buffer (in-process transports) — so the caller may release or reuse
 // the segment memory as soon as Send returns.
+// A packet that coalesces messages of several classes (the consistency
+// plane mixes updates, invalidations and piggybacked acks in one fan-out
+// packet) may carry Spans: per-class message counts and payload bytes for
+// the traffic accountant. Spans are sender-side accounting metadata only —
+// they never travel on the wire and receivers must not rely on them.
 type Packet struct {
 	Src   Addr
 	Dst   Addr
 	Class metrics.MsgClass
 	Data  []byte
 	Segs  [][]byte
+	Spans []ClassSpan
+}
+
+// ClassSpan attributes a group of coalesced messages inside one packet to a
+// message class, so a mixed consistency packet is broken down exactly in the
+// Figure 11 accounting: Msgs messages totalling Bytes payload bytes of
+// Class. (The messages themselves stay in queue order on the wire; spans
+// only tally them.)
+type ClassSpan struct {
+	Class metrics.MsgClass
+	Msgs  uint32
+	Bytes uint32
 }
 
 // payloadLen is the wire payload size: Segs when vectored, Data otherwise.
@@ -132,19 +149,40 @@ type Stats struct {
 	// The zero-copy assertions in internal/cluster read these.
 	VectoredBytes  metrics.Counter
 	FlattenedBytes metrics.Counter
+	// Coalesce holds the messages-per-packet histograms fed by span-carrying
+	// packets (the coalesced consistency plane): one histogram per class, so
+	// the achieved §6.3 coalescing factor is observable per message class.
+	Coalesce *metrics.Coalescing
 }
 
 // NewStats returns a zeroed stats block.
-func NewStats() *Stats { return &Stats{Traffic: metrics.NewTraffic()} }
+func NewStats() *Stats {
+	return &Stats{Traffic: metrics.NewTraffic(), Coalesce: metrics.NewCoalescing()}
+}
 
-// account records one sent packet.
+// account records one sent packet. Span-carrying packets charge each span's
+// messages and payload bytes to that span's class — Traffic.Packets then
+// counts *messages* per class, which keeps the per-class message counts
+// exact whether or not coalescing batched them — with the per-packet wire
+// overhead going to the packet's nominal class. Flat packets charge one
+// message of the packet's class, as before.
 func (s *Stats) account(p Packet) {
 	if s == nil {
 		return
 	}
 	s.SendsTotal.Add(1)
 	n := p.payloadLen()
-	s.Traffic.Add(p.Class, uint64(n)+WireOverhead)
+	if len(p.Spans) == 0 {
+		s.Traffic.Add(p.Class, uint64(n)+WireOverhead)
+	} else {
+		s.Traffic.AddN(p.Class, 0, WireOverhead)
+		for _, sp := range p.Spans {
+			s.Traffic.AddN(sp.Class, uint64(sp.Msgs), uint64(sp.Bytes))
+			if s.Coalesce != nil {
+				s.Coalesce.Record(sp.Class, uint64(sp.Msgs))
+			}
+		}
+	}
 	if n <= InlineThreshold {
 		s.Inlined.Add(1)
 	}
@@ -223,6 +261,10 @@ func (t *ChanTransport) Send(p Packet) error {
 	if !ok {
 		return nil // dropped; segment memory is trivially unreferenced
 	}
+	// Spans are sender-side accounting metadata (consumed by account above);
+	// in-process delivery retains the packet by reference, so strip them
+	// rather than let the receiver alias a buffer the sender may reuse.
+	p.Spans = nil
 	if p.Segs != nil {
 		// In-process delivery passes the payload by reference and the
 		// receiver may retain it, so a vectored payload must be broken from

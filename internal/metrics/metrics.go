@@ -283,6 +283,52 @@ func (t *Traffic) String() string {
 	return strings.Join(parts, ", ")
 }
 
+// Coalescing tracks how many messages of each class ride in each sent
+// packet — the achieved coalescing factor of the multi-message fan-out path
+// (§6.3: header-only invalidations and acks dominate message count under
+// write-heavy skew, so packing several per packet is where the fan-out
+// savings come from). One histogram per class; a mean near 1 means the lane
+// was idle and every message flushed alone (doorbell mode), a mean well
+// above 1 means batching engaged under load.
+type Coalescing struct {
+	hists [numClasses]*Histogram
+}
+
+// NewCoalescing returns an empty coalescing tracker.
+func NewCoalescing() *Coalescing {
+	c := &Coalescing{}
+	for i := range c.hists {
+		c.hists[i] = NewHistogram()
+	}
+	return c
+}
+
+// Record notes that msgs messages of class c travelled in one packet.
+func (c *Coalescing) Record(cl MsgClass, msgs uint64) {
+	c.hists[cl].Record(msgs)
+}
+
+// Hist returns the messages-per-packet histogram for a class.
+func (c *Coalescing) Hist(cl MsgClass) *Histogram { return c.hists[cl] }
+
+// Factor returns the mean messages per packet for a class (0 when no packet
+// of that class was sent).
+func (c *Coalescing) Factor(cl MsgClass) float64 { return c.hists[cl].Mean() }
+
+// String renders the nonzero per-class coalescing factors.
+func (c *Coalescing) String() string {
+	parts := make([]string, 0, numClasses)
+	for _, cl := range Classes() {
+		if h := c.hists[cl]; h.Count() > 0 {
+			parts = append(parts, fmt.Sprintf("%s %.2f msgs/pkt", cl, h.Mean()))
+		}
+	}
+	if len(parts) == 0 {
+		return "no coalesced packets"
+	}
+	return strings.Join(parts, ", ")
+}
+
 // Registry is a small named-counter registry for ad-hoc instrumentation of
 // subsystems (used by the fabric and cluster packages for busy-wait and
 // batching statistics, mirroring the paper's §8.4 methodology).

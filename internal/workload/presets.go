@@ -23,6 +23,13 @@ const (
 	// thousand operations. A static hot set decays toward zero hit rate
 	// under it; an adaptive one keeps up.
 	ShiftingHotspot = "shifting-hotspot"
+	// WriteHeavy drives the consistency plane hard: 50% puts at the paper's
+	// default skew. Unlike YCSB-A (same mix) it exists as the named stress
+	// workload for the write fan-out — every hot-key put broadcasts
+	// updates (SC) or invalidations+acks+updates (Lin) to all peers, so
+	// this is the regime where Figure 11's message-count argument bites and
+	// consistency coalescing pays off.
+	WriteHeavy = "write-heavy"
 	// ContendedCounter is the RMW stress mix: very high skew (alpha = 1.01,
 	// the paper's most skewed setting) with 30% atomic fetch-and-adds and a
 	// trickle of plain writes, so contention concentrates on a handful of
@@ -50,6 +57,8 @@ func Preset(name string, numKeys uint64) (Config, bool) {
 		base.WriteRatio = 0.002
 	case PaperDefault:
 		base.WriteRatio = 0.01
+	case WriteHeavy:
+		base.WriteRatio = 0.5
 	case ShiftingHotspot:
 		base.WriteRatio = 0.05
 		// A handful of shifts within even short benchmark runs; the
@@ -71,5 +80,5 @@ func Preset(name string, numKeys uint64) (Config, bool) {
 
 // Presets lists the known preset names.
 func Presets() []string {
-	return []string{YCSBA, YCSBB, YCSBC, Facebook, PaperDefault, ShiftingHotspot, ContendedCounter}
+	return []string{YCSBA, YCSBB, YCSBC, Facebook, PaperDefault, WriteHeavy, ShiftingHotspot, ContendedCounter}
 }

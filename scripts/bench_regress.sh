@@ -51,7 +51,7 @@ trap 'rm -rf "$BIN"' EXIT
 go build -o "$BIN/cckvs-bench" ./cmd/cckvs-bench
 
 fail=0
-for mode in coalesce workers clientedge rmw; do
+for mode in coalesce workers clientedge rmw writefanout; do
     base="bench/BENCH_baseline_${mode}.json"
     fresh="$BIN/fresh_${mode}.json"
     if [ ! -f "$base" ]; then

@@ -63,12 +63,15 @@ grab_heap() {
 }
 
 run_deployment() {
-    local proto="$1" port0="$2"
+    # Optional third arg: put fraction (default 5%). The Lin deployment runs
+    # write-heavy (50% puts) to drive the coalescing consistency plane —
+    # invalidation/ack/update fan-out — hard in a real multi-process setting.
+    local proto="$1" port0="$2" putfrac="${3:-0.05}"
     local p0="127.0.0.1:$port0" p1="127.0.0.1:$((port0 + 1))" p2="127.0.0.1:$((port0 + 2))"
     local peers="$p0,$p1,$p2"
     local pids=()
 
-    echo "=== $proto: 3-node deployment on $peers ==="
+    echo "=== $proto: 3-node deployment on $peers (put fraction $putfrac) ==="
     for id in 0 1 2; do
         "$BIN/cckvs-node" -id "$id" -peers "$peers" -protocol "$proto" \
             -keys "$KEYS" -cache "$CACHE" -workers "$WORKERS" \
@@ -79,7 +82,7 @@ run_deployment() {
     trap "kill ${pids[*]} 2>/dev/null || true" RETURN
 
     "$BIN/cckvs-load" -nodes "$peers" -keys "$KEYS" -hotset "$CACHE" \
-        -alpha 0.99 -writes 0.05 -ops "$OPS" -clients "$CLIENTS" -batch "$BATCH" \
+        -alpha 0.99 -put-frac "$putfrac" -ops "$OPS" -clients "$CLIENTS" -batch "$BATCH" \
         -refresh-at 0.5 -refresh-shift 16 \
         -verify -verify-keys 12 -verify-rounds 25 \
         -min-hit-rate 0.15 -wait 30s
@@ -180,7 +183,7 @@ run_replicated_chaos_deployment() {
 }
 
 run_deployment sc "$BASE_PORT"
-run_deployment lin "$((BASE_PORT + 10))"
+run_deployment lin "$((BASE_PORT + 10))" 0.5
 run_chaos_deployment sc "$((BASE_PORT + 20))"
 run_chaos_deployment lin "$((BASE_PORT + 30))"
 run_replicated_chaos_deployment sc "$((BASE_PORT + 40))"
